@@ -1,0 +1,41 @@
+//! Criterion benches for path counting and path localization (§5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
+use pstrace_diag::{consistent_paths, MatchMode};
+use pstrace_flow::path_count;
+use pstrace_soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig};
+
+fn bench_path_count(c: &mut Criterion) {
+    let model = SocModel::t2();
+    let mut group = c.benchmark_group("path_count");
+    for scenario in pstrace_soc::UsageScenario::all_paper_scenarios() {
+        let product = scenario.interleaving(&model).expect("interleaves");
+        group.bench_function(scenario.name(), |b| {
+            b.iter(|| path_count(&product));
+        });
+    }
+    group.finish();
+}
+
+fn bench_localization(c: &mut Criterion) {
+    let model = SocModel::t2();
+    let catalog = bug_catalog(&model);
+    let mut group = c.benchmark_group("localization");
+    for cs in case_studies() {
+        let product = cs.scenario.interleaving(&model).expect("interleaves");
+        let selected = cs.scenario.messages(&model);
+        let sim = Simulator::new(&model, cs.scenario.clone(), SimConfig::with_seed(cs.seed));
+        let mut interceptor = BugInterceptor::new(&model, cs.bugs(&catalog));
+        let buggy = sim.run_with(&mut interceptor);
+        let trace = capture(&model, &buggy, &TraceBufferConfig::messages_only(&selected));
+        let observed = trace.message_sequence();
+        group.bench_function(format!("case{}", cs.number), |b| {
+            b.iter(|| consistent_paths(&product, &observed, &selected, MatchMode::Prefix));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_count, bench_localization);
+criterion_main!(benches);

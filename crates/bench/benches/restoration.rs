@@ -1,0 +1,35 @@
+//! Criterion benches for the gate-level substrate: simulation, state
+//! restoration and the baseline selection methods (§5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pstrace_rtl::{prnet_select, restore, sigset_select, simulate, RandomStimulus, UsbDesign};
+
+fn bench_rtl(c: &mut Criterion) {
+    let usb = UsbDesign::new();
+    let netlist = &usb.netlist;
+    let cycles = 48;
+    let stim = RandomStimulus::new(netlist, cycles, 2);
+    let reference = simulate(netlist, &stim, cycles);
+    let traced: Vec<_> = netlist.flops().iter().copied().take(8).collect();
+
+    c.bench_function("usb/simulate_48_cycles", |b| {
+        b.iter(|| simulate(netlist, &stim, cycles));
+    });
+    c.bench_function("usb/restore_8_flops", |b| {
+        b.iter(|| restore(netlist, &traced, &reference));
+    });
+    c.bench_function("usb/prnet_select", |b| {
+        b.iter(|| prnet_select(netlist, 8));
+    });
+    let mut slow = c.benchmark_group("usb_slow");
+    slow.sample_size(10);
+    slow.warm_up_time(std::time::Duration::from_secs(1));
+    slow.measurement_time(std::time::Duration::from_secs(8));
+    slow.bench_function("sigset_select_budget4", |b| {
+        b.iter(|| sigset_select(netlist, &reference, 4));
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_rtl);
+criterion_main!(benches);

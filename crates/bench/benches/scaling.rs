@@ -1,0 +1,42 @@
+//! Scalability sweep: selection cost as a function of concurrent flow
+//! instances — the paper's third contribution is making scalability an
+//! explicit objective, and the beam strategy is the scalable path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pstrace_core::{beam_select, TraceBufferSpec};
+use pstrace_infogain::LogBase;
+use pstrace_soc::{FlowKind, SocModel, UsageScenario};
+
+fn bench_scaling(c: &mut Criterion) {
+    let model = SocModel::t2();
+    let mut group = c.benchmark_group("beam_select_vs_instances");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for instances in [1u32, 2, 3] {
+        let scenario = UsageScenario::custom(
+            9,
+            &format!("{instances}x(PIOW+NCUD+Mon)"),
+            &[
+                (FlowKind::PioWrite, instances),
+                (FlowKind::NcuDownstream, instances),
+                (FlowKind::Mondo, instances),
+            ],
+        );
+        let product = scenario.interleaving(&model).expect("interleaves");
+        let buffer = TraceBufferSpec::new(32).expect("nonzero");
+        group.bench_function(
+            format!("{instances}x_states_{}", product.state_count()),
+            |b| {
+                b.iter(|| {
+                    beam_select(&product, buffer.width_bits(), 4, LogBase::Nats)
+                        .expect("beam selects")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

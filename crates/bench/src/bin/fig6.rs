@@ -1,0 +1,29 @@
+//! Regenerates Figure 6: per investigated traced message, the cumulative
+//! number of candidate legal IP pairs eliminated (a) and candidate root
+//! causes eliminated (b), for every case study.
+
+use pstrace_bench::run_all_case_studies;
+use pstrace_soc::SocModel;
+
+fn main() {
+    let model = SocModel::t2();
+    let all = run_all_case_studies(&model).expect("case studies run");
+
+    println!("Figure 6 — progressive elimination during the investigation walk\n");
+    for (cs, with, _) in &all {
+        let pairs = with.walk.pair_elimination_series();
+        let causes = with.walk.cause_elimination_series();
+        println!(
+            "case study {} ({} legal pairs, {} causes):",
+            cs.number,
+            with.walk.legal_pairs.len(),
+            with.causes.entries.len()
+        );
+        println!("  step | pairs eliminated | causes eliminated");
+        for ((step, p), (_, c)) in pairs.iter().zip(&causes) {
+            println!("  {step:>4} | {p:>16} | {c:>17}");
+        }
+        println!();
+    }
+    println!("paper: both series rise monotonically — every traced message contributes");
+}

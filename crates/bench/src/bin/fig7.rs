@@ -1,0 +1,39 @@
+//! Regenerates Figure 7: plausible-vs-pruned root-cause distribution per
+//! case study after debugging from the captured trace.
+
+use pstrace_bench::{pct, run_all_case_studies};
+use pstrace_soc::SocModel;
+
+fn main() {
+    let model = SocModel::t2();
+    let all = run_all_case_studies(&model).expect("case studies run");
+
+    println!("Figure 7 — root-cause pruning per case study\n");
+    println!(
+        "{:>5} {:>7} {:>10} {:>8} {:>9}",
+        "Case", "Causes", "Plausible", "Pruned", "Pruned%"
+    );
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    for (cs, with, _) in &all {
+        let total = with.causes.entries.len();
+        let pruned = with.causes.pruned_count();
+        let frac = with.pruned_fraction();
+        sum += frac;
+        max = max.max(frac);
+        println!(
+            "{:>5} {:>7} {:>10} {:>8} {:>9}",
+            cs.number,
+            total,
+            total - pruned,
+            pruned,
+            pct(frac)
+        );
+    }
+    println!(
+        "\naverage pruned {}, max pruned {}",
+        pct(sum / all.len() as f64),
+        pct(max)
+    );
+    println!("paper: average 78.89% pruned, max 88.89%");
+}

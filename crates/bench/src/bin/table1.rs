@@ -1,0 +1,45 @@
+//! Regenerates Table 1: usage scenarios, participating flows (annotated
+//! with state/message counts), participating IPs and potential root
+//! causes.
+
+use pstrace_diag::scenario_causes;
+use pstrace_soc::{FlowKind, SocModel, UsageScenario};
+
+fn main() {
+    let model = SocModel::t2();
+    println!("Table 1 — usage scenarios and participating flows\n");
+
+    print!("{:<12}", "Scenario");
+    for kind in FlowKind::PAPER {
+        let f = model.flow(kind);
+        print!(
+            "{:>14}",
+            format!(
+                "{} ({},{})",
+                kind.abbrev(),
+                f.state_count(),
+                f.messages().len()
+            )
+        );
+    }
+    println!("  {:<26}{:>12}", "Participating IPs", "Root causes");
+
+    for scenario in UsageScenario::all_paper_scenarios() {
+        print!("{:<12}", scenario.name());
+        for kind in FlowKind::PAPER {
+            print!("{:>14}", if scenario.executes(kind) { "Y" } else { "x" });
+        }
+        let ips: Vec<String> = scenario
+            .participating_ips(&model)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let causes = scenario_causes(&model, &scenario).len();
+        println!("  {:<26}{:>12}", ips.join(","), causes);
+    }
+
+    println!(
+        "\npaper: scenarios execute (PIOR,PIOW,Mon) / (NCUU,NCUD,Mon) / (PIOR,PIOW,NCUU,NCUD)"
+    );
+    println!("paper: root causes 9 / 8 / 9; flow shapes PIOR(6,5) PIOW(3,2) NCUU(4,3) NCUD(3,2) Mon(6,5)");
+}

@@ -1,0 +1,41 @@
+//! Regenerates Table 3: trace buffer utilization, flow-specification
+//! coverage and path localization per case study, with (WP) and without
+//! (WoP) packing, under a 32-bit trace buffer.
+
+use pstrace_bench::{pct, run_all_case_studies};
+use pstrace_soc::SocModel;
+
+fn main() {
+    let model = SocModel::t2();
+    let all = run_all_case_studies(&model).expect("case studies run");
+
+    println!("Table 3 — utilization, FSP coverage, path localization (32-bit buffer)\n");
+    println!(
+        "{:>5} {:>11} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "Case", "Scenario", "Util WP", "Util WoP", "Cov WP", "Cov WoP", "Local WP", "Local WoP"
+    );
+    let mut util_wp_sum = 0.0;
+    let mut cov_wp_sum = 0.0;
+    for (cs, with, without) in &all {
+        util_wp_sum += with.selection.utilization();
+        cov_wp_sum += with.selection.coverage();
+        println!(
+            "{:>5} {:>11} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+            cs.number,
+            cs.scenario.name(),
+            pct(with.selection.utilization()),
+            pct(without.selection.utilization()),
+            pct(with.selection.coverage()),
+            pct(without.selection.coverage()),
+            pct(with.path_localization()),
+            pct(without.path_localization()),
+        );
+    }
+    println!(
+        "\naverage WP: utilization {}, coverage {}",
+        pct(util_wp_sum / all.len() as f64),
+        pct(cov_wp_sum / all.len() as f64)
+    );
+    println!("paper: utilization up to 100% (avg 98.96%), coverage up to 99.86% (avg 94.3%),");
+    println!("       localization <= 6.11% WoP and <= 0.31% WP; packing never hurts any metric");
+}

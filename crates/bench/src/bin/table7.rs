@@ -1,0 +1,50 @@
+//! Regenerates Table 7: the selected messages and representative potential
+//! root causes (with system-level implications) for case study 1's usage
+//! scenario, as used in the §5.7 debugging walkthrough.
+
+use pstrace_bench::{run_all_case_studies, PAPER_BUFFER_BITS};
+use pstrace_diag::scenario_causes;
+use pstrace_soc::SocModel;
+
+fn main() {
+    let model = SocModel::t2();
+    let catalog = model.catalog();
+    let all = run_all_case_studies(&model).expect("case studies run");
+    let (cs, with, _) = &all[0];
+
+    println!(
+        "Table 7 — selected messages and potential root causes (case study {})\n",
+        cs.number
+    );
+
+    let mut selected: Vec<String> = with
+        .selection
+        .chosen
+        .messages
+        .iter()
+        .map(|&m| catalog.name(m).to_owned())
+        .collect();
+    for &g in &with.selection.packed_groups {
+        selected.push(catalog.group_qualified_name(g));
+    }
+    println!(
+        "selected messages ({}-bit buffer): {}\n",
+        PAPER_BUFFER_BITS,
+        selected.join(", ")
+    );
+
+    println!(
+        "{:<4} {:<72} Potential implication",
+        "No", "Potential cause"
+    );
+    for cause in scenario_causes(&model, &cs.scenario) {
+        println!(
+            "{:<4} [{}] {:<66} {}",
+            cause.id, cause.ip, cause.description, cause.implication
+        );
+    }
+
+    println!("\npaper (representative rows): Mondo to bypass queue -> interrupt not serviced;");
+    println!("  invalid Mondo payload -> wrong CPU/Thread ID; non-generation of Mondo ->");
+    println!("  thread fetches operand from wrong memory location");
+}

@@ -1,0 +1,257 @@
+//! Bug coverage and message importance (§5.5, Table 5).
+//!
+//! A message is *affected* by a bug if its value in a buggy execution
+//! differs from its value in the bug-free execution (or if it goes missing
+//! entirely). *Bug coverage* of a message is the fraction of injected bugs
+//! that affect it; a message is *important* for debugging when its coverage
+//! is low — it symptomizes few, subtle bugs — so importance is the
+//! reciprocal of coverage.
+
+use std::collections::HashMap;
+
+use pstrace_flow::MessageId;
+use pstrace_soc::{SimConfig, SimOutcome, Simulator, SocModel, UsageScenario};
+
+use crate::inject::BugInterceptor;
+use crate::model::BugSpec;
+
+/// Messages whose observations differ between a golden and a buggy run.
+///
+/// A message counts as affected when any `(indexed message, occurrence)`
+/// pair differs in payload or destination, or occurs in one run but not
+/// the other (dropped or never-reached messages).
+#[must_use]
+pub fn affected_messages(golden: &SimOutcome, buggy: &SimOutcome) -> Vec<MessageId> {
+    let mut affected: Vec<MessageId> = Vec::new();
+    let mut golden_map: HashMap<_, _> = HashMap::new();
+    for e in &golden.events {
+        golden_map.insert((e.message, e.occurrence), (e.value, e.dst));
+    }
+    let mut buggy_keys: HashMap<_, _> = HashMap::new();
+    for e in &buggy.events {
+        buggy_keys.insert((e.message, e.occurrence), (e.value, e.dst));
+        match golden_map.get(&(e.message, e.occurrence)) {
+            Some(&(v, d)) => {
+                if v != e.value || d != e.dst {
+                    push_unique(&mut affected, e.message.message);
+                }
+            }
+            None => push_unique(&mut affected, e.message.message),
+        }
+    }
+    // Messages present in golden but missing in the buggy run.
+    for (key, _) in golden_map {
+        if !buggy_keys.contains_key(&key) {
+            push_unique(&mut affected, key.0.message);
+        }
+    }
+    affected.sort_unstable();
+    affected
+}
+
+fn push_unique(v: &mut Vec<MessageId>, m: MessageId) {
+    if !v.contains(&m) {
+        v.push(m);
+    }
+}
+
+/// One row of the Table 5 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugCoverageRow {
+    /// The message under analysis.
+    pub message: MessageId,
+    /// Ids of the bugs affecting it.
+    pub affecting_bugs: Vec<u32>,
+    /// Bug coverage: affecting bugs over total bugs.
+    pub coverage: f64,
+    /// Message importance: `1 / coverage`; `None` when no bug affects the
+    /// message.
+    pub importance: Option<f64>,
+}
+
+/// The full bug-coverage analysis over a bug catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugCoverageTable {
+    rows: Vec<BugCoverageRow>,
+    total_bugs: usize,
+}
+
+impl BugCoverageTable {
+    /// Rows sorted by message id.
+    #[must_use]
+    pub fn rows(&self) -> &[BugCoverageRow] {
+        &self.rows
+    }
+
+    /// The row for `message`, if it was analyzed.
+    #[must_use]
+    pub fn row(&self, message: MessageId) -> Option<&BugCoverageRow> {
+        self.rows.iter().find(|r| r.message == message)
+    }
+
+    /// Number of bugs the analysis ran.
+    #[must_use]
+    pub fn total_bugs(&self) -> usize {
+        self.total_bugs
+    }
+}
+
+/// Runs every bug of `bugs` in isolation against every scenario whose flows
+/// carry the bug's target message, differencing buggy against golden runs,
+/// and aggregates per-message bug coverage (§5.5).
+///
+/// Deterministic: runs share `seed`.
+#[must_use]
+pub fn bug_coverage(
+    model: &SocModel,
+    scenarios: &[UsageScenario],
+    bugs: &[BugSpec],
+    seed: u64,
+) -> BugCoverageTable {
+    let mut affecting: HashMap<MessageId, Vec<u32>> = HashMap::new();
+    let mut all_messages: Vec<MessageId> = Vec::new();
+    for scenario in scenarios {
+        for m in scenario.messages(model) {
+            push_unique(&mut all_messages, m);
+        }
+    }
+
+    for bug in bugs {
+        for scenario in scenarios {
+            if !scenario.messages(model).contains(&bug.target) {
+                continue;
+            }
+            let sim = Simulator::new(model, scenario.clone(), SimConfig::with_seed(seed));
+            let golden = sim.run();
+            let mut interceptor = BugInterceptor::new(model, vec![bug.clone()]);
+            let buggy = sim.run_with(&mut interceptor);
+            for m in affected_messages(&golden, &buggy) {
+                let entry = affecting.entry(m).or_default();
+                if !entry.contains(&bug.id) {
+                    entry.push(bug.id);
+                }
+            }
+        }
+    }
+
+    all_messages.sort_unstable();
+    let total = bugs.len();
+    let rows = all_messages
+        .into_iter()
+        .map(|message| {
+            let mut affecting_bugs = affecting.remove(&message).unwrap_or_default();
+            affecting_bugs.sort_unstable();
+            let coverage = affecting_bugs.len() as f64 / total as f64;
+            let importance = (coverage > 0.0).then(|| 1.0 / coverage);
+            BugCoverageRow {
+                message,
+                affecting_bugs,
+                coverage,
+                importance,
+            }
+        })
+        .collect();
+    BugCoverageTable {
+        rows,
+        total_bugs: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::bug_catalog;
+
+    fn setup() -> (SocModel, Vec<UsageScenario>, Vec<BugSpec>) {
+        let model = SocModel::t2();
+        let scenarios = UsageScenario::all_paper_scenarios();
+        let bugs = bug_catalog(&model);
+        (model, scenarios, bugs)
+    }
+
+    #[test]
+    fn identical_runs_affect_nothing() {
+        let (model, scenarios, _) = setup();
+        let sim = Simulator::new(&model, scenarios[0].clone(), SimConfig::with_seed(3));
+        let golden = sim.run();
+        assert!(affected_messages(&golden, &golden).is_empty());
+    }
+
+    #[test]
+    fn dropped_messages_count_as_affected() {
+        let (model, scenarios, bugs) = setup();
+        let drop_bug = bugs.iter().find(|b| b.id == 5).unwrap().clone();
+        let sim = Simulator::new(&model, scenarios[0].clone(), SimConfig::with_seed(3));
+        let golden = sim.run();
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, vec![drop_bug]));
+        let affected = affected_messages(&golden, &buggy);
+        let reqtot = model.catalog().get("reqtot").unwrap();
+        assert!(
+            affected.contains(&reqtot),
+            "dropped reqtot must be affected"
+        );
+        // Downstream Mondo messages never happen either.
+        let grant = model.catalog().get("grant").unwrap();
+        assert!(affected.contains(&grant));
+    }
+
+    #[test]
+    fn coverage_table_over_the_full_catalog() {
+        let (model, scenarios, bugs) = setup();
+        let table = bug_coverage(&model, &scenarios, &bugs, 0x5eed);
+        assert_eq!(table.total_bugs(), 14);
+        assert_eq!(table.rows().len(), 16, "all model messages analyzed");
+
+        // Every bug's own target is affected by it.
+        for bug in &bugs {
+            let row = table.row(bug.target).expect("target analyzed");
+            assert!(
+                row.affecting_bugs.contains(&bug.id),
+                "bug {} does not affect its own target",
+                bug.id
+            );
+        }
+
+        // Coverage/importance arithmetic (Table 5 style): coverage =
+        // |affecting| / 14, importance = 1 / coverage.
+        for row in table.rows() {
+            let expect = row.affecting_bugs.len() as f64 / 14.0;
+            assert!((row.coverage - expect).abs() < 1e-12);
+            if let Some(imp) = row.importance {
+                assert!((imp - 1.0 / expect).abs() < 1e-9);
+            } else {
+                assert!(row.affecting_bugs.is_empty());
+            }
+        }
+
+        // Subtlety (paper: bugs tend to affect few messages): no message is
+        // affected by more than half the bugs.
+        for row in table.rows() {
+            assert!(
+                row.affecting_bugs.len() <= 7,
+                "{} affected by {} bugs",
+                model.catalog().name(row.message),
+                row.affecting_bugs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn taint_makes_downstream_messages_affected() {
+        let (model, scenarios, bugs) = setup();
+        // Bug 4 wrongly decodes ncudmupio (2nd PIOR message); the three
+        // downstream PIOR messages are tainted.
+        let bug = bugs.iter().find(|b| b.id == 4).unwrap().clone();
+        let sim = Simulator::new(&model, scenarios[0].clone(), SimConfig::with_seed(3));
+        let golden = sim.run();
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, vec![bug]));
+        let affected = affected_messages(&golden, &buggy);
+        for name in ["ncudmupio", "dmupioack", "piorcrd"] {
+            let id = model.catalog().get(name).unwrap();
+            assert!(affected.contains(&id), "{name} should be tainted");
+        }
+        // PIOW messages are untouched.
+        let piowreq = model.catalog().get("piowreq").unwrap();
+        assert!(!affected.contains(&piowreq));
+    }
+}

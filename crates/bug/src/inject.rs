@@ -1,0 +1,290 @@
+//! Bug injection: turning [`BugSpec`]s into a simulator interceptor.
+//!
+//! A fired bug perturbs the targeted message, and — except for drops —
+//! *taints* the emitting flow instance: every later message of that
+//! instance carries data derived from the corrupted state, so its payload
+//! is garbled too. This models downstream propagation (a wrongly decoded
+//! request produces a wrong response, etc.) and is what makes a single
+//! injection affect several messages, as in the paper's Table 5 where each
+//! bug affects up to four messages.
+
+use std::collections::{HashMap, HashSet};
+
+use pstrace_flow::{FlowIndex, MessageId};
+use pstrace_soc::value::{mask_to_width, splitmix64};
+use pstrace_soc::{InterceptAction, MessageEvent, MessageInterceptor, SocModel};
+
+use crate::model::{BugKind, BugSpec, BugTrigger};
+
+/// Salt mixed into tainted downstream payloads.
+const TAINT_SALT: u64 = 0x7a17_7a17_7a17_7a17;
+
+/// Interceptor activating a set of bugs during simulation.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_bug::{bug_catalog, BugInterceptor};
+/// use pstrace_soc::{SimConfig, Simulator, SocModel, UsageScenario};
+///
+/// let model = SocModel::t2();
+/// let catalog = bug_catalog(&model);
+/// let mut interceptor = BugInterceptor::new(&model, vec![catalog[1].clone()]);
+/// let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(1));
+/// let buggy = sim.run_with(&mut interceptor);
+/// let golden = sim.run();
+/// assert_ne!(golden, buggy, "the bug must leave a trace-level footprint");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BugInterceptor {
+    bugs: Vec<BugSpec>,
+    widths: HashMap<MessageId, u32>,
+    tainted: HashSet<FlowIndex>,
+    fired: Vec<bool>,
+    /// Per-bug count of matching emissions seen so far (drives
+    /// [`BugTrigger::OnOccurrence`], which counts the buggy IP's emissions
+    /// of the target message regardless of flow instance).
+    seen: Vec<u32>,
+}
+
+impl BugInterceptor {
+    /// Creates an interceptor with the given active bugs.
+    ///
+    /// `model` supplies message widths so corrupted payloads stay within
+    /// their message's bit width.
+    #[must_use]
+    pub fn new(model: &SocModel, bugs: Vec<BugSpec>) -> Self {
+        let widths = model
+            .catalog()
+            .iter()
+            .map(|(id, m)| (id, m.width()))
+            .collect();
+        let fired = vec![false; bugs.len()];
+        let seen = vec![0; bugs.len()];
+        BugInterceptor {
+            bugs,
+            widths,
+            tainted: HashSet::new(),
+            fired,
+            seen,
+        }
+    }
+
+    /// The active bugs.
+    #[must_use]
+    pub fn bugs(&self) -> &[BugSpec] {
+        &self.bugs
+    }
+
+    /// Which bugs fired at least once since the last [`reset`].
+    ///
+    /// [`reset`]: BugInterceptor::reset
+    #[must_use]
+    pub fn fired(&self) -> &[bool] {
+        &self.fired
+    }
+
+    /// Resets per-run state (taints, fired flags, occurrence counters) for
+    /// reuse across runs.
+    pub fn reset(&mut self) {
+        self.tainted.clear();
+        self.fired.iter_mut().for_each(|f| *f = false);
+        self.seen.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// Applies `kind` to `event`, keeping the payload within `width` bits
+    /// and guaranteeing that value-corrupting kinds actually change the
+    /// value (a corruption that happens to be the identity would make the
+    /// bug silently benign).
+    fn apply_kind(kind: BugKind, event: &mut MessageEvent, width: u32) -> InterceptAction {
+        let original = event.value;
+        match kind {
+            BugKind::CorruptPayload { mask } => {
+                event.value ^= mask;
+            }
+            BugKind::WrongAddress => {
+                event.value = splitmix64(event.value ^ 0x0bad_add4);
+            }
+            BugKind::WrongCommand => {
+                // Replace the low command bits by a wrong opcode.
+                event.value = (event.value & !0xf) | 0xe;
+            }
+            BugKind::MalformedRequest => {
+                // Zero the upper half of the field: a half-built UCB.
+                event.value &= (1u64 << width.div_ceil(2)) - 1;
+            }
+            BugKind::WrongDecode => {
+                event.value = splitmix64(event.value.rotate_left(17));
+            }
+            BugKind::DropMessage => return InterceptAction::Drop,
+            BugKind::Misroute { to } => {
+                event.dst = to;
+                return InterceptAction::Deliver;
+            }
+            BugKind::LeakCredit => return InterceptAction::DeliverLeakCredit,
+        }
+        event.value = mask_to_width(event.value, width);
+        if event.value == original {
+            event.value ^= 1;
+        }
+        InterceptAction::Deliver
+    }
+}
+
+impl MessageInterceptor for BugInterceptor {
+    fn intercept(&mut self, event: &mut MessageEvent) -> InterceptAction {
+        let width = self
+            .widths
+            .get(&event.message.message)
+            .copied()
+            .unwrap_or(64);
+        // Taint propagation: downstream messages of a corrupted instance
+        // carry garbled payloads.
+        if self.tainted.contains(&event.message.index) {
+            let garbled = mask_to_width(splitmix64(event.value ^ TAINT_SALT), width);
+            event.value = if garbled == event.value {
+                garbled ^ 1
+            } else {
+                garbled
+            };
+        }
+        for (i, bug) in self.bugs.iter().enumerate() {
+            if bug.target != event.message.message || bug.ip != event.src {
+                continue;
+            }
+            let emission = self.seen[i];
+            self.seen[i] += 1;
+            let fires = match bug.trigger {
+                BugTrigger::Always => true,
+                BugTrigger::OnOccurrence(n) => emission == n,
+            };
+            if !fires {
+                continue;
+            }
+            self.fired[i] = true;
+            match Self::apply_kind(bug.kind, event, width) {
+                InterceptAction::Drop => return InterceptAction::Drop,
+                InterceptAction::DeliverLeakCredit => return InterceptAction::DeliverLeakCredit,
+                InterceptAction::Deliver => {
+                    self.tainted.insert(event.message.index);
+                }
+            }
+        }
+        InterceptAction::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BugCategory;
+    use pstrace_soc::{Ip, SimConfig, Simulator, SocModel, UsageScenario};
+
+    fn corrupt_bug(model: &SocModel, message: &str, ip: Ip) -> BugSpec {
+        BugSpec {
+            id: 99,
+            depth: 3,
+            category: BugCategory::Data,
+            kind: BugKind::CorruptPayload { mask: 0b101 },
+            ip,
+            target: model.catalog().get(message).unwrap(),
+            trigger: BugTrigger::Always,
+            description: "test corruption",
+        }
+    }
+
+    #[test]
+    fn taint_propagates_downstream_within_the_instance() {
+        let model = SocModel::t2();
+        // Corrupt the very first PIOR message; every later PIOR message
+        // must differ from golden, other instances must be untouched.
+        let bug = corrupt_bug(&model, "piorreq", Ip::Ccx);
+        let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(5));
+        let golden = sim.run();
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, vec![bug]));
+        assert_eq!(golden.message_sequence(), buggy.message_sequence());
+        let pior_index = golden
+            .events
+            .iter()
+            .find(|e| model.catalog().name(e.message.message) == "piorreq")
+            .unwrap()
+            .message
+            .index;
+        for (g, b) in golden.events.iter().zip(&buggy.events) {
+            if g.message.index == pior_index {
+                assert_ne!(g.value, b.value, "tainted instance message must differ");
+            } else {
+                assert_eq!(g.value, b.value, "other instances stay golden");
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_trigger_fires_once() {
+        let model = SocModel::t2();
+        let mut bug = corrupt_bug(&model, "siincu", Ip::Siu);
+        bug.trigger = BugTrigger::OnOccurrence(1);
+        let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(5));
+        let golden = sim.run();
+        let mut interceptor = BugInterceptor::new(&model, vec![bug]);
+        let buggy = sim.run_with(&mut interceptor);
+        assert!(interceptor.fired()[0]);
+        // siincu occurrence 0 (whichever instance) is untouched.
+        let diffs = golden
+            .events
+            .iter()
+            .zip(&buggy.events)
+            .filter(|(g, b)| g.value != b.value)
+            .count();
+        assert!(diffs >= 1);
+        let first_siincu = golden
+            .events
+            .iter()
+            .zip(&buggy.events)
+            .find(|(g, _)| model.catalog().name(g.message.message) == "siincu" && g.occurrence == 0)
+            .unwrap();
+        assert_eq!(first_siincu.0.value, first_siincu.1.value);
+    }
+
+    #[test]
+    fn ip_filter_prevents_misattributed_firing() {
+        let model = SocModel::t2();
+        // siincu is sourced by SIU; a bug claiming it from DMU never fires.
+        let bug = corrupt_bug(&model, "siincu", Ip::Dmu);
+        let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(5));
+        let golden = sim.run();
+        let mut interceptor = BugInterceptor::new(&model, vec![bug]);
+        let buggy = sim.run_with(&mut interceptor);
+        assert!(!interceptor.fired()[0]);
+        assert_eq!(golden, buggy);
+    }
+
+    #[test]
+    fn misroute_changes_destination_only() {
+        let model = SocModel::t2();
+        let bug = BugSpec {
+            kind: BugKind::Misroute { to: Ip::Mcu },
+            ..corrupt_bug(&model, "grant", Ip::Siu)
+        };
+        let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(5));
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, vec![bug]));
+        let grant_event = buggy
+            .events
+            .iter()
+            .find(|e| model.catalog().name(e.message.message) == "grant")
+            .unwrap();
+        assert_eq!(grant_event.dst, Ip::Mcu);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let model = SocModel::t2();
+        let bug = corrupt_bug(&model, "piorreq", Ip::Ccx);
+        let sim = Simulator::new(&model, UsageScenario::scenario1(), SimConfig::with_seed(5));
+        let mut interceptor = BugInterceptor::new(&model, vec![bug]);
+        let _ = sim.run_with(&mut interceptor);
+        assert!(interceptor.fired()[0]);
+        interceptor.reset();
+        assert!(!interceptor.fired()[0]);
+    }
+}

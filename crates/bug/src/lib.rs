@@ -1,0 +1,42 @@
+//! Bug models, injection and bug-coverage analysis.
+//!
+//! Reproduces the bug side of the paper's evaluation: a catalog of subtle
+//! communication bugs (Table 2 rows among them, following the industrial
+//! examples and QED bug-model classes the paper cites), an injection layer
+//! hooking into the SoC simulator, symptom detection (hangs and
+//! `Bad Trap`-style payload check failures), and the bug-coverage /
+//! message-importance analysis of Table 5.
+//!
+//! # Examples
+//!
+//! Run case study 1 — the never-generated Mondo interrupt — and observe its
+//! hang symptom:
+//!
+//! ```
+//! use pstrace_bug::{bug_catalog, case_studies, detect_symptom, BugInterceptor, Symptom};
+//! use pstrace_soc::{SimConfig, Simulator, SocModel};
+//!
+//! let model = SocModel::t2();
+//! let catalog = bug_catalog(&model);
+//! let cs = &case_studies()[0];
+//! let sim = Simulator::new(&model, cs.scenario.clone(), SimConfig::with_seed(cs.seed));
+//! let golden = sim.run();
+//! let buggy = sim.run_with(&mut BugInterceptor::new(&model, cs.bugs(&catalog)));
+//! assert!(matches!(detect_symptom(&golden, &buggy), Some(Symptom::Hang { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod catalog;
+mod coverage;
+mod inject;
+mod model;
+mod symptom;
+
+pub use catalog::{bug_catalog, case_studies, CaseStudy};
+pub use coverage::{affected_messages, bug_coverage, BugCoverageRow, BugCoverageTable};
+pub use inject::BugInterceptor;
+pub use model::{BugCategory, BugKind, BugSpec, BugTrigger};
+pub use symptom::{detect_symptom, Symptom};

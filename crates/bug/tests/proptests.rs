@@ -1,0 +1,106 @@
+//! Property-based tests for bug injection: any catalog bug, any scenario,
+//! any seed — the pipeline never panics, symptoms are always classified,
+//! and differencing behaves.
+
+use proptest::prelude::*;
+use pstrace_bug::{
+    affected_messages, bug_catalog, detect_symptom, BugInterceptor, BugKind, Symptom,
+};
+use pstrace_soc::{RunStatus, SimConfig, Simulator, SocModel, UsageScenario};
+
+fn scenario_for(no: u8) -> UsageScenario {
+    match no {
+        1 => UsageScenario::scenario1(),
+        2 => UsageScenario::scenario2(),
+        3 => UsageScenario::scenario3(),
+        _ => UsageScenario::scenario_dma(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-bug injection: the run always terminates with a classified
+    /// status, and if the bug fired the golden/buggy pair differ.
+    #[test]
+    fn single_bug_injection_is_total(
+        bug_idx in 0usize..14,
+        scenario_no in 1u8..=4,
+        seed in any::<u64>(),
+    ) {
+        let model = SocModel::t2();
+        let bugs = bug_catalog(&model);
+        let bug = bugs[bug_idx].clone();
+        let scenario = scenario_for(scenario_no);
+        let sim = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(seed));
+        let golden = sim.run();
+        prop_assert!(golden.status.is_completed());
+
+        let mut interceptor = BugInterceptor::new(&model, vec![bug.clone()]);
+        let buggy = sim.run_with(&mut interceptor);
+        let fired = interceptor.fired()[0];
+        let in_scenario = scenario.messages(&model).contains(&bug.target);
+        prop_assert_eq!(fired, in_scenario, "bug fires iff its target is exercised");
+
+        let symptom = detect_symptom(&golden, &buggy);
+        if fired {
+            prop_assert!(symptom.is_some(), "a fired bug must be observable");
+            let affected = affected_messages(&golden, &buggy);
+            prop_assert!(affected.contains(&bug.target));
+            if matches!(bug.kind, BugKind::DropMessage) {
+                let hung = matches!(symptom, Some(Symptom::Hang { .. }));
+                prop_assert!(hung, "drop bugs must hang");
+            }
+        } else {
+            prop_assert_eq!(golden, buggy);
+            prop_assert!(symptom.is_none());
+        }
+    }
+
+    /// Multi-bug injection never panics and still classifies the run.
+    #[test]
+    fn multi_bug_injection_is_total(
+        picks in proptest::collection::vec(any::<bool>(), 14),
+        scenario_no in 1u8..=4,
+        seed in any::<u64>(),
+    ) {
+        let model = SocModel::t2();
+        let bugs = bug_catalog(&model);
+        let active: Vec<_> = bugs
+            .iter()
+            .zip(&picks)
+            .filter(|(_, &p)| p)
+            .map(|(b, _)| b.clone())
+            .collect();
+        prop_assume!(!active.is_empty());
+        let scenario = scenario_for(scenario_no);
+        let sim = Simulator::new(&model, scenario, SimConfig::with_seed(seed));
+        let golden = sim.run();
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, active));
+        match buggy.status {
+            RunStatus::Completed | RunStatus::Hang { .. } => {}
+        }
+        // Differencing never panics either.
+        let _ = affected_messages(&golden, &buggy);
+        let _ = detect_symptom(&golden, &buggy);
+    }
+
+    /// Injection under credit backpressure also stays total.
+    #[test]
+    fn injection_under_credits_is_total(
+        bug_idx in 0usize..14,
+        seed in any::<u64>(),
+        credits in 1u32..3,
+    ) {
+        let model = SocModel::t2();
+        let bugs = bug_catalog(&model);
+        let scenario = UsageScenario::scenario_dma();
+        let mut config = SimConfig::with_seed(seed);
+        config.channel_credits = Some(credits);
+        let sim = Simulator::new(&model, scenario, config);
+        let golden = sim.run();
+        prop_assert!(golden.status.is_completed(), "golden must not deadlock");
+        let buggy = sim.run_with(&mut BugInterceptor::new(&model, vec![bugs[bug_idx].clone()]));
+        let _ = detect_symptom(&golden, &buggy);
+    }
+}

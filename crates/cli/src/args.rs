@@ -1,0 +1,193 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `--flag`, `--key value` and positional arguments; unknown
+//! options are reported with the offending name.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed arguments: flags, key/value options and positionals.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: Vec<String>,
+    options: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Argument parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// An option was given without its value.
+    MissingValue {
+        /// The option name.
+        option: String,
+    },
+    /// An option value failed to parse.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+    },
+    /// An option or flag that the command does not accept.
+    Unknown {
+        /// The offending argument.
+        argument: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue { option } => {
+                write!(f, "option --{option} needs a value")
+            }
+            ArgsError::InvalidValue { option, value } => {
+                write!(f, "option --{option} got invalid value `{value}`")
+            }
+            ArgsError::Unknown { argument } => write!(f, "unknown argument `{argument}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments given the sets of accepted flag and option
+    /// names (without the leading dashes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for unknown arguments or options missing
+    /// their value.
+    pub fn parse<I, S>(raw: I, flags: &[&str], options: &[&str]) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if flags.contains(&name) {
+                    out.flags.push(name.to_owned());
+                } else if options.contains(&name) {
+                    match iter.next() {
+                        Some(v) => {
+                            out.options.insert(name.to_owned(), v);
+                        }
+                        None => {
+                            return Err(ArgsError::MissingValue {
+                                option: name.to_owned(),
+                            })
+                        }
+                    }
+                } else {
+                    return Err(ArgsError::Unknown { argument: arg });
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `name` was passed as a flag.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of option `name`, if present.
+    #[must_use]
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parses option `name` as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::InvalidValue`] when the value does not parse.
+    pub fn option_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::InvalidValue {
+                option: name.to_owned(),
+                value: v.to_owned(),
+            }),
+        }
+    }
+
+    /// Parses option `name` as `T` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::InvalidValue`] when the value does not parse.
+    pub fn option_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgsError> {
+        match self.option(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgsError::InvalidValue {
+                option: name.to_owned(),
+                value: v.to_owned(),
+            }),
+        }
+    }
+
+    /// The positional arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_options_positionals() {
+        let args = Args::parse(
+            ["--verbose", "select", "--buffer", "32", "extra"],
+            &["verbose"],
+            &["buffer"],
+        )
+        .unwrap();
+        assert!(args.flag("verbose"));
+        assert!(!args.flag("quiet"));
+        assert_eq!(args.option("buffer"), Some("32"));
+        assert_eq!(args.positional(), ["select", "extra"]);
+        assert_eq!(args.option_or("buffer", 8u32).unwrap(), 32);
+        assert_eq!(args.option_or("depth", 8u32).unwrap(), 8);
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        let err = Args::parse(["--nope"], &[], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::Unknown {
+                argument: "--nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Args::parse(["--buffer"], &[], &["buffer"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::MissingValue {
+                option: "buffer".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let args = Args::parse(["--buffer", "wide"], &[], &["buffer"]).unwrap();
+        let err = args.option_or("buffer", 8u32).unwrap_err();
+        assert!(matches!(err, ArgsError::InvalidValue { .. }));
+        assert_eq!(args.option_opt::<u32>("buffer").unwrap_err(), err);
+    }
+}

@@ -1,0 +1,529 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
+use pstrace_core::{SelectionConfig, Selector, Strategy, TraceBufferSpec};
+use pstrace_diag::{run_case_study, scenario_causes, CaseStudyConfig};
+use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
+use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
+use pstrace_soc::{FlowKind, SimConfig, Simulator, SocModel, UsageScenario};
+
+use crate::args::Args;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches to a subcommand.
+///
+/// # Errors
+///
+/// Returns an error for unknown subcommands, bad arguments, or failures in
+/// the underlying library calls.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let (cmd, rest) = match argv.split_first() {
+        None => {
+            print_help();
+            return Ok(());
+        }
+        Some((c, r)) => (c.as_str(), r),
+    };
+    match cmd {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "scenarios" => cmd_scenarios(),
+        "select" => cmd_select(rest),
+        "simulate" => cmd_simulate(rest),
+        "debug" => cmd_debug(rest),
+        "dot" => cmd_dot(rest),
+        "usb" => cmd_usb(rest),
+        "stats" => cmd_stats(),
+        "select-file" => cmd_select_file(rest),
+        "vcd" => cmd_vcd(rest),
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+fn print_help() {
+    println!("pstrace — application-level trace message selection (DAC 2018)");
+    println!();
+    println!("subcommands:");
+    println!("  scenarios                              list the modeled usage scenarios");
+    println!("  select   --scenario N [--buffer BITS] [--no-packing] [--beam W]");
+    println!("                                         run Steps 1-3 message selection");
+    println!("  simulate --scenario N [--seed S] [--bug ID] [--trace]");
+    println!("                                         run the SoC simulator");
+    println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing]");
+    println!("                                         run a debugging case study");
+    println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
+    println!("                                         export Graphviz");
+    println!("  usb      [--budget N] [--cycles N] [--seed S]");
+    println!("                                         USB baseline comparison");
+    println!("  select-file FILE [--buffer BITS] [--instances N] [--no-packing]");
+    println!("                                         select over flows parsed from FILE");
+    println!("  stats                                  USB netlist structure report");
+    println!("  vcd      [--cycles N] [--seed S] [--restored] [--out FILE]");
+    println!("                                         dump a USB waveform as VCD");
+}
+
+fn scenario_by_number(n: u8) -> Result<UsageScenario, Box<dyn Error>> {
+    match n {
+        1 => Ok(UsageScenario::scenario1()),
+        2 => Ok(UsageScenario::scenario2()),
+        3 => Ok(UsageScenario::scenario3()),
+        4 => Ok(UsageScenario::scenario_dma()),
+        5 => Ok(UsageScenario::scenario_coherence()),
+        other => Err(format!("no scenario {other}; use 1-5").into()),
+    }
+}
+
+fn flow_by_abbrev(
+    model: &SocModel,
+    abbrev: &str,
+) -> Result<Arc<pstrace_flow::Flow>, Box<dyn Error>> {
+    for kind in FlowKind::ALL {
+        if kind.abbrev().eq_ignore_ascii_case(abbrev) {
+            return Ok(Arc::clone(model.flow(kind)));
+        }
+    }
+    Err(
+        format!("no flow `{abbrev}`; use one of PIOR, PIOW, NCUU, NCUD, Mon, DMAR, DMAW, COH")
+            .into(),
+    )
+}
+
+fn cmd_scenarios() -> CmdResult {
+    let model = SocModel::t2();
+    let mut scenarios = UsageScenario::all_paper_scenarios();
+    scenarios.push(UsageScenario::scenario_dma());
+    scenarios.push(UsageScenario::scenario_coherence());
+    for scenario in scenarios {
+        let u = scenario.interleaving(&model)?;
+        let flows: Vec<String> = scenario
+            .flows()
+            .iter()
+            .map(|&(k, n)| {
+                if n == 1 {
+                    k.abbrev().to_owned()
+                } else {
+                    format!("{}x{n}", k.abbrev())
+                }
+            })
+            .collect();
+        println!(
+            "{}  flows [{}]  {} states, {} edges, {} paths, {} causes",
+            scenario.name(),
+            flows.join(", "),
+            u.state_count(),
+            u.edge_count(),
+            path_count(&u),
+            scenario_causes(&model, &scenario).len(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_select(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["no-packing"],
+        &["scenario", "buffer", "beam"],
+    )?;
+    let model = SocModel::t2();
+    let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
+    let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
+    let mut config = SelectionConfig::new(buffer);
+    config.packing = !args.flag("no-packing");
+    if let Some(width) = args.option_opt::<usize>("beam")? {
+        config.strategy = Strategy::Beam { width };
+    }
+
+    let product = scenario.interleaving(&model)?;
+    let report = Selector::new(&product, config).select()?;
+    let catalog = model.catalog();
+
+    println!(
+        "{} over {} ({} states)",
+        buffer,
+        scenario.name(),
+        product.state_count()
+    );
+    println!("selected messages:");
+    for &m in &report.chosen.messages {
+        println!("  {:<14} {:>2} bits", catalog.name(m), catalog.width(m));
+    }
+    for &g in &report.packed_groups {
+        println!(
+            "  {:<14} {:>2} bits (packed subgroup)",
+            catalog.group_qualified_name(g),
+            catalog.group(g).width()
+        );
+    }
+    println!("gain        : {:.4} nats", report.gain_packed);
+    println!("utilization : {:.2} %", report.utilization() * 100.0);
+    println!("coverage    : {:.2} %", report.coverage() * 100.0);
+    Ok(())
+}
+
+fn cmd_simulate(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["trace"],
+        &["scenario", "seed", "bug", "save"],
+    )?;
+    let model = SocModel::t2();
+    let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
+    let seed = args.option_or("seed", 0xda_c2018u64)?;
+    let sim = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(seed));
+
+    let outcome = match args.option_opt::<u32>("bug")? {
+        None => sim.run(),
+        Some(id) => {
+            let catalog = bug_catalog(&model);
+            let bug = catalog
+                .iter()
+                .find(|b| b.id == id)
+                .ok_or_else(|| format!("no bug {id}; the catalog has 1-14"))?
+                .clone();
+            println!("injecting {bug}");
+            sim.run_with(&mut BugInterceptor::new(&model, vec![bug]))
+        }
+    };
+
+    println!(
+        "{}: {} messages in {} cycles, status {:?}",
+        scenario.name(),
+        outcome.events.len(),
+        outcome.cycles,
+        outcome.status
+    );
+    if args.flag("trace") {
+        let catalog = model.catalog();
+        for e in &outcome.events {
+            println!(
+                "  @{:>5} {:<20} {} -> {}  value {:#x}",
+                e.time,
+                e.message.display(catalog).to_string(),
+                e.src,
+                e.dst,
+                e.value
+            );
+        }
+    }
+    if let Some(path) = args.option("save") {
+        let all = scenario.messages(&model);
+        let captured = pstrace_soc::capture(
+            &model,
+            &outcome,
+            &pstrace_soc::TraceBufferConfig::messages_only(&all),
+        );
+        std::fs::write(path, pstrace_soc::tracefile::write_trace(&model, &captured))?;
+        println!("wrote {} records to {path}", captured.len());
+    }
+    Ok(())
+}
+
+fn cmd_debug(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["no-packing"],
+        &["case", "buffer", "depth"],
+    )?;
+    let model = SocModel::t2();
+    let case_no = args.option_or("case", 1u8)?;
+    let cases = case_studies();
+    let case = cases
+        .iter()
+        .find(|c| c.number == case_no)
+        .ok_or_else(|| format!("no case study {case_no}; use 1-5"))?;
+    let config = CaseStudyConfig {
+        buffer_bits: args.option_or("buffer", 32u32)?,
+        packing: !args.flag("no-packing"),
+        depth: args.option_opt("depth")?,
+    };
+    let report = run_case_study(&model, case, config)?;
+    print!("{}", report.render(&model));
+    Ok(())
+}
+
+fn cmd_dot(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["interleaved"],
+        &["scenario", "flow"],
+    )?;
+    let model = SocModel::t2();
+    if let Some(abbrev) = args.option("flow") {
+        let flow = flow_by_abbrev(&model, abbrev)?;
+        if args.flag("interleaved") {
+            let u = InterleavedFlow::build(&[IndexedFlow::new(flow, FlowIndex(1))])?;
+            print!("{}", dot::interleaved_to_dot(&u));
+        } else {
+            print!("{}", dot::flow_to_dot(&flow));
+        }
+        return Ok(());
+    }
+    let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
+    let u = scenario.interleaving(&model)?;
+    print!("{}", dot::interleaved_to_dot(&u));
+    Ok(())
+}
+
+fn cmd_usb(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["budget", "cycles", "seed"])?;
+    let budget = args.option_or("budget", 8usize)?;
+    let cycles = args.option_or("cycles", 48usize)?;
+    let seed = args.option_or("seed", 2u64)?;
+
+    let usb = UsbDesign::new();
+    let flows = vec![
+        IndexedFlow::new(Arc::clone(&usb.flows[0]), FlowIndex(1)),
+        IndexedFlow::new(Arc::clone(&usb.flows[1]), FlowIndex(2)),
+    ];
+    let product = InterleavedFlow::build(&flows)?;
+    let reference = simulate(
+        &usb.netlist,
+        &RandomStimulus::new(&usb.netlist, cycles, seed),
+        cycles,
+    );
+    let sigset = sigset_select(&usb.netlist, &reference, budget);
+    let prnet = prnet_select(&usb.netlist, budget);
+    let info = Selector::new(
+        &product,
+        SelectionConfig::new(TraceBufferSpec::new(budget as u32)?),
+    )
+    .select()?;
+    let info_signals = usb.signals_of_messages(&info.chosen.messages);
+
+    println!(
+        "{:<16} {:>7} {:>7} {:>9}",
+        "signal", "SigSeT", "PRNet", "InfoGain"
+    );
+    for &s in &usb.interface_signals {
+        let mark = |sel: &[pstrace_rtl::SignalId]| if sel.contains(&s) { "Y" } else { "-" };
+        println!(
+            "{:<16} {:>7} {:>7} {:>9}",
+            usb.netlist.signal_name(s),
+            mark(&sigset),
+            mark(&prnet),
+            mark(&info_signals)
+        );
+    }
+    println!(
+        "message reconstruction: SigSeT {:.1} %, InfoGain {:.1} %",
+        usb.message_reconstruction(&sigset, &reference) * 100.0,
+        usb.message_reconstruction(&info_signals, &reference) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_select_file(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["no-packing"],
+        &["buffer", "instances"],
+    )?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or("select-file needs a flow-specification file")?;
+    let text = std::fs::read_to_string(path)?;
+    let doc = pstrace_flow::parse::parse_flows(&text)?;
+    if doc.flows.is_empty() {
+        return Err("the document declares no flows".into());
+    }
+    let instances = args.option_or("instances", 1u32)?;
+    let mut indexed = Vec::new();
+    let mut next = 1u32;
+    for flow in &doc.flows {
+        for _ in 0..instances {
+            indexed.push(IndexedFlow::new(Arc::clone(flow), FlowIndex(next)));
+            next += 1;
+        }
+    }
+    let product = InterleavedFlow::build(&indexed)?;
+    let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
+    let mut config = SelectionConfig::new(buffer);
+    config.packing = !args.flag("no-packing");
+    let report = Selector::new(&product, config).select()?;
+
+    println!(
+        "{} flows x{} instances: {} states, {} edges",
+        doc.flows.len(),
+        instances,
+        product.state_count(),
+        product.edge_count()
+    );
+    println!("selected messages:");
+    for &m in &report.chosen.messages {
+        println!(
+            "  {:<20} {:>2} bits",
+            doc.catalog.name(m),
+            doc.catalog.width(m)
+        );
+    }
+    for &g in &report.packed_groups {
+        println!(
+            "  {:<20} {:>2} bits (packed subgroup)",
+            doc.catalog.group_qualified_name(g),
+            doc.catalog.group(g).width()
+        );
+    }
+    println!("gain        : {:.4} nats", report.gain_packed);
+    println!("utilization : {:.2} %", report.utilization() * 100.0);
+    println!("coverage    : {:.2} %", report.coverage() * 100.0);
+    Ok(())
+}
+
+fn cmd_stats() -> CmdResult {
+    let usb = UsbDesign::new();
+    let stats = pstrace_rtl::netlist_stats(&usb.netlist);
+    println!("usb netlist `{}`", usb.netlist.name());
+    println!("  signals        : {}", stats.signals);
+    println!("  primary inputs : {}", stats.inputs);
+    println!("  flip-flops     : {}", stats.flops);
+    let mut kinds: Vec<_> = stats.gates.iter().collect();
+    kinds.sort();
+    for (kind, count) in kinds {
+        println!("  {kind:<15}: {count}");
+    }
+    println!("  max cone depth : {}", stats.max_cone_depth);
+    println!("  max fanout     : {}", stats.max_fanout);
+    println!("fanout hubs:");
+    for (s, fanout) in pstrace_rtl::fanout_hubs(&usb.netlist, 5) {
+        println!("  {:<16} {}", usb.netlist.signal_name(s), fanout);
+    }
+    Ok(())
+}
+
+fn cmd_vcd(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["restored"],
+        &["cycles", "seed", "out"],
+    )?;
+    let cycles = args.option_or("cycles", 32usize)?;
+    let seed = args.option_or("seed", 1u64)?;
+    let usb = UsbDesign::new();
+    let reference = simulate(
+        &usb.netlist,
+        &RandomStimulus::new(&usb.netlist, cycles, seed),
+        cycles,
+    );
+    let wave = if args.flag("restored") {
+        // Show what an SRR-selected trace actually reveals.
+        let traced = sigset_select(&usb.netlist, &reference, 8);
+        pstrace_rtl::restore(&usb.netlist, &traced, &reference)
+    } else {
+        reference
+    };
+    let vcd = pstrace_rtl::vcd::to_vcd(&usb.netlist, &wave);
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, vcd)?;
+            println!("wrote {path}");
+        }
+        None => print!("{vcd}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_and_scenarios_run() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&argv(&[])).is_ok());
+        assert!(dispatch(&argv(&["scenarios"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn select_runs_for_every_scenario() {
+        for n in 1..=5 {
+            let a = argv(&["select", "--scenario", &n.to_string(), "--buffer", "24"]);
+            assert!(dispatch(&a).is_ok(), "scenario {n}");
+        }
+        assert!(dispatch(&argv(&["select", "--scenario", "9"])).is_err());
+        assert!(dispatch(&argv(&["select", "--beam", "4"])).is_ok());
+        assert!(dispatch(&argv(&["select", "--no-packing"])).is_ok());
+    }
+
+    #[test]
+    fn simulate_golden_and_buggy() {
+        assert!(dispatch(&argv(&["simulate", "--scenario", "1", "--seed", "7"])).is_ok());
+        assert!(dispatch(&argv(&["simulate", "--bug", "5"])).is_ok());
+        assert!(dispatch(&argv(&["simulate", "--bug", "99"])).is_err());
+        assert!(dispatch(&argv(&["simulate", "--trace"])).is_ok());
+        let tmp = std::env::temp_dir().join("pstrace_cli_trace.txt");
+        let path = tmp.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&["simulate", "--save", &path])).is_ok());
+        let model = SocModel::t2();
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        let trace = pstrace_soc::tracefile::read_trace(&model, &text).unwrap();
+        assert_eq!(trace.len(), 12, "scenario 1 emits 12 messages");
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn debug_runs_case_studies() {
+        assert!(dispatch(&argv(&["debug", "--case", "1"])).is_ok());
+        assert!(dispatch(&argv(&["debug", "--case", "3", "--depth", "4"])).is_ok());
+        assert!(dispatch(&argv(&["debug", "--case", "9"])).is_err());
+    }
+
+    #[test]
+    fn select_file_parses_a_document() {
+        let tmp = std::env::temp_dir().join("pstrace_cli_flows.txt");
+        std::fs::write(
+            &tmp,
+            "message ReqE 1\nmessage GntE 1\nmessage Ack 1\n\
+             flow \"cc\" {\n state Init Wait\n atomic GntW\n stop Done\n initial Init\n\
+             edge Init -ReqE-> Wait\n edge Wait -GntE-> GntW\n edge GntW -Ack-> Done\n}\n",
+        )
+        .unwrap();
+        let path = tmp.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&[
+            "select-file",
+            &path,
+            "--buffer",
+            "2",
+            "--instances",
+            "2"
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&["select-file", "/nonexistent/file"])).is_err());
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn stats_and_vcd_run() {
+        assert!(dispatch(&argv(&["stats"])).is_ok());
+        let tmp = std::env::temp_dir().join("pstrace_cli_test.vcd");
+        let out = tmp.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&["vcd", "--cycles", "8", "--out", &out])).is_ok());
+        let content = std::fs::read_to_string(&tmp).unwrap();
+        assert!(content.contains("$enddefinitions"));
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn dot_exports() {
+        assert!(dispatch(&argv(&["dot", "--flow", "Mon"])).is_ok());
+        assert!(dispatch(&argv(&["dot", "--flow", "pior", "--interleaved"])).is_ok());
+        assert!(dispatch(&argv(&["dot", "--scenario", "2"])).is_ok());
+        assert!(dispatch(&argv(&["dot", "--flow", "nope"])).is_err());
+    }
+}

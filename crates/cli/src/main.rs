@@ -1,0 +1,28 @@
+//! `pstrace` — command-line driver for the trace-message-selection
+//! library.
+//!
+//! ```text
+//! pstrace scenarios                         list usage scenarios
+//! pstrace select   --scenario N [...]      run message selection
+//! pstrace simulate --scenario N [...]      run the SoC simulator
+//! pstrace debug    --case N [...]          run a debugging case study
+//! pstrace dot      --scenario N | --flow K export Graphviz
+//! pstrace usb                               USB baseline comparison
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `pstrace help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

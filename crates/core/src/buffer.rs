@@ -1,0 +1,97 @@
+//! Trace buffer width modeling.
+
+use std::fmt;
+
+use crate::error::SelectError;
+
+/// The width constraint of the on-chip trace buffer, in bits per cycle.
+///
+/// Trace buffer availability is measured in bits (§2), which makes message
+/// bit widths the budget currency of Step 1 and the packing loop of Step 3.
+/// The paper's OpenSPARC T2 experiments assume a 32-bit buffer (Table 3).
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_core::TraceBufferSpec;
+///
+/// # fn main() -> Result<(), pstrace_core::SelectError> {
+/// let buffer = TraceBufferSpec::new(32)?;
+/// assert_eq!(buffer.width_bits(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceBufferSpec {
+    width_bits: u32,
+}
+
+impl TraceBufferSpec {
+    /// Creates a buffer spec of `width_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectError::ZeroWidthBuffer`] if `width_bits` is zero.
+    pub fn new(width_bits: u32) -> Result<Self, SelectError> {
+        if width_bits == 0 {
+            return Err(SelectError::ZeroWidthBuffer);
+        }
+        Ok(TraceBufferSpec { width_bits })
+    }
+
+    /// The buffer width in bits.
+    #[must_use]
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Fraction of the buffer used by `occupied_bits` (clamped to 1).
+    #[must_use]
+    pub fn utilization(&self, occupied_bits: u32) -> f64 {
+        f64::from(occupied_bits.min(self.width_bits)) / f64::from(self.width_bits)
+    }
+
+    /// Bits left over after placing `occupied_bits`.
+    #[must_use]
+    pub fn leftover(&self, occupied_bits: u32) -> u32 {
+        self.width_bits.saturating_sub(occupied_bits)
+    }
+}
+
+impl fmt::Display for TraceBufferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit trace buffer", self.width_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TraceBufferSpec::new(32).is_ok());
+        assert_eq!(
+            TraceBufferSpec::new(0).unwrap_err(),
+            SelectError::ZeroWidthBuffer
+        );
+    }
+
+    #[test]
+    fn utilization_and_leftover() {
+        let b = TraceBufferSpec::new(32).unwrap();
+        assert_eq!(b.utilization(16), 0.5);
+        assert_eq!(b.utilization(32), 1.0);
+        assert_eq!(b.utilization(40), 1.0, "clamped");
+        assert_eq!(b.leftover(30), 2);
+        assert_eq!(b.leftover(33), 0);
+    }
+
+    #[test]
+    fn display_names_width() {
+        assert_eq!(
+            TraceBufferSpec::new(32).unwrap().to_string(),
+            "32-bit trace buffer"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Flow specification coverage (Definition 7) and buffer utilization.
+
+use pstrace_flow::{InterleavedFlow, MessageId};
+
+use crate::buffer::TraceBufferSpec;
+
+/// Flow specification coverage of a message combination (Definition 7):
+/// the union of the *visible states* (product states reached on a
+/// transition labeled with a selected message) as a fraction of all
+/// interleaved-flow states.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pstrace_flow::{examples::cache_coherence, instantiate, InterleavedFlow};
+/// use pstrace_core::flow_spec_coverage;
+///
+/// # fn main() -> Result<(), pstrace_flow::FlowError> {
+/// let (flow, catalog) = cache_coherence();
+/// let product = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2))?;
+/// let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+/// // §3.3: the coverage achieved with Y'₁ = {ReqE, GntE} is 0.7333.
+/// let cov = flow_spec_coverage(&product, &combo);
+/// assert!((cov - 0.7333).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn flow_spec_coverage(flow: &InterleavedFlow, combination: &[MessageId]) -> f64 {
+    if flow.state_count() == 0 {
+        return 0.0;
+    }
+    flow.visible_states(combination).len() as f64 / flow.state_count() as f64
+}
+
+/// Trace buffer utilization: occupied bits over buffer width.
+///
+/// `occupied_bits` should be the total width of the selected message
+/// combination plus any packed subgroups.
+#[must_use]
+pub fn buffer_utilization(buffer: TraceBufferSpec, occupied_bits: u32) -> f64 {
+    buffer.utilization(occupied_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::{examples::cache_coherence, instantiate, InterleavedFlow};
+    use std::sync::Arc;
+
+    fn product() -> InterleavedFlow {
+        let (flow, _) = cache_coherence();
+        InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap()
+    }
+
+    #[test]
+    fn running_example_coverage_is_0_7333() {
+        let u = product();
+        let catalog = u.catalog();
+        let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        let cov = flow_spec_coverage(&u, &combo);
+        assert!((cov - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_combination_covers_nothing() {
+        let u = product();
+        assert_eq!(flow_spec_coverage(&u, &[]), 0.0);
+    }
+
+    #[test]
+    fn full_alphabet_covers_all_but_initial() {
+        let u = product();
+        let cov = flow_spec_coverage(&u, &u.message_alphabet());
+        assert!((cov - 14.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_monotone() {
+        let u = product();
+        let catalog = u.catalog();
+        let req = catalog.get("ReqE").unwrap();
+        let gnt = catalog.get("GntE").unwrap();
+        assert!(flow_spec_coverage(&u, &[req]) <= flow_spec_coverage(&u, &[req, gnt]));
+    }
+
+    #[test]
+    fn utilization_delegates_to_buffer() {
+        let b = TraceBufferSpec::new(32).unwrap();
+        assert_eq!(buffer_utilization(b, 31), 31.0 / 32.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Step 2: ranking candidate combinations by mutual information gain
+//! (§3.2), plus a scalable beam-search alternative to exhaustive
+//! enumeration.
+
+use pstrace_flow::{InterleavedFlow, MessageId};
+use pstrace_infogain::{mutual_information, LogBase};
+
+use crate::error::SelectError;
+
+/// A candidate message combination annotated with its selection metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCombination {
+    /// The combination's messages, sorted ascending by id.
+    pub messages: Vec<MessageId>,
+    /// Mutual information gain over the interleaved flow.
+    pub gain: f64,
+    /// Total bit width `W(M)` of the combination.
+    pub width: u32,
+}
+
+/// Evaluates and ranks `candidates` by mutual information gain, highest
+/// first.
+///
+/// Ties are broken deterministically: higher gain, then larger width (which
+/// favours trace-buffer utilization), then lexicographically smaller message
+/// ids. The paper's running example selects `{ReqE, GntE}` under exactly
+/// this rule.
+#[must_use]
+pub fn rank_combinations(
+    flow: &InterleavedFlow,
+    candidates: &[Vec<MessageId>],
+    base: LogBase,
+) -> Vec<RankedCombination> {
+    let catalog = flow.catalog();
+    let mut ranked: Vec<RankedCombination> = candidates
+        .iter()
+        .map(|combo| {
+            let mut messages = combo.clone();
+            messages.sort_unstable();
+            let gain = mutual_information(flow, &messages, base);
+            let width = catalog.combination_width(messages.iter().copied());
+            RankedCombination {
+                messages,
+                gain,
+                width,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.gain
+            .partial_cmp(&a.gain)
+            .expect("mutual information is finite")
+            .then(b.width.cmp(&a.width))
+            .then(a.messages.cmp(&b.messages))
+    });
+    ranked
+}
+
+/// Greedy beam search over combinations, for message alphabets too large to
+/// enumerate exhaustively (the paper makes scalability an explicit
+/// objective; this is the scalable path).
+///
+/// Keeps the `beam_width` best partial combinations, extending each with
+/// every message that still fits the budget, until no extension improves
+/// any beam entry. Returns the best combination found.
+///
+/// # Errors
+///
+/// * [`SelectError::ZeroBeamWidth`] if `beam_width` is zero;
+/// * [`SelectError::NoMessages`] if the interleaving has no messages.
+pub fn beam_select(
+    flow: &InterleavedFlow,
+    budget_bits: u32,
+    beam_width: usize,
+    base: LogBase,
+) -> Result<RankedCombination, SelectError> {
+    if beam_width == 0 {
+        return Err(SelectError::ZeroBeamWidth);
+    }
+    let alphabet = flow.message_alphabet();
+    if alphabet.is_empty() {
+        return Err(SelectError::NoMessages);
+    }
+    let catalog = flow.catalog();
+
+    let mut beam: Vec<RankedCombination> = vec![RankedCombination {
+        messages: Vec::new(),
+        gain: 0.0,
+        width: 0,
+    }];
+    let mut best = beam[0].clone();
+
+    loop {
+        let mut extensions: Vec<RankedCombination> = Vec::new();
+        for entry in &beam {
+            for &m in &alphabet {
+                if entry.messages.contains(&m) {
+                    continue;
+                }
+                let width = entry.width + catalog.width(m);
+                if width > budget_bits {
+                    continue;
+                }
+                let mut messages = entry.messages.clone();
+                messages.push(m);
+                messages.sort_unstable();
+                if extensions.iter().any(|e| e.messages == messages) {
+                    continue;
+                }
+                let gain = mutual_information(flow, &messages, base);
+                extensions.push(RankedCombination {
+                    messages,
+                    gain,
+                    width,
+                });
+            }
+        }
+        if extensions.is_empty() {
+            break;
+        }
+        extensions.sort_by(|a, b| {
+            b.gain
+                .partial_cmp(&a.gain)
+                .expect("mutual information is finite")
+                .then(b.width.cmp(&a.width))
+                .then(a.messages.cmp(&b.messages))
+        });
+        extensions.truncate(beam_width);
+        if extensions[0].gain > best.gain
+            || (extensions[0].gain == best.gain && extensions[0].width > best.width)
+        {
+            best = extensions[0].clone();
+        }
+        beam = extensions;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::enumerate_combinations;
+    use pstrace_flow::{examples::cache_coherence, instantiate, InterleavedFlow};
+    use std::sync::Arc;
+
+    fn product() -> InterleavedFlow {
+        let (flow, _) = cache_coherence();
+        InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap()
+    }
+
+    #[test]
+    fn running_example_selects_reqe_gnte() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 2, 100).unwrap();
+        let ranked = rank_combinations(&u, &candidates, LogBase::Nats);
+        assert_eq!(ranked.len(), 6);
+        let best = &ranked[0];
+        let names: Vec<&str> = best.messages.iter().map(|&m| catalog.name(m)).collect();
+        assert_eq!(names, ["ReqE", "GntE"]);
+        assert!((best.gain - 1.073).abs() < 1e-3);
+        assert_eq!(best.width, 2);
+        // Ranking is monotone non-increasing in gain.
+        for w in ranked.windows(2) {
+            assert!(w[0].gain >= w[1].gain);
+        }
+    }
+
+    #[test]
+    fn pairs_beat_singletons_in_the_running_example() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 2, 100).unwrap();
+        let ranked = rank_combinations(&u, &candidates, LogBase::Nats);
+        let (pairs, singles): (Vec<_>, Vec<_>) = ranked.iter().partition(|r| r.messages.len() == 2);
+        let min_pair = pairs.iter().map(|r| r.gain).fold(f64::MAX, f64::min);
+        let max_single = singles.iter().map(|r| r.gain).fold(0.0, f64::max);
+        assert!(min_pair > max_single);
+    }
+
+    #[test]
+    fn beam_matches_exhaustive_on_the_running_example() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 2, 100).unwrap();
+        let exhaustive = rank_combinations(&u, &candidates, LogBase::Nats);
+        let beam = beam_select(&u, 2, 4, LogBase::Nats).unwrap();
+        assert_eq!(beam.messages, exhaustive[0].messages);
+        assert!((beam.gain - exhaustive[0].gain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beam_rejects_zero_width() {
+        let u = product();
+        assert_eq!(
+            beam_select(&u, 2, 0, LogBase::Nats).unwrap_err(),
+            SelectError::ZeroBeamWidth
+        );
+    }
+
+    #[test]
+    fn beam_with_tiny_budget_returns_empty_combination() {
+        let u = product();
+        // Budget of 0 bits: no message fits; the empty combination remains.
+        let best = beam_select(&u, 0, 4, LogBase::Nats).unwrap();
+        assert!(best.messages.is_empty());
+        assert_eq!(best.gain, 0.0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_permutation() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let mut candidates =
+            enumerate_combinations(&catalog, &u.message_alphabet(), 3, 100).unwrap();
+        let ranked_a = rank_combinations(&u, &candidates, LogBase::Nats);
+        candidates.reverse();
+        let ranked_b = rank_combinations(&u, &candidates, LogBase::Nats);
+        assert_eq!(ranked_a, ranked_b);
+    }
+}

@@ -1,0 +1,375 @@
+//! End-to-end case-study driver: select → simulate → inject → capture →
+//! localize → diagnose.
+//!
+//! This is the pipeline behind the paper's Tables 3, 6 and 7 and Figures
+//! 6–7: message selection runs over the scenario's interleaved flow under
+//! the 32-bit trace buffer, the buggy execution is captured through the
+//! selected messages only, and localization plus cause pruning are
+//! computed from that captured trace.
+
+use pstrace_bug::{bug_catalog, detect_symptom, BugInterceptor, CaseStudy, Symptom};
+use pstrace_core::{SelectError, SelectionConfig, SelectionReport, Selector, TraceBufferSpec};
+use pstrace_soc::{
+    capture, CapturedTrace, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario,
+};
+
+use crate::causes::{evaluate_causes, scenario_causes, CauseReport};
+use crate::evidence::distill;
+use crate::localize::{localize, Localization, MatchMode};
+use crate::walk::{investigate, InvestigationWalk};
+
+/// Knobs of a case-study run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseStudyConfig {
+    /// Trace buffer width (paper: 32 bits).
+    pub buffer_bits: u32,
+    /// Whether Step 3 packing runs.
+    pub packing: bool,
+    /// Circular trace-buffer depth in entries; `None` models a streaming
+    /// trace port that never wraps.
+    pub depth: Option<usize>,
+}
+
+impl Default for CaseStudyConfig {
+    fn default() -> Self {
+        CaseStudyConfig {
+            buffer_bits: 32,
+            packing: true,
+            depth: None,
+        }
+    }
+}
+
+/// Everything a case-study run produced.
+#[derive(Debug, Clone)]
+pub struct CaseStudyReport {
+    /// Which case study ran.
+    pub case_number: u8,
+    /// Its scenario.
+    pub scenario: UsageScenario,
+    /// The message selection that configured the trace buffer.
+    pub selection: SelectionReport,
+    /// The buggy run's captured trace.
+    pub captured: CapturedTrace,
+    /// The detected symptom (`None` if the bug stayed invisible).
+    pub symptom: Option<Symptom>,
+    /// Path localization from the captured trace.
+    pub localization: Localization,
+    /// Cause pruning from the captured trace.
+    pub causes: CauseReport,
+    /// The backtracking investigation walk.
+    pub walk: InvestigationWalk,
+}
+
+impl CaseStudyReport {
+    /// Fraction of interleaved-flow paths explored (Table 3, columns 7–8).
+    #[must_use]
+    pub fn path_localization(&self) -> f64 {
+        self.localization.fraction()
+    }
+
+    /// Fraction of potential root causes pruned (Figure 7).
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        self.causes.pruned_fraction()
+    }
+
+    /// Renders the debugging session as the §5.7-style narrative: traced
+    /// messages, symptom, localization, investigation and surviving
+    /// causes.
+    #[must_use]
+    pub fn render(&self, model: &SocModel) -> String {
+        use std::fmt::Write as _;
+        let catalog = model.catalog();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "case study {} ({})",
+            self.case_number,
+            self.scenario.name()
+        );
+        let traced: Vec<&str> = self
+            .selection
+            .chosen
+            .messages
+            .iter()
+            .map(|&m| catalog.name(m))
+            .collect();
+        let _ = writeln!(out, "  traced messages : {}", traced.join(", "));
+        let packed: Vec<String> = self
+            .selection
+            .packed_groups
+            .iter()
+            .map(|&g| catalog.group_qualified_name(g))
+            .collect();
+        if !packed.is_empty() {
+            let _ = writeln!(out, "  packed subgroups: {}", packed.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "  buffer          : {:.2}% utilized, {:.2}% flow-spec coverage",
+            self.selection.utilization() * 100.0,
+            self.selection.coverage() * 100.0
+        );
+        match &self.symptom {
+            Some(s) => {
+                let _ = writeln!(out, "  symptom         : {s}");
+            }
+            None => {
+                let _ = writeln!(out, "  symptom         : none observed");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  localization    : {} of {} interleaved-flow paths ({:.2}%)",
+            self.localization.consistent,
+            self.localization.total,
+            self.path_localization() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  investigation   : {} messages over {} of {} legal IP pairs",
+            self.walk.messages_investigated(),
+            self.walk.pairs_investigated.len(),
+            self.walk.legal_pairs.len()
+        );
+        let _ = writeln!(
+            out,
+            "  root causes     : {} of {} pruned ({:.2}%)",
+            self.causes.pruned_count(),
+            self.causes.entries.len(),
+            self.pruned_fraction() * 100.0
+        );
+        for cause in self.causes.plausible() {
+            let _ = writeln!(out, "    plausible -> [{}] {}", cause.ip, cause.description);
+            let _ = writeln!(out, "                 implication: {}", cause.implication);
+        }
+        out
+    }
+}
+
+/// Runs one case study end to end with its built-in seed.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from message selection.
+pub fn run_case_study(
+    model: &SocModel,
+    case: &CaseStudy,
+    config: CaseStudyConfig,
+) -> Result<CaseStudyReport, SelectError> {
+    run_case_study_with_seed(model, case, config, case.seed)
+}
+
+/// Runs one case study end to end with an explicit simulation seed
+/// (multi-seed campaigns re-run the same bug under different arbitration
+/// and latency draws).
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from message selection.
+pub fn run_case_study_with_seed(
+    model: &SocModel,
+    case: &CaseStudy,
+    config: CaseStudyConfig,
+    seed: u64,
+) -> Result<CaseStudyReport, SelectError> {
+    let scenario = case.scenario.clone();
+    let interleaving = scenario
+        .interleaving(model)
+        .expect("paper scenarios always interleave");
+
+    // Select messages for the trace buffer.
+    let buffer = TraceBufferSpec::new(config.buffer_bits)?;
+    let mut sel_config = SelectionConfig::new(buffer);
+    sel_config.packing = config.packing;
+    let selection = Selector::new(&interleaving, sel_config).select()?;
+
+    // Golden and buggy runs under identical randomness.
+    let sim = Simulator::new(model, scenario.clone(), SimConfig::with_seed(seed));
+    let golden = sim.run();
+    let catalog = bug_catalog(model);
+    let mut interceptor = BugInterceptor::new(model, case.bugs(&catalog));
+    let buggy = sim.run_with(&mut interceptor);
+    let symptom = detect_symptom(&golden, &buggy);
+
+    // The trace buffer sees only the selected messages/subgroups.
+    let trace_config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: config.depth,
+    };
+    let golden_capture = capture(model, &golden, &trace_config);
+    let buggy_capture = capture(model, &buggy, &trace_config);
+
+    // Path localization mode: a complete capture of a complete run is
+    // matched exactly; a hung run only constrains a prefix; a wrapped
+    // circular buffer only preserves a suffix (or an unanchored window if
+    // the run also hung).
+    let wrapped = config.depth.is_some_and(|d| buggy_capture.len() >= d);
+    let mode = match (buggy.status.is_completed(), wrapped) {
+        (true, false) => MatchMode::Exact,
+        (false, false) => MatchMode::Prefix,
+        (true, true) => MatchMode::Suffix,
+        (false, true) => MatchMode::Substring,
+    };
+    let observed = buggy_capture.message_sequence();
+    let localization = localize(
+        &interleaving,
+        &observed,
+        &selection.effective_messages,
+        mode,
+    );
+
+    // Cause pruning and the investigation walk. A wrapped buffer cannot
+    // testify about absence (the evicted window might have held the
+    // message), so absence verdicts are weakened to keep pruning sound.
+    let causes = scenario_causes(model, &scenario);
+    let mut evidence = distill(model, &scenario, &golden_capture, &buggy_capture);
+    if wrapped {
+        evidence.weaken_absence();
+    }
+    let cause_report = evaluate_causes(&causes, &evidence);
+    let walk = investigate(model, &scenario, &golden_capture, &buggy_capture, &causes);
+
+    Ok(CaseStudyReport {
+        case_number: case.number,
+        scenario,
+        selection,
+        captured: buggy_capture,
+        symptom,
+        localization,
+        causes: cause_report,
+        walk,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_bug::case_studies;
+
+    #[test]
+    fn all_five_case_studies_run_end_to_end() {
+        let model = SocModel::t2();
+        for cs in case_studies() {
+            let report = run_case_study(&model, &cs, CaseStudyConfig::default()).unwrap();
+            assert_eq!(report.case_number, cs.number);
+            assert!(report.symptom.is_some(), "case {} symptomless", cs.number);
+            assert!(
+                report.selection.utilization() > 0.9,
+                "case {}: utilization {:.2}",
+                cs.number,
+                report.selection.utilization()
+            );
+            assert!(
+                report.path_localization() < 0.5,
+                "case {}: localization {:.3}",
+                cs.number,
+                report.path_localization()
+            );
+            assert!(report.localization.total > 0);
+        }
+    }
+
+    #[test]
+    fn packing_never_hurts_localization_or_pruning() {
+        let model = SocModel::t2();
+        for cs in case_studies() {
+            let with = run_case_study(
+                &model,
+                &cs,
+                CaseStudyConfig {
+                    buffer_bits: 32,
+                    packing: true,
+                    depth: None,
+                },
+            )
+            .unwrap();
+            let without = run_case_study(
+                &model,
+                &cs,
+                CaseStudyConfig {
+                    buffer_bits: 32,
+                    packing: false,
+                    depth: None,
+                },
+            )
+            .unwrap();
+            assert!(
+                with.path_localization() <= without.path_localization() + 1e-12,
+                "case {}: packing worsened localization",
+                cs.number
+            );
+            assert!(
+                with.selection.utilization() >= without.selection.utilization(),
+                "case {}",
+                cs.number
+            );
+            assert!(
+                with.pruned_fraction() + 1e-12 >= without.pruned_fraction(),
+                "case {}: packing worsened pruning",
+                cs.number
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_the_whole_story() {
+        let model = SocModel::t2();
+        let cs = &case_studies()[0];
+        let report = run_case_study(&model, cs, CaseStudyConfig::default()).unwrap();
+        let text = report.render(&model);
+        assert!(text.contains("case study 1"));
+        assert!(text.contains("traced messages"));
+        assert!(text.contains("HANG"));
+        assert!(text.contains("plausible ->"));
+        assert!(text.contains("root causes"));
+    }
+
+    #[test]
+    fn wrapped_buffer_still_localizes() {
+        // A shallow circular buffer keeps only the newest records; suffix
+        // (or substring) matching still yields a sound, if weaker,
+        // localization.
+        let model = SocModel::t2();
+        for cs in case_studies() {
+            let full = run_case_study(&model, &cs, CaseStudyConfig::default()).unwrap();
+            let wrapped = run_case_study(
+                &model,
+                &cs,
+                CaseStudyConfig {
+                    buffer_bits: 32,
+                    packing: true,
+                    depth: Some(3),
+                },
+            )
+            .unwrap();
+            assert!(wrapped.captured.len() <= 3, "case {}", cs.number);
+            // The true execution still matches, so at least one path is
+            // consistent whenever the full capture had one.
+            if full.localization.consistent >= 1 {
+                assert!(wrapped.localization.consistent >= 1, "case {}", cs.number);
+            }
+            // Less observation can only weaken localization.
+            assert!(
+                wrapped.localization.consistent >= full.localization.consistent,
+                "case {}",
+                cs.number
+            );
+        }
+    }
+
+    #[test]
+    fn localization_consistent_count_is_positive_for_badtrap_cases() {
+        // Completed buggy runs took a real path of the interleaving, so at
+        // least that path is consistent with the observation.
+        let model = SocModel::t2();
+        for cs in case_studies() {
+            let report = run_case_study(&model, &cs, CaseStudyConfig::default()).unwrap();
+            if matches!(report.symptom, Some(Symptom::BadTrap { .. })) {
+                assert!(report.localization.consistent >= 1, "case {}", cs.number);
+            }
+        }
+    }
+}

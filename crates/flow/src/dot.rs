@@ -1,0 +1,121 @@
+//! Graphviz (DOT) export for flows and interleaved flows.
+//!
+//! Exports are intended for debugging flow specifications: render with
+//! `dot -Tsvg flow.dot -o flow.svg`.
+
+use std::fmt::Write as _;
+
+use crate::flow::Flow;
+use crate::interleave::InterleavedFlow;
+
+/// Renders a flow as a DOT digraph.
+///
+/// Initial states are drawn with a double border, stop states as double
+/// circles, atomic states shaded.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_flow::{examples::cache_coherence, dot::flow_to_dot};
+///
+/// let (flow, _) = cache_coherence();
+/// let dot = flow_to_dot(&flow);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("ReqE"));
+/// ```
+#[must_use]
+pub fn flow_to_dot(flow: &Flow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", flow.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for s in flow.states() {
+        let mut attrs = vec![format!("label=\"{}\"", flow.state_name(s))];
+        if flow.stop_states().contains(&s) {
+            attrs.push("shape=doublecircle".to_owned());
+        } else {
+            attrs.push("shape=circle".to_owned());
+        }
+        if flow.initial_states().contains(&s) {
+            attrs.push("penwidth=2".to_owned());
+        }
+        if flow.is_atomic(s) {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightgray".to_owned());
+        }
+        let _ = writeln!(out, "  {} [{}];", s, attrs.join(", "));
+    }
+    let catalog = flow.catalog();
+    for e in flow.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            e.from,
+            e.to,
+            catalog.name(e.message)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an interleaved flow as a DOT digraph with `index:name` edge
+/// labels and tuple state labels.
+#[must_use]
+pub fn interleaved_to_dot(flow: &InterleavedFlow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph interleaving {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for s in flow.states() {
+        let mut attrs = vec![format!("label=\"{}\"", flow.state_label(s))];
+        if flow.stop_states().contains(&s) {
+            attrs.push("shape=doublebox".to_owned());
+        } else {
+            attrs.push("shape=box".to_owned());
+        }
+        if flow.initial_states().contains(&s) {
+            attrs.push("penwidth=2".to_owned());
+        }
+        let _ = writeln!(out, "  {} [{}];", s, attrs.join(", "));
+    }
+    let catalog = flow.catalog();
+    for e in flow.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            e.from,
+            e.to,
+            e.message.display(catalog)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::cache_coherence;
+    use crate::indexed::instantiate;
+    use std::sync::Arc;
+
+    #[test]
+    fn flow_dot_contains_all_states_and_messages() {
+        let (flow, _) = cache_coherence();
+        let dot = flow_to_dot(&flow);
+        for name in ["Init", "Wait", "GntW", "Done", "ReqE", "GntE", "Ack"] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("lightgray"));
+    }
+
+    #[test]
+    fn interleaved_dot_labels_messages_with_indices() {
+        let (flow, _) = cache_coherence();
+        let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap();
+        let dot = interleaved_to_dot(&u);
+        assert!(dot.contains("1:ReqE"));
+        assert!(dot.contains("2:Ack"));
+        assert!(dot.contains("(Init1, Init2)"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Error types for flow construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or validating a [`Flow`](crate::Flow) or an
+/// [`InterleavedFlow`](crate::InterleavedFlow).
+///
+/// Every variant names the offending entity so that specification bugs are
+/// diagnosable without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The flow declares no initial state (`S_0 = ∅`), violating Definition 1.
+    EmptyInitial {
+        /// Name of the offending flow.
+        flow: String,
+    },
+    /// The flow declares no stop state (`S_p = ∅`); executions (Definition 2)
+    /// must end in a stop state, so at least one is required.
+    EmptyStop {
+        /// Name of the offending flow.
+        flow: String,
+    },
+    /// A state is both a stop state and an atomic state, violating the
+    /// `S_p ∩ Atom = ∅` side condition of Definition 1.
+    StopAtomOverlap {
+        /// Name of the offending flow.
+        flow: String,
+        /// Name of the overlapping state.
+        state: String,
+    },
+    /// The transition relation contains a cycle; flows are DAGs by
+    /// Definition 1.
+    Cyclic {
+        /// Name of the offending flow.
+        flow: String,
+    },
+    /// A state is unreachable from every initial state.
+    Unreachable {
+        /// Name of the offending flow.
+        flow: String,
+        /// Name of the unreachable state.
+        state: String,
+    },
+    /// A state can reach no stop state, so no execution passes through it.
+    DeadEnd {
+        /// Name of the offending flow.
+        flow: String,
+        /// Name of the dead-end state.
+        state: String,
+    },
+    /// An edge references a state name that was never declared.
+    UnknownState {
+        /// Name of the offending flow.
+        flow: String,
+        /// The undeclared state name.
+        state: String,
+    },
+    /// An edge references a message name absent from the catalog.
+    UnknownMessage {
+        /// Name of the offending flow.
+        flow: String,
+        /// The undeclared message name.
+        message: String,
+    },
+    /// The same state name was declared twice.
+    DuplicateState {
+        /// Name of the offending flow.
+        flow: String,
+        /// The duplicated state name.
+        state: String,
+    },
+    /// A stop state has an outgoing transition. A stop state is the final
+    /// state of a successfully completed flow, so it must be a sink.
+    StopNotSink {
+        /// Name of the offending flow.
+        flow: String,
+        /// Name of the stop state with an outgoing edge.
+        state: String,
+    },
+    /// Two indexed instances of the same flow share an index, violating the
+    /// legal-indexing requirement of Definition 4.
+    IllegalIndexing {
+        /// Name of the flow indexed twice with the same index.
+        flow: String,
+        /// The duplicated index.
+        index: u32,
+    },
+    /// Interleaving was requested for flows built against different message
+    /// catalogs; indexed messages would be ambiguous.
+    CatalogMismatch,
+    /// Interleaving was requested with zero participating flows.
+    NoFlows,
+    /// Two or more participating flows start in atomic states, so even the
+    /// initial product state would violate the atomic-state mutex.
+    AtomicInitialClash,
+    /// The product construction exceeded the configured state budget.
+    ProductTooLarge {
+        /// The configured maximum number of product states.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EmptyInitial { flow } => {
+                write!(f, "flow `{flow}` has no initial state")
+            }
+            FlowError::EmptyStop { flow } => {
+                write!(f, "flow `{flow}` has no stop state")
+            }
+            FlowError::StopAtomOverlap { flow, state } => {
+                write!(
+                    f,
+                    "state `{state}` of flow `{flow}` is both stop and atomic"
+                )
+            }
+            FlowError::Cyclic { flow } => {
+                write!(f, "flow `{flow}` contains a cycle; flows must be DAGs")
+            }
+            FlowError::Unreachable { flow, state } => {
+                write!(
+                    f,
+                    "state `{state}` of flow `{flow}` is unreachable from the initial states"
+                )
+            }
+            FlowError::DeadEnd { flow, state } => {
+                write!(
+                    f,
+                    "state `{state}` of flow `{flow}` cannot reach a stop state"
+                )
+            }
+            FlowError::UnknownState { flow, state } => {
+                write!(f, "flow `{flow}` references undeclared state `{state}`")
+            }
+            FlowError::UnknownMessage { flow, message } => {
+                write!(f, "flow `{flow}` references unknown message `{message}`")
+            }
+            FlowError::DuplicateState { flow, state } => {
+                write!(f, "flow `{flow}` declares state `{state}` twice")
+            }
+            FlowError::StopNotSink { flow, state } => {
+                write!(
+                    f,
+                    "stop state `{state}` of flow `{flow}` has an outgoing transition"
+                )
+            }
+            FlowError::IllegalIndexing { flow, index } => {
+                write!(f, "flow `{flow}` is instantiated twice with index {index}")
+            }
+            FlowError::CatalogMismatch => {
+                write!(f, "interleaved flows must share one message catalog")
+            }
+            FlowError::NoFlows => write!(f, "interleaving requires at least one flow"),
+            FlowError::AtomicInitialClash => {
+                write!(f, "two or more flows start in atomic states")
+            }
+            FlowError::ProductTooLarge { limit } => {
+                write!(
+                    f,
+                    "interleaved flow exceeds the product state budget of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            FlowError::EmptyInitial { flow: "f".into() },
+            FlowError::Cyclic { flow: "f".into() },
+            FlowError::CatalogMismatch,
+            FlowError::NoFlows,
+            FlowError::ProductTooLarge { limit: 8 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Ready-made flows used throughout the documentation and tests.
+
+use std::sync::Arc;
+
+use crate::flow::Flow;
+use crate::flow::FlowBuilder;
+use crate::message::MessageCatalog;
+
+/// The toy cache-coherence flow of the paper's Figure 1a: an exclusive
+/// line-access request between an L1 cache (`1`) and a directory (`Dir`).
+///
+/// * States: `Init`, `Wait`, `GntW` (atomic), `Done` (stop);
+/// * Messages: `ReqE`, `GntE`, `Ack`, each 1 bit wide;
+/// * Transitions: `Init --ReqE--> Wait --GntE--> GntW --Ack--> Done`.
+///
+/// Returns the flow together with its message catalog.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_flow::examples::cache_coherence;
+///
+/// let (flow, catalog) = cache_coherence();
+/// assert_eq!(flow.state_count(), 4);
+/// assert_eq!(catalog.len(), 3);
+/// assert_eq!(flow.atomic_states().len(), 1);
+/// ```
+#[must_use]
+pub fn cache_coherence() -> (Flow, Arc<MessageCatalog>) {
+    let mut catalog = MessageCatalog::new();
+    catalog.intern("ReqE", 1);
+    catalog.intern("GntE", 1);
+    catalog.intern("Ack", 1);
+    let catalog = Arc::new(catalog);
+    let flow = FlowBuilder::new("cache coherence")
+        .state("Init")
+        .state("Wait")
+        .atomic_state("GntW")
+        .stop_state("Done")
+        .initial("Init")
+        .edge("Init", "ReqE", "Wait")
+        .edge("Wait", "GntE", "GntW")
+        .edge("GntW", "Ack", "Done")
+        .build(&catalog)
+        .expect("cache coherence flow is well-formed");
+    (flow, catalog)
+}
+
+/// A small diamond-shaped flow with a branch, useful for exercising
+/// multi-path behaviour in tests.
+///
+/// ```text
+///        a          c
+/// start ---> left ----> done
+///   \                  ^
+///    \  b          d  /
+///     ----> right ----
+/// ```
+///
+/// Message widths: `a`,`b` are 2 bits; `c`,`d` are 3 bits.
+#[must_use]
+pub fn diamond() -> (Flow, Arc<MessageCatalog>) {
+    let mut catalog = MessageCatalog::new();
+    catalog.intern("a", 2);
+    catalog.intern("b", 2);
+    catalog.intern("c", 3);
+    catalog.intern("d", 3);
+    let catalog = Arc::new(catalog);
+    let flow = FlowBuilder::new("diamond")
+        .state("start")
+        .state("left")
+        .state("right")
+        .stop_state("done")
+        .initial("start")
+        .edge("start", "a", "left")
+        .edge("start", "b", "right")
+        .edge("left", "c", "done")
+        .edge("right", "d", "done")
+        .build(&catalog)
+        .expect("diamond flow is well-formed");
+    (flow, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::flow_path_count;
+
+    #[test]
+    fn cache_coherence_matches_figure_1a() {
+        let (flow, catalog) = cache_coherence();
+        assert_eq!(flow.name(), "cache coherence");
+        assert_eq!(flow.state_count(), 4);
+        assert_eq!(flow.edge_count(), 3);
+        assert_eq!(flow.initial_states().len(), 1);
+        assert_eq!(flow.stop_states().len(), 1);
+        assert_eq!(flow.atomic_states().len(), 1);
+        assert_eq!(flow.state_name(flow.atomic_states()[0]), "GntW");
+        for (_, m) in catalog.iter() {
+            assert_eq!(m.width(), 1);
+        }
+        assert_eq!(flow_path_count(&flow), 1);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let (flow, _) = diamond();
+        assert_eq!(flow_path_count(&flow), 2);
+    }
+}

@@ -1,0 +1,653 @@
+//! The flow DAG of Definition 1 and its builder.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::FlowError;
+use crate::message::{MessageCatalog, MessageId};
+
+/// Identifier of a flow state within one [`Flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Returns the dense index of this state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A labeled transition `s --m--> s'` of the flow transition relation
+/// `δ_F ⊆ S × E × S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source state.
+    pub from: StateId,
+    /// Message labeling the transition.
+    pub message: MessageId,
+    /// Target state.
+    pub to: StateId,
+}
+
+/// A protocol flow: the DAG `F = ⟨S, S_0, S_p, E, δ_F, Atom⟩` of
+/// Definition 1.
+///
+/// * `S` — flow states, named;
+/// * `S_0 ⊆ S` — initial states;
+/// * `S_p ⊆ S`, `S_p ∩ Atom = ∅` — stop states (sinks);
+/// * `E` — messages (shared [`MessageCatalog`]);
+/// * `δ_F` — transitions labeled with messages;
+/// * `Atom ⊂ S` — atomic (mutex) states: while one flow instance sits in an
+///   atomic state no other concurrently executing instance may be in one.
+///
+/// Flows are validated on construction (see [`FlowBuilder::build`]) and
+/// immutable afterwards, so every `Flow` in circulation is well-formed.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_flow::examples::cache_coherence;
+///
+/// let (flow, _catalog) = cache_coherence();
+/// assert_eq!(flow.state_count(), 4);
+/// assert_eq!(flow.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flow {
+    name: String,
+    catalog: Arc<MessageCatalog>,
+    states: Vec<String>,
+    initial: Vec<StateId>,
+    stop: Vec<StateId>,
+    atoms: Vec<StateId>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<usize>>,
+    in_edges: Vec<Vec<usize>>,
+    messages: Vec<MessageId>,
+}
+
+impl Flow {
+    /// Name of the flow (e.g. `"PIO Read"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message catalog this flow was built against.
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<MessageCatalog> {
+        &self.catalog
+    }
+
+    /// Number of flow states `|S|`.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions `|δ_F|`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Name of the state `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this flow.
+    #[must_use]
+    pub fn state_name(&self, id: StateId) -> &str {
+        &self.states[id.index()]
+    }
+
+    /// Looks up a state id by name.
+    #[must_use]
+    pub fn state(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s == name)
+            .map(|i| StateId(i as u32))
+    }
+
+    /// Initial states `S_0`.
+    #[must_use]
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Stop states `S_p`.
+    #[must_use]
+    pub fn stop_states(&self) -> &[StateId] {
+        &self.stop
+    }
+
+    /// Atomic states `Atom`.
+    #[must_use]
+    pub fn atomic_states(&self) -> &[StateId] {
+        &self.atoms
+    }
+
+    /// Whether `id` is an atomic state.
+    #[must_use]
+    pub fn is_atomic(&self, id: StateId) -> bool {
+        self.atoms.contains(&id)
+    }
+
+    /// Whether `id` is a stop state.
+    #[must_use]
+    pub fn is_stop(&self, id: StateId) -> bool {
+        self.stop.contains(&id)
+    }
+
+    /// All transitions, in declaration order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Transitions leaving `state`.
+    pub fn edges_from(&self, state: StateId) -> impl Iterator<Item = &Edge> + '_ {
+        self.out_edges[state.index()]
+            .iter()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Transitions entering `state`.
+    pub fn edges_into(&self, state: StateId) -> impl Iterator<Item = &Edge> + '_ {
+        self.in_edges[state.index()]
+            .iter()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// The distinct messages `E` used by this flow, in first-use order.
+    #[must_use]
+    pub fn messages(&self) -> &[MessageId] {
+        &self.messages
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len()).map(|i| StateId(i as u32))
+    }
+
+    /// Whether every state has at most one outgoing transition — i.e. the
+    /// flow has exactly one execution. Linear flows admit stronger
+    /// debugging inferences (a later message's observation implies every
+    /// earlier message happened).
+    #[must_use]
+    pub fn is_linear(&self) -> bool {
+        self.out_edges.iter().all(|edges| edges.len() <= 1)
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow `{}` ({} states, {} messages, {} edges)",
+            self.name,
+            self.states.len(),
+            self.messages.len(),
+            self.edges.len()
+        )
+    }
+}
+
+/// Incremental builder for [`Flow`] values.
+///
+/// States and edges are declared by name; [`FlowBuilder::build`] resolves
+/// names against a [`MessageCatalog`] and validates the result.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pstrace_flow::{FlowBuilder, MessageCatalog};
+///
+/// # fn main() -> Result<(), pstrace_flow::FlowError> {
+/// let mut catalog = MessageCatalog::new();
+/// catalog.intern("ReqE", 1);
+/// catalog.intern("GntE", 1);
+/// catalog.intern("Ack", 1);
+/// let catalog = Arc::new(catalog);
+///
+/// let flow = FlowBuilder::new("cache coherence")
+///     .state("Init")
+///     .state("Wait")
+///     .atomic_state("GntW")
+///     .stop_state("Done")
+///     .initial("Init")
+///     .edge("Init", "ReqE", "Wait")
+///     .edge("Wait", "GntE", "GntW")
+///     .edge("GntW", "Ack", "Done")
+///     .build(&catalog)?;
+/// assert_eq!(flow.state_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowBuilder {
+    name: String,
+    states: Vec<String>,
+    initial: Vec<String>,
+    stop: Vec<String>,
+    atoms: Vec<String>,
+    edges: Vec<(String, String, String)>,
+}
+
+impl FlowBuilder {
+    /// Starts a builder for a flow called `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        FlowBuilder {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Declares an ordinary flow state.
+    #[must_use]
+    pub fn state(mut self, name: &str) -> Self {
+        self.states.push(name.to_owned());
+        self
+    }
+
+    /// Declares an atomic (mutex) state.
+    #[must_use]
+    pub fn atomic_state(mut self, name: &str) -> Self {
+        self.states.push(name.to_owned());
+        self.atoms.push(name.to_owned());
+        self
+    }
+
+    /// Declares a stop state (a sink marking successful completion).
+    #[must_use]
+    pub fn stop_state(mut self, name: &str) -> Self {
+        self.states.push(name.to_owned());
+        self.stop.push(name.to_owned());
+        self
+    }
+
+    /// Marks an already-declared state as initial.
+    #[must_use]
+    pub fn initial(mut self, name: &str) -> Self {
+        self.initial.push(name.to_owned());
+        self
+    }
+
+    /// Adds the transition `from --message--> to` (all referenced by name).
+    #[must_use]
+    pub fn edge(mut self, from: &str, message: &str, to: &str) -> Self {
+        self.edges
+            .push((from.to_owned(), message.to_owned(), to.to_owned()));
+        self
+    }
+
+    /// Resolves names against `catalog`, validates, and returns the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] if the specification violates Definition 1:
+    /// duplicate or undeclared states, unknown messages, empty initial or
+    /// stop sets, `S_p ∩ Atom ≠ ∅`, cycles, unreachable or dead-end states,
+    /// or a stop state with outgoing edges.
+    pub fn build(self, catalog: &Arc<MessageCatalog>) -> Result<Flow, FlowError> {
+        let flow_name = self.name;
+        let mut index: HashMap<&str, StateId> = HashMap::new();
+        for (i, s) in self.states.iter().enumerate() {
+            if index.insert(s.as_str(), StateId(i as u32)).is_some() {
+                return Err(FlowError::DuplicateState {
+                    flow: flow_name,
+                    state: s.clone(),
+                });
+            }
+        }
+        let resolve = |name: &str, flow: &str| -> Result<StateId, FlowError> {
+            index
+                .get(name)
+                .copied()
+                .ok_or_else(|| FlowError::UnknownState {
+                    flow: flow.to_owned(),
+                    state: name.to_owned(),
+                })
+        };
+
+        let mut initial = Vec::new();
+        for s in &self.initial {
+            initial.push(resolve(s, &flow_name)?);
+        }
+        let mut stop = Vec::new();
+        for s in &self.stop {
+            stop.push(resolve(s, &flow_name)?);
+        }
+        let mut atoms = Vec::new();
+        for s in &self.atoms {
+            atoms.push(resolve(s, &flow_name)?);
+        }
+        initial.sort_unstable();
+        initial.dedup();
+        stop.sort_unstable();
+        stop.dedup();
+        atoms.sort_unstable();
+        atoms.dedup();
+
+        if initial.is_empty() {
+            return Err(FlowError::EmptyInitial { flow: flow_name });
+        }
+        if stop.is_empty() {
+            return Err(FlowError::EmptyStop { flow: flow_name });
+        }
+        if let Some(&s) = stop.iter().find(|s| atoms.binary_search(s).is_ok()) {
+            return Err(FlowError::StopAtomOverlap {
+                flow: flow_name,
+                state: self.states[s.index()].clone(),
+            });
+        }
+
+        let mut edges = Vec::with_capacity(self.edges.len());
+        let mut messages: Vec<MessageId> = Vec::new();
+        for (from, msg, to) in &self.edges {
+            let from = resolve(from, &flow_name)?;
+            let to = resolve(to, &flow_name)?;
+            let message = catalog.get(msg).ok_or_else(|| FlowError::UnknownMessage {
+                flow: flow_name.clone(),
+                message: msg.clone(),
+            })?;
+            if stop.binary_search(&from).is_ok() {
+                return Err(FlowError::StopNotSink {
+                    flow: flow_name,
+                    state: self.states[from.index()].clone(),
+                });
+            }
+            if !messages.contains(&message) {
+                messages.push(message);
+            }
+            edges.push(Edge { from, message, to });
+        }
+
+        let n = self.states.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            out_edges[e.from.index()].push(i);
+            in_edges[e.to.index()].push(i);
+        }
+
+        // DAG check via Kahn's algorithm.
+        let mut indeg: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop_front() {
+            visited += 1;
+            for &ei in &out_edges[u] {
+                let v = edges[ei].to.index();
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if visited != n {
+            return Err(FlowError::Cyclic { flow: flow_name });
+        }
+
+        // Reachability from initial states.
+        let mut reach = vec![false; n];
+        let mut stack: Vec<usize> = initial.iter().map(|s| s.index()).collect();
+        for &s in &stack {
+            reach[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &ei in &out_edges[u] {
+                let v = edges[ei].to.index();
+                if !reach[v] {
+                    reach[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if let Some(i) = reach.iter().position(|&r| !r) {
+            return Err(FlowError::Unreachable {
+                flow: flow_name,
+                state: self.states[i].clone(),
+            });
+        }
+
+        // Co-reachability: every state reaches a stop state.
+        let mut coreach = vec![false; n];
+        let mut stack: Vec<usize> = stop.iter().map(|s| s.index()).collect();
+        for &s in &stack {
+            coreach[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &ei in &in_edges[u] {
+                let v = edges[ei].from.index();
+                if !coreach[v] {
+                    coreach[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if let Some(i) = coreach.iter().position(|&r| !r) {
+            return Err(FlowError::DeadEnd {
+                flow: flow_name,
+                state: self.states[i].clone(),
+            });
+        }
+
+        debug_assert_eq!(
+            messages.iter().collect::<HashSet<_>>().len(),
+            messages.len()
+        );
+
+        Ok(Flow {
+            name: flow_name,
+            catalog: Arc::clone(catalog),
+            states: self.states,
+            initial,
+            stop,
+            atoms,
+            edges,
+            out_edges,
+            in_edges,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Arc<MessageCatalog> {
+        let mut c = MessageCatalog::new();
+        c.intern("a", 1);
+        c.intern("b", 2);
+        Arc::new(c)
+    }
+
+    fn linear() -> FlowBuilder {
+        FlowBuilder::new("lin")
+            .state("s0")
+            .state("s1")
+            .stop_state("s2")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .edge("s1", "b", "s2")
+    }
+
+    #[test]
+    fn builds_linear_flow() {
+        let f = linear().build(&catalog()).unwrap();
+        assert_eq!(f.state_count(), 3);
+        assert_eq!(f.edge_count(), 2);
+        assert_eq!(f.initial_states().len(), 1);
+        assert_eq!(f.stop_states().len(), 1);
+        assert_eq!(f.messages().len(), 2);
+        assert_eq!(f.state("s1"), Some(StateId(1)));
+        assert_eq!(f.state_name(StateId(0)), "s0");
+        assert_eq!(f.edges_from(StateId(0)).count(), 1);
+        assert_eq!(f.edges_into(StateId(2)).count(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_initial() {
+        let err = FlowBuilder::new("f")
+            .stop_state("s")
+            .build(&catalog())
+            .unwrap_err();
+        assert_eq!(err, FlowError::EmptyInitial { flow: "f".into() });
+    }
+
+    #[test]
+    fn rejects_empty_stop() {
+        let err = FlowBuilder::new("f")
+            .state("s")
+            .initial("s")
+            .build(&catalog())
+            .unwrap_err();
+        assert_eq!(err, FlowError::EmptyStop { flow: "f".into() });
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .state("s1")
+            .stop_state("s2")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .edge("s1", "a", "s0")
+            .edge("s1", "b", "s2")
+            .build(&catalog())
+            .unwrap_err();
+        assert_eq!(err, FlowError::Cyclic { flow: "f".into() });
+    }
+
+    #[test]
+    fn rejects_unknown_message() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "nope", "s1")
+            .build(&catalog())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::UnknownMessage { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_state() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "a", "ghost")
+            .build(&catalog())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::UnknownState { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_state() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .state("s0")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .build(&catalog())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::DuplicateState { .. }));
+    }
+
+    #[test]
+    fn rejects_stop_atom_overlap() {
+        let mut b = FlowBuilder::new("f")
+            .state("s0")
+            .stop_state("bad")
+            .initial("s0")
+            .edge("s0", "a", "bad");
+        b.atoms.push("bad".into());
+        let err = b.build(&catalog()).unwrap_err();
+        assert!(matches!(err, FlowError::StopAtomOverlap { .. }));
+    }
+
+    #[test]
+    fn rejects_unreachable_state() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .state("island")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .build(&catalog())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn rejects_dead_end_state() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .state("trap")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .edge("s0", "b", "trap")
+            .build(&catalog())
+            .unwrap_err();
+        assert!(matches!(err, FlowError::DeadEnd { .. }));
+    }
+
+    #[test]
+    fn rejects_edge_out_of_stop() {
+        let err = FlowBuilder::new("f")
+            .state("s0")
+            .stop_state("s1")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .edge("s1", "b", "s0")
+            .build(&catalog())
+            .unwrap_err();
+        // cycle or stop-not-sink are both legitimate rejections; the
+        // stop-not-sink check fires first because it is per-edge.
+        assert!(matches!(err, FlowError::StopNotSink { .. }));
+    }
+
+    #[test]
+    fn branching_flow_has_multiple_outgoing() {
+        let f = FlowBuilder::new("branch")
+            .state("s0")
+            .state("l")
+            .state("r")
+            .stop_state("s3")
+            .initial("s0")
+            .edge("s0", "a", "l")
+            .edge("s0", "b", "r")
+            .edge("l", "b", "s3")
+            .edge("r", "a", "s3")
+            .build(&catalog())
+            .unwrap();
+        assert_eq!(f.edges_from(StateId(0)).count(), 2);
+        assert_eq!(f.edges_into(StateId(3)).count(), 2);
+        assert_eq!(f.messages().len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_name_and_sizes() {
+        let f = linear().build(&catalog()).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("lin"));
+        assert!(s.contains("3 states"));
+    }
+}

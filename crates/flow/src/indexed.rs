@@ -1,0 +1,228 @@
+//! Indexed flows and indexed messages (Definitions 3–4).
+//!
+//! A flow can be invoked several times, even concurrently, during one run of
+//! the system. *Indexing* distinguishes the instances: an indexed message is
+//! a pair `⟨m, i⟩` of a message and an instance index, and an indexed flow is
+//! a flow whose states and messages all carry the same index. Most SoCs
+//! provide architectural *tagging* support for exactly this purpose; the
+//! formalization simply makes it explicit.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::FlowError;
+use crate::flow::Flow;
+use crate::message::{MessageCatalog, MessageId};
+
+/// Instance index distinguishing concurrent invocations of the same flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowIndex(pub u32);
+
+impl fmt::Display for FlowIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An indexed message `⟨m, i⟩` (Definition 3): message `m` as emitted by the
+/// flow instance with index `i`.
+///
+/// Displayed as `i:name` (e.g. `1:ReqE`) via
+/// [`IndexedMessage::display`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexedMessage {
+    /// The underlying (un-indexed) message.
+    pub message: MessageId,
+    /// The flow-instance index.
+    pub index: FlowIndex,
+}
+
+impl IndexedMessage {
+    /// Creates an indexed message.
+    #[must_use]
+    pub fn new(message: MessageId, index: FlowIndex) -> Self {
+        IndexedMessage { message, index }
+    }
+
+    /// Returns a displayable `index:name` rendering resolved against
+    /// `catalog`.
+    #[must_use]
+    pub fn display<'a>(&self, catalog: &'a MessageCatalog) -> DisplayIndexedMessage<'a> {
+        DisplayIndexedMessage {
+            message: *self,
+            catalog,
+        }
+    }
+}
+
+/// Helper returned by [`IndexedMessage::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayIndexedMessage<'a> {
+    message: IndexedMessage,
+    catalog: &'a MessageCatalog,
+}
+
+impl fmt::Display for DisplayIndexedMessage<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}",
+            self.message.index,
+            self.catalog.name(self.message.message)
+        )
+    }
+}
+
+/// An indexed flow `⟨f, k⟩` (Definition 3): a flow instance identified by
+/// index `k`.
+///
+/// The underlying [`Flow`] is shared via [`Arc`], so instantiating a flow
+/// many times is cheap.
+#[derive(Debug, Clone)]
+pub struct IndexedFlow {
+    flow: Arc<Flow>,
+    index: FlowIndex,
+}
+
+impl IndexedFlow {
+    /// Creates the instance of `flow` with the given `index`.
+    #[must_use]
+    pub fn new(flow: Arc<Flow>, index: FlowIndex) -> Self {
+        IndexedFlow { flow, index }
+    }
+
+    /// The underlying flow.
+    #[must_use]
+    pub fn flow(&self) -> &Arc<Flow> {
+        &self.flow
+    }
+
+    /// The instance index.
+    #[must_use]
+    pub fn index(&self) -> FlowIndex {
+        self.index
+    }
+
+    /// The indexed messages of this instance, in the flow's first-use order.
+    pub fn indexed_messages(&self) -> impl Iterator<Item = IndexedMessage> + '_ {
+        let index = self.index;
+        self.flow
+            .messages()
+            .iter()
+            .map(move |&m| IndexedMessage::new(m, index))
+    }
+}
+
+impl fmt::Display for IndexedFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.flow.name(), self.index)
+    }
+}
+
+/// Checks that a set of indexed flows is *legally indexed* (Definition 4):
+/// any two instances are either of different flows or carry different
+/// indices.
+///
+/// Flows are compared by name; building the "same" flow twice under one name
+/// still counts as the same flow.
+///
+/// # Errors
+///
+/// Returns [`FlowError::IllegalIndexing`] naming the first conflicting
+/// flow/index pair.
+pub fn check_legally_indexed(flows: &[IndexedFlow]) -> Result<(), FlowError> {
+    for (i, a) in flows.iter().enumerate() {
+        for b in &flows[i + 1..] {
+            if a.flow.name() == b.flow.name() && a.index == b.index {
+                return Err(FlowError::IllegalIndexing {
+                    flow: a.flow.name().to_owned(),
+                    index: a.index.0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: instantiates `flow` with indices `1..=count`.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_flow::{examples::cache_coherence, instantiate};
+/// use std::sync::Arc;
+///
+/// let (flow, _) = cache_coherence();
+/// let instances = instantiate(&Arc::new(flow), 2);
+/// assert_eq!(instances.len(), 2);
+/// assert_eq!(instances[0].index().0, 1);
+/// assert_eq!(instances[1].index().0, 2);
+/// ```
+#[must_use]
+pub fn instantiate(flow: &Arc<Flow>, count: u32) -> Vec<IndexedFlow> {
+    (1..=count)
+        .map(|i| IndexedFlow::new(Arc::clone(flow), FlowIndex(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::cache_coherence;
+
+    #[test]
+    fn indexed_message_displays_index_colon_name() {
+        let (flow, catalog) = cache_coherence();
+        let req = catalog.get("ReqE").unwrap();
+        let im = IndexedMessage::new(req, FlowIndex(1));
+        assert_eq!(im.display(&catalog).to_string(), "1:ReqE");
+        let _ = flow;
+    }
+
+    #[test]
+    fn instances_of_one_flow_need_distinct_indices() {
+        let (flow, _) = cache_coherence();
+        let flow = Arc::new(flow);
+        let good = instantiate(&flow, 2);
+        assert!(check_legally_indexed(&good).is_ok());
+
+        let bad = vec![
+            IndexedFlow::new(Arc::clone(&flow), FlowIndex(1)),
+            IndexedFlow::new(Arc::clone(&flow), FlowIndex(1)),
+        ];
+        let err = check_legally_indexed(&bad).unwrap_err();
+        assert!(matches!(err, FlowError::IllegalIndexing { index: 1, .. }));
+    }
+
+    #[test]
+    fn different_flows_may_share_an_index() {
+        let (flow, catalog) = cache_coherence();
+        let other = crate::FlowBuilder::new("other")
+            .state("x")
+            .stop_state("y")
+            .initial("x")
+            .edge("x", "Ack", "y")
+            .build(&catalog)
+            .unwrap();
+        let pair = vec![
+            IndexedFlow::new(Arc::new(flow), FlowIndex(1)),
+            IndexedFlow::new(Arc::new(other), FlowIndex(1)),
+        ];
+        assert!(check_legally_indexed(&pair).is_ok());
+    }
+
+    #[test]
+    fn indexed_messages_carry_the_instance_index() {
+        let (flow, _) = cache_coherence();
+        let inst = IndexedFlow::new(Arc::new(flow), FlowIndex(7));
+        assert!(inst.indexed_messages().all(|im| im.index == FlowIndex(7)));
+        assert_eq!(inst.indexed_messages().count(), 3);
+    }
+
+    #[test]
+    fn indexed_flow_displays_name_hash_index() {
+        let (flow, _) = cache_coherence();
+        let inst = IndexedFlow::new(Arc::new(flow), FlowIndex(2));
+        assert_eq!(inst.to_string(), "cache coherence#2");
+    }
+}

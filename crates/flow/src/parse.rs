@@ -1,0 +1,473 @@
+//! A small text format for flow specifications.
+//!
+//! The paper assumes flows are available as architectural collateral
+//! (§1, [1, 4, 11, 13]); this module gives that collateral a concrete,
+//! version-controllable syntax so downstream users can feed their own
+//! protocols to the selector without writing Rust:
+//!
+//! ```text
+//! # Toy cache-coherence flow (Figure 1a).
+//! message ReqE 1
+//! message GntE 1
+//! message Ack  1
+//! group   GntE.half 0        # (just an example; width must be < parent)
+//!
+//! flow "cache coherence" {
+//!     state  Init Wait
+//!     atomic GntW
+//!     stop   Done
+//!     initial Init
+//!     edge Init -ReqE-> Wait
+//!     edge Wait -GntE-> GntW
+//!     edge GntW -Ack->  Done
+//! }
+//! ```
+//!
+//! `message NAME WIDTH` interns a message; `group PARENT.NAME WIDTH`
+//! declares a packing subgroup; `flow "NAME" { … }` declares a flow with
+//! `state` / `atomic` / `stop` / `initial` / `edge FROM -MSG-> TO`
+//! directives. `#` starts a comment. Several flows may share one file
+//! (and therefore one message catalog).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::FlowError;
+use crate::flow::{Flow, FlowBuilder};
+use crate::message::MessageCatalog;
+
+/// Error raised while parsing a flow-specification document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The document parsed but a flow failed validation.
+    Flow(FlowError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Flow(e) => write!(f, "flow validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Syntax { .. } => None,
+            ParseError::Flow(e) => Some(e),
+        }
+    }
+}
+
+impl From<FlowError> for ParseError {
+    fn from(e: FlowError) -> Self {
+        ParseError::Flow(e)
+    }
+}
+
+/// A parsed document: the shared catalog and the declared flows, in
+/// declaration order.
+#[derive(Debug, Clone)]
+pub struct FlowDocument {
+    /// The message catalog shared by all flows of the document.
+    pub catalog: Arc<MessageCatalog>,
+    /// The flows, in declaration order.
+    pub flows: Vec<Arc<Flow>>,
+}
+
+impl FlowDocument {
+    /// Finds a flow by name.
+    #[must_use]
+    pub fn flow(&self, name: &str) -> Option<&Arc<Flow>> {
+        self.flows.iter().find(|f| f.name() == name)
+    }
+}
+
+/// Parses a flow-specification document.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] with the offending line for malformed
+/// input, or [`ParseError::Flow`] when a declared flow violates
+/// Definition 1 (cycles, unreachable states, …).
+pub fn parse_flows(input: &str) -> Result<FlowDocument, ParseError> {
+    /// A flow block under construction: declaration line, name, and the
+    /// `(line, text)` body directives.
+    type FlowSpec = (usize, String, Vec<(usize, String)>);
+
+    let mut catalog = MessageCatalog::new();
+    // First pass: messages and groups (they may appear anywhere at top
+    // level, but must not appear inside flow blocks).
+    let mut flow_specs: Vec<FlowSpec> = Vec::new();
+    let mut current: Option<FlowSpec> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((_, _, body)) = current.as_mut() {
+            if line == "}" {
+                let done = current.take().expect("inside a flow block");
+                flow_specs.push(done);
+            } else {
+                body.push((line_no, line.to_owned()));
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("message") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "message needs a name"))?;
+                let width: u32 = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "message needs a width"))?
+                    .parse()
+                    .map_err(|_| syntax(line_no, "message width must be an integer"))?;
+                if width == 0 {
+                    return Err(syntax(line_no, "message width must be positive"));
+                }
+                if parts.next().is_some() {
+                    return Err(syntax(line_no, "unexpected trailing tokens"));
+                }
+                catalog.intern(name, width);
+            }
+            Some("group") => {
+                let qualified = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "group needs PARENT.NAME"))?;
+                let width: u32 = parts
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "group needs a width"))?
+                    .parse()
+                    .map_err(|_| syntax(line_no, "group width must be an integer"))?;
+                let (parent, name) = qualified
+                    .split_once('.')
+                    .ok_or_else(|| syntax(line_no, "group name must be PARENT.NAME"))?;
+                let parent_id = catalog.get(parent).ok_or_else(|| {
+                    syntax(line_no, &format!("unknown parent message `{parent}`"))
+                })?;
+                if width == 0 || width >= catalog.width(parent_id) {
+                    return Err(syntax(
+                        line_no,
+                        "group width must be positive and narrower than its parent",
+                    ));
+                }
+                catalog.intern_group(parent_id, name, width);
+            }
+            Some("flow") => {
+                let rest = line["flow".len()..].trim();
+                let name = rest
+                    .strip_suffix('{')
+                    .map(str::trim)
+                    .ok_or_else(|| syntax(line_no, "flow declaration must end with `{`"))?;
+                let name = unquote(name)
+                    .ok_or_else(|| syntax(line_no, "flow name must be double-quoted"))?;
+                current = Some((line_no, name.to_owned(), Vec::new()));
+            }
+            Some(other) => {
+                return Err(syntax(line_no, &format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    if let Some((line, name, _)) = current {
+        return Err(syntax(
+            line,
+            &format!("flow \"{name}\" is missing its closing `}}`"),
+        ));
+    }
+
+    let catalog = Arc::new(catalog);
+    let mut flows = Vec::new();
+    for (_, name, body) in flow_specs {
+        let mut builder = FlowBuilder::new(&name);
+        for (line_no, line) in body {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("state") => {
+                    for s in parts {
+                        builder = builder.state(s);
+                    }
+                }
+                Some("atomic") => {
+                    for s in parts {
+                        builder = builder.atomic_state(s);
+                    }
+                }
+                Some("stop") => {
+                    for s in parts {
+                        builder = builder.stop_state(s);
+                    }
+                }
+                Some("initial") => {
+                    for s in parts {
+                        builder = builder.initial(s);
+                    }
+                }
+                Some("edge") => {
+                    let from = parts
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "edge needs FROM"))?;
+                    let arrow = parts
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "edge needs -MSG->"))?;
+                    let to = parts
+                        .next()
+                        .ok_or_else(|| syntax(line_no, "edge needs TO"))?;
+                    let message = arrow
+                        .strip_prefix('-')
+                        .and_then(|a| a.strip_suffix("->"))
+                        .ok_or_else(|| {
+                            syntax(line_no, "edge label must be written as -MESSAGE->")
+                        })?;
+                    if message.is_empty() {
+                        return Err(syntax(line_no, "edge label must name a message"));
+                    }
+                    builder = builder.edge(from, message, to);
+                }
+                Some(other) => {
+                    return Err(syntax(
+                        line_no,
+                        &format!("unknown flow directive `{other}`"),
+                    ));
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+        }
+        flows.push(Arc::new(builder.build(&catalog)?));
+    }
+    Ok(FlowDocument { catalog, flows })
+}
+
+/// Renders a flow back into the text format (round-trips through
+/// [`parse_flows`]).
+#[must_use]
+pub fn flow_to_text(flow: &Flow) -> String {
+    use std::fmt::Write as _;
+    let catalog = flow.catalog();
+    let mut out = String::new();
+    for &m in flow.messages() {
+        let _ = writeln!(out, "message {} {}", catalog.name(m), catalog.width(m));
+    }
+    let _ = writeln!(out, "flow \"{}\" {{", flow.name());
+    let plain: Vec<&str> = flow
+        .states()
+        .filter(|s| !flow.is_atomic(*s) && !flow.is_stop(*s))
+        .map(|s| flow.state_name(s))
+        .collect();
+    if !plain.is_empty() {
+        let _ = writeln!(out, "    state {}", plain.join(" "));
+    }
+    if !flow.atomic_states().is_empty() {
+        let names: Vec<&str> = flow
+            .atomic_states()
+            .iter()
+            .map(|&s| flow.state_name(s))
+            .collect();
+        let _ = writeln!(out, "    atomic {}", names.join(" "));
+    }
+    let stops: Vec<&str> = flow
+        .stop_states()
+        .iter()
+        .map(|&s| flow.state_name(s))
+        .collect();
+    let _ = writeln!(out, "    stop {}", stops.join(" "));
+    let initials: Vec<&str> = flow
+        .initial_states()
+        .iter()
+        .map(|&s| flow.state_name(s))
+        .collect();
+    let _ = writeln!(out, "    initial {}", initials.join(" "));
+    for e in flow.edges() {
+        let _ = writeln!(
+            out,
+            "    edge {} -{}-> {}",
+            flow.state_name(e.from),
+            catalog.name(e.message),
+            flow.state_name(e.to)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn syntax(line: usize, reason: &str) -> ParseError {
+    ParseError::Syntax {
+        line,
+        reason: reason.to_owned(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"')?.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CACHE: &str = r#"
+# Toy cache-coherence flow (Figure 1a).
+message ReqE 1
+message GntE 1
+message Ack  1
+
+flow "cache coherence" {
+    state  Init Wait
+    atomic GntW
+    stop   Done
+    initial Init
+    edge Init -ReqE-> Wait
+    edge Wait -GntE-> GntW
+    edge GntW -Ack->  Done
+}
+"#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let doc = parse_flows(CACHE).unwrap();
+        assert_eq!(doc.catalog.len(), 3);
+        assert_eq!(doc.flows.len(), 1);
+        let flow = doc.flow("cache coherence").unwrap();
+        assert_eq!(flow.state_count(), 4);
+        assert_eq!(flow.edge_count(), 3);
+        assert_eq!(flow.atomic_states().len(), 1);
+        // It behaves identically to the built-in example.
+        let (builtin, _) = crate::examples::cache_coherence();
+        assert_eq!(flow.state_count(), builtin.state_count());
+        assert_eq!(flow.messages().len(), builtin.messages().len());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let doc = parse_flows(CACHE).unwrap();
+        let text = flow_to_text(doc.flow("cache coherence").unwrap());
+        let doc2 = parse_flows(&text).unwrap();
+        let a = doc.flow("cache coherence").unwrap();
+        let b = doc2.flow("cache coherence").unwrap();
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.atomic_states().len(), b.atomic_states().len());
+        assert_eq!(a.initial_states().len(), b.initial_states().len());
+    }
+
+    #[test]
+    fn multiple_flows_share_the_catalog() {
+        let doc = parse_flows(
+            r#"
+message a 2
+message b 3
+flow "one" {
+    state s0
+    stop s1
+    initial s0
+    edge s0 -a-> s1
+}
+flow "two" {
+    state t0
+    stop t1
+    initial t0
+    edge t0 -b-> t1
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.flows.len(), 2);
+        assert!(std::sync::Arc::ptr_eq(
+            doc.flows[0].catalog(),
+            doc.flows[1].catalog()
+        ));
+    }
+
+    #[test]
+    fn groups_are_declared() {
+        let doc = parse_flows(
+            r#"
+message wide 20
+group wide.field 6
+flow "f" {
+    state s0
+    stop s1
+    initial s0
+    edge s0 -wide-> s1
+}
+"#,
+        )
+        .unwrap();
+        let g = doc.catalog.get_group("wide.field").unwrap();
+        assert_eq!(doc.catalog.group(g).width(), 6);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_flows("message x\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Syntax {
+                line: 1,
+                reason: "message needs a width".into()
+            }
+        );
+
+        let err = parse_flows("bogus directive\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+
+        let err = parse_flows("message m 1\nflow \"f\" {\n  edge a b c\n}\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 3, .. }));
+
+        let err = parse_flows("flow \"f\" {\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn flow_validation_errors_propagate() {
+        let err = parse_flows(
+            r#"
+message a 1
+flow "cyclic" {
+    state s0 s1
+    stop s2
+    initial s0
+    edge s0 -a-> s1
+    edge s1 -a-> s0
+    edge s1 -a-> s2
+}
+"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::Flow(FlowError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = parse_flows("# nothing\n\n   # more nothing\nmessage m 4 # trailing\n");
+        assert_eq!(doc.unwrap().catalog.len(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_width_message() {
+        let err = parse_flows("message m 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+}

@@ -1,0 +1,400 @@
+//! Executions, traces and path counting (Definition 2).
+//!
+//! An *execution* of a flow is an alternating sequence of states and
+//! messages ending in a stop state; its *trace* is the message sequence.
+//! Every root-to-stop path of the interleaved flow is one possible
+//! interleaved execution of the participating instances, so counting and
+//! enumerating paths is the basis of the paper's *path localization* metric
+//! (§5.2): the fraction of interleaved-flow paths consistent with an
+//! observed trace.
+
+use crate::flow::Flow;
+use crate::indexed::IndexedMessage;
+use crate::interleave::{InterleavedFlow, ProductStateId};
+
+/// One complete execution of an interleaved flow: a root-to-stop path.
+///
+/// `states` has exactly one more element than `messages`; `states[i]`
+/// evolves to `states[i + 1]` on `messages[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    states: Vec<ProductStateId>,
+    messages: Vec<IndexedMessage>,
+}
+
+impl Execution {
+    /// The visited product states, starting at an initial state and ending
+    /// at a stop state.
+    #[must_use]
+    pub fn states(&self) -> &[ProductStateId] {
+        &self.states
+    }
+
+    /// The trace of the execution (Definition 2): its message sequence.
+    #[must_use]
+    pub fn trace(&self) -> &[IndexedMessage] {
+        &self.messages
+    }
+
+    /// Number of messages in the execution.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the execution carries no messages (possible only when an
+    /// initial state is also a stop state).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The trace projected onto a message combination: only the indexed
+    /// messages whose un-indexed message is selected survive, in order.
+    ///
+    /// This is exactly what a trace buffer configured for the combination
+    /// would record.
+    #[must_use]
+    pub fn project(&self, combination: &[crate::message::MessageId]) -> Vec<IndexedMessage> {
+        self.messages
+            .iter()
+            .filter(|im| combination.contains(&im.message))
+            .copied()
+            .collect()
+    }
+}
+
+/// Counts root-to-stop paths of the interleaved flow.
+///
+/// Flows are DAGs, so the count is finite; it is computed by dynamic
+/// programming in topological order and saturates at `u128::MAX` instead of
+/// overflowing.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pstrace_flow::{examples::cache_coherence, instantiate, InterleavedFlow, path_count};
+///
+/// # fn main() -> Result<(), pstrace_flow::FlowError> {
+/// let (flow, _) = cache_coherence();
+/// let product = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2))?;
+/// // The atomic GntW state forces each instance's GntE and Ack to be
+/// // adjacent, so an instance contributes the tokens [ReqE] and
+/// // [GntE Ack]: C(4, 2) = 6 interleavings.
+/// assert_eq!(path_count(&product), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn path_count(flow: &InterleavedFlow) -> u128 {
+    let ways = paths_to_stop(flow);
+    flow.initial_states()
+        .iter()
+        .fold(0u128, |acc, s| acc.saturating_add(ways[s.index()]))
+}
+
+/// For each product state, the number of paths from it to any stop state.
+#[must_use]
+pub fn paths_to_stop(flow: &InterleavedFlow) -> Vec<u128> {
+    let n = flow.state_count();
+    let order = topological_order(flow);
+    let mut ways = vec![0u128; n];
+    for &s in flow.stop_states() {
+        ways[s.index()] = 1;
+    }
+    // Process in reverse topological order so successors are final.
+    for &u in order.iter().rev() {
+        let mut total = ways[u];
+        for e in flow.edges_from(ProductStateId(u as u32)) {
+            total = total.saturating_add(ways[e.to.index()]);
+        }
+        ways[u] = total;
+    }
+    ways
+}
+
+/// Topological order of the product states (indices into the state table).
+///
+/// # Panics
+///
+/// Panics if the interleaving contains a cycle, which cannot happen for
+/// products of validated (acyclic) flows.
+#[must_use]
+pub fn topological_order(flow: &InterleavedFlow) -> Vec<usize> {
+    let n = flow.state_count();
+    let mut indeg = vec![0usize; n];
+    for e in flow.edges() {
+        indeg[e.to.index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for e in flow.edges_from(ProductStateId(u as u32)) {
+            let v = e.to.index();
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "interleaved flow must be acyclic");
+    order
+}
+
+/// Iterator over all executions (root-to-stop paths) of an interleaved
+/// flow, produced by depth-first search.
+///
+/// The number of paths grows combinatorially with flow count; use
+/// [`path_count`] first when only the cardinality is needed.
+#[derive(Debug)]
+pub struct Executions<'a> {
+    flow: &'a InterleavedFlow,
+    // Stack of (state, iterator position over out-edges).
+    stack: Vec<(ProductStateId, usize)>,
+    messages: Vec<IndexedMessage>,
+    pending_roots: Vec<ProductStateId>,
+    done: bool,
+}
+
+impl<'a> Executions<'a> {
+    fn new(flow: &'a InterleavedFlow) -> Self {
+        let mut pending_roots: Vec<ProductStateId> = flow.initial_states().to_vec();
+        pending_roots.reverse();
+        Executions {
+            flow,
+            stack: Vec::new(),
+            messages: Vec::new(),
+            pending_roots,
+            done: false,
+        }
+    }
+
+    fn out_edge(
+        &self,
+        state: ProductStateId,
+        pos: usize,
+    ) -> Option<&'a crate::interleave::InterleavedEdge> {
+        self.flow.edges_from(state).nth(pos)
+    }
+}
+
+impl Iterator for Executions<'_> {
+    type Item = Execution;
+
+    fn next(&mut self) -> Option<Execution> {
+        if self.done {
+            return None;
+        }
+        loop {
+            // Start a new root if the stack is empty.
+            if self.stack.is_empty() {
+                match self.pending_roots.pop() {
+                    Some(root) => {
+                        self.stack.push((root, 0));
+                        self.messages.clear();
+                        if self.flow.stop_states().contains(&root) {
+                            // Degenerate: an initial state that is a stop state.
+                            let exec = Execution {
+                                states: vec![root],
+                                messages: Vec::new(),
+                            };
+                            self.stack.clear();
+                            return Some(exec);
+                        }
+                    }
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+            let (state, pos) = *self.stack.last().unwrap();
+            match self.out_edge(state, pos) {
+                Some(edge) => {
+                    self.stack.last_mut().unwrap().1 += 1;
+                    self.messages.push(edge.message);
+                    if self.flow.stop_states().contains(&edge.to) {
+                        let mut states: Vec<ProductStateId> =
+                            self.stack.iter().map(|(s, _)| *s).collect();
+                        states.push(edge.to);
+                        let exec = Execution {
+                            states,
+                            messages: self.messages.clone(),
+                        };
+                        self.messages.pop();
+                        return Some(exec);
+                    }
+                    self.stack.push((edge.to, 0));
+                }
+                None => {
+                    self.stack.pop();
+                    if !self.stack.is_empty() {
+                        self.messages.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates every execution (root-to-stop path) of `flow`.
+#[must_use]
+pub fn executions(flow: &InterleavedFlow) -> Executions<'_> {
+    Executions::new(flow)
+}
+
+/// Counts root-to-stop paths of a single (non-interleaved) flow.
+#[must_use]
+pub fn flow_path_count(flow: &Flow) -> u128 {
+    let n = flow.state_count();
+    let mut indeg = vec![0usize; n];
+    for e in flow.edges() {
+        indeg[e.to.index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for e in flow.edges_from(crate::flow::StateId(u as u32)) {
+            let v = e.to.index();
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    let mut ways = vec![0u128; n];
+    for &s in flow.stop_states() {
+        ways[s.index()] = 1;
+    }
+    for &u in order.iter().rev() {
+        let mut total = ways[u];
+        for e in flow.edges_from(crate::flow::StateId(u as u32)) {
+            total = total.saturating_add(ways[e.to.index()]);
+        }
+        ways[u] = total;
+    }
+    flow.initial_states()
+        .iter()
+        .fold(0u128, |acc, s| acc.saturating_add(ways[s.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::cache_coherence;
+    use crate::indexed::instantiate;
+    use std::sync::Arc;
+
+    fn two_instances() -> InterleavedFlow {
+        let (flow, _) = cache_coherence();
+        InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap()
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let u = two_instances();
+        let count = path_count(&u);
+        let enumerated = executions(&u).count();
+        assert_eq!(count, enumerated as u128);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn single_instance_has_one_path() {
+        let (flow, _) = cache_coherence();
+        let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 1)).unwrap();
+        assert_eq!(path_count(&u), 1);
+        let execs: Vec<Execution> = executions(&u).collect();
+        assert_eq!(execs.len(), 1);
+        assert_eq!(execs[0].len(), 3);
+        assert_eq!(execs[0].states().len(), 4);
+    }
+
+    #[test]
+    fn executions_start_initial_and_end_stop() {
+        let u = two_instances();
+        for exec in executions(&u) {
+            assert!(u.initial_states().contains(&exec.states()[0]));
+            assert!(u.stop_states().contains(exec.states().last().unwrap()));
+            assert_eq!(exec.states().len(), exec.trace().len() + 1);
+            // Each step is a real edge.
+            for (i, m) in exec.trace().iter().enumerate() {
+                let from = exec.states()[i];
+                let to = exec.states()[i + 1];
+                assert!(u.edges_from(from).any(|e| e.to == to && e.message == *m));
+            }
+        }
+    }
+
+    #[test]
+    fn executions_are_distinct() {
+        let u = two_instances();
+        let traces: Vec<Vec<IndexedMessage>> = executions(&u).map(|e| e.trace().to_vec()).collect();
+        let mut dedup = traces.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), traces.len());
+    }
+
+    #[test]
+    fn every_trace_has_six_messages() {
+        // Each instance contributes exactly ReqE, GntE, Ack.
+        let u = two_instances();
+        for exec in executions(&u) {
+            assert_eq!(exec.len(), 6);
+        }
+    }
+
+    #[test]
+    fn projection_filters_and_preserves_order() {
+        let u = two_instances();
+        let catalog = u.catalog();
+        let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        for exec in executions(&u) {
+            let projected = exec.project(&combo);
+            assert_eq!(projected.len(), 4, "two ReqE + two GntE survive");
+            assert!(projected.iter().all(|im| combo.contains(&im.message)));
+            // Order is preserved relative to the full trace.
+            let mut cursor = exec.trace().iter();
+            for p in &projected {
+                assert!(cursor.any(|m| m == p));
+            }
+        }
+    }
+
+    #[test]
+    fn flow_path_count_linear_is_one() {
+        let (flow, _) = cache_coherence();
+        assert_eq!(flow_path_count(&flow), 1);
+    }
+
+    #[test]
+    fn paths_to_stop_at_initial_equals_total() {
+        let u = two_instances();
+        let ways = paths_to_stop(&u);
+        let init = u.initial_states()[0];
+        assert_eq!(ways[init.index()], 6);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let u = two_instances();
+        let order = topological_order(&u);
+        let mut position = vec![0usize; u.state_count()];
+        for (pos, &s) in order.iter().enumerate() {
+            position[s] = pos;
+        }
+        for e in u.edges() {
+            assert!(position[e.from.index()] < position[e.to.index()]);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Information-theoretic machinery for trace message selection.
+//!
+//! Implements the mutual-information-gain metric of *Application Level
+//! Hardware Tracing for Scaling Post-Silicon Debug* (DAC 2018, §3.2):
+//! the interleaved flow's state `X` is uniform over the product states, the
+//! observed variable `Y` ranges over the indexed messages of a candidate
+//! combination, and both marginal and conditional are estimated by edge
+//! counting over the interleaving. See [`JointDistribution`] for the exact
+//! estimator and [`mutual_information`] for the one-call entry point.
+//!
+//! The paper's worked example (`I(X;Y₁) = 1.073`) pins the logarithm base
+//! to nats; [`LogBase`] lets callers switch to bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod joint;
+mod mi;
+mod pmf;
+
+pub use joint::JointDistribution;
+pub use mi::{mutual_information, mutual_information_nats};
+pub use pmf::{entropy_of, LogBase, Pmf, PmfError};

@@ -1,0 +1,259 @@
+//! Probability mass functions and entropy.
+
+use std::fmt;
+
+/// Logarithm base used for information measures.
+///
+/// The paper's worked example (`I(X;Y₁) = 1.073` for the running
+/// cache-coherence interleaving, §3.2) is only reproduced with the natural
+/// logarithm, so [`LogBase::Nats`] is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogBase {
+    /// Natural logarithm — information in nats (paper default).
+    #[default]
+    Nats,
+    /// Base-2 logarithm — information in bits.
+    Bits,
+}
+
+impl LogBase {
+    /// Applies the logarithm in this base.
+    #[must_use]
+    pub fn log(self, x: f64) -> f64 {
+        match self {
+            LogBase::Nats => x.ln(),
+            LogBase::Bits => x.log2(),
+        }
+    }
+}
+
+impl fmt::Display for LogBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogBase::Nats => write!(f, "nats"),
+            LogBase::Bits => write!(f, "bits"),
+        }
+    }
+}
+
+/// A finite probability mass function over `0..len`.
+///
+/// Construction validates non-negativity and (approximate) normalization;
+/// a `Pmf` in circulation is always a valid distribution.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_infogain::{LogBase, Pmf};
+///
+/// # fn main() -> Result<(), pstrace_infogain::PmfError> {
+/// let p = Pmf::new(vec![0.5, 0.25, 0.25])?;
+/// let h = p.entropy(LogBase::Bits);
+/// assert!((h - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    probs: Vec<f64>,
+}
+
+/// Error building a [`Pmf`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PmfError {
+    /// The probability vector was empty.
+    Empty,
+    /// A probability was negative or not finite.
+    Invalid {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The probabilities do not sum to 1 (beyond tolerance).
+    NotNormalized {
+        /// The observed sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::Empty => write!(f, "probability vector is empty"),
+            PmfError::Invalid { index, value } => {
+                write!(f, "probability at index {index} is invalid: {value}")
+            }
+            PmfError::NotNormalized { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+const NORMALIZATION_TOLERANCE: f64 = 1e-9;
+
+impl Pmf {
+    /// Builds a PMF from explicit probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError`] if the vector is empty, contains negative or
+    /// non-finite entries, or does not sum to 1 within `1e-9`.
+    pub fn new(probs: Vec<f64>) -> Result<Self, PmfError> {
+        if probs.is_empty() {
+            return Err(PmfError::Empty);
+        }
+        for (index, &value) in probs.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PmfError::Invalid { index, value });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(PmfError::NotNormalized { sum });
+        }
+        Ok(Pmf { probs })
+    }
+
+    /// Builds a PMF from event counts, normalizing by their total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmfError::Empty`] if `counts` is empty, or
+    /// [`PmfError::NotNormalized`] if every count is zero.
+    pub fn from_counts(counts: &[u64]) -> Result<Self, PmfError> {
+        if counts.is_empty() {
+            return Err(PmfError::Empty);
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Err(PmfError::NotNormalized { sum: 0.0 });
+        }
+        let probs = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        Ok(Pmf { probs })
+    }
+
+    /// The uniform distribution over `len` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn uniform(len: usize) -> Self {
+        assert!(len > 0, "uniform distribution needs at least one outcome");
+        Pmf {
+            probs: vec![1.0 / len as f64; len],
+        }
+    }
+
+    /// Probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the PMF has no outcomes (never true for a valid `Pmf`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The probabilities as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy `H = -Σ p log p` in the given base. Zero-probability
+    /// outcomes contribute nothing.
+    #[must_use]
+    pub fn entropy(&self, base: LogBase) -> f64 {
+        entropy_of(&self.probs, base)
+    }
+}
+
+/// Shannon entropy of an arbitrary (possibly subnormalized) weight vector,
+/// treating `0 log 0 = 0`.
+#[must_use]
+pub fn entropy_of(probs: &[f64], base: LogBase) -> f64 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * base.log(p))
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        let p = Pmf::uniform(8);
+        assert!((p.entropy(LogBase::Bits) - 3.0).abs() < 1e-12);
+        assert!((p.entropy(LogBase::Nats) - (8f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_entropy_is_zero() {
+        let p = Pmf::new(vec![1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(p.entropy(LogBase::Bits), 0.0);
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let p = Pmf::from_counts(&[1, 3]).unwrap();
+        assert!((p.prob(0) - 0.25).abs() < 1e-12);
+        assert!((p.prob(1) - 0.75).abs() < 1e-12);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Pmf::new(vec![]).unwrap_err(), PmfError::Empty);
+        assert_eq!(Pmf::from_counts(&[]).unwrap_err(), PmfError::Empty);
+    }
+
+    #[test]
+    fn rejects_negative() {
+        let err = Pmf::new(vec![1.5, -0.5]).unwrap_err();
+        assert!(matches!(err, PmfError::Invalid { index: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unnormalized() {
+        let err = Pmf::new(vec![0.4, 0.4]).unwrap_err();
+        assert!(matches!(err, PmfError::NotNormalized { .. }));
+        assert!(matches!(
+            Pmf::from_counts(&[0, 0]).unwrap_err(),
+            PmfError::NotNormalized { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = Pmf::new(vec![f64::NAN, 1.0]).unwrap_err();
+        assert!(matches!(err, PmfError::Invalid { index: 0, .. }));
+    }
+
+    #[test]
+    fn log_base_display() {
+        assert_eq!(LogBase::Nats.to_string(), "nats");
+        assert_eq!(LogBase::Bits.to_string(), "bits");
+        assert_eq!(LogBase::default(), LogBase::Nats);
+    }
+}

@@ -1,0 +1,51 @@
+//! Gate-level substrate and baseline signal-selection methods.
+//!
+//! The paper's §5.4 compares flow-level message selection against two
+//! RTL/gate-level baselines on a USB 2.0 design: an SRR-based selector
+//! (SigSeT \[2\]) and a PageRank-based selector (PRNet \[7\]). This crate
+//! provides everything that comparison needs, from scratch:
+//!
+//! * [`Netlist`] / [`NetlistBuilder`] — gate-level netlists (AND/OR/NOT/
+//!   XOR/MUX gates, flip-flops, primary inputs);
+//! * [`Trit`] — three-valued logic, [`simulate`] — cycle simulation;
+//! * [`restore`] / [`restoration_ratio`] — forward/backward implication
+//!   state restoration and the SRR metric;
+//! * [`sigset_select`] — greedy SRR-maximizing flip-flop selection;
+//! * [`prnet_select`] — PageRank over the signal dependency graph
+//!   ([`pagerank`] is the generic power iteration);
+//! * [`UsbDesign`] — a USB-function-core-like design exposing the ten
+//!   Table 4 interface signals and the two flows of the paper's USB usage
+//!   scenario.
+//!
+//! # Examples
+//!
+//! ```
+//! use pstrace_rtl::{prnet_select, UsbDesign};
+//!
+//! let usb = UsbDesign::new();
+//! let picks = prnet_select(&usb.netlist, 8);
+//! assert_eq!(picks.len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod logic;
+mod netlist;
+mod pagerank;
+mod restore;
+mod select;
+mod sim;
+mod stats;
+mod usb;
+pub mod vcd;
+
+pub use logic::Trit;
+pub use netlist::{Driver, Netlist, NetlistBuilder, NetlistError, SignalId};
+pub use pagerank::{pagerank, PageRankConfig};
+pub use restore::{reconstruction_fraction, restoration_ratio, restore};
+pub use select::{anneal_select, average_restoration_ratio, prnet_select, sigset_select};
+pub use sim::{simulate, RandomStimulus, Stimulus, Waveform};
+pub use stats::{fanout_counts, fanout_hubs, netlist_stats, netlist_to_dot, NetlistStats};
+pub use usb::UsbDesign;

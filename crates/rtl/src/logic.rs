@@ -1,0 +1,200 @@
+//! Three-valued logic for gate-level simulation and state restoration.
+
+use std::fmt;
+
+/// A three-valued logic value: `0`, `1` or unknown (`X`).
+///
+/// Restoration (the basis of SRR-style signal selection) works by forcing
+/// traced signals to known values inside an otherwise-unknown circuit and
+/// propagating implications; `X` is the "not restored" state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Whether the value is known (`0` or `1`).
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        self != Trit::X
+    }
+
+    /// Converts a boolean to a known trit.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The known boolean value, if any.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Three-valued AND.
+    #[must_use]
+    pub fn and(self, other: Trit) -> Trit {
+        match (self, other) {
+            (Trit::Zero, _) | (_, Trit::Zero) => Trit::Zero,
+            (Trit::One, Trit::One) => Trit::One,
+            _ => Trit::X,
+        }
+    }
+
+    /// Three-valued OR.
+    #[must_use]
+    pub fn or(self, other: Trit) -> Trit {
+        match (self, other) {
+            (Trit::One, _) | (_, Trit::One) => Trit::One,
+            (Trit::Zero, Trit::Zero) => Trit::Zero,
+            _ => Trit::X,
+        }
+    }
+
+    /// Three-valued NOT.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // domain name; `ops::Not` is also implemented
+    pub fn not(self) -> Trit {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    #[must_use]
+    pub fn xor(self, other: Trit) -> Trit {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Trit::from_bool(a ^ b),
+            _ => Trit::X,
+        }
+    }
+
+    /// Three-valued 2:1 multiplexer (`sel ? a : b`).
+    ///
+    /// When `sel` is unknown but both data inputs agree on a known value,
+    /// the output is that value.
+    #[must_use]
+    pub fn mux(sel: Trit, a: Trit, b: Trit) -> Trit {
+        match sel {
+            Trit::One => a,
+            Trit::Zero => b,
+            Trit::X => {
+                if a == b && a.is_known() {
+                    a
+                } else {
+                    Trit::X
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trit::Zero => write!(f, "0"),
+            Trit::One => write!(f, "1"),
+            Trit::X => write!(f, "x"),
+        }
+    }
+}
+
+impl std::ops::Not for Trit {
+    type Output = Trit;
+
+    fn not(self) -> Trit {
+        Trit::not(self)
+    }
+}
+
+impl From<bool> for Trit {
+    fn from(b: bool) -> Self {
+        Trit::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Trit; 3] = [Trit::Zero, Trit::One, Trit::X];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Trit::Zero.and(Trit::X), Trit::Zero);
+        assert_eq!(Trit::X.and(Trit::Zero), Trit::Zero);
+        assert_eq!(Trit::One.and(Trit::One), Trit::One);
+        assert_eq!(Trit::One.and(Trit::X), Trit::X);
+        assert_eq!(Trit::X.and(Trit::X), Trit::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Trit::One.or(Trit::X), Trit::One);
+        assert_eq!(Trit::Zero.or(Trit::Zero), Trit::Zero);
+        assert_eq!(Trit::Zero.or(Trit::X), Trit::X);
+    }
+
+    #[test]
+    fn not_involutive_on_known() {
+        for t in ALL {
+            assert_eq!(t.not().not(), t);
+        }
+        assert_eq!(Trit::X.not(), Trit::X);
+    }
+
+    #[test]
+    fn xor_unknown_dominates() {
+        assert_eq!(Trit::One.xor(Trit::Zero), Trit::One);
+        assert_eq!(Trit::One.xor(Trit::One), Trit::Zero);
+        assert_eq!(Trit::One.xor(Trit::X), Trit::X);
+    }
+
+    #[test]
+    fn mux_with_unknown_select_uses_agreement() {
+        assert_eq!(Trit::mux(Trit::X, Trit::One, Trit::One), Trit::One);
+        assert_eq!(Trit::mux(Trit::X, Trit::One, Trit::Zero), Trit::X);
+        assert_eq!(Trit::mux(Trit::One, Trit::Zero, Trit::One), Trit::Zero);
+        assert_eq!(Trit::mux(Trit::Zero, Trit::Zero, Trit::One), Trit::One);
+    }
+
+    #[test]
+    fn consistency_with_two_valued_logic() {
+        // 3-valued ops restricted to known values match boolean ops.
+        for a in [false, true] {
+            for b in [false, true] {
+                let ta = Trit::from_bool(a);
+                let tb = Trit::from_bool(b);
+                assert_eq!(ta.and(tb), Trit::from_bool(a && b));
+                assert_eq!(ta.or(tb), Trit::from_bool(a || b));
+                assert_eq!(ta.xor(tb), Trit::from_bool(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(Trit::X.to_string(), "x");
+        assert_eq!(Trit::from(true), Trit::One);
+        assert_eq!(Trit::One.to_bool(), Some(true));
+        assert_eq!(Trit::X.to_bool(), None);
+        assert!(Trit::Zero.is_known());
+        assert!(!Trit::X.is_known());
+    }
+}

@@ -1,0 +1,457 @@
+//! Gate-level netlist representation.
+//!
+//! A netlist is a set of named signals driven by primary inputs, constant
+//! sources, combinational gates, or flip-flops. It is the substrate on
+//! which the SRR-based and PageRank-based baseline signal-selection
+//! methods of §5.4 operate.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::logic::Trit;
+
+/// Identifier of a signal (wire) within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// The dense index of this signal.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What drives a signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Driver {
+    /// Primary input: values come from the stimulus.
+    Input,
+    /// Constant.
+    Const(Trit),
+    /// AND of the operands.
+    And(Vec<SignalId>),
+    /// OR of the operands.
+    Or(Vec<SignalId>),
+    /// NOT of the operand.
+    Not(SignalId),
+    /// XOR of the two operands.
+    Xor(SignalId, SignalId),
+    /// 2:1 mux: `sel ? a : b`.
+    Mux {
+        /// Select signal.
+        sel: SignalId,
+        /// Selected when `sel` is 1.
+        a: SignalId,
+        /// Selected when `sel` is 0.
+        b: SignalId,
+    },
+    /// Flip-flop output: the registered value of `d` from the previous
+    /// cycle; initial value 0 at cycle 0.
+    Ff {
+        /// The data input.
+        d: SignalId,
+    },
+}
+
+/// A gate-level netlist.
+///
+/// Built through [`NetlistBuilder`]; the combinational part is validated
+/// to be acyclic (cycles must go through flip-flops).
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    names: Vec<String>,
+    drivers: Vec<Driver>,
+    by_name: HashMap<String, SignalId>,
+    comb_order: Vec<SignalId>,
+    flops: Vec<SignalId>,
+    inputs: Vec<SignalId>,
+}
+
+impl Netlist {
+    /// Netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of signals.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this netlist.
+    #[must_use]
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a signal up by name.
+    #[must_use]
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The driver of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a signal of this netlist.
+    #[must_use]
+    pub fn driver(&self, id: SignalId) -> &Driver {
+        &self.drivers[id.index()]
+    }
+
+    /// All flip-flop output signals, in declaration order.
+    #[must_use]
+    pub fn flops(&self) -> &[SignalId] {
+        &self.flops
+    }
+
+    /// All primary inputs, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Combinational signals in evaluation (topological) order.
+    #[must_use]
+    pub fn comb_order(&self) -> &[SignalId] {
+        &self.comb_order
+    }
+
+    /// Iterates over all signal ids.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.drivers.len()).map(|i| SignalId(i as u32))
+    }
+
+    /// The fan-in signals of `id` (empty for inputs/constants).
+    #[must_use]
+    pub fn fanin(&self, id: SignalId) -> Vec<SignalId> {
+        match self.driver(id) {
+            Driver::Input | Driver::Const(_) => Vec::new(),
+            Driver::And(v) | Driver::Or(v) => v.clone(),
+            Driver::Not(a) => vec![*a],
+            Driver::Xor(a, b) => vec![*a, *b],
+            Driver::Mux { sel, a, b } => vec![*sel, *a, *b],
+            Driver::Ff { d } => vec![*d],
+        }
+    }
+}
+
+/// Error raised while building a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A signal name was declared twice.
+    DuplicateSignal {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The combinational logic contains a cycle not broken by a flip-flop.
+    CombinationalCycle,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateSignal { name } => {
+                write!(f, "signal `{name}` declared twice")
+            }
+            NetlistError::CombinationalCycle => {
+                write!(f, "combinational cycle detected; break it with a flip-flop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Incremental [`Netlist`] builder.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_rtl::NetlistBuilder;
+///
+/// # fn main() -> Result<(), pstrace_rtl::NetlistError> {
+/// let mut b = NetlistBuilder::new("toggler");
+/// let q = b.placeholder("q");
+/// let nq = b.not("nq", q);
+/// b.ff_into(q, nq); // q <= !q
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.flops().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    names: Vec<String>,
+    drivers: Vec<Option<Driver>>,
+    by_name: HashMap<String, SignalId>,
+}
+
+impl NetlistBuilder {
+    /// Starts a builder for a netlist called `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        NetlistBuilder {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    fn declare(&mut self, name: &str, driver: Option<Driver>) -> SignalId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "signal `{name}` declared twice"
+        );
+        let id = SignalId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.drivers.push(driver);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: &str) -> SignalId {
+        self.declare(name, Some(Driver::Input))
+    }
+
+    /// Declares a constant signal.
+    pub fn constant(&mut self, name: &str, value: Trit) -> SignalId {
+        self.declare(name, Some(Driver::Const(value)))
+    }
+
+    /// Declares a signal whose driver will be supplied later via
+    /// [`NetlistBuilder::ff_into`] (for feedback through flops).
+    pub fn placeholder(&mut self, name: &str) -> SignalId {
+        self.declare(name, None)
+    }
+
+    /// Declares an AND gate.
+    pub fn and(&mut self, name: &str, inputs: &[SignalId]) -> SignalId {
+        self.declare(name, Some(Driver::And(inputs.to_vec())))
+    }
+
+    /// Declares an OR gate.
+    pub fn or(&mut self, name: &str, inputs: &[SignalId]) -> SignalId {
+        self.declare(name, Some(Driver::Or(inputs.to_vec())))
+    }
+
+    /// Declares a NOT gate.
+    pub fn not(&mut self, name: &str, input: SignalId) -> SignalId {
+        self.declare(name, Some(Driver::Not(input)))
+    }
+
+    /// Declares an XOR gate.
+    pub fn xor(&mut self, name: &str, a: SignalId, b: SignalId) -> SignalId {
+        self.declare(name, Some(Driver::Xor(a, b)))
+    }
+
+    /// Declares a 2:1 mux (`sel ? a : b`).
+    pub fn mux(&mut self, name: &str, sel: SignalId, a: SignalId, b: SignalId) -> SignalId {
+        self.declare(name, Some(Driver::Mux { sel, a, b }))
+    }
+
+    /// Declares a flip-flop with data input `d`, returning its output.
+    pub fn ff(&mut self, name: &str, d: SignalId) -> SignalId {
+        self.declare(name, Some(Driver::Ff { d }))
+    }
+
+    /// Turns the placeholder `q` into a flip-flop with data input `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an undriven placeholder.
+    pub fn ff_into(&mut self, q: SignalId, d: SignalId) {
+        assert!(
+            self.drivers[q.index()].is_none(),
+            "signal `{}` already driven",
+            self.names[q.index()]
+        );
+        self.drivers[q.index()] = Some(Driver::Ff { d });
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::CombinationalCycle`] if combinational logic forms
+    ///   a loop not broken by a flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placeholder was never given a driver.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        let drivers: Vec<Driver> = self
+            .drivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| d.unwrap_or_else(|| panic!("signal `{}` never driven", self.names[i])))
+            .collect();
+        let n = drivers.len();
+
+        // Topological order of the combinational part (flops/inputs/consts
+        // are sources).
+        let mut indeg = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, d) in drivers.iter().enumerate() {
+            let fanin: Vec<SignalId> = match d {
+                Driver::Input | Driver::Const(_) | Driver::Ff { .. } => Vec::new(),
+                Driver::And(v) | Driver::Or(v) => v.clone(),
+                Driver::Not(a) => vec![*a],
+                Driver::Xor(a, b) => vec![*a, *b],
+                Driver::Mux { sel, a, b } => vec![*sel, *a, *b],
+            };
+            indeg[i] = fanin.len();
+            for s in fanin {
+                fanout[s.index()].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order: Vec<SignalId> = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(SignalId(u as u32));
+            for &v in &fanout[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        let comb_order = order
+            .into_iter()
+            .filter(|s| {
+                !matches!(
+                    drivers[s.index()],
+                    Driver::Input | Driver::Const(_) | Driver::Ff { .. }
+                )
+            })
+            .collect();
+
+        let flops = (0..n)
+            .filter(|&i| matches!(drivers[i], Driver::Ff { .. }))
+            .map(|i| SignalId(i as u32))
+            .collect();
+        let inputs = (0..n)
+            .filter(|&i| matches!(drivers[i], Driver::Input))
+            .map(|i| SignalId(i as u32))
+            .collect();
+
+        Ok(Netlist {
+            name: self.name,
+            names: self.names,
+            drivers,
+            by_name: self.by_name,
+            comb_order,
+            flops,
+            inputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_pipeline() {
+        let mut b = NetlistBuilder::new("pipe");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let x = b.and("x", &[a, bb]);
+        let q = b.ff("q", x);
+        let y = b.not("y", q);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.signal_count(), 5);
+        assert_eq!(nl.flops(), &[q]);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.signal("x"), Some(x));
+        assert_eq!(nl.signal_name(y), "y");
+        assert_eq!(nl.fanin(x), vec![a, bb]);
+        assert_eq!(nl.fanin(a), vec![]);
+    }
+
+    #[test]
+    fn rejects_combinational_cycle() {
+        let mut b = NetlistBuilder::new("loop");
+        let p = b.placeholder("p");
+        let q = b.not("q", p);
+        // p = NOT q  -> combinational loop. Sneak it in via a second
+        // builder API: placeholders may only become flops, so construct
+        // the cycle with gates referencing each other through And.
+        let _ = q;
+        // Rebuild with a direct cycle: x = AND(y), y = AND(x).
+        let mut b2 = NetlistBuilder::new("loop2");
+        let x = b2.placeholder("x");
+        let y = b2.and("y", &[x]);
+        // Force x to be a gate over y by bypassing ff_into.
+        b2.drivers[x.index()] = Some(Driver::And(vec![y]));
+        assert_eq!(b2.build().unwrap_err(), NetlistError::CombinationalCycle);
+    }
+
+    #[test]
+    fn flop_breaks_cycles() {
+        let mut b = NetlistBuilder::new("counter");
+        let q = b.placeholder("q");
+        let nq = b.not("nq", q);
+        b.ff_into(q, nq);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.flops().len(), 1);
+        assert_eq!(nl.comb_order().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_names_panic() {
+        let mut b = NetlistBuilder::new("dup");
+        b.input("a");
+        b.input("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "never driven")]
+    fn dangling_placeholder_panics() {
+        let mut b = NetlistBuilder::new("dangle");
+        b.placeholder("p");
+        let _ = b.build();
+    }
+
+    #[test]
+    fn comb_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("order");
+        let a = b.input("a");
+        let x = b.not("x", a);
+        let y = b.not("y", x);
+        let z = b.and("z", &[x, y]);
+        let nl = b.build().unwrap();
+        let pos: HashMap<SignalId, usize> = nl
+            .comb_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        assert!(pos[&x] < pos[&y]);
+        assert!(pos[&y] < pos[&z]);
+    }
+}

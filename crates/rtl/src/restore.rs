@@ -1,0 +1,397 @@
+//! State restoration and the State Restoration Ratio (SRR).
+//!
+//! SRR-based trace signal selection (Basu–Mishra \[2\], Ko–Nicolici \[5\])
+//! values a signal set by how many *other* flip-flop values can be
+//! reconstructed from its trace: traced values are forced into an
+//! otherwise-unknown time-expanded circuit and implications are propagated
+//! forwards (normal gate evaluation) and backwards (justification) to a
+//! fixpoint. The ratio of reconstructed state bits to traced bits is the
+//! SRR.
+
+use crate::logic::Trit;
+use crate::netlist::{Driver, Netlist, SignalId};
+use crate::sim::Waveform;
+
+/// Restores unknown signal values from a trace of `traced` signals.
+///
+/// `reference` supplies the traced signals' recorded values (typically a
+/// full simulation whose other signals are hidden). Returns the waveform
+/// of everything that could be inferred. Flip-flop initial state is
+/// unknown, as in silicon.
+#[must_use]
+pub fn restore(netlist: &Netlist, traced: &[SignalId], reference: &Waveform) -> Waveform {
+    let cycles = reference.cycles();
+    let n = netlist.signal_count();
+    let mut wave = Waveform::unknown(cycles, n);
+    if cycles == 0 {
+        return wave;
+    }
+
+    // Precompute structure: combinational fanout, and the flop(s) fed by
+    // each signal.
+    let mut fanout: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    let mut feeds_flops: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    for s in netlist.signals() {
+        match netlist.driver(s) {
+            Driver::Ff { d } => feeds_flops[d.index()].push(s),
+            _ => {
+                for src in netlist.fanin(s) {
+                    fanout[src.index()].push(s);
+                }
+            }
+        }
+    }
+
+    // Worklist of (cycle, signal) whose value just became known. Every
+    // value flips X -> known at most once, so total work is bounded by
+    // O(edges x cycles).
+    let mut work: Vec<(usize, SignalId)> = Vec::new();
+
+    // Seed: traced values and constants.
+    for cycle in 0..cycles {
+        for &t in traced {
+            let v = reference.get(cycle, t);
+            if v.is_known() && !wave.get(cycle, t).is_known() {
+                wave.set(cycle, t, v);
+                work.push((cycle, t));
+            }
+        }
+        for s in netlist.signals() {
+            if let Driver::Const(v) = netlist.driver(s) {
+                if v.is_known() {
+                    wave.set(cycle, s, *v);
+                    work.push((cycle, s));
+                }
+            }
+        }
+    }
+
+    while let Some((cycle, s)) = work.pop() {
+        // Forward through gates s feeds.
+        for &g in &fanout[s.index()] {
+            let v = forward_eval(netlist, &wave, cycle, g);
+            if merge(&mut wave, cycle, g, v) {
+                work.push((cycle, g));
+            }
+            // A newly known input may also enable backward justification
+            // of g's other inputs (if g's output is already known).
+            backward_step(netlist, &mut wave, cycle, g, &mut work);
+        }
+        // Backward through s's own driver.
+        backward_step(netlist, &mut wave, cycle, s, &mut work);
+        // Sequential: s drives flop(s) q => q known next cycle.
+        for &q in &feeds_flops[s.index()] {
+            if cycle + 1 < cycles {
+                let v = wave.get(cycle, s);
+                if merge(&mut wave, cycle + 1, q, v) {
+                    work.push((cycle + 1, q));
+                }
+            }
+        }
+        // Sequential backward: s is a flop => its d is pinned last cycle.
+        if let Driver::Ff { d } = netlist.driver(s) {
+            if cycle > 0 {
+                let v = wave.get(cycle, s);
+                if merge(&mut wave, cycle - 1, *d, v) {
+                    work.push((cycle - 1, *d));
+                }
+            }
+        }
+    }
+    wave
+}
+
+/// Runs backward justification for gate `g` at `cycle`, queueing every
+/// newly known fan-in value.
+fn backward_step(
+    netlist: &Netlist,
+    wave: &mut Waveform,
+    cycle: usize,
+    g: SignalId,
+    work: &mut Vec<(usize, SignalId)>,
+) {
+    let fanin = netlist.fanin(g);
+    let before: Vec<Trit> = fanin.iter().map(|&i| wave.get(cycle, i)).collect();
+    if backward_imply(netlist, wave, cycle, g) {
+        for (pos, &i) in fanin.iter().enumerate() {
+            if !before[pos].is_known() && wave.get(cycle, i).is_known() {
+                work.push((cycle, i));
+            }
+        }
+    }
+}
+
+fn forward_eval(netlist: &Netlist, wave: &Waveform, cycle: usize, s: SignalId) -> Trit {
+    match netlist.driver(s) {
+        Driver::And(ins) => ins
+            .iter()
+            .fold(Trit::One, |acc, i| acc.and(wave.get(cycle, *i))),
+        Driver::Or(ins) => ins
+            .iter()
+            .fold(Trit::Zero, |acc, i| acc.or(wave.get(cycle, *i))),
+        Driver::Not(a) => wave.get(cycle, *a).not(),
+        Driver::Xor(a, b) => wave.get(cycle, *a).xor(wave.get(cycle, *b)),
+        Driver::Mux { sel, a, b } => Trit::mux(
+            wave.get(cycle, *sel),
+            wave.get(cycle, *a),
+            wave.get(cycle, *b),
+        ),
+        Driver::Input | Driver::Const(_) | Driver::Ff { .. } => wave.get(cycle, s),
+    }
+}
+
+/// Writes `v` into the waveform if it adds information. Known values never
+/// change (the trace is assumed consistent).
+fn merge(wave: &mut Waveform, cycle: usize, s: SignalId, v: Trit) -> bool {
+    let current = wave.get(cycle, s);
+    if current.is_known() || !v.is_known() {
+        return false;
+    }
+    wave.set(cycle, s, v);
+    true
+}
+
+/// Backward justification for one gate; returns whether anything changed.
+fn backward_imply(netlist: &Netlist, wave: &mut Waveform, cycle: usize, s: SignalId) -> bool {
+    let out = wave.get(cycle, s);
+    if !out.is_known() {
+        return false;
+    }
+    let mut changed = false;
+    match netlist.driver(s) {
+        Driver::Not(a) => {
+            changed |= merge(wave, cycle, *a, out.not());
+        }
+        Driver::And(ins) => {
+            if out == Trit::One {
+                for i in ins {
+                    changed |= merge(wave, cycle, *i, Trit::One);
+                }
+            } else {
+                // Output 0 with exactly one non-1 input: that input is 0.
+                let unknown: Vec<SignalId> = ins
+                    .iter()
+                    .copied()
+                    .filter(|i| wave.get(cycle, *i) != Trit::One)
+                    .collect();
+                if unknown.len() == 1 {
+                    changed |= merge(wave, cycle, unknown[0], Trit::Zero);
+                }
+            }
+        }
+        Driver::Or(ins) => {
+            if out == Trit::Zero {
+                for i in ins {
+                    changed |= merge(wave, cycle, *i, Trit::Zero);
+                }
+            } else {
+                let unknown: Vec<SignalId> = ins
+                    .iter()
+                    .copied()
+                    .filter(|i| wave.get(cycle, *i) != Trit::Zero)
+                    .collect();
+                if unknown.len() == 1 {
+                    changed |= merge(wave, cycle, unknown[0], Trit::One);
+                }
+            }
+        }
+        Driver::Xor(a, b) => {
+            let va = wave.get(cycle, *a);
+            let vb = wave.get(cycle, *b);
+            if va.is_known() && !vb.is_known() {
+                changed |= merge(wave, cycle, *b, out.xor(va));
+            } else if vb.is_known() && !va.is_known() {
+                changed |= merge(wave, cycle, *a, out.xor(vb));
+            }
+        }
+        Driver::Mux { sel, a, b } => {
+            let vsel = wave.get(cycle, *sel);
+            match vsel {
+                Trit::One => changed |= merge(wave, cycle, *a, out),
+                Trit::Zero => changed |= merge(wave, cycle, *b, out),
+                Trit::X => {
+                    // If one data input is known and contradicts the
+                    // output, the select must have picked the other one.
+                    let va = wave.get(cycle, *a);
+                    let vb = wave.get(cycle, *b);
+                    if va.is_known() && va != out {
+                        changed |= merge(wave, cycle, *sel, Trit::Zero);
+                        changed |= merge(wave, cycle, *b, out);
+                    } else if vb.is_known() && vb != out {
+                        changed |= merge(wave, cycle, *sel, Trit::One);
+                        changed |= merge(wave, cycle, *a, out);
+                    }
+                }
+            }
+        }
+        Driver::Input | Driver::Const(_) | Driver::Ff { .. } => {}
+    }
+    changed
+}
+
+/// The State Restoration Ratio of a traced signal set over a reference
+/// simulation: restored flip-flop values (including traced flops) per
+/// traced value.
+///
+/// `SRR = (Σ known FF values after restoration) / (|traced| × cycles)` —
+/// the standard definition with traced bits as the denominator.
+#[must_use]
+pub fn restoration_ratio(netlist: &Netlist, traced: &[SignalId], reference: &Waveform) -> f64 {
+    if traced.is_empty() || reference.cycles() == 0 {
+        return 0.0;
+    }
+    let restored = restore(netlist, traced, reference);
+    let state_bits: usize = netlist
+        .flops()
+        .iter()
+        .map(|&f| restored.known_count_of(f))
+        .sum();
+    state_bits as f64 / (traced.len() * reference.cycles()) as f64
+}
+
+/// Fraction of a reference waveform's values (over all signals) that
+/// restoration recovers from the traced set — used to quantify how much of
+/// an *interface message* is reconstructable (§1's 26 % observation).
+#[must_use]
+pub fn reconstruction_fraction(
+    netlist: &Netlist,
+    traced: &[SignalId],
+    reference: &Waveform,
+    targets: &[SignalId],
+) -> f64 {
+    if targets.is_empty() || reference.cycles() == 0 {
+        return 0.0;
+    }
+    let restored = restore(netlist, traced, reference);
+    let known: usize = targets.iter().map(|&t| restored.known_count_of(t)).sum();
+    known as f64 / (targets.len() * reference.cycles()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::sim::{simulate, RandomStimulus};
+
+    #[test]
+    fn tracing_a_shift_register_head_restores_the_tail() {
+        let mut b = NetlistBuilder::new("shift");
+        let din = b.input("din");
+        let q0 = b.ff("q0", din);
+        let q1 = b.ff("q1", q0);
+        let q2 = b.ff("q2", q1);
+        let nl = b.build().unwrap();
+        let cycles = 12;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, 3), cycles);
+        let restored = restore(&nl, &[q0], &reference);
+        // q1 lags q0 by one cycle, q2 by two: all but the first cycles are
+        // restored, and restored values equal the simulated ones.
+        for c in 1..cycles {
+            assert_eq!(restored.get(c, q1), reference.get(c, q1));
+        }
+        for c in 2..cycles {
+            assert_eq!(restored.get(c, q2), reference.get(c, q2));
+        }
+        // Backward: q0 known pins din of the previous cycle.
+        for c in 0..cycles - 1 {
+            assert_eq!(restored.get(c, din), reference.get(c, din));
+        }
+        let srr = restoration_ratio(&nl, &[q0], &reference);
+        // q0 contributes 12, q1 11, q2 10 known values over 12 traced.
+        assert!((srr - 33.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restoration_is_sound() {
+        // Every restored (non-X) value must equal the reference value.
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.input("a");
+        let c = b.input("c");
+        let q0 = b.ff("q0", a);
+        let x = b.xor("x", q0, c);
+        let q1 = b.ff("q1", x);
+        let y = b.and("y", &[q0, q1]);
+        let q2 = b.ff("q2", y);
+        let nl = b.build().unwrap();
+        let cycles = 16;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, 9), cycles);
+        for traced in [&[q0][..], &[q1][..], &[q0, q2][..]] {
+            let restored = restore(&nl, traced, &reference);
+            for cyc in 0..cycles {
+                for s in nl.signals() {
+                    let r = restored.get(cyc, s);
+                    if r.is_known() {
+                        assert_eq!(r, reference.get(cyc, s), "cycle {cyc} signal {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_restores_both_directions() {
+        let mut b = NetlistBuilder::new("parity");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let x = b.xor("x", a, bb);
+        let q = b.ff("q", x);
+        let nl = b.build().unwrap();
+        let cycles = 8;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, 2), cycles);
+        // Trace q and a: x is implied backward from q, then b from x ^ a.
+        let restored = restore(&nl, &[q, a], &reference);
+        for c in 0..cycles - 1 {
+            assert_eq!(restored.get(c, bb), reference.get(c, bb));
+        }
+    }
+
+    #[test]
+    fn and_justification_needs_enough_context() {
+        let mut b = NetlistBuilder::new("and");
+        let a = b.input("a");
+        let c = b.input("c");
+        let y = b.and("y", &[a, c]);
+        let q = b.ff("q", y);
+        let nl = b.build().unwrap();
+        let cycles = 8;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, 5), cycles);
+        let restored = restore(&nl, &[q], &reference);
+        for c in 1..cycles {
+            let y_val = reference.get(c - 1, y);
+            // y (the flop's d) is implied backward from q.
+            assert_eq!(restored.get(c - 1, y), y_val);
+            if y_val == Trit::One {
+                // AND output 1 justifies both inputs.
+                assert_eq!(restored.get(c - 1, a), Trit::One);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_restores_nothing() {
+        let mut b = NetlistBuilder::new("noop");
+        let a = b.input("a");
+        let q = b.ff("q", a);
+        let nl = b.build().unwrap();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 4, 1), 4);
+        let restored = restore(&nl, &[], &reference);
+        assert_eq!(restored.known_count(), 0);
+        assert_eq!(restoration_ratio(&nl, &[], &reference), 0.0);
+        let _ = q;
+    }
+
+    #[test]
+    fn reconstruction_fraction_of_untraceable_targets_is_low() {
+        // An input driving nothing observable cannot be reconstructed.
+        let mut b = NetlistBuilder::new("hidden");
+        let a = b.input("a");
+        let hidden = b.input("hidden");
+        let q = b.ff("q", a);
+        let nl = b.build().unwrap();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 8, 4), 8);
+        let frac = reconstruction_fraction(&nl, &[q], &reference, &[hidden]);
+        assert_eq!(frac, 0.0);
+        let full = reconstruction_fraction(&nl, &[q], &reference, &[q]);
+        assert_eq!(full, 1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Baseline trace-signal selection methods of §5.4.
+//!
+//! * [`sigset_select`] — an SRR-based greedy selector in the spirit of
+//!   Basu–Mishra \[2\]: repeatedly add the flip-flop whose addition
+//!   maximizes the measured State Restoration Ratio over a reference
+//!   simulation. Such selectors gravitate towards internal shift/counter/
+//!   CRC registers whose neighbours restore trivially.
+//! * [`prnet_select`] — a PageRank-based selector in the spirit of Ma et
+//!   al. \[7\]: rank signals by PageRank over the netlist connectivity graph
+//!   (drivers point at the signals they drive) and take the top of the
+//!   ranking. Connectivity hubs — often heavily fanned-out interface
+//!   inputs — score high.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::netlist::{Netlist, SignalId};
+use crate::pagerank::{pagerank, PageRankConfig};
+use crate::restore::restoration_ratio;
+use crate::sim::Waveform;
+
+/// Greedy SRR-maximizing flip-flop selection (SigSeT-style baseline).
+///
+/// Selects up to `budget` flip-flops; at every round the flop with the
+/// best marginal SRR (measured by restoring against `reference`) wins.
+/// Deterministic: ties break towards the lower signal id.
+#[must_use]
+pub fn sigset_select(netlist: &Netlist, reference: &Waveform, budget: usize) -> Vec<SignalId> {
+    let mut selected: Vec<SignalId> = Vec::new();
+    let mut remaining: Vec<SignalId> = netlist.flops().to_vec();
+    while selected.len() < budget && !remaining.is_empty() {
+        let mut best: Option<(SignalId, f64)> = None;
+        for &cand in &remaining {
+            let mut trial = selected.clone();
+            trial.push(cand);
+            let srr = restoration_ratio(netlist, &trial, reference);
+            let better = match best {
+                None => true,
+                Some((b, bs)) => srr > bs + 1e-12 || (srr > bs - 1e-12 && cand < b),
+            };
+            if better {
+                best = Some((cand, srr));
+            }
+        }
+        let (winner, _) = best.expect("remaining is nonempty");
+        selected.push(winner);
+        remaining.retain(|&s| s != winner);
+    }
+    selected
+}
+
+/// PageRank-based signal selection (PRNet-style baseline).
+///
+/// Builds the signal dependency graph citation-style — every signal points
+/// at the signals it *depends on* — so rank accumulates at widely
+/// depended-upon producers (heavily fanned-out interface inputs and hub
+/// registers), and returns the `budget` highest-ranked signals.
+/// Deterministic: ties break towards the lower signal id.
+#[must_use]
+pub fn prnet_select(netlist: &Netlist, budget: usize) -> Vec<SignalId> {
+    let n = netlist.signal_count();
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in netlist.signals() {
+        for src in netlist.fanin(s) {
+            out_edges[s.index()].push(src.index());
+        }
+    }
+    let ranks = pagerank(&out_edges, PageRankConfig::default());
+    let mut order: Vec<SignalId> = netlist.signals().collect();
+    order.sort_by(|a, b| {
+        ranks[b.index()]
+            .partial_cmp(&ranks[a.index()])
+            .expect("ranks are finite")
+            .then(a.cmp(b))
+    });
+    order.truncate(budget);
+    order
+}
+
+/// Simulated-annealing SRR selection, in the spirit of the
+/// augmentation/ILP refinement line the paper cites (Rahmani et al.
+/// \[10\]): start from the greedy solution and try random single-signal
+/// swaps, accepting improvements always and regressions with a decaying
+/// temperature.
+///
+/// Deterministic for a given `seed`. Returns a selection at least as good
+/// (in SRR) as the greedy seed solution.
+#[must_use]
+pub fn anneal_select(
+    netlist: &Netlist,
+    reference: &Waveform,
+    budget: usize,
+    seed: u64,
+    iterations: usize,
+) -> Vec<SignalId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = sigset_select(netlist, reference, budget);
+    if current.is_empty() || current.len() >= netlist.flops().len() {
+        return current;
+    }
+    let mut current_srr = restoration_ratio(netlist, &current, reference);
+    let mut best = current.clone();
+    let mut best_srr = current_srr;
+
+    for step in 0..iterations {
+        let temperature = 0.05 * (1.0 - step as f64 / iterations as f64);
+        let out_idx = rng.gen_range(0..current.len());
+        let candidates: Vec<SignalId> = netlist
+            .flops()
+            .iter()
+            .copied()
+            .filter(|f| !current.contains(f))
+            .collect();
+        let incoming = candidates[rng.gen_range(0..candidates.len())];
+        let mut trial = current.clone();
+        trial[out_idx] = incoming;
+        let trial_srr = restoration_ratio(netlist, &trial, reference);
+        let accept = trial_srr > current_srr
+            || (temperature > 0.0
+                && rng.gen::<f64>() < ((trial_srr - current_srr) / temperature).exp());
+        if accept {
+            current = trial;
+            current_srr = trial_srr;
+            if current_srr > best_srr {
+                best = current.clone();
+                best_srr = current_srr;
+            }
+        }
+    }
+    best.sort_unstable();
+    best
+}
+
+/// SRR averaged over several independent random stimuli. The literature's
+/// SRR is stimulus-dependent; averaging removes the luck of a single
+/// vector set.
+#[must_use]
+pub fn average_restoration_ratio(
+    netlist: &Netlist,
+    traced: &[SignalId],
+    cycles: usize,
+    seeds: &[u64],
+) -> f64 {
+    use crate::sim::{simulate, RandomStimulus};
+    if seeds.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = seeds
+        .iter()
+        .map(|&s| {
+            let reference = simulate(netlist, &RandomStimulus::new(netlist, cycles, s), cycles);
+            restoration_ratio(netlist, traced, &reference)
+        })
+        .sum();
+    total / seeds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::sim::{simulate, RandomStimulus};
+
+    /// A design with a highly-restorable shift chain and a hard-to-restore
+    /// standalone flop behind a wide AND.
+    fn contrast_design() -> (Netlist, Vec<SignalId>, SignalId) {
+        let mut b = NetlistBuilder::new("contrast");
+        let din = b.input("din");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let s0 = b.ff("s0", din);
+        let s1 = b.ff("s1", s0);
+        let s2 = b.ff("s2", s1);
+        let s3 = b.ff("s3", s2);
+        let wide = b.and("wide", &[a, c, d]);
+        let lone = b.ff("lone", wide);
+        let nl = b.build().unwrap();
+        (nl, vec![s0, s1, s2, s3], lone)
+    }
+
+    #[test]
+    fn sigset_first_pick_is_inside_the_chain() {
+        // Tracing an early-middle chain tap restores the rest of the
+        // chain in both directions (forward to s2/s3, backward to s0),
+        // the largest single-signal SRR. The second greedy pick is the
+        // *complementary* lone flop: re-picking inside the chain adds
+        // almost nothing while doubling the denominator.
+        let (nl, chain, lone) = contrast_design();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 32, 11), 32);
+        let picks = sigset_select(&nl, &reference, 2);
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0], chain[1], "s1 restores the chain both ways");
+        assert_eq!(picks[1], lone, "greedy then covers the unrestored flop");
+    }
+
+    #[test]
+    fn sigset_budget_is_respected() {
+        let (nl, _, _) = contrast_design();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 16, 1), 16);
+        assert!(sigset_select(&nl, &reference, 0).is_empty());
+        assert_eq!(sigset_select(&nl, &reference, 100).len(), nl.flops().len());
+    }
+
+    #[test]
+    fn sigset_is_deterministic() {
+        let (nl, _, _) = contrast_design();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 16, 1), 16);
+        assert_eq!(
+            sigset_select(&nl, &reference, 3),
+            sigset_select(&nl, &reference, 3)
+        );
+    }
+
+    #[test]
+    fn prnet_prefers_hubs() {
+        // A signal fanned out to many gates outranks a leaf.
+        let mut b = NetlistBuilder::new("hub");
+        let hub = b.input("hub");
+        let leaf = b.input("leaf");
+        for i in 0..6 {
+            b.not(&format!("g{i}"), hub);
+        }
+        let _ = b.not("l0", leaf);
+        let nl = b.build().unwrap();
+        let picks = prnet_select(&nl, 7);
+        // All of hub's fan-out gets rank from the hub, and the hub's rank
+        // flows onwards; the leaf's lone sink ranks below hub sinks.
+        let leaf_gate = nl.signal("l0").unwrap();
+        assert!(!picks.contains(&leaf_gate) || picks.len() == nl.signal_count());
+        assert_eq!(picks.len(), 7);
+    }
+
+    #[test]
+    fn anneal_never_beats_greedy_downwards() {
+        // Annealing starts at the greedy solution and keeps the best seen:
+        // its SRR is >= greedy's.
+        let (nl, _, _) = contrast_design();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 24, 7), 24);
+        let greedy = sigset_select(&nl, &reference, 2);
+        let annealed = anneal_select(&nl, &reference, 2, 42, 60);
+        let g = restoration_ratio(&nl, &greedy, &reference);
+        let a = restoration_ratio(&nl, &annealed, &reference);
+        assert!(a >= g - 1e-12, "anneal {a} < greedy {g}");
+        assert_eq!(annealed.len(), 2);
+        assert_eq!(
+            anneal_select(&nl, &reference, 2, 42, 60),
+            anneal_select(&nl, &reference, 2, 42, 60),
+            "deterministic per seed"
+        );
+    }
+
+    #[test]
+    fn anneal_handles_degenerate_budgets() {
+        let (nl, _, _) = contrast_design();
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, 16, 1), 16);
+        assert!(anneal_select(&nl, &reference, 0, 1, 10).is_empty());
+        // Budget covering every flop: nothing to swap.
+        let all = anneal_select(&nl, &reference, 100, 1, 10);
+        assert_eq!(all.len(), nl.flops().len());
+    }
+
+    #[test]
+    fn average_srr_is_a_mean() {
+        let (nl, chain, _) = contrast_design();
+        let traced = [chain[1]];
+        let avg = average_restoration_ratio(&nl, &traced, 24, &[1, 2, 3]);
+        let singles: Vec<f64> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| {
+                let r = simulate(&nl, &RandomStimulus::new(&nl, 24, s), 24);
+                restoration_ratio(&nl, &traced, &r)
+            })
+            .collect();
+        let mean = singles.iter().sum::<f64>() / 3.0;
+        assert!((avg - mean).abs() < 1e-12);
+        assert_eq!(average_restoration_ratio(&nl, &traced, 24, &[]), 0.0);
+    }
+
+    #[test]
+    fn prnet_budget_and_determinism() {
+        let (nl, _, _) = contrast_design();
+        assert_eq!(prnet_select(&nl, 4).len(), 4);
+        assert_eq!(prnet_select(&nl, 4), prnet_select(&nl, 4));
+        assert!(prnet_select(&nl, 0).is_empty());
+    }
+}

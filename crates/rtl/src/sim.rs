@@ -1,0 +1,251 @@
+//! Cycle-accurate netlist simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::logic::Trit;
+use crate::netlist::{Driver, Netlist, SignalId};
+
+/// A recorded waveform: one value per `(cycle, signal)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waveform {
+    cycles: usize,
+    signals: usize,
+    values: Vec<Trit>,
+}
+
+impl Waveform {
+    /// An all-`X` waveform of the given shape.
+    #[must_use]
+    pub fn unknown(cycles: usize, signals: usize) -> Self {
+        Waveform {
+            cycles,
+            signals,
+            values: vec![Trit::X; cycles * signals],
+        }
+    }
+
+    /// Number of recorded cycles.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Number of signals per cycle.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals
+    }
+
+    /// The value of `signal` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` or `signal` is out of range.
+    #[must_use]
+    pub fn get(&self, cycle: usize, signal: SignalId) -> Trit {
+        self.values[cycle * self.signals + signal.index()]
+    }
+
+    /// Sets the value of `signal` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` or `signal` is out of range.
+    pub fn set(&mut self, cycle: usize, signal: SignalId, value: Trit) {
+        self.values[cycle * self.signals + signal.index()] = value;
+    }
+
+    /// Number of known (non-`X`) values across the whole waveform.
+    #[must_use]
+    pub fn known_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_known()).count()
+    }
+
+    /// Number of known values of `signal` across all cycles.
+    #[must_use]
+    pub fn known_count_of(&self, signal: SignalId) -> usize {
+        (0..self.cycles)
+            .filter(|&c| self.get(c, signal).is_known())
+            .count()
+    }
+}
+
+/// Per-cycle primary-input values.
+pub trait Stimulus {
+    /// The value driven on `input` at `cycle`.
+    fn value(&self, cycle: usize, input: SignalId) -> Trit;
+}
+
+/// Seeded random two-valued stimulus.
+#[derive(Debug, Clone)]
+pub struct RandomStimulus {
+    bits: Vec<Vec<bool>>,
+    inputs: Vec<SignalId>,
+}
+
+impl RandomStimulus {
+    /// Pre-draws `cycles` cycles of random values for the netlist's
+    /// inputs.
+    #[must_use]
+    pub fn new(netlist: &Netlist, cycles: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = netlist.inputs().to_vec();
+        let bits = (0..cycles)
+            .map(|_| (0..inputs.len()).map(|_| rng.gen()).collect())
+            .collect();
+        RandomStimulus { bits, inputs }
+    }
+}
+
+impl Stimulus for RandomStimulus {
+    fn value(&self, cycle: usize, input: SignalId) -> Trit {
+        match self.inputs.iter().position(|&i| i == input) {
+            Some(pos) => Trit::from_bool(self.bits[cycle][pos]),
+            None => Trit::X,
+        }
+    }
+}
+
+/// Simulates `netlist` for `cycles` cycles under `stimulus`, recording
+/// every signal. Flip-flops start at 0.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_rtl::{simulate, NetlistBuilder, RandomStimulus, Trit};
+///
+/// # fn main() -> Result<(), pstrace_rtl::NetlistError> {
+/// let mut b = NetlistBuilder::new("toggler");
+/// let q = b.placeholder("q");
+/// let nq = b.not("nq", q);
+/// b.ff_into(q, nq);
+/// let netlist = b.build()?;
+/// let wave = simulate(&netlist, &RandomStimulus::new(&netlist, 4, 0), 4);
+/// // q toggles 0, 1, 0, 1.
+/// assert_eq!(wave.get(0, q), Trit::Zero);
+/// assert_eq!(wave.get(1, q), Trit::One);
+/// assert_eq!(wave.get(2, q), Trit::Zero);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn simulate(netlist: &Netlist, stimulus: &dyn Stimulus, cycles: usize) -> Waveform {
+    let n = netlist.signal_count();
+    let mut wave = Waveform::unknown(cycles, n);
+    let mut state: Vec<Trit> = netlist.flops().iter().map(|_| Trit::Zero).collect();
+
+    for cycle in 0..cycles {
+        // Sources: inputs, constants, flop outputs.
+        for s in netlist.signals() {
+            match netlist.driver(s) {
+                Driver::Input => wave.set(cycle, s, stimulus.value(cycle, s)),
+                Driver::Const(v) => wave.set(cycle, s, *v),
+                Driver::Ff { .. } => {
+                    let pos = netlist.flops().iter().position(|&f| f == s).expect("flop");
+                    wave.set(cycle, s, state[pos]);
+                }
+                _ => {}
+            }
+        }
+        // Combinational evaluation in topological order.
+        for &s in netlist.comb_order() {
+            let v = match netlist.driver(s) {
+                Driver::And(ins) => ins
+                    .iter()
+                    .fold(Trit::One, |acc, i| acc.and(wave.get(cycle, *i))),
+                Driver::Or(ins) => ins
+                    .iter()
+                    .fold(Trit::Zero, |acc, i| acc.or(wave.get(cycle, *i))),
+                Driver::Not(a) => wave.get(cycle, *a).not(),
+                Driver::Xor(a, b) => wave.get(cycle, *a).xor(wave.get(cycle, *b)),
+                Driver::Mux { sel, a, b } => Trit::mux(
+                    wave.get(cycle, *sel),
+                    wave.get(cycle, *a),
+                    wave.get(cycle, *b),
+                ),
+                Driver::Input | Driver::Const(_) | Driver::Ff { .. } => unreachable!(),
+            };
+            wave.set(cycle, s, v);
+        }
+        // Clock edge: capture flop next-state.
+        for (pos, &f) in netlist.flops().iter().enumerate() {
+            if let Driver::Ff { d } = netlist.driver(f) {
+                state[pos] = wave.get(cycle, *d);
+            }
+        }
+    }
+    wave
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shift_register() -> (Netlist, Vec<SignalId>) {
+        let mut b = NetlistBuilder::new("shift");
+        let din = b.input("din");
+        let q0 = b.ff("q0", din);
+        let q1 = b.ff("q1", q0);
+        let q2 = b.ff("q2", q1);
+        (b.build().unwrap(), vec![din, q0, q1, q2])
+    }
+
+    use crate::netlist::NetlistBuilder;
+
+    #[derive(Debug)]
+    struct Pattern(Vec<bool>);
+    impl Stimulus for Pattern {
+        fn value(&self, cycle: usize, _input: SignalId) -> Trit {
+            Trit::from_bool(self.0[cycle])
+        }
+    }
+
+    #[test]
+    fn shift_register_delays_input() {
+        let (nl, sigs) = shift_register();
+        let pattern = Pattern(vec![true, false, true, true, false, false]);
+        let wave = simulate(&nl, &pattern, 6);
+        for c in 0..6 {
+            assert_eq!(wave.get(c, sigs[0]), Trit::from_bool(pattern.0[c]));
+            if c >= 1 {
+                assert_eq!(wave.get(c, sigs[1]), Trit::from_bool(pattern.0[c - 1]));
+            }
+            if c >= 3 {
+                assert_eq!(wave.get(c, sigs[3]), Trit::from_bool(pattern.0[c - 3]));
+            }
+        }
+        // Before data arrives, flops hold their reset value.
+        assert_eq!(wave.get(0, sigs[3]), Trit::Zero);
+    }
+
+    #[test]
+    fn random_stimulus_is_reproducible() {
+        let (nl, _) = shift_register();
+        let a = simulate(&nl, &RandomStimulus::new(&nl, 16, 7), 16);
+        let b = simulate(&nl, &RandomStimulus::new(&nl, 16, 7), 16);
+        assert_eq!(a, b);
+        let c = simulate(&nl, &RandomStimulus::new(&nl, 16, 8), 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn two_valued_simulation_has_no_x() {
+        let (nl, _) = shift_register();
+        let wave = simulate(&nl, &RandomStimulus::new(&nl, 8, 1), 8);
+        assert_eq!(wave.known_count(), 8 * nl.signal_count());
+    }
+
+    #[test]
+    fn waveform_accessors() {
+        let mut w = Waveform::unknown(2, 3);
+        assert_eq!(w.cycles(), 2);
+        assert_eq!(w.signal_count(), 3);
+        assert_eq!(w.known_count(), 0);
+        w.set(1, SignalId(2), Trit::One);
+        assert_eq!(w.get(1, SignalId(2)), Trit::One);
+        assert_eq!(w.known_count(), 1);
+        assert_eq!(w.known_count_of(SignalId(2)), 1);
+        assert_eq!(w.known_count_of(SignalId(0)), 0);
+    }
+}

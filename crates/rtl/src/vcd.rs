@@ -1,0 +1,170 @@
+//! VCD (Value Change Dump) export for waveforms.
+//!
+//! Lets restored or simulated waveforms be inspected in any standard
+//! waveform viewer (GTKWave etc.) — indispensable when debugging why a
+//! restoration run failed to reach a signal. Unknown values are emitted
+//! as `x`, matching 4-state VCD semantics.
+
+use std::fmt::Write as _;
+
+use crate::logic::Trit;
+use crate::netlist::Netlist;
+use crate::sim::Waveform;
+
+/// Renders `wave` as a VCD document with one scalar variable per signal.
+///
+/// Signals are scoped under the netlist name; timescale is one time unit
+/// per clock cycle. Only value *changes* are emitted, as VCD requires.
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_rtl::{simulate, vcd::to_vcd, NetlistBuilder, RandomStimulus};
+///
+/// # fn main() -> Result<(), pstrace_rtl::NetlistError> {
+/// let mut b = NetlistBuilder::new("demo");
+/// let a = b.input("a");
+/// b.not("na", a);
+/// let netlist = b.build()?;
+/// let wave = simulate(&netlist, &RandomStimulus::new(&netlist, 4, 1), 4);
+/// let vcd = to_vcd(&netlist, &wave);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("$enddefinitions"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_vcd(netlist: &Netlist, wave: &Waveform) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$date pstrace $end");
+    let _ = writeln!(out, "$version pstrace-rtl vcd export $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(netlist.name()));
+    let ids: Vec<String> = netlist.signals().map(|s| short_id(s.index())).collect();
+    for s in netlist.signals() {
+        let _ = writeln!(
+            out,
+            "$var wire 1 {} {} $end",
+            ids[s.index()],
+            sanitize(netlist.signal_name(s))
+        );
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let mut last: Vec<Option<Trit>> = vec![None; netlist.signal_count()];
+    for cycle in 0..wave.cycles() {
+        let mut emitted_time = false;
+        for s in netlist.signals() {
+            let v = wave.get(cycle, s);
+            if last[s.index()] == Some(v) {
+                continue;
+            }
+            if !emitted_time {
+                let _ = writeln!(out, "#{cycle}");
+                emitted_time = true;
+            }
+            let ch = match v {
+                Trit::Zero => '0',
+                Trit::One => '1',
+                Trit::X => 'x',
+            };
+            let _ = writeln!(out, "{}{}", ch, ids[s.index()]);
+            last[s.index()] = Some(v);
+        }
+    }
+    let _ = writeln!(out, "#{}", wave.cycles());
+    out
+}
+
+/// VCD identifier for the `n`-th variable: printable ASCII 33..=126,
+/// base-94 little-endian.
+fn short_id(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+    use crate::restore::restore;
+    use crate::sim::{simulate, RandomStimulus};
+
+    fn toggler() -> Netlist {
+        let mut b = NetlistBuilder::new("toggler");
+        let q = b.placeholder("q");
+        let nq = b.not("nq", q);
+        b.ff_into(q, nq);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn header_declares_every_signal() {
+        let nl = toggler();
+        let wave = simulate(&nl, &RandomStimulus::new(&nl, 4, 0), 4);
+        let vcd = to_vcd(&nl, &wave);
+        assert!(vcd.contains("$scope module toggler $end"));
+        assert!(vcd.contains(" q $end"));
+        assert!(vcd.contains(" nq $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn only_changes_are_dumped() {
+        let nl = toggler();
+        let wave = simulate(&nl, &RandomStimulus::new(&nl, 6, 0), 6);
+        let vcd = to_vcd(&nl, &wave);
+        // q toggles every cycle: one change per signal per cycle, 6 time
+        // markers plus the final one.
+        let time_markers = vcd.lines().filter(|l| l.starts_with('#')).count();
+        assert_eq!(time_markers, 7);
+        // No consecutive duplicate values for q's id.
+        let q_id = short_id(nl.signal("q").unwrap().index());
+        let values: Vec<char> = vcd
+            .lines()
+            .filter(|l| l.len() > 1 && l[1..] == q_id && !l.starts_with('#'))
+            .map(|l| l.chars().next().unwrap())
+            .collect();
+        for w in values.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn unknown_values_are_x() {
+        let nl = toggler();
+        let wave = simulate(&nl, &RandomStimulus::new(&nl, 4, 0), 4);
+        // Restoration with an empty trace: everything stays X.
+        let restored = restore(&nl, &[], &wave);
+        let vcd = to_vcd(&nl, &restored);
+        assert!(vcd.lines().any(|l| l.starts_with('x')));
+        assert!(!vcd
+            .lines()
+            .any(|l| l.starts_with('1') && !l.starts_with("1n")));
+    }
+
+    #[test]
+    fn short_ids_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..5000 {
+            let id = short_id(n);
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id), "duplicate id for {n}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the gate-level substrate.
+//!
+//! The central property is restoration *soundness*: whatever the netlist
+//! and whatever the traced subset, every value restoration claims to know
+//! must equal the value a full-knowledge simulation produced.
+
+use proptest::prelude::*;
+use pstrace_rtl::{
+    prnet_select, restoration_ratio, restore, sigset_select, simulate, NetlistBuilder,
+    RandomStimulus, SignalId,
+};
+
+/// Builds a random netlist from a recipe: `ops[i]` picks the gate type,
+/// operands are chosen among earlier signals by the accompanying indices.
+fn random_netlist(ops: &[(u8, usize, usize)], flop_every: usize) -> pstrace_rtl::Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut signals: Vec<SignalId> = Vec::new();
+    signals.push(b.input("in0"));
+    signals.push(b.input("in1"));
+    signals.push(b.input("in2"));
+    for (i, &(op, x, y)) in ops.iter().enumerate() {
+        let a = signals[x % signals.len()];
+        let c = signals[y % signals.len()];
+        let s = match op % 5 {
+            0 => b.and(&format!("g{i}"), &[a, c]),
+            1 => b.or(&format!("g{i}"), &[a, c]),
+            2 => b.not(&format!("g{i}"), a),
+            3 => b.xor(&format!("g{i}"), a, c),
+            _ => {
+                let sel = signals[x.wrapping_add(y) % signals.len()];
+                b.mux(&format!("g{i}"), sel, a, c)
+            }
+        };
+        signals.push(s);
+        if i % flop_every == flop_every - 1 {
+            let q = b.ff(&format!("q{i}"), s);
+            signals.push(q);
+        }
+    }
+    b.build()
+        .expect("generated netlists are acyclic by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restoration soundness: known restored values equal the reference.
+    #[test]
+    fn restoration_is_sound(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 4..24),
+        flop_every in 2usize..4,
+        seed in any::<u64>(),
+        pick in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let nl = random_netlist(&ops, flop_every);
+        let cycles = 12;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, seed), cycles);
+        let traced: Vec<SignalId> = nl
+            .signals()
+            .zip(pick.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|(s, _)| s)
+            .collect();
+        let restored = restore(&nl, &traced, &reference);
+        for c in 0..cycles {
+            for s in nl.signals() {
+                let r = restored.get(c, s);
+                if r.is_known() {
+                    prop_assert_eq!(r, reference.get(c, s), "cycle {} signal {}", c, s);
+                }
+            }
+        }
+        // Traced signals themselves are always known.
+        for c in 0..cycles {
+            for &t in &traced {
+                prop_assert!(restored.get(c, t).is_known());
+            }
+        }
+    }
+
+    /// Restoration is monotone in the traced set: more traced signals
+    /// never yield fewer known values.
+    #[test]
+    fn restoration_is_monotone(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 4..16),
+        seed in any::<u64>(),
+        pick in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let nl = random_netlist(&ops, 3);
+        let cycles = 10;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, seed), cycles);
+        let small: Vec<SignalId> = nl
+            .signals()
+            .zip(pick.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|(s, _)| s)
+            .collect();
+        let mut large = small.clone();
+        if let Some(extra) = nl.signals().find(|s| !small.contains(s)) {
+            large.push(extra);
+        }
+        let known_small = restore(&nl, &small, &reference).known_count();
+        let known_large = restore(&nl, &large, &reference).known_count();
+        prop_assert!(known_large >= known_small);
+    }
+
+    /// SRR is non-negative and selection functions are deterministic and
+    /// respect their budget.
+    #[test]
+    fn selection_invariants(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 6..16),
+        seed in any::<u64>(),
+        budget in 0usize..6,
+    ) {
+        let nl = random_netlist(&ops, 2);
+        let cycles = 10;
+        let reference = simulate(&nl, &RandomStimulus::new(&nl, cycles, seed), cycles);
+        let sigset = sigset_select(&nl, &reference, budget);
+        prop_assert!(sigset.len() <= budget);
+        prop_assert_eq!(&sigset, &sigset_select(&nl, &reference, budget));
+        for s in &sigset {
+            prop_assert!(nl.flops().contains(s), "SigSeT picks flops only");
+        }
+        let srr = restoration_ratio(&nl, &sigset, &reference);
+        prop_assert!(srr >= 0.0);
+        let prnet = prnet_select(&nl, budget);
+        prop_assert!(prnet.len() <= budget);
+        prop_assert_eq!(&prnet, &prnet_select(&nl, budget));
+    }
+}

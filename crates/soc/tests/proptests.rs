@@ -1,0 +1,97 @@
+//! Property-based tests for the SoC simulator.
+
+use proptest::prelude::*;
+use pstrace_flow::{InterleavedFlow, ProductStateId};
+use pstrace_soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario};
+
+/// Replays an observed indexed-message sequence against the scenario's
+/// interleaved flow, returning the reached product state if the sequence is
+/// a valid execution prefix.
+fn replay(u: &InterleavedFlow, seq: &[pstrace_flow::IndexedMessage]) -> Option<ProductStateId> {
+    let mut current = u.initial_states()[0];
+    for m in seq {
+        let next = u.edges_from(current).find(|e| e.message == *m)?.to;
+        current = next;
+    }
+    Some(current)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every simulated run of every paper scenario is a complete execution
+    /// of the scenario's interleaved flow: the simulator refines the flow
+    /// semantics.
+    #[test]
+    fn simulation_is_an_interleaving_execution(seed in any::<u64>(), scenario_no in 1u8..=3) {
+        let model = SocModel::t2();
+        let scenario = match scenario_no {
+            1 => UsageScenario::scenario1(),
+            2 => UsageScenario::scenario2(),
+            _ => UsageScenario::scenario3(),
+        };
+        let u = scenario.interleaving(&model).unwrap();
+        let out = Simulator::new(&model, scenario, SimConfig::with_seed(seed)).run();
+        prop_assert!(out.status.is_completed());
+        let reached = replay(&u, &out.message_sequence());
+        prop_assert!(reached.is_some(), "simulated trace must follow the interleaving");
+        prop_assert!(u.stop_states().contains(&reached.unwrap()));
+    }
+
+    /// Credit backpressure restricts orderings but never semantics: golden
+    /// runs still complete and still replay as interleaving executions.
+    #[test]
+    fn credits_preserve_interleaving_semantics(
+        seed in any::<u64>(),
+        scenario_no in 1u8..=3,
+        credits in 1u32..4,
+    ) {
+        let model = SocModel::t2();
+        let scenario = match scenario_no {
+            1 => UsageScenario::scenario1(),
+            2 => UsageScenario::scenario2(),
+            _ => UsageScenario::scenario3(),
+        };
+        let u = scenario.interleaving(&model).unwrap();
+        let mut config = SimConfig::with_seed(seed);
+        config.channel_credits = Some(credits);
+        let out = Simulator::new(&model, scenario, config).run();
+        prop_assert!(out.status.is_completed(), "deadlock under {credits} credits");
+        let reached = replay(&u, &out.message_sequence());
+        prop_assert!(reached.is_some());
+        prop_assert!(u.stop_states().contains(&reached.unwrap()));
+    }
+
+    /// Determinism: the full outcome is a pure function of the seed.
+    #[test]
+    fn runs_are_reproducible(seed in any::<u64>()) {
+        let model = SocModel::t2();
+        let a = Simulator::new(&model, UsageScenario::scenario3(), SimConfig::with_seed(seed)).run();
+        let b = Simulator::new(&model, UsageScenario::scenario3(), SimConfig::with_seed(seed)).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Captured traces are order-preserving sub-sequences of the run and
+    /// only contain selected messages.
+    #[test]
+    fn capture_is_a_projection(seed in any::<u64>(), pick in proptest::collection::vec(any::<bool>(), 16)) {
+        let model = SocModel::t2();
+        let scenario = UsageScenario::scenario1();
+        let out = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(seed)).run();
+        let all_messages = scenario.messages(&model);
+        let selected: Vec<_> = all_messages
+            .iter()
+            .zip(&pick)
+            .filter(|(_, &p)| p)
+            .map(|(m, _)| *m)
+            .collect();
+        let trace = capture(&model, &out, &TraceBufferConfig::messages_only(&selected));
+        let expected: Vec<_> = out
+            .events
+            .iter()
+            .filter(|e| selected.contains(&e.message.message))
+            .map(|e| e.message)
+            .collect();
+        prop_assert_eq!(trace.message_sequence(), expected);
+    }
+}

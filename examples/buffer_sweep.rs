@@ -1,0 +1,51 @@
+//! Trace-buffer width sweep: how selection quality scales with
+//! observability budget, with and without Step 3 packing.
+//!
+//! For each of the three Table 1 usage scenarios and a range of buffer
+//! widths, runs the selector twice (packing on/off) and prints
+//! utilization, flow-spec coverage and information gain — the Table 3
+//! trade-off as a function of budget.
+//!
+//! Run with: `cargo run --release --example buffer_sweep`
+
+use std::error::Error;
+
+use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
+use pstrace::soc::{SocModel, UsageScenario};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = SocModel::t2();
+    for scenario in UsageScenario::all_paper_scenarios() {
+        let product = scenario.interleaving(&model)?;
+        println!(
+            "== {} ({} states, {} edges) ==",
+            scenario.name(),
+            product.state_count(),
+            product.edge_count()
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            "bits", "util WP", "util WoP", "cov WP", "cov WoP", "gain WP", "gain WoP"
+        );
+        for bits in [8u32, 16, 24, 32, 48, 64] {
+            let buffer = TraceBufferSpec::new(bits)?;
+            let mut config = SelectionConfig::new(buffer);
+            config.packing = true;
+            let with = Selector::new(&product, config).select()?;
+            config.packing = false;
+            let without = Selector::new(&product, config).select()?;
+            println!(
+                "{:>6} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>9.3} {:>9.3}",
+                bits,
+                with.utilization() * 100.0,
+                without.utilization() * 100.0,
+                with.coverage() * 100.0,
+                without.coverage() * 100.0,
+                with.gain_packed,
+                without.chosen.gain
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

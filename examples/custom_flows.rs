@@ -1,0 +1,103 @@
+//! Bring-your-own-protocol: define flows in the text format and run the
+//! full selection pipeline over them.
+//!
+//! The paper's method consumes flow specifications that SoC teams already
+//! maintain as architectural collateral. This example models a simple
+//! AXI-style read/write pair in the `pstrace` flow DSL, parses it, and
+//! selects trace messages for a 12-bit buffer.
+//!
+//! Run with: `cargo run --example custom_flows`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use pstrace::flow::parse::parse_flows;
+use pstrace::flow::{path_count, FlowIndex, IndexedFlow, InterleavedFlow};
+use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
+
+const AXI: &str = r#"
+# A simplified AXI-style usage scenario: one read and one write channel.
+message araddr  12
+message rdata   16
+message rresp   2
+message awaddr  12
+message wdata   16
+message bresp   2
+group   rdata.id 4
+group   wdata.strb 4
+
+flow "axi read" {
+    state  ArIdle ArAddr ArData
+    stop   ArDone
+    initial ArIdle
+    edge ArIdle -araddr-> ArAddr
+    edge ArAddr -rdata->  ArData
+    edge ArData -rresp->  ArDone
+}
+
+flow "axi write" {
+    state  AwIdle AwAddr AwData
+    stop   AwDone
+    initial AwIdle
+    edge AwIdle -awaddr-> AwAddr
+    edge AwAddr -wdata->  AwData
+    edge AwData -bresp->  AwDone
+}
+"#;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let doc = parse_flows(AXI)?;
+    println!(
+        "parsed {} flows over {} messages",
+        doc.flows.len(),
+        doc.catalog.len()
+    );
+
+    // Two concurrent reads and one write.
+    let instances = vec![
+        IndexedFlow::new(
+            Arc::clone(doc.flow("axi read").expect("declared")),
+            FlowIndex(1),
+        ),
+        IndexedFlow::new(
+            Arc::clone(doc.flow("axi read").expect("declared")),
+            FlowIndex(2),
+        ),
+        IndexedFlow::new(
+            Arc::clone(doc.flow("axi write").expect("declared")),
+            FlowIndex(3),
+        ),
+    ];
+    let product = InterleavedFlow::build(&instances)?;
+    println!(
+        "interleaving: {} states, {} edges, {} paths",
+        product.state_count(),
+        product.edge_count(),
+        path_count(&product)
+    );
+
+    let report =
+        Selector::new(&product, SelectionConfig::new(TraceBufferSpec::new(12)?)).select()?;
+    println!("\nselected for a 12-bit buffer:");
+    for &m in &report.chosen.messages {
+        println!(
+            "  {:<8} {:>2} bits",
+            doc.catalog.name(m),
+            doc.catalog.width(m)
+        );
+    }
+    for &g in &report.packed_groups {
+        println!(
+            "  {:<8} {:>2} bits (packed subgroup)",
+            doc.catalog.group_qualified_name(g),
+            doc.catalog.group(g).width()
+        );
+    }
+    println!(
+        "gain {:.4} nats, utilization {:.1} %, coverage {:.1} %",
+        report.gain_packed,
+        report.utilization() * 100.0,
+        report.coverage() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Full post-silicon debugging session on the T2-like SoC (§5.7 style).
+//!
+//! Runs every case study: selects messages for a 32-bit trace buffer over
+//! the scenario's interleaved flow, simulates a golden and a buggy
+//! execution, captures only the selected messages, and then debugs from
+//! the captured trace — path localization, IP-pair investigation and
+//! root-cause pruning.
+//!
+//! Run with: `cargo run --example soc_debug`
+
+use std::error::Error;
+
+use pstrace::bug::case_studies;
+use pstrace::diag::{run_case_study, CaseStudyConfig};
+use pstrace::soc::SocModel;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = SocModel::t2();
+    for cs in case_studies() {
+        let report = run_case_study(&model, &cs, CaseStudyConfig::default())?;
+        println!("{}", report.render(&model));
+    }
+    Ok(())
+}

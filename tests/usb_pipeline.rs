@@ -1,0 +1,81 @@
+//! Integration: the §5.4 USB baseline comparison shape (Table 4).
+
+use std::sync::Arc;
+
+use pstrace::flow::{FlowIndex, IndexedFlow, InterleavedFlow};
+use pstrace::rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
+use pstrace::select::{flow_spec_coverage, SelectionConfig, Selector, TraceBufferSpec};
+
+#[test]
+fn table_4_shape_holds() {
+    let usb = UsbDesign::new();
+    let flows = vec![
+        IndexedFlow::new(Arc::clone(&usb.flows[0]), FlowIndex(1)),
+        IndexedFlow::new(Arc::clone(&usb.flows[1]), FlowIndex(2)),
+    ];
+    let product = InterleavedFlow::build(&flows).unwrap();
+    let reference = simulate(&usb.netlist, &RandomStimulus::new(&usb.netlist, 48, 2), 48);
+
+    let budget = 8;
+    let sigset = sigset_select(&usb.netlist, &reference, budget);
+    let prnet = prnet_select(&usb.netlist, budget);
+    let info = Selector::new(
+        &product,
+        SelectionConfig::new(TraceBufferSpec::new(budget as u32).unwrap()),
+    )
+    .select()
+    .unwrap();
+    let info_signals = usb.signals_of_messages(&info.chosen.messages);
+
+    // SigSeT never touches the debug-relevant interface.
+    assert!(sigset.iter().all(|s| !usb.interface_signals.contains(s)));
+    // The info-gain method selects only interface signals.
+    assert!(info_signals
+        .iter()
+        .all(|s| usb.interface_signals.contains(s)));
+
+    // Coverage ordering: InfoGain >> PRNet >= SigSeT.
+    let info_cov = flow_spec_coverage(&product, &info.chosen.messages);
+    let sigset_cov = flow_spec_coverage(&product, &usb.messages_covered_by(&sigset));
+    let prnet_cov = flow_spec_coverage(&product, &usb.messages_covered_by(&prnet));
+    assert!(info_cov >= 0.8, "info gain coverage {info_cov:.3}");
+    assert!(info_cov > 2.0 * prnet_cov.max(0.05));
+    assert!(prnet_cov >= sigset_cov);
+
+    // The §1 reconstruction claim: SRR-selected signals reconstruct only
+    // a small fraction of interface-message occurrences; the flow method's
+    // signals reconstruct theirs trivially.
+    let sigset_recon = usb.message_reconstruction(&sigset, &reference);
+    assert!(
+        sigset_recon <= 0.26,
+        "SigSeT reconstructs {sigset_recon:.2}"
+    );
+    let all_interface = usb.message_reconstruction(&usb.interface_signals, &reference);
+    assert!((all_interface - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn full_budget_selects_every_interface_message() {
+    let usb = UsbDesign::new();
+    let flows = vec![
+        IndexedFlow::new(Arc::clone(&usb.flows[0]), FlowIndex(1)),
+        IndexedFlow::new(Arc::clone(&usb.flows[1]), FlowIndex(2)),
+    ];
+    let product = InterleavedFlow::build(&flows).unwrap();
+    // All 7 messages fit in 11 bits.
+    let report = Selector::new(
+        &product,
+        SelectionConfig::new(TraceBufferSpec::new(11).unwrap()),
+    )
+    .select()
+    .unwrap();
+    assert_eq!(report.chosen.messages.len(), 7);
+    let signals = usb.signals_of_messages(&report.chosen.messages);
+    for s in &usb.interface_signals {
+        assert!(
+            signals.contains(s),
+            "missing {}",
+            usb.netlist.signal_name(*s)
+        );
+    }
+}
