@@ -1,11 +1,33 @@
 //! Scalability sweep: selection cost as a function of concurrent flow
 //! instances — the paper's third contribution is making scalability an
-//! explicit objective, and the beam strategy is the scalable path.
+//! explicit objective. Two angles:
+//!
+//! * `beam_select_vs_instances` — the beam strategy's cost as the
+//!   interleaving grows (the scalable algorithm);
+//! * `rank_parallelism` — the exhaustive ranking stage at different
+//!   [`Parallelism`] settings over one pre-enumerated candidate set and one
+//!   pre-built [`MiCache`], isolating the thread fan-out (the scalable
+//!   implementation). Sequential vs parallel output is bit-identical, so
+//!   the curves measure pure wall-clock.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pstrace_core::{beam_select, TraceBufferSpec};
-use pstrace_infogain::LogBase;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pstrace_core::{
+    beam_select, enumerate_combinations, rank_combinations_cached, Parallelism, TraceBufferSpec,
+};
+use pstrace_infogain::{LogBase, MiCache};
 use pstrace_soc::{FlowKind, SocModel, UsageScenario};
+
+fn scaling_scenario(instances: u32) -> UsageScenario {
+    UsageScenario::custom(
+        9,
+        &format!("{instances}x(PIOW+NCUD+Mon)"),
+        &[
+            (FlowKind::PioWrite, instances),
+            (FlowKind::NcuDownstream, instances),
+            (FlowKind::Mondo, instances),
+        ],
+    )
+}
 
 fn bench_scaling(c: &mut Criterion) {
     let model = SocModel::t2();
@@ -14,15 +36,7 @@ fn bench_scaling(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(8));
     for instances in [1u32, 2, 3] {
-        let scenario = UsageScenario::custom(
-            9,
-            &format!("{instances}x(PIOW+NCUD+Mon)"),
-            &[
-                (FlowKind::PioWrite, instances),
-                (FlowKind::NcuDownstream, instances),
-                (FlowKind::Mondo, instances),
-            ],
-        );
+        let scenario = scaling_scenario(instances);
         let product = scenario.interleaving(&model).expect("interleaves");
         let buffer = TraceBufferSpec::new(32).expect("nonzero");
         group.bench_function(
@@ -38,5 +52,48 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+fn bench_rank_parallelism(c: &mut Criterion) {
+    let model = SocModel::t2();
+    // The largest scenario of the sweep above (145800 product states):
+    // every candidate scoring merges long per-message term lists, so the
+    // scoring loop dominates and the thread fan-out has real work to split.
+    let scenario = scaling_scenario(3);
+    let product = scenario.interleaving(&model).expect("interleaves");
+    let catalog = product.catalog().clone();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let candidates = enumerate_combinations(
+        &catalog,
+        &product.message_alphabet(),
+        buffer.width_bits(),
+        2_000_000,
+    )
+    .expect("within limit");
+    let cache = MiCache::new(&product, LogBase::Nats);
+
+    let mut group = c.benchmark_group(format!("rank_parallelism_{}cands", candidates.len()));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let settings = [
+        ("seq".to_owned(), Parallelism::Off),
+        ("threads_2".to_owned(), Parallelism::threads(2)),
+        ("threads_4".to_owned(), Parallelism::threads(4)),
+        ("auto".to_owned(), Parallelism::Auto),
+    ];
+    for (label, parallelism) in settings {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(rank_combinations_cached(
+                    &product,
+                    &candidates,
+                    &cache,
+                    parallelism,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_rank_parallelism);
 criterion_main!(benches);

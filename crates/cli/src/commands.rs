@@ -4,7 +4,7 @@ use std::error::Error;
 use std::sync::Arc;
 
 use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
-use pstrace_core::{SelectionConfig, Selector, Strategy, TraceBufferSpec};
+use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBufferSpec};
 use pstrace_diag::{run_case_study, scenario_causes, CaseStudyConfig};
 use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
 use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
@@ -52,7 +52,7 @@ fn print_help() {
     println!("subcommands:");
     println!("  scenarios                              list the modeled usage scenarios");
     println!("  select   --scenario N [--buffer BITS] [--no-packing] [--beam W]");
-    println!("                                         run Steps 1-3 message selection");
+    println!("           [--threads N|auto|off]        run Steps 1-3 message selection");
     println!("  simulate --scenario N [--seed S] [--bug ID] [--trace]");
     println!("                                         run the SoC simulator");
     println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing]");
@@ -62,7 +62,7 @@ fn print_help() {
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
     println!("                                         USB baseline comparison");
     println!("  select-file FILE [--buffer BITS] [--instances N] [--no-packing]");
-    println!("                                         select over flows parsed from FILE");
+    println!("           [--threads N|auto|off]        select over flows parsed from FILE");
     println!("  stats                                  USB netlist structure report");
     println!("  vcd      [--cycles N] [--seed S] [--restored] [--out FILE]");
     println!("                                         dump a USB waveform as VCD");
@@ -125,17 +125,32 @@ fn cmd_scenarios() -> CmdResult {
     Ok(())
 }
 
+/// Parses the `--threads` option: a thread count, `off`, or `auto`
+/// (the default). Selection output is bit-identical for every setting.
+fn parse_parallelism(args: &Args) -> Result<Parallelism, Box<dyn Error>> {
+    match args.option("threads") {
+        None => Ok(Parallelism::Auto),
+        Some(v) if v.eq_ignore_ascii_case("auto") => Ok(Parallelism::Auto),
+        Some(v) if v.eq_ignore_ascii_case("off") => Ok(Parallelism::Off),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => Ok(Parallelism::threads(n)),
+            Err(_) => Err(format!("--threads takes a count, `auto` or `off`, not `{v}`").into()),
+        },
+    }
+}
+
 fn cmd_select(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
         &["no-packing"],
-        &["scenario", "buffer", "beam"],
+        &["scenario", "buffer", "beam", "threads"],
     )?;
     let model = SocModel::t2();
     let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
     let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
     let mut config = SelectionConfig::new(buffer);
     config.packing = !args.flag("no-packing");
+    config.parallelism = parse_parallelism(&args)?;
     if let Some(width) = args.option_opt::<usize>("beam")? {
         config.strategy = Strategy::Beam { width };
     }
@@ -275,7 +290,9 @@ fn cmd_usb(argv: &[String]) -> CmdResult {
     let args = Args::parse(argv.iter().cloned(), &[], &["budget", "cycles", "seed"])?;
     let budget = args.option_or("budget", 8usize)?;
     let cycles = args.option_or("cycles", 48usize)?;
-    let seed = args.option_or("seed", 2u64)?;
+    // Default matches the Table-4 reference stimulus (bench's
+    // USB_STIMULUS_SEED), re-pinned with the internal RNG.
+    let seed = args.option_or("seed", 11u64)?;
 
     let usb = UsbDesign::new();
     let flows = vec![
@@ -323,7 +340,7 @@ fn cmd_select_file(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
         &["no-packing"],
-        &["buffer", "instances"],
+        &["buffer", "instances", "threads"],
     )?;
     let path = args
         .positional()
@@ -347,6 +364,7 @@ fn cmd_select_file(argv: &[String]) -> CmdResult {
     let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
     let mut config = SelectionConfig::new(buffer);
     config.packing = !args.flag("no-packing");
+    config.parallelism = parse_parallelism(&args)?;
     let report = Selector::new(&product, config).select()?;
 
     println!(
@@ -459,6 +477,15 @@ mod tests {
         assert!(dispatch(&argv(&["select", "--scenario", "9"])).is_err());
         assert!(dispatch(&argv(&["select", "--beam", "4"])).is_ok());
         assert!(dispatch(&argv(&["select", "--no-packing"])).is_ok());
+    }
+
+    #[test]
+    fn select_accepts_thread_settings() {
+        for t in ["off", "auto", "1", "4"] {
+            let a = argv(&["select", "--scenario", "1", "--threads", t]);
+            assert!(dispatch(&a).is_ok(), "--threads {t}");
+        }
+        assert!(dispatch(&argv(&["select", "--threads", "many"])).is_err());
     }
 
     #[test]

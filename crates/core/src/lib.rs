@@ -58,9 +58,12 @@ pub use buffer::TraceBufferSpec;
 pub use combine::{count_combinations, enumerate_combinations};
 pub use coverage::{buffer_utilization, flow_spec_coverage};
 pub use error::SelectError;
-pub use packing::{pack, Packing};
+pub use packing::{pack, pack_cached, Packing};
 pub use partition::{
     even_partitions, partitioned_select, Partition, PartitionOutcome, PartitionReport,
 };
-pub use rank::{beam_select, rank_combinations, RankedCombination};
+pub use rank::{
+    beam_select, beam_select_cached, rank_combinations, rank_combinations_cached, Parallelism,
+    RankedCombination,
+};
 pub use selector::{SelectionConfig, SelectionReport, Selector, Strategy};

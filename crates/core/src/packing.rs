@@ -9,7 +9,7 @@
 //! gain and coverage are computed with the parent message added.
 
 use pstrace_flow::{GroupId, InterleavedFlow, MessageId};
-use pstrace_infogain::{mutual_information, LogBase};
+use pstrace_infogain::{LogBase, MiCache};
 
 use crate::buffer::TraceBufferSpec;
 
@@ -91,6 +91,21 @@ pub fn pack(
     buffer: TraceBufferSpec,
     log_base: LogBase,
 ) -> Packing {
+    let cache = MiCache::new(flow, log_base);
+    pack_cached(flow, base, buffer, &cache)
+}
+
+/// [`pack`] over a pre-built [`MiCache`], so the greedy loop's repeated
+/// union scorings reuse the cached per-message terms instead of re-walking
+/// the interleaving's edges each round. Produces bit-identical results to
+/// the uncached path.
+#[must_use]
+pub fn pack_cached(
+    flow: &InterleavedFlow,
+    base: &[MessageId],
+    buffer: TraceBufferSpec,
+    cache: &MiCache,
+) -> Packing {
     let catalog = flow.catalog().clone();
     let base_width = catalog.combination_width(base.iter().copied());
     let mut occupied = base_width.min(buffer.width_bits());
@@ -98,7 +113,7 @@ pub fn pack(
     effective.sort_unstable();
     effective.dedup();
     let mut groups: Vec<GroupId> = Vec::new();
-    let mut gain = mutual_information(flow, &effective, log_base);
+    let mut gain = cache.combination_mi(&effective);
 
     loop {
         let leftover = buffer.leftover(occupied);
@@ -122,7 +137,7 @@ pub fn pack(
             let mut candidate = effective.clone();
             candidate.push(parent);
             candidate.sort_unstable();
-            let candidate_gain = mutual_information(flow, &candidate, log_base);
+            let candidate_gain = cache.combination_mi(&candidate);
             let better = match &best {
                 None => true,
                 Some((bg, bgain, bwidth)) => {
@@ -159,6 +174,7 @@ pub fn pack(
 mod tests {
     use super::*;
     use pstrace_flow::{FlowBuilder, FlowIndex, IndexedFlow, MessageCatalog};
+    use pstrace_infogain::mutual_information;
     use std::sync::Arc;
 
     /// A flow with one narrow message and two wide messages carrying
@@ -249,6 +265,21 @@ mod tests {
         assert!(!p.groups.is_empty());
         // Whichever was chosen, occupied bits never exceed the buffer.
         assert!(p.occupied_bits <= 8);
+    }
+
+    #[test]
+    fn cached_packing_is_bit_identical() {
+        let (u, catalog) = packing_fixture();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        for bits in [2u32, 6, 8, 12, 32] {
+            let buffer = TraceBufferSpec::new(bits).unwrap();
+            let base = [catalog.get("narrow").unwrap()];
+            let uncached = pack(&u, &base, buffer, LogBase::Nats);
+            let cached = pack_cached(&u, &base, buffer, &cache);
+            assert_eq!(uncached.groups, cached.groups);
+            assert_eq!(uncached.occupied_bits, cached.occupied_bits);
+            assert_eq!(uncached.gain.to_bits(), cached.gain.to_bits());
+        }
     }
 
     #[test]

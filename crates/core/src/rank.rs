@@ -1,9 +1,19 @@
 //! Step 2: ranking candidate combinations by mutual information gain
 //! (§3.2), plus a scalable beam-search alternative to exhaustive
 //! enumeration.
+//!
+//! Both paths run on top of the per-message [`MiCache`], which turns each
+//! combination scoring from a full pass over the interleaving's edges into
+//! a merge of pre-computed per-message terms. Exhaustive ranking can
+//! additionally fan the scoring loop out across worker threads — see
+//! [`Parallelism`] — with a deterministic merge, so the parallel ranking is
+//! bit-identical to the sequential one at any thread count.
 
-use pstrace_flow::{InterleavedFlow, MessageId};
-use pstrace_infogain::{mutual_information, LogBase};
+use std::cmp::Ordering;
+use std::num::NonZeroUsize;
+
+use pstrace_flow::{InterleavedFlow, MessageCatalog, MessageId};
+use pstrace_infogain::{LogBase, MiCache};
 
 use crate::error::SelectError;
 
@@ -18,6 +28,81 @@ pub struct RankedCombination {
     pub width: u32,
 }
 
+/// How the candidate-scoring loop distributes work across threads.
+///
+/// All variants produce bit-identical output: workers score disjoint,
+/// contiguous chunks of the candidate list, each result lands in its
+/// candidate's original slot, and one stable sort on the main thread
+/// orders the merged list. Changing the thread count changes only the
+/// wall-clock, never the ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use the machine's available parallelism, scaled down so every
+    /// worker has a meaningful chunk of candidates.
+    #[default]
+    Auto,
+    /// Use exactly this many worker threads.
+    Threads(NonZeroUsize),
+    /// Score sequentially on the calling thread.
+    Off,
+}
+
+/// Minimum candidates per worker under [`Parallelism::Auto`]: spawning a
+/// thread for fewer than this costs more than it saves.
+const MIN_CHUNK_PER_WORKER: usize = 32;
+
+impl Parallelism {
+    /// Convenience constructor clamping `n` to at least one thread.
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Off,
+        }
+    }
+
+    /// Number of workers to use for `items` units of work.
+    #[must_use]
+    pub fn worker_count(self, items: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(n) => n.get().min(items.max(1)),
+            Parallelism::Auto => hw()
+                .min(items / MIN_CHUNK_PER_WORKER)
+                .clamp(1, items.max(1)),
+        }
+    }
+}
+
+/// The deterministic ranking order: higher gain, then larger width (which
+/// favours trace-buffer utilization), then lexicographically smaller
+/// message ids.
+fn rank_order(a: &RankedCombination, b: &RankedCombination) -> Ordering {
+    b.gain
+        .partial_cmp(&a.gain)
+        .expect("mutual information is finite")
+        .then(b.width.cmp(&a.width))
+        .then(a.messages.cmp(&b.messages))
+}
+
+/// Scores one candidate against the cache.
+fn score_one(combo: &[MessageId], catalog: &MessageCatalog, cache: &MiCache) -> RankedCombination {
+    let mut messages = combo.to_vec();
+    messages.sort_unstable();
+    let gain = cache.combination_mi(&messages);
+    let width = catalog.combination_width(messages.iter().copied());
+    RankedCombination {
+        messages,
+        gain,
+        width,
+    }
+}
+
 /// Evaluates and ranks `candidates` by mutual information gain, highest
 /// first.
 ///
@@ -25,34 +110,66 @@ pub struct RankedCombination {
 /// favours trace-buffer utilization), then lexicographically smaller message
 /// ids. The paper's running example selects `{ReqE, GntE}` under exactly
 /// this rule.
+///
+/// Convenience wrapper over [`rank_combinations_cached`]: builds a
+/// [`MiCache`] for `flow` and scores sequentially. Callers ranking more
+/// than once (or alongside packing) should build the cache themselves and
+/// call the cached variant.
 #[must_use]
 pub fn rank_combinations(
     flow: &InterleavedFlow,
     candidates: &[Vec<MessageId>],
     base: LogBase,
 ) -> Vec<RankedCombination> {
+    let cache = MiCache::new(flow, base);
+    rank_combinations_cached(flow, candidates, &cache, Parallelism::Off)
+}
+
+/// [`rank_combinations`] over a pre-built [`MiCache`], with the scoring
+/// loop optionally fanned out across worker threads.
+///
+/// Workers score disjoint contiguous chunks of `candidates`; every result
+/// is written to its candidate's original index and the merged list is
+/// ordered by one stable sort on the calling thread, so the output is
+/// bit-identical for every [`Parallelism`] setting.
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different flow (the per-message terms
+/// would not correspond to `flow`'s catalog); in debug builds this
+/// surfaces as a width/gain mismatch in downstream assertions.
+#[must_use]
+pub fn rank_combinations_cached(
+    flow: &InterleavedFlow,
+    candidates: &[Vec<MessageId>],
+    cache: &MiCache,
+    parallelism: Parallelism,
+) -> Vec<RankedCombination> {
     let catalog = flow.catalog();
-    let mut ranked: Vec<RankedCombination> = candidates
-        .iter()
-        .map(|combo| {
-            let mut messages = combo.clone();
-            messages.sort_unstable();
-            let gain = mutual_information(flow, &messages, base);
-            let width = catalog.combination_width(messages.iter().copied());
-            RankedCombination {
-                messages,
-                gain,
-                width,
+    let workers = parallelism.worker_count(candidates.len());
+    let mut ranked: Vec<RankedCombination> = if workers <= 1 {
+        candidates
+            .iter()
+            .map(|combo| score_one(combo, catalog, cache))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<RankedCombination>> = vec![None; candidates.len()];
+        let chunk = candidates.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (cand_chunk, out_chunk) in candidates.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (combo, slot) in cand_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(score_one(combo, catalog, cache));
+                    }
+                });
             }
-        })
-        .collect();
-    ranked.sort_by(|a, b| {
-        b.gain
-            .partial_cmp(&a.gain)
-            .expect("mutual information is finite")
-            .then(b.width.cmp(&a.width))
-            .then(a.messages.cmp(&b.messages))
-    });
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every candidate chunk was scored"))
+            .collect()
+    };
+    ranked.sort_by(rank_order);
     ranked
 }
 
@@ -64,6 +181,8 @@ pub fn rank_combinations(
 /// every message that still fits the budget, until no extension improves
 /// any beam entry. Returns the best combination found.
 ///
+/// Convenience wrapper over [`beam_select_cached`].
+///
 /// # Errors
 ///
 /// * [`SelectError::ZeroBeamWidth`] if `beam_width` is zero;
@@ -73,6 +192,26 @@ pub fn beam_select(
     budget_bits: u32,
     beam_width: usize,
     base: LogBase,
+) -> Result<RankedCombination, SelectError> {
+    let cache = MiCache::new(flow, base);
+    beam_select_cached(flow, budget_bits, beam_width, &cache)
+}
+
+/// [`beam_select`] over a pre-built [`MiCache`], scoring every extension
+/// incrementally: each message's MI contribution is disjoint from every
+/// other's, so extending a combination costs one cached lookup
+/// (`entry.gain + cache.message_delta(m)`) instead of a pass over the
+/// interleaving's edges.
+///
+/// # Errors
+///
+/// * [`SelectError::ZeroBeamWidth`] if `beam_width` is zero;
+/// * [`SelectError::NoMessages`] if the interleaving has no messages.
+pub fn beam_select_cached(
+    flow: &InterleavedFlow,
+    budget_bits: u32,
+    beam_width: usize,
+    cache: &MiCache,
 ) -> Result<RankedCombination, SelectError> {
     if beam_width == 0 {
         return Err(SelectError::ZeroBeamWidth);
@@ -107,7 +246,7 @@ pub fn beam_select(
                 if extensions.iter().any(|e| e.messages == messages) {
                     continue;
                 }
-                let gain = mutual_information(flow, &messages, base);
+                let gain = entry.gain + cache.message_delta(m);
                 extensions.push(RankedCombination {
                     messages,
                     gain,
@@ -118,13 +257,7 @@ pub fn beam_select(
         if extensions.is_empty() {
             break;
         }
-        extensions.sort_by(|a, b| {
-            b.gain
-                .partial_cmp(&a.gain)
-                .expect("mutual information is finite")
-                .then(b.width.cmp(&a.width))
-                .then(a.messages.cmp(&b.messages))
-        });
+        extensions.sort_by(rank_order);
         extensions.truncate(beam_width);
         if extensions[0].gain > best.gain
             || (extensions[0].gain == best.gain && extensions[0].width > best.width)
@@ -217,5 +350,51 @@ mod tests {
         candidates.reverse();
         let ranked_b = rank_combinations(&u, &candidates, LogBase::Nats);
         assert_eq!(ranked_a, ranked_b);
+    }
+
+    #[test]
+    fn parallel_ranking_is_bit_identical_to_sequential() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 4, 100).unwrap();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let sequential = rank_combinations_cached(&u, &candidates, &cache, Parallelism::Off);
+        for threads in [1usize, 2, 3, 4, 7] {
+            let parallel =
+                rank_combinations_cached(&u, &candidates, &cache, Parallelism::threads(threads));
+            assert_eq!(sequential.len(), parallel.len());
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.messages, p.messages);
+                assert_eq!(s.gain.to_bits(), p.gain.to_bits(), "thread count {threads}");
+                assert_eq!(s.width, p.width);
+            }
+        }
+        let auto = rank_combinations_cached(&u, &candidates, &cache, Parallelism::Auto);
+        assert_eq!(sequential, auto);
+    }
+
+    #[test]
+    fn cached_ranking_matches_uncached() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 3, 100).unwrap();
+        let uncached = rank_combinations(&u, &candidates, LogBase::Nats);
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let cached = rank_combinations_cached(&u, &candidates, &cache, Parallelism::Auto);
+        assert_eq!(uncached, cached);
+    }
+
+    #[test]
+    fn worker_count_respects_bounds() {
+        assert_eq!(Parallelism::Off.worker_count(1000), 1);
+        assert_eq!(Parallelism::threads(4).worker_count(1000), 4);
+        // Never more workers than items.
+        assert_eq!(Parallelism::threads(8).worker_count(3), 3);
+        assert_eq!(Parallelism::threads(0), Parallelism::Off);
+        // Auto never exceeds items / MIN_CHUNK_PER_WORKER but stays >= 1.
+        assert_eq!(Parallelism::Auto.worker_count(1), 1);
+        assert_eq!(Parallelism::Auto.worker_count(0), 1);
+        let w = Parallelism::Auto.worker_count(10_000);
+        assert!((1..=10_000 / MIN_CHUNK_PER_WORKER).contains(&w));
     }
 }

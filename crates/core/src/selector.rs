@@ -1,14 +1,14 @@
 //! The end-to-end message selection pipeline (§3, Steps 1–3).
 
 use pstrace_flow::{GroupId, InterleavedFlow, MessageId};
-use pstrace_infogain::LogBase;
+use pstrace_infogain::{LogBase, MiCache};
 
 use crate::buffer::TraceBufferSpec;
 use crate::combine::enumerate_combinations;
 use crate::coverage::flow_spec_coverage;
 use crate::error::SelectError;
-use crate::packing::{pack, Packing};
-use crate::rank::{beam_select, rank_combinations, RankedCombination};
+use crate::packing::{pack_cached, Packing};
+use crate::rank::{beam_select_cached, rank_combinations_cached, Parallelism, RankedCombination};
 
 /// How Step 1/2 explore the combination space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,11 +44,14 @@ pub struct SelectionConfig {
     pub packing: bool,
     /// Exploration strategy for Steps 1–2.
     pub strategy: Strategy,
+    /// Thread fan-out of the candidate-scoring loop. Any setting yields
+    /// bit-identical selections; this only trades wall-clock for cores.
+    pub parallelism: Parallelism,
 }
 
 impl SelectionConfig {
     /// Paper-faithful defaults for the given buffer: nats, packing enabled,
-    /// exhaustive enumeration.
+    /// exhaustive enumeration, automatic scoring parallelism.
     #[must_use]
     pub fn new(buffer: TraceBufferSpec) -> Self {
         SelectionConfig {
@@ -56,6 +59,7 @@ impl SelectionConfig {
             log_base: LogBase::Nats,
             packing: true,
             strategy: Strategy::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -169,6 +173,10 @@ impl<'a> Selector<'a> {
         let buffer = self.config.buffer;
         let log_base = self.config.log_base;
 
+        // One cache serves Step 2 ranking, beam extension deltas, and the
+        // Step 3 packing loop.
+        let cache = MiCache::new(flow, log_base);
+
         let (chosen, candidates) = match self.config.strategy {
             Strategy::Exhaustive { limit } => {
                 let alphabet = flow.message_alphabet();
@@ -186,12 +194,13 @@ impl<'a> Selector<'a> {
                         Vec::new(),
                     )
                 } else {
-                    let ranked = rank_combinations(flow, &combos, log_base);
+                    let ranked =
+                        rank_combinations_cached(flow, &combos, &cache, self.config.parallelism);
                     (ranked[0].clone(), ranked)
                 }
             }
             Strategy::Beam { width } => (
-                beam_select(flow, buffer.width_bits(), width, log_base)?,
+                beam_select_cached(flow, buffer.width_bits(), width, &cache)?,
                 Vec::new(),
             ),
         };
@@ -201,7 +210,7 @@ impl<'a> Selector<'a> {
         let utilization_unpacked = buffer.utilization(width_unpacked);
 
         let packing = if self.config.packing {
-            pack(flow, &chosen.messages, buffer, log_base)
+            pack_cached(flow, &chosen.messages, buffer, &cache)
         } else {
             Packing {
                 groups: Vec::new(),

@@ -1,0 +1,77 @@
+//! Parallel selection is bit-identical to sequential selection.
+//!
+//! The [`Parallelism`] knob must never change *what* is selected — workers
+//! score disjoint chunks, results land in candidate order, and one stable
+//! sort on the main thread orders the merged list. These tests pin that
+//! guarantee over every Table-1 usage scenario of the paper's SoC model,
+//! comparing the full [`SelectionReport`] (an exact `PartialEq` over all
+//! `f64` metrics, i.e. bit-level equality) across thread counts.
+
+use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBufferSpec};
+use pstrace_soc::{SocModel, UsageScenario};
+
+fn table1_scenarios() -> Vec<UsageScenario> {
+    UsageScenario::all_paper_scenarios()
+}
+
+#[test]
+fn off_and_four_threads_select_identically_on_table1_scenarios() {
+    let model = SocModel::t2();
+    for scenario in table1_scenarios() {
+        let product = scenario.interleaving(&model).expect("interleaves");
+        for bits in [8u32, 16, 32] {
+            let mut config = SelectionConfig::new(TraceBufferSpec::new(bits).unwrap());
+            config.parallelism = Parallelism::Off;
+            let sequential = Selector::new(&product, config).select().unwrap();
+
+            for parallelism in [
+                Parallelism::threads(2),
+                Parallelism::threads(4),
+                Parallelism::Auto,
+            ] {
+                let mut config = SelectionConfig::new(TraceBufferSpec::new(bits).unwrap());
+                config.parallelism = parallelism;
+                let parallel = Selector::new(&product, config).select().unwrap();
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "{} at {bits} bits diverged under {parallelism:?}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_affect_beam_strategy() {
+    let model = SocModel::t2();
+    for scenario in table1_scenarios() {
+        let product = scenario.interleaving(&model).expect("interleaves");
+        let mut config = SelectionConfig::new(TraceBufferSpec::new(16).unwrap());
+        config.strategy = Strategy::Beam { width: 4 };
+        config.parallelism = Parallelism::Off;
+        let sequential = Selector::new(&product, config).select().unwrap();
+        config.parallelism = Parallelism::threads(4);
+        let parallel = Selector::new(&product, config).select().unwrap();
+        assert_eq!(sequential, parallel, "{}", scenario.name());
+    }
+}
+
+#[test]
+fn candidate_lists_are_identical_not_just_winners() {
+    let model = SocModel::t2();
+    let scenario = table1_scenarios().remove(0);
+    let product = scenario.interleaving(&model).expect("interleaves");
+    let mut config = SelectionConfig::new(TraceBufferSpec::new(32).unwrap());
+    config.parallelism = Parallelism::Off;
+    let sequential = Selector::new(&product, config).select().unwrap();
+    config.parallelism = Parallelism::threads(3);
+    let parallel = Selector::new(&product, config).select().unwrap();
+    assert_eq!(sequential.candidates.len(), parallel.candidates.len());
+    for (s, p) in sequential.candidates.iter().zip(&parallel.candidates) {
+        assert_eq!(s.messages, p.messages);
+        assert_eq!(s.gain.to_bits(), p.gain.to_bits());
+        assert_eq!(s.width, p.width);
+    }
+}

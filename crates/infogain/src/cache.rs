@@ -1,0 +1,366 @@
+//! Per-message mutual-information cache (the hot-path accelerator).
+//!
+//! [`JointDistribution::from_combination`](crate::JointDistribution) walks
+//! every edge of the interleaving for every candidate combination, which
+//! makes Step 2 of the paper quadratic-ish: `O(|candidates| · |edges|)`.
+//! But the MI estimator has a special structure worth exploiting: every
+//! edge of the interleaving is labeled by exactly one indexed message, each
+//! indexed message belongs to exactly one catalog message, and both the
+//! state prior `p_X(x) = 1/|S|` and the marginal denominator (the total
+//! edge count) are *combination-independent*. The MI sum
+//!
+//! ```text
+//! I(X;Y) = Σ_y Σ_x p(x,y)·log(p(x,y)/(p(x)·p(y)))
+//! ```
+//!
+//! therefore decomposes exactly into per-indexed-message contributions that
+//! can be computed once, in a single pass over the edges, and reused by
+//! every combination containing that message.
+//!
+//! [`MiCache`] stores, for every catalog message, the list of its indexed
+//! messages in first-edge order, each with its pre-computed MI summand
+//! terms. [`MiCache::combination_mi`] then reproduces
+//! `JointDistribution::from_combination(..).mutual_information(..)`
+//! **bit-identically**: the from-scratch computation visits indexed
+//! messages in first-encounter edge order and accumulates the per-state
+//! terms left to right into a single accumulator, so replaying the cached
+//! terms in the same merged order performs the exact same sequence of
+//! floating-point additions.
+//!
+//! For greedy extension loops (beam search, Step-3 packing) the cache also
+//! exposes [`MiCache::message_delta`]: the *incremental* gain of adding one
+//! more message, exact in real arithmetic and within a few ULPs of the
+//! merged sum in floating point.
+
+use std::collections::HashMap;
+
+use pstrace_flow::{InterleavedFlow, MessageId};
+
+use crate::joint::JointDistribution;
+use crate::pmf::LogBase;
+
+/// One indexed message's cached slice of the MI sum.
+#[derive(Debug, Clone)]
+struct IndexedEntry {
+    /// Position (in `flow.edges()` order) of the first edge labeled with
+    /// this indexed message. Determines the merge order that makes
+    /// [`MiCache::combination_mi`] bit-identical to the from-scratch sum.
+    first_pos: usize,
+    /// The MI summand `p(x,y)·log(p(x,y)/(p(x)·p(y)))` for each target
+    /// state of this indexed message, in ascending state order (the order
+    /// the from-scratch computation visits them).
+    terms: Vec<f64>,
+}
+
+/// A catalog message's cached data: all its indexed instances.
+#[derive(Debug, Clone, Default)]
+struct MessageEntry {
+    /// Indexed instances in first-edge order.
+    ys: Vec<IndexedEntry>,
+    /// Flat sum of all terms (one accumulator, ys then terms in order):
+    /// the message's standalone MI, also its exact additive delta.
+    contribution: f64,
+    /// Total marginal probability mass Σ p(y) over this message's indexed
+    /// instances.
+    marginal_mass: f64,
+}
+
+/// Per-message MI cache over one interleaved flow and one logarithm base.
+///
+/// Build once per `(flow, base)` with [`MiCache::new`], then score any
+/// number of combinations with [`MiCache::combination_mi`] — each scoring
+/// costs a merge of the combination's cached term lists instead of a full
+/// pass over the interleaving's edges.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pstrace_flow::{examples::cache_coherence, instantiate, InterleavedFlow};
+/// use pstrace_infogain::{mutual_information, LogBase, MiCache};
+///
+/// # fn main() -> Result<(), pstrace_flow::FlowError> {
+/// let (flow, catalog) = cache_coherence();
+/// let product = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2))?;
+/// let cache = MiCache::new(&product, LogBase::Nats);
+///
+/// let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+/// // Bit-identical to the from-scratch computation, at a fraction of the
+/// // cost when scoring many combinations.
+/// assert_eq!(
+///     cache.combination_mi(&combo),
+///     mutual_information(&product, &combo, LogBase::Nats),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MiCache {
+    base: LogBase,
+    entries: HashMap<MessageId, MessageEntry>,
+    state_count: usize,
+    total_edges: u64,
+}
+
+impl MiCache {
+    /// Builds the cache in one pass over `flow`'s edges.
+    #[must_use]
+    pub fn new(flow: &InterleavedFlow, base: LogBase) -> Self {
+        // Single-message statistics, keyed by indexed message in
+        // first-encounter order (mirrors JointDistribution's bookkeeping
+        // for the full-alphabet combination).
+        let mut y_order: HashMap<pstrace_flow::IndexedMessage, usize> = HashMap::new();
+        let mut ys: Vec<(pstrace_flow::IndexedMessage, usize)> = Vec::new(); // (y, first_pos)
+        let mut y_counts: Vec<u64> = Vec::new();
+        let mut xy_maps: Vec<HashMap<pstrace_flow::ProductStateId, u64>> = Vec::new();
+
+        for (pos, edge) in flow.edges().iter().enumerate() {
+            let yi = *y_order.entry(edge.message).or_insert_with(|| {
+                ys.push((edge.message, pos));
+                y_counts.push(0);
+                xy_maps.push(HashMap::new());
+                ys.len() - 1
+            });
+            y_counts[yi] += 1;
+            *xy_maps[yi].entry(edge.to).or_insert(0) += 1;
+        }
+
+        let total_edges = flow.edge_count() as u64;
+        let state_count = flow.state_count();
+        let p_x = 1.0 / state_count as f64;
+
+        let mut entries: HashMap<MessageId, MessageEntry> = HashMap::new();
+        for (yi, &(y, first_pos)) in ys.iter().enumerate() {
+            // Exactly the summand sequence of
+            // `JointDistribution::mutual_information` for this y.
+            let mut pairs: Vec<(pstrace_flow::ProductStateId, u64)> =
+                xy_maps[yi].iter().map(|(&s, &c)| (s, c)).collect();
+            pairs.sort_unstable_by_key(|(s, _)| *s);
+            let p_y = y_counts[yi] as f64 / total_edges as f64;
+            let y_total = y_counts[yi] as f64;
+            let terms: Vec<f64> = pairs
+                .iter()
+                .map(|&(_, count)| {
+                    let p_x_given_y = count as f64 / y_total;
+                    let p_xy = p_x_given_y * p_y;
+                    p_xy * base.log(p_xy / (p_x * p_y))
+                })
+                .collect();
+            let entry = entries.entry(y.message).or_default();
+            entry.marginal_mass += p_y;
+            entry.ys.push(IndexedEntry { first_pos, terms });
+        }
+        for entry in entries.values_mut() {
+            // ys were inserted in edge-scan order, so they are already
+            // sorted by first_pos; keep the invariant explicit.
+            entry.ys.sort_unstable_by_key(|y| y.first_pos);
+            let mut sum = 0.0;
+            for y in &entry.ys {
+                for &t in &y.terms {
+                    sum += t;
+                }
+            }
+            entry.contribution = sum;
+        }
+
+        MiCache {
+            base,
+            entries,
+            state_count,
+            total_edges,
+        }
+    }
+
+    /// The logarithm base the cached terms were computed in.
+    #[must_use]
+    pub fn base(&self) -> LogBase {
+        self.base
+    }
+
+    /// Number of product states `|S|` of the underlying interleaving.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Total number of edges of the underlying interleaving (the marginal
+    /// denominator).
+    #[must_use]
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// Mutual information of `combination`, bit-identical to
+    /// [`JointDistribution::from_combination`] followed by
+    /// [`JointDistribution::mutual_information`] with this cache's base.
+    ///
+    /// Duplicate message ids are ignored (as the from-scratch membership
+    /// test does); messages that never label an edge contribute nothing.
+    #[must_use]
+    pub fn combination_mi(&self, combination: &[MessageId]) -> f64 {
+        // Collect the combination's indexed messages and replay their
+        // cached terms in global first-edge order — the exact visit order
+        // of the from-scratch computation.
+        let mut seen: Vec<MessageId> = Vec::with_capacity(combination.len());
+        let mut ys: Vec<&IndexedEntry> = Vec::new();
+        for &m in combination {
+            if seen.contains(&m) {
+                continue;
+            }
+            seen.push(m);
+            if let Some(entry) = self.entries.get(&m) {
+                ys.extend(entry.ys.iter());
+            }
+        }
+        ys.sort_unstable_by_key(|y| y.first_pos);
+        let mut total = 0.0;
+        for y in ys {
+            for &t in &y.terms {
+                total += t;
+            }
+        }
+        total
+    }
+
+    /// The exact incremental MI of adding `message` to any combination not
+    /// already containing it: per-message contributions are disjoint, so
+    /// `MI(C ∪ {m}) = MI(C) + message_delta(m)` in real arithmetic (in
+    /// floating point the two sides agree to a few ULPs; use
+    /// [`MiCache::combination_mi`] where bit-stability matters).
+    ///
+    /// Returns `0.0` for messages that never label an edge.
+    #[must_use]
+    pub fn message_delta(&self, message: MessageId) -> f64 {
+        self.entries.get(&message).map_or(0.0, |e| e.contribution)
+    }
+
+    /// Total marginal mass `Σ p(y)` over `message`'s indexed instances —
+    /// the cached single-message marginal.
+    #[must_use]
+    pub fn message_marginal(&self, message: MessageId) -> f64 {
+        self.entries.get(&message).map_or(0.0, |e| e.marginal_mass)
+    }
+
+    /// Number of indexed instances of `message` observed on edges.
+    #[must_use]
+    pub fn indexed_instance_count(&self, message: MessageId) -> usize {
+        self.entries.get(&message).map_or(0, |e| e.ys.len())
+    }
+
+    /// Debug helper: asserts the cache reproduces the from-scratch value
+    /// for `combination`. Used by tests; cheap enough to call ad hoc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cached and from-scratch values differ in any bit.
+    pub fn verify_against(&self, flow: &InterleavedFlow, combination: &[MessageId]) {
+        let cached = self.combination_mi(combination);
+        let scratch =
+            JointDistribution::from_combination(flow, combination).mutual_information(self.base);
+        assert!(
+            cached.to_bits() == scratch.to_bits(),
+            "cache mismatch for {combination:?}: cached {cached:e} vs scratch {scratch:e}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::{examples::cache_coherence, instantiate};
+    use std::sync::Arc;
+
+    fn product() -> (InterleavedFlow, Arc<pstrace_flow::MessageCatalog>) {
+        let (flow, catalog) = cache_coherence();
+        let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap();
+        (u, catalog)
+    }
+
+    #[test]
+    fn matches_scratch_bitwise_on_all_subsets() {
+        let (u, catalog) = product();
+        let all: Vec<MessageId> = catalog.iter().map(|(id, _)| id).collect();
+        for base in [LogBase::Nats, LogBase::Bits] {
+            let cache = MiCache::new(&u, base);
+            // All 2^n subsets of the running example's alphabet.
+            for mask in 0u32..(1 << all.len()) {
+                let combo: Vec<MessageId> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &m)| m)
+                    .collect();
+                cache.verify_against(&u, &combo);
+            }
+        }
+    }
+
+    #[test]
+    fn order_of_combination_does_not_matter() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let req = catalog.get("ReqE").unwrap();
+        let gnt = catalog.get("GntE").unwrap();
+        assert_eq!(
+            cache.combination_mi(&[req, gnt]).to_bits(),
+            cache.combination_mi(&[gnt, req]).to_bits()
+        );
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let req = catalog.get("ReqE").unwrap();
+        assert_eq!(
+            cache.combination_mi(&[req, req]).to_bits(),
+            cache.combination_mi(&[req]).to_bits()
+        );
+    }
+
+    #[test]
+    fn deltas_are_additive_to_ulp() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let all: Vec<MessageId> = catalog.iter().map(|(id, _)| id).collect();
+        let mut combo: Vec<MessageId> = Vec::new();
+        let mut additive = 0.0;
+        for &m in &all {
+            additive += cache.message_delta(m);
+            combo.push(m);
+            let merged = cache.combination_mi(&combo);
+            assert!(
+                (additive - merged).abs() <= 1e-12 * merged.abs().max(1.0),
+                "additive {additive} vs merged {merged}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_combination_is_zero() {
+        let (u, _) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        assert_eq!(cache.combination_mi(&[]), 0.0);
+    }
+
+    #[test]
+    fn running_example_value() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        let gain = cache.combination_mi(&combo);
+        assert!((gain - (2.0 / 3.0) * 5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_and_instance_counts_match_joint() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        for (m, _) in catalog.iter() {
+            let j = JointDistribution::from_combination(&u, &[m]);
+            let mass: f64 = (0..j.indexed_messages().len()).map(|i| j.p_y(i)).sum();
+            assert!((cache.message_marginal(m) - mass).abs() < 1e-15);
+            assert_eq!(cache.indexed_instance_count(m), j.indexed_messages().len());
+        }
+    }
+}

@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod joint;
 mod mi;
 mod pmf;
 
+pub use cache::MiCache;
 pub use joint::JointDistribution;
 pub use mi::{mutual_information, mutual_information_nats};
 pub use pmf::{entropy_of, LogBase, Pmf, PmfError};

@@ -11,8 +11,7 @@
 //!   ranking. Connectivity hubs — often heavily fanned-out interface
 //!   inputs — score high.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pstrace_rng::Rng64;
 
 use crate::netlist::{Netlist, SignalId};
 use crate::pagerank::{pagerank, PageRankConfig};
@@ -93,7 +92,7 @@ pub fn anneal_select(
     seed: u64,
     iterations: usize,
 ) -> Vec<SignalId> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut current = sigset_select(netlist, reference, budget);
     if current.is_empty() || current.len() >= netlist.flops().len() {
         return current;
@@ -104,20 +103,20 @@ pub fn anneal_select(
 
     for step in 0..iterations {
         let temperature = 0.05 * (1.0 - step as f64 / iterations as f64);
-        let out_idx = rng.gen_range(0..current.len());
+        let out_idx = rng.gen_index(current.len());
         let candidates: Vec<SignalId> = netlist
             .flops()
             .iter()
             .copied()
             .filter(|f| !current.contains(f))
             .collect();
-        let incoming = candidates[rng.gen_range(0..candidates.len())];
+        let incoming = candidates[rng.gen_index(candidates.len())];
         let mut trial = current.clone();
         trial[out_idx] = incoming;
         let trial_srr = restoration_ratio(netlist, &trial, reference);
         let accept = trial_srr > current_srr
             || (temperature > 0.0
-                && rng.gen::<f64>() < ((trial_srr - current_srr) / temperature).exp());
+                && rng.gen_f64() < ((trial_srr - current_srr) / temperature).exp());
         if accept {
             current = trial;
             current_srr = trial_srr;

@@ -1,7 +1,6 @@
 //! Cycle-accurate netlist simulation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pstrace_rng::Rng64;
 
 use crate::logic::Trit;
 use crate::netlist::{Driver, Netlist, SignalId};
@@ -89,10 +88,10 @@ impl RandomStimulus {
     /// inputs.
     #[must_use]
     pub fn new(netlist: &Netlist, cycles: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let inputs = netlist.inputs().to_vec();
         let bits = (0..cycles)
-            .map(|_| (0..inputs.len()).map(|_| rng.gen()).collect())
+            .map(|_| (0..inputs.len()).map(|_| rng.gen_bool()).collect())
             .collect();
         RandomStimulus { bits, inputs }
     }

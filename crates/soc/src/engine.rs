@@ -12,10 +12,8 @@
 //! The event stream plays the role of the System-Verilog monitors of the
 //! paper's Figure 4: design activity already lifted to flow messages.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pstrace_flow::{FlowIndex, IndexedFlow, IndexedMessage, StateId};
+use pstrace_rng::Rng64;
 
 use crate::ip::Ip;
 use crate::protocol::SocModel;
@@ -218,14 +216,14 @@ impl<'m> Simulator<'m> {
     /// interceptor's actions, so a golden and a buggy run with the same
     /// seed diverge only where the bug acts.
     pub fn run_with(&self, interceptor: &mut dyn MessageInterceptor) -> SimOutcome {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let mut instances: Vec<InstanceState> = self
             .scenario
             .instances(self.model)
             .into_iter()
             .map(|flow| {
                 let current = flow.flow().initial_states()[0];
-                let ready_at = rng.gen_range(0..=self.config.start_jitter);
+                let ready_at = rng.gen_range_u64(0, self.config.start_jitter);
                 InstanceState {
                     flow,
                     current,
@@ -325,7 +323,7 @@ impl<'m> Simulator<'m> {
                 continue;
             }
             // Random arbitration among ready instances.
-            let chosen = ready[rng.gen_range(0..ready.len())];
+            let chosen = ready[rng.gen_index(ready.len())];
             let flow = instances[chosen].flow.flow().clone();
             let index = instances[chosen].flow.index();
             let out_edges: Vec<pstrace_flow::Edge> = flow
@@ -343,7 +341,7 @@ impl<'m> Simulator<'m> {
                 !out_edges.is_empty(),
                 "unblocked instances have a sendable edge"
             );
-            let edge = out_edges[rng.gen_range(0..out_edges.len())];
+            let edge = out_edges[rng.gen_index(out_edges.len())];
 
             let message = IndexedMessage::new(edge.message, index);
             let occurrence = {
@@ -382,13 +380,14 @@ impl<'m> Simulator<'m> {
                     if flow.is_stop(edge.to) {
                         instances[chosen].done = true;
                     }
-                    let latency = rng.gen_range(self.config.min_latency..=self.config.max_latency);
+                    let latency =
+                        rng.gen_range_u64(self.config.min_latency, self.config.max_latency);
                     instances[chosen].ready_at = now + latency;
                     if credit_cap.is_some() && action == InterceptAction::Deliver {
                         // The receiver frees the buffer entry one latency
                         // after delivery; a leak never returns it.
                         let return_latency =
-                            rng.gen_range(self.config.min_latency..=self.config.max_latency);
+                            rng.gen_range_u64(self.config.min_latency, self.config.max_latency);
                         credit_returns.push((now + latency + return_latency, channel));
                     }
                     // Atomic token bookkeeping.

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Mirrors .github/workflows/ci.yml exactly, so a green run here means a
+# green run there. Usage: scripts/ci-local.sh [--skip-msrv]
+#
+# The MSRV leg needs the 1.75 toolchain installed (rustup toolchain
+# install 1.75); pass --skip-msrv when it is not available locally.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+skip_msrv=false
+for arg in "$@"; do
+    case "$arg" in
+    --skip-msrv) skip_msrv=true ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# job: test (stable)
+run cargo build --release --locked
+run cargo test -q --locked
+run cargo test -q --locked --workspace
+
+# job: test (MSRV)
+if ! $skip_msrv; then
+    if rustup toolchain list 2>/dev/null | grep -q '^1\.75'; then
+        run cargo +1.75 build --release --locked
+        run cargo +1.75 test -q --locked
+        run cargo +1.75 test -q --locked --workspace
+    else
+        echo "==> MSRV toolchain 1.75 not installed; skipping (use rustup toolchain install 1.75)"
+    fi
+fi
+
+# job: lint
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> ci-local: all green"

@@ -46,7 +46,10 @@ fn dsl_protocol_end_to_end() {
         .collect();
     let product = InterleavedFlow::build(&instances).expect("interleaves");
     let total = path_count(&product);
-    assert!(total > 1000, "3 packets x retry branches x interleavings: {total}");
+    assert!(
+        total > 1000,
+        "3 packets x retry branches x interleavings: {total}"
+    );
 
     // Select for a 12-bit buffer; the 16-bit data cannot fit whole, but
     // its 4-bit tag subgroup can pack.
@@ -69,7 +72,12 @@ fn dsl_protocol_end_to_end() {
     // projection onto the selection, and localize.
     let exec = executions(&product).nth(7).expect("plenty of paths");
     let observed = exec.project(&report.effective_messages);
-    let loc = localize(&product, &observed, &report.effective_messages, MatchMode::Exact);
+    let loc = localize(
+        &product,
+        &observed,
+        &report.effective_messages,
+        MatchMode::Exact,
+    );
     assert!(loc.consistent >= 1);
     assert!(
         loc.fraction() < 0.05,
@@ -79,12 +87,8 @@ fn dsl_protocol_end_to_end() {
 
     // A truncated observation (hang) still matches as a prefix.
     let cut = &observed[..observed.len() / 2];
-    let prefix_hits = consistent_paths(
-        &product,
-        cut,
-        &report.effective_messages,
-        MatchMode::Prefix,
-    );
+    let prefix_hits =
+        consistent_paths(&product, cut, &report.effective_messages, MatchMode::Prefix);
     assert!(prefix_hits >= loc.consistent);
 }
 
