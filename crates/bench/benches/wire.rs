@@ -1,0 +1,90 @@
+//! Wire codec throughput: encode and decode cost for selection-derived
+//! frame streams, and the chunked decoder's scaling across the
+//! [`Parallelism`] settings (sequential vs chunked output is
+//! bit-identical, so the curves measure pure wall-clock).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pstrace_core::{Parallelism, SelectionConfig, Selector, TraceBufferSpec};
+use pstrace_flow::{FlowIndex, IndexedMessage};
+use pstrace_soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace_wire::{decode_stream_chunked, encode_records, WireRecord, WireSchema};
+
+/// Builds the scenario-1 selection schema over the paper's 32-bit buffer
+/// plus a long synthetic record stream that exercises every slot.
+fn setup(records: usize) -> (WireSchema, Vec<WireRecord>) {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let selection = Selector::new(
+        &scenario.interleaving(&model).expect("interleaves"),
+        SelectionConfig::new(buffer),
+    )
+    .select()
+    .expect("selection succeeds");
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: None,
+    };
+    let schema =
+        wirecap::wire_schema(&model, &config, buffer.width_bits()).expect("schema fits buffer");
+    let slots = schema.slots().to_vec();
+    let stream: Vec<WireRecord> = (0..records)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    (schema, stream)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (schema, records) = setup(20_000);
+    let mut group = c.benchmark_group("wire_encode_20k_records");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("unbounded", |b| {
+        b.iter(|| black_box(encode_records(&schema, &records, None).expect("encodes")));
+    });
+    group.bench_function("depth_4096_ring", |b| {
+        b.iter(|| black_box(encode_records(&schema, &records, Some(4096)).expect("encodes")));
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (schema, records) = setup(20_000);
+    let stream = encode_records(&schema, &records, None).expect("encodes");
+    let mut group = c.benchmark_group(format!("wire_decode_{}_bytes", stream.bytes.len()));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let settings = [
+        ("seq".to_owned(), Parallelism::Off),
+        ("threads_2".to_owned(), Parallelism::threads(2)),
+        ("threads_4".to_owned(), Parallelism::threads(4)),
+        ("auto".to_owned(), Parallelism::Auto),
+    ];
+    for (label, parallelism) in settings {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(decode_stream_chunked(
+                    &schema,
+                    &stream.bytes,
+                    Some(stream.bit_len),
+                    parallelism,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

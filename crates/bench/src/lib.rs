@@ -51,6 +51,7 @@ pub fn run_all_case_studies(
                 buffer_bits: PAPER_BUFFER_BITS,
                 packing: true,
                 depth: None,
+                wire: false,
             },
         )?;
         let without = run_case_study(
@@ -60,6 +61,7 @@ pub fn run_all_case_studies(
                 buffer_bits: PAPER_BUFFER_BITS,
                 packing: false,
                 depth: None,
+                wire: false,
             },
         )?;
         out.push((cs, with, without));

@@ -8,7 +8,10 @@ use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBuffer
 use pstrace_diag::{run_case_study, scenario_causes, CaseStudyConfig};
 use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
 use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
-use pstrace_soc::{FlowKind, SimConfig, Simulator, SocModel, UsageScenario};
+use pstrace_soc::{
+    tracefile, value::mask_to_width, wirecap, FlowKind, SimConfig, Simulator, SocModel,
+    TraceBufferConfig, UsageScenario,
+};
 
 use crate::args::Args;
 
@@ -41,6 +44,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "usb" => cmd_usb(rest),
         "stats" => cmd_stats(),
         "select-file" => cmd_select_file(rest),
+        "trace" => cmd_trace(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -55,8 +59,12 @@ fn print_help() {
     println!("           [--threads N|auto|off]        run Steps 1-3 message selection");
     println!("  simulate --scenario N [--seed S] [--bug ID] [--trace]");
     println!("                                         run the SoC simulator");
-    println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing]");
+    println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing] [--wire]");
     println!("                                         run a debugging case study");
+    println!("  trace    encode FILE --out OUT.ptw [--scenario N] [--buffer BITS]");
+    println!("           [--no-packing] [--depth D]    pack a text trace into .ptw frames");
+    println!("  trace    decode FILE [--out OUT.txt] [--threads N|auto|off]");
+    println!("                                         decode a .ptw stream back to text");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -243,7 +251,7 @@ fn cmd_simulate(argv: &[String]) -> CmdResult {
 fn cmd_debug(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing"],
+        &["no-packing", "wire"],
         &["case", "buffer", "depth"],
     )?;
     let model = SocModel::t2();
@@ -253,10 +261,15 @@ fn cmd_debug(argv: &[String]) -> CmdResult {
         .iter()
         .find(|c| c.number == case_no)
         .ok_or_else(|| format!("no case study {case_no}; use 1-5"))?;
+    let depth = args.option_opt("depth")?;
+    if depth == Some(0) {
+        return Err("--depth must be at least 1 entry".into());
+    }
     let config = CaseStudyConfig {
         buffer_bits: args.option_or("buffer", 32u32)?,
         packing: !args.flag("no-packing"),
-        depth: args.option_opt("depth")?,
+        depth,
+        wire: args.flag("wire"),
     };
     let report = run_case_study(&model, case, config)?;
     print!("{}", report.render(&model));
@@ -395,6 +408,141 @@ fn cmd_select_file(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+fn cmd_trace(argv: &[String]) -> CmdResult {
+    match argv.split_first() {
+        Some((sub, rest)) if sub == "encode" => cmd_trace_encode(rest),
+        Some((sub, rest)) if sub == "decode" => cmd_trace_decode(rest),
+        Some((other, _)) => {
+            Err(format!("unknown trace subcommand `{other}`; use encode or decode").into())
+        }
+        None => Err("trace needs a subcommand: encode or decode".into()),
+    }
+}
+
+/// Packs a text trace file into `.ptw` wire frames through the
+/// scenario's selection-derived schema: records outside the selection
+/// are dropped (as the real buffer would drop them), full records of a
+/// packed parent are truncated to the subgroup lane.
+fn cmd_trace_encode(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["no-packing"],
+        &["scenario", "buffer", "depth", "out"],
+    )?;
+    let input = args
+        .positional()
+        .first()
+        .ok_or("trace encode needs an input trace file")?;
+    let out_path = args.option("out").ok_or("trace encode needs --out FILE")?;
+    let depth: Option<usize> = args.option_opt("depth")?;
+    if depth == Some(0) {
+        return Err("--depth must be at least 1 entry".into());
+    }
+
+    let model = SocModel::t2();
+    let trace = tracefile::read_trace(&model, &std::fs::read_to_string(input)?)?;
+
+    let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
+    let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
+    let mut sel_config = SelectionConfig::new(buffer);
+    sel_config.packing = !args.flag("no-packing");
+    let selection = Selector::new(&scenario.interleaving(&model)?, sel_config).select()?;
+    let trace_config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth,
+    };
+    let schema = wirecap::wire_schema(&model, &trace_config, buffer.width_bits())?;
+
+    let mut enc = wirecap::Encoder::new(&schema, depth);
+    let mut dropped = 0usize;
+    for r in trace.records() {
+        let m = r.message.message;
+        if schema.slot_for(m, r.partial).is_some() {
+            enc.push(&wirecap::WireRecord {
+                time: r.time,
+                message: r.message,
+                value: r.value,
+                partial: r.partial,
+            })?;
+        } else if let Some((_, slot)) = (!r.partial).then(|| schema.slot_for(m, true)).flatten() {
+            // Full record of a packed parent: the buffer records only the
+            // subgroup bits.
+            enc.push(&wirecap::WireRecord {
+                time: r.time,
+                message: r.message,
+                value: mask_to_width(r.value, slot.width),
+                partial: true,
+            })?;
+        } else {
+            dropped += 1;
+        }
+    }
+    let stream = enc.finish();
+    std::fs::write(
+        out_path,
+        wirecap::write_ptw(model.catalog(), &schema, &stream),
+    )?;
+    println!(
+        "encoded {} frames of {} bits ({} records dropped by the selection, {} lost to wraparound)",
+        stream.frames,
+        schema.frame_bits(),
+        dropped,
+        enc.overwritten()
+    );
+    println!(
+        "occupancy {} of {} body bits ({:.2} % utilization) -> {out_path}",
+        schema.occupied_bits(),
+        schema.body_width(),
+        schema.utilization() * 100.0
+    );
+    Ok(())
+}
+
+/// Decodes a `.ptw` stream back into the text trace format, reporting
+/// damaged frames and the measured buffer utilization.
+fn cmd_trace_decode(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["out", "threads"])?;
+    let input = args
+        .positional()
+        .first()
+        .ok_or("trace decode needs an input .ptw file")?;
+    let model = SocModel::t2();
+    let (schema, stream) = wirecap::read_ptw(model.catalog(), &std::fs::read(input)?)?;
+    let (trace, report) = wirecap::decode_capture(
+        &schema,
+        &stream.bytes,
+        Some(stream.bit_len),
+        parse_parallelism(&args)?,
+    );
+    println!(
+        "decoded {} frames: {} records, {} idle, {} damaged ({:.2} % measured utilization)",
+        report.frames,
+        trace.len(),
+        report.idle_frames,
+        report.damaged.len(),
+        report.utilization() * 100.0
+    );
+    for d in &report.damaged {
+        println!("  damaged frame {}: {}", d.frame, d.reason);
+    }
+    if !report.tail_clean {
+        println!(
+            "  {} dirty trailing bits past the last frame (truncated stream?)",
+            report.trailing_bits
+        );
+    }
+    let text = tracefile::write_trace(&model, &trace);
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!("wrote {} records to {path}", trace.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_stats() -> CmdResult {
     let usb = UsbDesign::new();
     let stats = pstrace_rtl::netlist_stats(&usb.netlist);
@@ -509,6 +657,87 @@ mod tests {
         assert!(dispatch(&argv(&["debug", "--case", "1"])).is_ok());
         assert!(dispatch(&argv(&["debug", "--case", "3", "--depth", "4"])).is_ok());
         assert!(dispatch(&argv(&["debug", "--case", "9"])).is_err());
+        assert!(dispatch(&argv(&["debug", "--case", "2", "--wire"])).is_ok());
+        assert!(
+            dispatch(&argv(&["debug", "--case", "1", "--depth", "0"])).is_err(),
+            "zero depth must be rejected before capture"
+        );
+    }
+
+    #[test]
+    fn trace_encode_decode_round_trips() {
+        let dir = std::env::temp_dir();
+        let txt = dir.join("pstrace_cli_wire.txt");
+        let ptw = dir.join("pstrace_cli_wire.ptw");
+        let back = dir.join("pstrace_cli_wire_back.txt");
+        let txt_s = txt.to_string_lossy().to_string();
+        let ptw_s = ptw.to_string_lossy().to_string();
+        let back_s = back.to_string_lossy().to_string();
+
+        assert!(dispatch(&argv(&["simulate", "--scenario", "1", "--save", &txt_s])).is_ok());
+        assert!(dispatch(&argv(&[
+            "trace",
+            "encode",
+            &txt_s,
+            "--out",
+            &ptw_s,
+            "--scenario",
+            "1"
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&[
+            "trace",
+            "decode",
+            &ptw_s,
+            "--out",
+            &back_s,
+            "--threads",
+            "2"
+        ]))
+        .is_ok());
+
+        // The decoded records are exactly the input records the selection
+        // keeps (modulo subgroup truncation), so decoding is idempotent:
+        // a second encode→decode trip reproduces the same text file.
+        let ptw2 = dir.join("pstrace_cli_wire2.ptw");
+        let back2 = dir.join("pstrace_cli_wire_back2.txt");
+        let ptw2_s = ptw2.to_string_lossy().to_string();
+        let back2_s = back2.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&[
+            "trace",
+            "encode",
+            &back_s,
+            "--out",
+            &ptw2_s,
+            "--scenario",
+            "1"
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&["trace", "decode", &ptw2_s, "--out", &back2_s])).is_ok());
+        let first = std::fs::read_to_string(&back).unwrap();
+        let second = std::fs::read_to_string(&back2).unwrap();
+        assert_eq!(first, second);
+        assert!(!first.trim().is_empty());
+
+        for p in [txt, ptw, back, ptw2, back2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn trace_subcommand_rejects_bad_input() {
+        assert!(dispatch(&argv(&["trace"])).is_err());
+        assert!(dispatch(&argv(&["trace", "transcode"])).is_err());
+        assert!(dispatch(&argv(&["trace", "encode"])).is_err());
+        assert!(dispatch(&argv(&["trace", "decode", "/nonexistent.ptw"])).is_err());
+        let tmp = std::env::temp_dir().join("pstrace_cli_not_ptw.bin");
+        std::fs::write(&tmp, b"this is not a wire stream").unwrap();
+        let p = tmp.to_string_lossy().to_string();
+        assert!(
+            dispatch(&argv(&["trace", "decode", &p])).is_err(),
+            "bad magic must error, not panic"
+        );
+        std::fs::remove_file(&tmp).ok();
     }
 
     #[test]

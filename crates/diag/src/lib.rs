@@ -53,5 +53,7 @@ pub use localize::{
     consistent_paths, consistent_paths_bruteforce, localize, Localization, LocalizationStats,
     MatchMode,
 };
-pub use report::{run_case_study, run_case_study_with_seed, CaseStudyConfig, CaseStudyReport};
+pub use report::{
+    run_case_study, run_case_study_with_seed, CaseStudyConfig, CaseStudyReport, WireTripSummary,
+};
 pub use walk::{investigate, InvestigationWalk, WalkStep};

@@ -8,9 +8,12 @@
 //! computed from that captured trace.
 
 use pstrace_bug::{bug_catalog, detect_symptom, BugInterceptor, CaseStudy, Symptom};
-use pstrace_core::{SelectError, SelectionConfig, SelectionReport, Selector, TraceBufferSpec};
+use pstrace_core::{
+    Parallelism, SelectError, SelectionConfig, SelectionReport, Selector, TraceBufferSpec,
+};
 use pstrace_soc::{
-    capture, CapturedTrace, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario,
+    capture, wirecap, CapturedTrace, SimConfig, SimOutcome, Simulator, SocModel, TraceBufferConfig,
+    UsageScenario,
 };
 
 use crate::causes::{evaluate_causes, scenario_causes, CauseReport};
@@ -28,6 +31,11 @@ pub struct CaseStudyConfig {
     /// Circular trace-buffer depth in entries; `None` models a streaming
     /// trace port that never wraps.
     pub depth: Option<usize>,
+    /// Route captures through the bit-level wire codec: encode the event
+    /// stream into frames, decode it back, and debug from the *decoded*
+    /// trace — exercising the full `decode(encode(x)) == capture(x)`
+    /// contract on every run.
+    pub wire: bool,
 }
 
 impl Default for CaseStudyConfig {
@@ -36,8 +44,24 @@ impl Default for CaseStudyConfig {
             buffer_bits: 32,
             packing: true,
             depth: None,
+            wire: false,
         }
     }
+}
+
+/// What the wire round trip of one case study measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireTripSummary {
+    /// Total width of one frame (tag + index + time + body) in bits.
+    pub frame_bits: u32,
+    /// Frames in the golden run's stream.
+    pub golden_frames: usize,
+    /// Frames in the buggy run's stream.
+    pub buggy_frames: usize,
+    /// Measured per-frame body occupancy over body width.
+    pub measured_utilization: f64,
+    /// Whether both streams decoded without damage.
+    pub clean: bool,
 }
 
 /// Everything a case-study run produced.
@@ -59,6 +83,9 @@ pub struct CaseStudyReport {
     pub causes: CauseReport,
     /// The backtracking investigation walk.
     pub walk: InvestigationWalk,
+    /// Wire round-trip measurements (`Some` when the run was routed
+    /// through the codec).
+    pub wire: Option<WireTripSummary>,
 }
 
 impl CaseStudyReport {
@@ -111,6 +138,17 @@ impl CaseStudyReport {
             self.selection.utilization() * 100.0,
             self.selection.coverage() * 100.0
         );
+        if let Some(w) = &self.wire {
+            let _ = writeln!(
+                out,
+                "  wire round trip : {} + {} frames of {} bits, {:.2}% measured, {}",
+                w.golden_frames,
+                w.buggy_frames,
+                w.frame_bits,
+                w.measured_utilization * 100.0,
+                if w.clean { "clean" } else { "DAMAGED" }
+            );
+        }
         match &self.symptom {
             Some(s) => {
                 let _ = writeln!(out, "  symptom         : {s}");
@@ -199,8 +237,41 @@ pub fn run_case_study_with_seed(
         groups: selection.packed_groups.clone(),
         depth: config.depth,
     };
-    let golden_capture = capture(model, &golden, &trace_config);
-    let buggy_capture = capture(model, &buggy, &trace_config);
+    // Either capture directly at the record level, or push the events
+    // through the wire codec and debug from the decoded streams.
+    let mut wire_summary = None;
+    let (golden_capture, buggy_capture) = if config.wire {
+        let schema = wirecap::wire_schema(model, &trace_config, config.buffer_bits)
+            .expect("a selection-derived schema fits its own buffer");
+        let trip = |events: &SimOutcome| {
+            let stream =
+                wirecap::encode_events(model.catalog(), &schema, &events.events, &trace_config)
+                    .expect("simulated records fit the schema's field widths");
+            let frames = stream.frames;
+            let (trace, report) = wirecap::decode_capture(
+                &schema,
+                &stream.bytes,
+                Some(stream.bit_len),
+                Parallelism::Off,
+            );
+            (trace, frames, report.is_clean(), report.utilization())
+        };
+        let (golden_trace, golden_frames, golden_clean, utilization) = trip(&golden);
+        let (buggy_trace, buggy_frames, buggy_clean, _) = trip(&buggy);
+        wire_summary = Some(WireTripSummary {
+            frame_bits: schema.frame_bits(),
+            golden_frames,
+            buggy_frames,
+            measured_utilization: utilization,
+            clean: golden_clean && buggy_clean,
+        });
+        (golden_trace, buggy_trace)
+    } else {
+        (
+            capture(model, &golden, &trace_config),
+            capture(model, &buggy, &trace_config),
+        )
+    };
 
     // Path localization mode: a complete capture of a complete run is
     // matched exactly; a hung run only constrains a prefix; a wrapped
@@ -241,6 +312,7 @@ pub fn run_case_study_with_seed(
         localization,
         causes: cause_report,
         walk,
+        wire: wire_summary,
     })
 }
 
@@ -283,6 +355,7 @@ mod tests {
                     buffer_bits: 32,
                     packing: true,
                     depth: None,
+                    wire: false,
                 },
             )
             .unwrap();
@@ -293,6 +366,7 @@ mod tests {
                     buffer_bits: 32,
                     packing: false,
                     depth: None,
+                    wire: false,
                 },
             )
             .unwrap();
@@ -342,6 +416,7 @@ mod tests {
                     buffer_bits: 32,
                     packing: true,
                     depth: Some(3),
+                    wire: false,
                 },
             )
             .unwrap();
@@ -357,6 +432,45 @@ mod tests {
                 "case {}",
                 cs.number
             );
+        }
+    }
+
+    #[test]
+    fn wire_mode_reproduces_direct_capture_exactly() {
+        // Tentpole acceptance: for every case study, debugging from the
+        // decoded wire stream is indistinguishable from debugging from the
+        // directly modeled capture.
+        let model = SocModel::t2();
+        for cs in case_studies() {
+            let direct = run_case_study(&model, &cs, CaseStudyConfig::default()).unwrap();
+            let wired = run_case_study(
+                &model,
+                &cs,
+                CaseStudyConfig {
+                    wire: true,
+                    ..CaseStudyConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(wired.captured, direct.captured, "case {}", cs.number);
+            assert_eq!(
+                wired.localization, direct.localization,
+                "case {}",
+                cs.number
+            );
+            assert_eq!(wired.symptom, direct.symptom, "case {}", cs.number);
+            let summary = wired.wire.expect("wire mode records a summary");
+            assert!(summary.clean, "case {}: wire stream damaged", cs.number);
+            assert!(
+                (summary.measured_utilization - wired.selection.utilization()).abs() < 1e-12,
+                "case {}: measured {} vs modeled {}",
+                cs.number,
+                summary.measured_utilization,
+                wired.selection.utilization()
+            );
+            assert!(direct.wire.is_none());
+            let text = wired.render(&model);
+            assert!(text.contains("wire round trip"));
         }
     }
 

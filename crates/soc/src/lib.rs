@@ -39,6 +39,7 @@ mod scenario;
 mod trace;
 pub mod tracefile;
 pub mod value;
+pub mod wirecap;
 
 pub use engine::{
     InterceptAction, MessageEvent, MessageInterceptor, NoIntercept, RunStatus, SimConfig,

@@ -40,8 +40,19 @@ impl TraceBufferConfig {
     }
 
     /// Returns this config with a circular-buffer depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `depth == 0`: a zero-entry circular buffer can never
+    /// hold a record, so a config claiming that depth is a bug at the
+    /// call site, not an empty trace waiting to happen. Use an explicit
+    /// empty message selection to model "capture nothing".
     #[must_use]
     pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(
+            depth > 0,
+            "circular trace-buffer depth must be at least 1 entry"
+        );
         self.depth = Some(depth);
         self
     }
@@ -145,42 +156,62 @@ pub fn capture(
     capture_events(model, &outcome.events, config)
 }
 
+/// The record a single event leaves in the buffer, if the configuration
+/// observes its message: the full payload for fully traced messages, or
+/// the payload truncated to the widest traced subgroup. Shared by the
+/// modeled capture path and the wire encoder so both see identical
+/// filtering semantics.
+#[must_use]
+pub(crate) fn record_for_event(
+    catalog: &pstrace_flow::MessageCatalog,
+    config: &TraceBufferConfig,
+    e: &MessageEvent,
+) -> Option<TraceRecord> {
+    let m = e.message.message;
+    if config.messages.contains(&m) {
+        return Some(TraceRecord {
+            time: e.time,
+            message: e.message,
+            value: e.value,
+            partial: false,
+        });
+    }
+    // Widest traced subgroup of this message, if any.
+    config
+        .groups
+        .iter()
+        .map(|&g| catalog.group(g))
+        .filter(|g| g.parent() == m)
+        .max_by_key(|g| g.width())
+        .map(|group| TraceRecord {
+            time: e.time,
+            message: e.message,
+            value: mask_to_width(e.value, group.width()),
+            partial: true,
+        })
+}
+
 /// [`capture`] over a raw event slice.
+///
+/// # Panics
+///
+/// Panics when the configuration declares a zero circular depth (see
+/// [`TraceBufferConfig::with_depth`]).
 #[must_use]
 pub fn capture_events(
     model: &SocModel,
     events: &[MessageEvent],
     config: &TraceBufferConfig,
 ) -> CapturedTrace {
+    assert!(
+        config.depth != Some(0),
+        "circular trace-buffer depth must be at least 1 entry"
+    );
     let catalog = model.catalog();
-    let mut records = Vec::new();
-    for e in events {
-        let m = e.message.message;
-        if config.messages.contains(&m) {
-            records.push(TraceRecord {
-                time: e.time,
-                message: e.message,
-                value: e.value,
-                partial: false,
-            });
-            continue;
-        }
-        // Widest traced subgroup of this message, if any.
-        let best_group = config
-            .groups
-            .iter()
-            .map(|&g| catalog.group(g))
-            .filter(|g| g.parent() == m)
-            .max_by_key(|g| g.width());
-        if let Some(group) = best_group {
-            records.push(TraceRecord {
-                time: e.time,
-                message: e.message,
-                value: mask_to_width(e.value, group.width()),
-                partial: true,
-            });
-        }
-    }
+    let mut records: Vec<TraceRecord> = events
+        .iter()
+        .filter_map(|e| record_for_event(catalog, config, e))
+        .collect();
     if let Some(depth) = config.depth {
         // Circular buffer: only the newest `depth` records survive.
         if records.len() > depth {
@@ -307,6 +338,40 @@ mod tests {
             &TraceBufferConfig::messages_only(&all).with_depth(1000),
         );
         assert_eq!(roomy, unbounded);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 entry")]
+    fn zero_depth_is_rejected_at_config_time() {
+        let _ = TraceBufferConfig::default().with_depth(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 entry")]
+    fn zero_depth_is_rejected_at_capture_time() {
+        // A config built literally (bypassing `with_depth`) still fails
+        // loudly at the capture boundary instead of capturing nothing.
+        let (model, out) = run();
+        let config = TraceBufferConfig {
+            messages: Vec::new(),
+            groups: Vec::new(),
+            depth: Some(0),
+        };
+        let _ = capture(&model, &out, &config);
+    }
+
+    #[test]
+    fn depth_one_is_the_smallest_legal_buffer() {
+        let (model, out) = run();
+        let all = UsageScenario::scenario1().messages(&model);
+        let trace = capture(
+            &model,
+            &out,
+            &TraceBufferConfig::messages_only(&all).with_depth(1),
+        );
+        assert_eq!(trace.len(), 1, "exactly the newest record survives");
+        let unbounded = capture(&model, &out, &TraceBufferConfig::messages_only(&all));
+        assert_eq!(trace.records()[0], *unbounded.records().last().unwrap());
     }
 
     #[test]

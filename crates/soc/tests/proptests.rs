@@ -1,8 +1,11 @@
 //! Property-based tests for the SoC simulator.
 
 use proptest::prelude::*;
-use pstrace_flow::{InterleavedFlow, ProductStateId};
-use pstrace_soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace_flow::{FlowIndex, IndexedMessage, InterleavedFlow, ProductStateId};
+use pstrace_soc::{
+    capture, tracefile, CapturedTrace, SimConfig, Simulator, SocModel, TraceBufferConfig,
+    TraceRecord, UsageScenario,
+};
 
 /// Replays an observed indexed-message sequence against the scenario's
 /// interleaved flow, returning the reached product state if the sequence is
@@ -93,5 +96,97 @@ proptest! {
             .map(|e| e.message)
             .collect();
         prop_assert_eq!(trace.message_sequence(), expected);
+    }
+
+    /// Trace files round-trip arbitrary valid records exactly: any record
+    /// sequence over the model's catalog survives write → read unchanged.
+    #[test]
+    fn tracefile_round_trips_arbitrary_records(
+        parts in proptest::collection::vec(
+            (any::<u64>(), any::<u32>(), any::<u8>(), any::<u64>(), any::<bool>()),
+            0..64,
+        ),
+    ) {
+        let model = SocModel::t2();
+        let messages = UsageScenario::scenario1().messages(&model);
+        let records: Vec<TraceRecord> = parts
+            .iter()
+            .map(|&(time, index, pick, value, partial)| TraceRecord {
+                time,
+                message: IndexedMessage::new(
+                    messages[usize::from(pick) % messages.len()],
+                    FlowIndex(index),
+                ),
+                value,
+                partial,
+            })
+            .collect();
+        let trace = CapturedTrace::from_records(records);
+        let text = tracefile::write_trace(&model, &trace);
+        let back = tracefile::read_trace(&model, &text);
+        prop_assert_eq!(back, Ok(trace));
+    }
+
+    /// Every malformed line is rejected with `Malformed` (or
+    /// `UnknownMessage`) carrying the correct 1-based line number — never
+    /// a panic, never a silently skipped record.
+    #[test]
+    fn tracefile_flags_malformed_lines_precisely(
+        n_good in 0usize..12,
+        corrupt_at in any::<u8>(),
+        kind in 0u8..8,
+    ) {
+        let model = SocModel::t2();
+        let messages = UsageScenario::scenario1().messages(&model);
+        let records: Vec<TraceRecord> = (0..n_good)
+            .map(|i| TraceRecord {
+                time: i as u64,
+                message: IndexedMessage::new(messages[i % messages.len()], FlowIndex(1)),
+                value: i as u64,
+                partial: false,
+            })
+            .collect();
+        let trace = CapturedTrace::from_records(records);
+        let mut lines: Vec<String> = tracefile::write_trace(&model, &trace)
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        let bad = match kind {
+            0 => "garbage",
+            1 => "1 2 3",
+            2 => "x 1 siincu 0x0 0",
+            3 => "1 x siincu 0x0 0",
+            4 => "1 1 siincu 12 0",
+            5 => "1 1 siincu 0xZZ 0",
+            6 => "1 1 siincu 0x0 7",
+            _ => "1 1 ghost 0x0 0",
+        };
+        // Insert after the header, somewhere among the records.
+        let at = 1 + usize::from(corrupt_at) % (n_good + 1);
+        lines.insert(at, bad.to_owned());
+        let text = lines.join("\n");
+        let err = tracefile::read_trace(&model, &text).unwrap_err();
+        let expected_line = at + 1; // line numbers are 1-based
+        match err {
+            tracefile::TraceFileError::Malformed { line, .. } => {
+                prop_assert!(kind < 7, "ghost message must be UnknownMessage");
+                prop_assert_eq!(line, expected_line);
+            }
+            tracefile::TraceFileError::UnknownMessage { line, name } => {
+                prop_assert_eq!(kind, 7);
+                prop_assert_eq!(name.as_str(), "ghost");
+                prop_assert_eq!(line, expected_line);
+            }
+            other => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the parser: every input yields Ok or a
+    /// structured error.
+    #[test]
+    fn tracefile_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let model = SocModel::t2();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = tracefile::read_trace(&model, &text);
     }
 }

@@ -1,0 +1,220 @@
+//! Bit-granular packing primitives.
+//!
+//! The wire stream is a flat sequence of bit fields with no byte
+//! alignment: bit `k` of the stream lives in byte `k / 8` at bit position
+//! `k % 8` (LSB-first within little-endian bytes). A field of width `w`
+//! written at stream position `p` occupies stream bits `p .. p + w`,
+//! least-significant field bit first. The final byte of a serialized
+//! stream is zero-padded.
+
+/// Appends bit fields to a growing byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Total bits written so far.
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `width` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits above `width` set —
+    /// encoders must validate ranges before serializing.
+    pub fn write(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "field width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} exceeds {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = value;
+        while remaining > 0 {
+            let bit_in_byte = (self.bit_len % 8) as u32;
+            if bit_in_byte == 0 {
+                self.bytes.push(0);
+            }
+            let take = remaining.min(8 - bit_in_byte);
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
+            let chunk = (v & mask) as u8;
+            *self.bytes.last_mut().expect("byte pushed above") |= chunk << bit_in_byte;
+            v >>= take;
+            remaining -= take;
+            self.bit_len += u64::from(take);
+        }
+    }
+
+    /// Total bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Consumes the writer, returning the zero-padded byte buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The bytes written so far (final byte zero-padded).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bit fields from a byte slice at an arbitrary bit offset.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Current position in bits from the start of `bytes`.
+    pos: u64,
+    /// Total readable bits (may end mid-byte).
+    bit_len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over the first `bit_len` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` exceeds the bits available in `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], bit_len: u64) -> Self {
+        assert!(
+            bit_len <= bytes.len() as u64 * 8,
+            "bit_len {bit_len} exceeds buffer ({} bits)",
+            bytes.len() * 8
+        );
+        BitReader {
+            bytes,
+            pos: 0,
+            bit_len,
+        }
+    }
+
+    /// Repositions the reader to an absolute bit offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is beyond the readable length.
+    pub fn seek(&mut self, pos: u64) {
+        assert!(pos <= self.bit_len, "seek past end");
+        self.pos = pos;
+    }
+
+    /// Bits left to read.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// Reads the next `width` bits (LSB first); `None` once fewer than
+    /// `width` bits remain.
+    pub fn read(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "field width {width} > 64");
+        if self.remaining() < u64::from(width) {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < width {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit_in_byte = (self.pos % 8) as u32;
+            let take = (width - got).min(8 - bit_in_byte);
+            let mask = (1u16 << take) - 1;
+            let chunk = u64::from((u16::from(byte >> bit_in_byte)) & mask);
+            out |= chunk << got;
+            got += take;
+            self.pos += u64::from(take);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_field_round_trips() {
+        let mut w = BitWriter::new();
+        w.write(0b1011, 4);
+        assert_eq!(w.bit_len(), 4);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 4);
+        assert_eq!(r.read(4), Some(0b1011));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn unaligned_fields_round_trip() {
+        let fields: &[(u64, u32)] = &[
+            (0b101, 3),
+            (0xdead_beef, 32),
+            (0, 1),
+            (u64::MAX, 64),
+            (0x3f, 7),
+            (1, 1),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, width) in fields {
+            w.write(v, width);
+        }
+        let bit_len = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, bit_len);
+        for &(v, width) in fields {
+            assert_eq!(r.read(width), Some(v), "{width}-bit field");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_order_is_lsb_first_in_le_bytes() {
+        // Writing 0x1 as 1 bit then 0xff as 8 bits: stream bit 0 is the 1,
+        // bits 1..9 are the 0xff. Byte 0 = 0b1111_1111, byte 1 = 0b1.
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        w.write(0xff, 8);
+        assert_eq!(w.as_bytes(), &[0xff, 0x01]);
+    }
+
+    #[test]
+    fn seek_supports_chunked_reads() {
+        let mut w = BitWriter::new();
+        for i in 0..10u64 {
+            w.write(i, 5);
+        }
+        let bit_len = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, bit_len);
+        r.seek(5 * 7); // jump straight to the 8th field
+        assert_eq!(r.read(5), Some(7));
+        assert_eq!(r.read(5), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_is_rejected() {
+        BitWriter::new().write(4, 2);
+    }
+
+    #[test]
+    fn final_byte_is_zero_padded() {
+        let mut w = BitWriter::new();
+        w.write(0b11, 2);
+        assert_eq!(w.as_bytes(), &[0b11]);
+    }
+}

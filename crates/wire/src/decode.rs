@@ -1,0 +1,611 @@
+//! Streaming decoder: raw bits back into captured records.
+//!
+//! The decoder walks fixed-width frames, validating every field against
+//! the schema: the tag must name a real slot (or the idle pattern 0),
+//! every non-firing lane and all padding must be zero, and record times
+//! must be non-decreasing along the stream. A frame failing any check is
+//! flagged as *damaged* with a reason and decoding **resynchronizes at the
+//! next frame boundary** — corruption costs the damaged region, never the
+//! rest of the stream, and never a panic.
+//!
+//! Because frames are self-contained (absolute timestamps, per-frame
+//! tags), the stream splits into chunks that decode independently:
+//! [`decode_stream_chunked`] fans the frame range out across threads via
+//! the selection pipeline's [`Parallelism`] knob and produces bit-identical
+//! results to the sequential path (the time-monotonicity check runs as an
+//! order-preserving merge pass in both).
+
+use pstrace_core::Parallelism;
+use pstrace_flow::{FlowIndex, IndexedMessage};
+
+use crate::bits::BitReader;
+use crate::frame::WireRecord;
+use crate::schema::WireSchema;
+
+use std::fmt;
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DamageReason {
+    /// The tag value names no slot.
+    BadTag {
+        /// The offending tag.
+        tag: u64,
+    },
+    /// An idle frame (tag 0) carried nonzero index/time/body bits.
+    DirtyIdle,
+    /// A lane other than the firing slot's carried nonzero bits.
+    LaneSpill {
+        /// Index of the polluted slot.
+        slot: usize,
+    },
+    /// The body's padding bits past the last lane were nonzero.
+    PaddingSpill,
+    /// The record's time ran backwards relative to the stream so far.
+    TimeRegression {
+        /// The regressing time.
+        time: u64,
+        /// The previous record's time.
+        prev: u64,
+    },
+    /// The record's time ran ahead of both its neighbors: an isolated
+    /// forward spike (e.g. a flipped high bit in the time field).
+    TimeSpike {
+        /// The spiking time.
+        time: u64,
+        /// The following record's time.
+        next: u64,
+    },
+}
+
+impl fmt::Display for DamageReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DamageReason::BadTag { tag } => write!(f, "tag {tag} names no slot"),
+            DamageReason::DirtyIdle => write!(f, "idle frame carries nonzero bits"),
+            DamageReason::LaneSpill { slot } => {
+                write!(f, "nonzero bits in non-firing lane {slot}")
+            }
+            DamageReason::PaddingSpill => write!(f, "nonzero bits in body padding"),
+            DamageReason::TimeRegression { time, prev } => {
+                write!(f, "time {time} runs behind previous record at {prev}")
+            }
+            DamageReason::TimeSpike { time, next } => {
+                write!(f, "time {time} spikes ahead of following record at {next}")
+            }
+        }
+    }
+}
+
+/// One damaged frame: where and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DamagedFrame {
+    /// 0-based frame index in the stream.
+    pub frame: usize,
+    /// What failed validation.
+    pub reason: DamageReason,
+}
+
+/// Everything a decode produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeReport {
+    /// Successfully reconstructed records, in stream order.
+    pub records: Vec<WireRecord>,
+    /// Damaged frames, in stream order.
+    pub damaged: Vec<DamagedFrame>,
+    /// Complete frames examined (events + idles + damaged).
+    pub frames: usize,
+    /// Idle (all-zero tag) frames skipped.
+    pub idle_frames: usize,
+    /// Bits past the last complete frame (byte padding or a truncated
+    /// frame).
+    pub trailing_bits: u64,
+    /// Whether every trailing bit was zero.
+    pub tail_clean: bool,
+    /// Measured per-frame body occupancy: total lane bits actually laid
+    /// out on the wire.
+    pub occupied_bits: u32,
+    /// The frame body width `W`.
+    pub body_width: u32,
+}
+
+impl DecodeReport {
+    /// Measured buffer utilization: lane bits over body bits per frame —
+    /// the decoder-side counterpart of the analytic model.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.occupied_bits) / f64::from(self.body_width)
+    }
+
+    /// Whether the stream decoded without damage or dirty trailing bits.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty() && self.tail_clean
+    }
+}
+
+/// Outcome of examining one frame.
+enum RawFrame {
+    Idle,
+    Event(WireRecord),
+    Damaged(DamageReason),
+}
+
+/// Reads and validates one frame; the reader must sit on a frame boundary
+/// with at least `frame_bits` remaining.
+fn read_frame(schema: &WireSchema, r: &mut BitReader<'_>) -> RawFrame {
+    let tag = r.read(schema.tag_width()).expect("frame boundary checked");
+    let index = r
+        .read(schema.index_width())
+        .expect("frame boundary checked");
+    let time = r.read(schema.time_width()).expect("frame boundary checked");
+
+    // Read every lane (validation needs them all) plus the padding.
+    let mut lanes = Vec::with_capacity(schema.slots().len());
+    for slot in schema.slots() {
+        lanes.push(r.read(slot.width).expect("frame boundary checked"));
+    }
+    let mut padding_dirty = false;
+    let mut left = schema.body_width() - schema.occupied_bits();
+    while left > 0 {
+        let step = left.min(64);
+        if r.read(step).expect("frame boundary checked") != 0 {
+            padding_dirty = true;
+        }
+        left -= step;
+    }
+
+    if tag == 0 {
+        let body_dirty = lanes.iter().any(|&v| v != 0) || padding_dirty;
+        if index != 0 || time != 0 || body_dirty {
+            return RawFrame::Damaged(DamageReason::DirtyIdle);
+        }
+        return RawFrame::Idle;
+    }
+    let Some(slot) = schema.slot_by_tag(tag) else {
+        return RawFrame::Damaged(DamageReason::BadTag { tag });
+    };
+    let firing = tag as usize - 1;
+    if let Some(spill) = (0..lanes.len()).find(|&i| i != firing && lanes[i] != 0) {
+        return RawFrame::Damaged(DamageReason::LaneSpill { slot: spill });
+    }
+    if padding_dirty {
+        return RawFrame::Damaged(DamageReason::PaddingSpill);
+    }
+    RawFrame::Event(WireRecord {
+        time,
+        message: IndexedMessage::new(slot.message, FlowIndex(index as u32)),
+        value: lanes[firing],
+        partial: slot.is_partial(),
+    })
+}
+
+/// Raw per-chunk decode output, before the monotonicity merge pass.
+#[derive(Debug, Default)]
+struct ChunkOutcome {
+    /// `(frame index, record)` pairs in stream order.
+    events: Vec<(usize, WireRecord)>,
+    damaged: Vec<DamagedFrame>,
+    idle: usize,
+}
+
+/// Decodes `count` frames starting at frame `start`.
+fn decode_chunk(
+    schema: &WireSchema,
+    bytes: &[u8],
+    bit_len: u64,
+    start: usize,
+    count: usize,
+) -> ChunkOutcome {
+    let frame_bits = u64::from(schema.frame_bits());
+    let mut r = BitReader::new(bytes, bit_len);
+    r.seek(start as u64 * frame_bits);
+    let mut out = ChunkOutcome::default();
+    for i in 0..count {
+        let frame = start + i;
+        match read_frame(schema, &mut r) {
+            RawFrame::Idle => out.idle += 1,
+            RawFrame::Event(rec) => out.events.push((frame, rec)),
+            RawFrame::Damaged(reason) => out.damaged.push(DamagedFrame { frame, reason }),
+        }
+    }
+    out
+}
+
+/// The order-preserving merge pass: enforce non-decreasing record times,
+/// reclassifying regressing records as damaged frames, then assemble the
+/// report. Identical for sequential and chunked decodes.
+fn finalize(
+    schema: &WireSchema,
+    outcome: ChunkOutcome,
+    frames: usize,
+    trailing_bits: u64,
+    tail_clean: bool,
+) -> DecodeReport {
+    let mut kept: Vec<(usize, WireRecord)> = Vec::with_capacity(outcome.events.len());
+    let mut damaged = outcome.damaged;
+    for (frame, rec) in outcome.events {
+        let prev = kept.last().map_or(0, |(_, r)| r.time);
+        if rec.time >= prev {
+            kept.push((frame, rec));
+            continue;
+        }
+        // The record regresses. If it is still consistent with the record
+        // before last, the *previous* record was an isolated forward
+        // spike (one flipped high time bit) — damage that one instead,
+        // so corruption in a single frame never cascades down the tail.
+        let prev_prev = kept.len().checked_sub(2).map_or(0, |i| kept[i].1.time);
+        if rec.time >= prev_prev {
+            let (spike_frame, spike) = kept.pop().expect("regression implies a previous record");
+            damaged.push(DamagedFrame {
+                frame: spike_frame,
+                reason: DamageReason::TimeSpike {
+                    time: spike.time,
+                    next: rec.time,
+                },
+            });
+            kept.push((frame, rec));
+        } else {
+            damaged.push(DamagedFrame {
+                frame,
+                reason: DamageReason::TimeRegression {
+                    time: rec.time,
+                    prev,
+                },
+            });
+        }
+    }
+    damaged.sort_by_key(|d| d.frame);
+    DecodeReport {
+        records: kept.into_iter().map(|(_, r)| r).collect(),
+        damaged,
+        frames,
+        idle_frames: outcome.idle,
+        trailing_bits,
+        tail_clean,
+        occupied_bits: schema.occupied_bits(),
+        body_width: schema.body_width(),
+    }
+}
+
+/// Whether every bit in `bytes[bit_start .. bit_end)` is zero.
+fn bits_are_zero(bytes: &[u8], bit_start: u64, bit_end: u64) -> bool {
+    let mut r = BitReader::new(bytes, bit_end);
+    r.seek(bit_start);
+    let mut left = bit_end - bit_start;
+    while left > 0 {
+        let step = left.min(64) as u32;
+        if r.read(step).expect("range checked") != 0 {
+            return false;
+        }
+        left -= u64::from(step);
+    }
+    true
+}
+
+/// Decodes a complete stream sequentially.
+///
+/// `bit_len` is the exact stream length in bits when known (e.g. from a
+/// `.ptw` header); pass `None` to treat the whole byte slice as the
+/// stream (trailing sub-byte padding is then expected to be zero).
+#[must_use]
+pub fn decode_stream(schema: &WireSchema, bytes: &[u8], bit_len: Option<u64>) -> DecodeReport {
+    decode_stream_chunked(schema, bytes, bit_len, Parallelism::Off)
+}
+
+/// [`decode_stream`] with the frame range fanned out across worker
+/// threads. Any [`Parallelism`] setting yields bit-identical reports; the
+/// knob only trades wall-clock for cores.
+#[must_use]
+pub fn decode_stream_chunked(
+    schema: &WireSchema,
+    bytes: &[u8],
+    bit_len: Option<u64>,
+    parallelism: Parallelism,
+) -> DecodeReport {
+    let bit_len = bit_len.unwrap_or(bytes.len() as u64 * 8);
+    assert!(
+        bit_len <= bytes.len() as u64 * 8,
+        "declared bit length exceeds the byte buffer"
+    );
+    let frame_bits = u64::from(schema.frame_bits());
+    let frames = (bit_len / frame_bits) as usize;
+    let trailing_bits = bit_len - frames as u64 * frame_bits;
+    let tail_clean =
+        trailing_bits == 0 || bits_are_zero(bytes, frames as u64 * frame_bits, bit_len);
+
+    let workers = parallelism.worker_count(frames);
+    let merged = if workers <= 1 || frames == 0 {
+        decode_chunk(schema, bytes, bit_len, 0, frames)
+    } else {
+        let per = frames.div_ceil(workers);
+        let mut chunks: Vec<ChunkOutcome> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            while start < frames {
+                let count = per.min(frames - start);
+                handles
+                    .push(scope.spawn(move || decode_chunk(schema, bytes, bit_len, start, count)));
+                start += count;
+            }
+            for h in handles {
+                chunks.push(h.join().expect("decode worker panicked"));
+            }
+        });
+        let mut merged = ChunkOutcome::default();
+        for mut c in chunks {
+            merged.events.append(&mut c.events);
+            merged.damaged.append(&mut c.damaged);
+            merged.idle += c.idle;
+        }
+        merged
+    };
+    finalize(schema, merged, frames, trailing_bits, tail_clean)
+}
+
+/// Incremental decoder: feed bytes as they arrive, harvest the report at
+/// the end. Complete frames are decoded as soon as their last byte lands.
+#[derive(Debug)]
+pub struct StreamDecoder<'a> {
+    schema: &'a WireSchema,
+    buf: Vec<u8>,
+    /// Frames fully decoded so far.
+    frames: usize,
+    outcome: ChunkOutcome,
+}
+
+impl<'a> StreamDecoder<'a> {
+    /// A decoder over `schema` with an empty buffer.
+    #[must_use]
+    pub fn new(schema: &'a WireSchema) -> Self {
+        StreamDecoder {
+            schema,
+            buf: Vec::new(),
+            frames: 0,
+            outcome: ChunkOutcome::default(),
+        }
+    }
+
+    /// Feeds more stream bytes, decoding every frame they complete.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        let frame_bits = u64::from(self.schema.frame_bits());
+        let avail = self.buf.len() as u64 * 8;
+        let ready = (avail / frame_bits) as usize;
+        if ready > self.frames {
+            let mut chunk = decode_chunk(
+                self.schema,
+                &self.buf,
+                avail,
+                self.frames,
+                ready - self.frames,
+            );
+            self.outcome.events.append(&mut chunk.events);
+            self.outcome.damaged.append(&mut chunk.damaged);
+            self.outcome.idle += chunk.idle;
+            self.frames = ready;
+        }
+    }
+
+    /// Frames fully decoded so far.
+    #[must_use]
+    pub fn frames_decoded(&self) -> usize {
+        self.frames
+    }
+
+    /// Records reconstructed so far (before the final monotonicity pass).
+    #[must_use]
+    pub fn records_decoded(&self) -> usize {
+        self.outcome.events.len()
+    }
+
+    /// Finishes the stream and produces the report. `bit_len` bounds the
+    /// stream exactly when known; defaults to every byte pushed.
+    #[must_use]
+    pub fn finish(self, bit_len: Option<u64>) -> DecodeReport {
+        let frame_bits = u64::from(self.schema.frame_bits());
+        let avail = self.buf.len() as u64 * 8;
+        let bit_len = bit_len.unwrap_or(avail).min(avail);
+        let frames = ((bit_len / frame_bits) as usize).min(self.frames);
+        let trailing_bits = bit_len - frames as u64 * frame_bits;
+        let tail_clean =
+            trailing_bits == 0 || bits_are_zero(&self.buf, frames as u64 * frame_bits, bit_len);
+        let mut outcome = self.outcome;
+        // Drop frames decoded past the declared stream end (possible when
+        // a caller-declared bit_len undercuts the pushed bytes).
+        outcome.events.retain(|(f, _)| *f < frames);
+        outcome.damaged.retain(|d| d.frame < frames);
+        finalize(self.schema, outcome, frames, trailing_bits, tail_clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_records;
+    use pstrace_flow::MessageCatalog;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MessageCatalog>, WireSchema) {
+        let mut c = MessageCatalog::new();
+        c.intern("a", 4);
+        c.intern("b", 9);
+        let wide = c.intern("wide", 20);
+        c.intern_group(wide, "lo", 6);
+        let c = Arc::new(c);
+        let a = c.get("a").unwrap();
+        let b = c.get("b").unwrap();
+        let lo = c.get_group("wide.lo").unwrap();
+        let schema = WireSchema::new(&c, &[a, b], &[lo], 24).unwrap();
+        (c, schema)
+    }
+
+    fn records(c: &MessageCatalog, n: u64) -> Vec<WireRecord> {
+        (0..n)
+            .map(|i| {
+                let (name, partial) = match i % 3 {
+                    0 => ("a", false),
+                    1 => ("b", false),
+                    _ => ("wide", true),
+                };
+                let width = match i % 3 {
+                    0 => 4,
+                    1 => 9,
+                    _ => 6,
+                };
+                WireRecord {
+                    time: i * 3,
+                    message: IndexedMessage::new(
+                        c.get(name).unwrap(),
+                        FlowIndex(1 + (i % 2) as u32),
+                    ),
+                    value: i % (1 << width),
+                    partial,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_round_trips() {
+        let (c, schema) = setup();
+        let recs = records(&c, 30);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let report = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        assert!(report.is_clean(), "{:?}", report.damaged);
+        assert_eq!(report.records, recs);
+        assert_eq!(report.frames, 30);
+        assert_eq!(report.idle_frames, 0);
+        assert_eq!(report.occupied_bits, 4 + 9 + 6);
+        assert!((report.utilization() - 19.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_decode_is_bit_identical() {
+        let (c, schema) = setup();
+        let recs = records(&c, 101);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let seq = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        for threads in [1, 2, 3, 8] {
+            let par = decode_stream_chunked(
+                &schema,
+                &stream.bytes,
+                Some(stream.bit_len),
+                Parallelism::threads(threads),
+            );
+            assert_eq!(par, seq, "{threads} threads");
+        }
+        let auto = decode_stream_chunked(
+            &schema,
+            &stream.bytes,
+            Some(stream.bit_len),
+            Parallelism::Auto,
+        );
+        assert_eq!(auto, seq);
+    }
+
+    #[test]
+    fn corrupt_tag_is_flagged_and_resynced() {
+        let (c, schema) = setup();
+        let recs = records(&c, 9);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let mut bytes = stream.bytes.clone();
+        // Stomp the tag of frame 4 (tag field sits at the frame start).
+        let frame_bits = u64::from(schema.frame_bits());
+        let bit = 4 * frame_bits;
+        bytes[(bit / 8) as usize] ^= 0b11 << (bit % 8); // tag_width = 2, slots = 3 → tag 0..=3 all valid... flip both bits
+        let report = decode_stream(&schema, &bytes, Some(stream.bit_len));
+        // Whatever the flip produced (different slot → lane spill, idle →
+        // dirty idle, or out-of-range tag), frame 4 must be damaged and
+        // every other record must survive.
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].frame, 4);
+        assert_eq!(report.records.len(), 8);
+        let expected: Vec<WireRecord> = recs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 4)
+            .map(|(_, r)| *r)
+            .collect();
+        assert_eq!(report.records, expected);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn time_regression_is_reclassified_in_order() {
+        let (c, schema) = setup();
+        let mut recs = records(&c, 6);
+        recs[3].time = 1; // behind record 2's time (6)
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let report = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        assert_eq!(report.records.len(), 5);
+        assert_eq!(report.damaged.len(), 1);
+        assert!(matches!(
+            report.damaged[0].reason,
+            DamageReason::TimeRegression { time: 1, prev: 6 }
+        ));
+        assert_eq!(report.damaged[0].frame, 3);
+    }
+
+    #[test]
+    fn time_spike_is_blamed_not_the_tail() {
+        let (c, schema) = setup();
+        let mut recs = records(&c, 8);
+        recs[3].time = 1 << 30; // isolated forward spike, e.g. a flipped bit
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let report = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        assert_eq!(report.damaged.len(), 1, "{:?}", report.damaged);
+        assert_eq!(report.damaged[0].frame, 3);
+        assert!(matches!(
+            report.damaged[0].reason,
+            DamageReason::TimeSpike { time, next } if time == 1 << 30 && next == 12
+        ));
+        assert_eq!(report.records.len(), 7, "the tail must survive the spike");
+    }
+
+    #[test]
+    fn all_zero_frames_are_idle() {
+        let (_, schema) = setup();
+        let frame_bytes = (schema.frame_bits() as usize * 3).div_ceil(8);
+        let bytes = vec![0u8; frame_bytes];
+        let report = decode_stream(&schema, &bytes, Some(u64::from(schema.frame_bits()) * 3));
+        assert_eq!(report.idle_frames, 3);
+        assert!(report.records.is_empty());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn incremental_push_matches_one_shot() {
+        let (c, schema) = setup();
+        let recs = records(&c, 40);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let one_shot = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        for chunk_size in [1usize, 3, 7, 64] {
+            let mut dec = StreamDecoder::new(&schema);
+            for chunk in stream.bytes.chunks(chunk_size) {
+                dec.push(chunk);
+            }
+            assert_eq!(
+                dec.finish(Some(stream.bit_len)),
+                one_shot,
+                "chunk {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_reported() {
+        let (c, schema) = setup();
+        let recs = records(&c, 3);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        // Chop the stream mid-frame.
+        let cut = stream.bit_len - 10;
+        let report = decode_stream(&schema, &stream.bytes, Some(cut));
+        assert_eq!(report.frames, 2);
+        assert_eq!(report.records.len(), 2);
+        assert!(report.trailing_bits > 0);
+        assert!(!report.tail_clean, "the truncated frame has nonzero bits");
+    }
+}

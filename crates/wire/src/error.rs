@@ -1,0 +1,134 @@
+//! Errors of the wire codec.
+
+use std::fmt;
+
+/// Error raised while building a schema, encoding frames, or reading a
+/// `.ptw` container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The trace-buffer body width is zero bits.
+    ZeroWidthBody,
+    /// The selection's lanes do not fit the buffer body.
+    LanesExceedBody {
+        /// Total lane bits required by the selection.
+        occupied: u32,
+        /// The buffer body width.
+        body: u32,
+    },
+    /// A field width parameter is outside its legal range.
+    BadFieldWidth {
+        /// Which field (`"index"` or `"time"`).
+        field: &'static str,
+        /// The rejected width.
+        width: u32,
+    },
+    /// A record's `(message, partial)` pair has no slot in the schema.
+    UnknownSlot {
+        /// The offending message name (or id when unnamed).
+        message: String,
+        /// Whether the record was a subgroup (partial) capture.
+        partial: bool,
+    },
+    /// A record's payload does not fit its slot width.
+    ValueOverflow {
+        /// The offending value.
+        value: u64,
+        /// The slot width in bits.
+        width: u32,
+    },
+    /// A record's timestamp does not fit the frame time field.
+    TimeOverflow {
+        /// The offending timestamp.
+        time: u64,
+        /// The time field width in bits.
+        width: u32,
+    },
+    /// A record's flow index does not fit the frame index field.
+    IndexOverflow {
+        /// The offending flow index.
+        index: u32,
+        /// The index field width in bits.
+        width: u32,
+    },
+    /// The `.ptw` container does not start with the `PTW1` magic.
+    BadMagic,
+    /// The `.ptw` container declares an unsupported format version.
+    BadVersion {
+        /// The declared version.
+        version: u8,
+    },
+    /// The `.ptw` header ended prematurely or is internally inconsistent.
+    BadHeader {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A `.ptw` slot names a message or subgroup missing from the catalog.
+    UnknownName {
+        /// The unresolvable name.
+        name: String,
+    },
+    /// A `.ptw` slot width disagrees with the catalog's declared width.
+    WidthMismatch {
+        /// The slot's name.
+        name: String,
+        /// Width declared in the file.
+        declared: u32,
+        /// Width in the catalog.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::ZeroWidthBody => write!(f, "trace-buffer body width must be nonzero"),
+            WireError::LanesExceedBody { occupied, body } => {
+                write!(
+                    f,
+                    "selection needs {occupied} lane bits but the body is {body} bits"
+                )
+            }
+            WireError::BadFieldWidth { field, width } => {
+                write!(f, "{field} field width {width} is out of range")
+            }
+            WireError::UnknownSlot { message, partial } => {
+                let kind = if *partial { "subgroup" } else { "full" };
+                write!(
+                    f,
+                    "no {kind} slot for message `{message}` in the wire schema"
+                )
+            }
+            WireError::ValueOverflow { value, width } => {
+                write!(f, "value {value:#x} does not fit a {width}-bit slot")
+            }
+            WireError::TimeOverflow { time, width } => {
+                write!(f, "time {time} does not fit the {width}-bit time field")
+            }
+            WireError::IndexOverflow { index, width } => {
+                write!(
+                    f,
+                    "flow index {index} does not fit the {width}-bit index field"
+                )
+            }
+            WireError::BadMagic => write!(f, "not a .ptw stream (bad magic)"),
+            WireError::BadVersion { version } => {
+                write!(f, "unsupported .ptw version {version}")
+            }
+            WireError::BadHeader { reason } => write!(f, "malformed .ptw header: {reason}"),
+            WireError::UnknownName { name } => {
+                write!(f, ".ptw slot `{name}` is not in the message catalog")
+            }
+            WireError::WidthMismatch {
+                name,
+                declared,
+                expected,
+            } => write!(
+                f,
+                ".ptw slot `{name}` declares {declared} bits but the catalog says {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,357 @@
+//! Frame encoding and the circular trace-buffer model.
+//!
+//! Each captured record becomes one fixed-width frame:
+//!
+//! ```text
+//! | tag | index | time | body (W bits: one lane per slot, zero padding) |
+//! ```
+//!
+//! written through a [`FrameRing`] that models the on-chip circular trace
+//! buffer: once `depth` frames are resident, the next write overwrites the
+//! oldest frame, so reading the buffer out yields only the newest `depth`
+//! frames — exactly the retention semantics of the modeled capture path.
+
+use std::collections::VecDeque;
+
+use pstrace_flow::IndexedMessage;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::error::WireError;
+use crate::schema::WireSchema;
+
+/// One decoded (or to-be-encoded) trace record — the wire-level mirror of
+/// the SoC substrate's `TraceRecord`, expressed in flow-formalism types
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRecord {
+    /// Capture cycle.
+    pub time: u64,
+    /// The indexed message observed.
+    pub message: IndexedMessage,
+    /// Recorded payload (full width or truncated to the subgroup).
+    pub value: u64,
+    /// Whether only a subgroup was recorded.
+    pub partial: bool,
+}
+
+/// A serialized bit stream plus its exact bit length and frame count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedStream {
+    /// The packed bytes (final byte zero-padded).
+    pub bytes: Vec<u8>,
+    /// Exact stream length in bits (`frames * frame_bits`).
+    pub bit_len: u64,
+    /// Number of frames in the stream.
+    pub frames: usize,
+}
+
+impl EncodedStream {
+    /// Stream size in whole bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the stream holds no frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+}
+
+/// Encodes one record as a standalone frame (its own little bit buffer).
+fn encode_frame(schema: &WireSchema, record: &WireRecord) -> Result<Vec<u8>, WireError> {
+    let (tag, slot) = schema
+        .slot_for(record.message.message, record.partial)
+        .ok_or_else(|| WireError::UnknownSlot {
+            message: format!("#{}", record.message.message.index()),
+            partial: record.partial,
+        })?;
+    let fits = |v: u64, w: u32| w >= 64 || v < (1u64 << w);
+    if !fits(record.value, slot.width) {
+        return Err(WireError::ValueOverflow {
+            value: record.value,
+            width: slot.width,
+        });
+    }
+    if !fits(record.time, schema.time_width()) {
+        return Err(WireError::TimeOverflow {
+            time: record.time,
+            width: schema.time_width(),
+        });
+    }
+    if !fits(u64::from(record.message.index.0), schema.index_width()) {
+        return Err(WireError::IndexOverflow {
+            index: record.message.index.0,
+            width: schema.index_width(),
+        });
+    }
+
+    let mut w = BitWriter::new();
+    w.write(tag, schema.tag_width());
+    w.write(u64::from(record.message.index.0), schema.index_width());
+    w.write(record.time, schema.time_width());
+    // Body: zeros up to the firing lane, the payload, zeros to the end.
+    let mut cursor = 0u32;
+    while cursor < slot.offset {
+        let step = (slot.offset - cursor).min(64);
+        w.write(0, step);
+        cursor += step;
+    }
+    w.write(record.value, slot.width);
+    cursor += slot.width;
+    while cursor < schema.body_width() {
+        let step = (schema.body_width() - cursor).min(64);
+        w.write(0, step);
+        cursor += step;
+    }
+    debug_assert_eq!(w.bit_len(), u64::from(schema.frame_bits()));
+    Ok(w.into_bytes())
+}
+
+/// The circular frame buffer: bounded depth with oldest-first overwrite.
+#[derive(Debug, Clone)]
+pub struct FrameRing {
+    depth: Option<usize>,
+    frames: VecDeque<Vec<u8>>,
+    /// Frames overwritten by wraparound.
+    overwritten: usize,
+}
+
+impl FrameRing {
+    /// A ring of `depth` frames; `None` models an unbounded stream port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`: a zero-entry circular buffer can never hold a
+    /// frame (the capture path rejects that depth for the same reason).
+    #[must_use]
+    pub fn new(depth: Option<usize>) -> Self {
+        assert!(
+            depth != Some(0),
+            "circular trace-buffer depth must be at least 1 entry"
+        );
+        FrameRing {
+            depth,
+            frames: VecDeque::new(),
+            overwritten: 0,
+        }
+    }
+
+    /// Writes one frame, overwriting the oldest on wraparound.
+    pub fn push(&mut self, frame: Vec<u8>) {
+        if let Some(depth) = self.depth {
+            if self.frames.len() == depth {
+                self.frames.pop_front();
+                self.overwritten += 1;
+            }
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// Frames currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing has survived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frames lost to wraparound so far.
+    #[must_use]
+    pub fn overwritten(&self) -> usize {
+        self.overwritten
+    }
+
+    /// Linearizes the surviving frames oldest-first into one bit stream.
+    #[must_use]
+    pub fn read_out(&self, frame_bits: u32) -> EncodedStream {
+        let mut w = BitWriter::new();
+        for frame in &self.frames {
+            let mut r = BitReader::new(frame, u64::from(frame_bits));
+            let mut left = frame_bits;
+            while left > 0 {
+                let step = left.min(64);
+                w.write(r.read(step).expect("frame holds frame_bits"), step);
+                left -= step;
+            }
+        }
+        let bit_len = w.bit_len();
+        EncodedStream {
+            bytes: w.into_bytes(),
+            bit_len,
+            frames: self.frames.len(),
+        }
+    }
+}
+
+/// Streaming encoder: records in, circular-buffered bit stream out.
+#[derive(Debug, Clone)]
+pub struct Encoder<'a> {
+    schema: &'a WireSchema,
+    ring: FrameRing,
+}
+
+impl<'a> Encoder<'a> {
+    /// An encoder over `schema` with the given circular depth (in frames;
+    /// `None` = unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero depth (see [`FrameRing::new`]).
+    #[must_use]
+    pub fn new(schema: &'a WireSchema, depth: Option<usize>) -> Self {
+        Encoder {
+            schema,
+            ring: FrameRing::new(depth),
+        }
+    }
+
+    /// Encodes one record into the ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the record has no slot or a field does
+    /// not fit its width.
+    pub fn push(&mut self, record: &WireRecord) -> Result<(), WireError> {
+        let frame = encode_frame(self.schema, record)?;
+        self.ring.push(frame);
+        Ok(())
+    }
+
+    /// Frames lost to wraparound so far.
+    #[must_use]
+    pub fn overwritten(&self) -> usize {
+        self.ring.overwritten()
+    }
+
+    /// Reads the buffer out as a linear bit stream (oldest frame first).
+    #[must_use]
+    pub fn finish(&self) -> EncodedStream {
+        self.ring.read_out(self.schema.frame_bits())
+    }
+}
+
+/// Encodes a record slice in one call (capture order, circular `depth`).
+///
+/// # Errors
+///
+/// Returns the first per-record encoding error.
+///
+/// # Panics
+///
+/// Panics on a zero depth (see [`FrameRing::new`]).
+pub fn encode_records(
+    schema: &WireSchema,
+    records: &[WireRecord],
+    depth: Option<usize>,
+) -> Result<EncodedStream, WireError> {
+    let mut enc = Encoder::new(schema, depth);
+    for r in records {
+        enc.push(r)?;
+    }
+    Ok(enc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::{FlowIndex, MessageCatalog};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MessageCatalog>, WireSchema) {
+        let mut c = MessageCatalog::new();
+        c.intern("a", 4);
+        let wide = c.intern("wide", 20);
+        c.intern_group(wide, "lo", 6);
+        let c = Arc::new(c);
+        let a = c.get("a").unwrap();
+        let lo = c.get_group("wide.lo").unwrap();
+        let schema = WireSchema::new(&c, &[a], &[lo], 16).unwrap();
+        (c, schema)
+    }
+
+    fn rec(c: &MessageCatalog, name: &str, idx: u32, time: u64, value: u64) -> WireRecord {
+        WireRecord {
+            time,
+            message: IndexedMessage::new(c.get(name).unwrap(), FlowIndex(idx)),
+            value,
+            partial: name == "wide",
+        }
+    }
+
+    #[test]
+    fn frames_have_the_declared_width() {
+        let (c, schema) = setup();
+        let stream = encode_records(&schema, &[rec(&c, "a", 1, 10, 0xf)], None).unwrap();
+        assert_eq!(stream.frames, 1);
+        assert_eq!(stream.bit_len, u64::from(schema.frame_bits()));
+        assert_eq!(
+            stream.bytes.len(),
+            (schema.frame_bits() as usize).div_ceil(8)
+        );
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let (c, schema) = setup();
+        let records: Vec<WireRecord> = (0..10).map(|i| rec(&c, "a", 1, i, i % 16)).collect();
+        let stream = encode_records(&schema, &records, Some(4)).unwrap();
+        assert_eq!(stream.frames, 4);
+        let mut enc = Encoder::new(&schema, Some(4));
+        for r in &records {
+            enc.push(r).unwrap();
+        }
+        assert_eq!(enc.overwritten(), 6);
+        assert_eq!(enc.finish(), stream);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 entry")]
+    fn zero_depth_ring_is_rejected() {
+        let _ = FrameRing::new(Some(0));
+    }
+
+    #[test]
+    fn field_overflow_is_reported() {
+        let (c, schema) = setup();
+        let bad_value = rec(&c, "a", 1, 0, 0x10); // 4-bit slot
+        assert_eq!(
+            encode_records(&schema, &[bad_value], None).unwrap_err(),
+            WireError::ValueOverflow {
+                value: 0x10,
+                width: 4
+            }
+        );
+        let bad_index = rec(&c, "a", 300, 0, 1); // 8-bit index field
+        assert!(matches!(
+            encode_records(&schema, &[bad_index], None).unwrap_err(),
+            WireError::IndexOverflow { index: 300, .. }
+        ));
+        let schema16 = schema.with_time_width(8).unwrap();
+        let bad_time = rec(&c, "a", 1, 300, 1);
+        assert!(matches!(
+            encode_records(&schema16, &[bad_time], None).unwrap_err(),
+            WireError::TimeOverflow { time: 300, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_slot_is_reported() {
+        let (c, schema) = setup();
+        let full_wide = WireRecord {
+            time: 0,
+            message: IndexedMessage::new(c.get("wide").unwrap(), FlowIndex(1)),
+            value: 1,
+            partial: false, // schema only has the subgroup slot
+        };
+        assert!(matches!(
+            encode_records(&schema, &[full_wide], None).unwrap_err(),
+            WireError::UnknownSlot { partial: false, .. }
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Bit-packed wire format for streamed trace captures.
+//!
+//! This crate turns a message selection — Step 2's chosen combination
+//! plus Step 3's packed subgroups — into a concrete bit-level trace
+//! encoding and back:
+//!
+//! * [`WireSchema`] fixes the frame layout for a `W`-bit trace buffer:
+//!   per-message tag bits sized by the selected combination, one body
+//!   lane per selected message at its flow-spec width, packed-subgroup
+//!   lanes truncated exactly as Step 3 lays them out;
+//! * [`Encoder`] serializes captured records into fixed-width frames
+//!   through a [`FrameRing`] that models the on-chip circular buffer
+//!   (wraparound overwrites the oldest frames);
+//! * [`StreamDecoder`] / [`decode_stream`] reconstruct the capture
+//!   incrementally, tolerate corrupted frames via tag-based
+//!   resynchronization at frame boundaries, and report per-frame buffer
+//!   utilization *as measured* — the experimental counterpart of the
+//!   analytic `TraceBufferSpec::utilization` model;
+//! * [`write_ptw`] / [`read_ptw`] wrap a stream in the self-describing
+//!   `.ptw` container for on-disk exchange.
+//!
+//! Round-trip identity is the contract: for any schema and record
+//! sequence that encode cleanly, decoding the encoded stream yields the
+//! records bit-for-bit (`decode(encode(r)) == r`), including circular
+//! truncation to the newest `depth` records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod decode;
+mod error;
+mod frame;
+mod ptw;
+mod schema;
+
+pub use bits::{BitReader, BitWriter};
+pub use decode::{
+    decode_stream, decode_stream_chunked, DamageReason, DamagedFrame, DecodeReport, StreamDecoder,
+};
+pub use error::WireError;
+pub use frame::{encode_records, EncodedStream, Encoder, FrameRing, WireRecord};
+pub use ptw::{read_ptw, write_ptw, PTW_MAGIC, PTW_VERSION};
+pub use schema::{Slot, SlotKind, WireSchema, DEFAULT_INDEX_WIDTH, DEFAULT_TIME_WIDTH};

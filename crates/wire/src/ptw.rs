@@ -1,0 +1,321 @@
+//! The `.ptw` container: a self-describing on-disk wire stream.
+//!
+//! Layout (all multi-byte integers little-endian):
+//!
+//! ```text
+//! magic        4 bytes  "PTW1"
+//! version      u8       = 1
+//! body_width   u32      frame body width W in bits
+//! tag_width    u8
+//! index_width  u8
+//! time_width   u8
+//! slot_count   u16
+//! per slot:
+//!   kind       u8       0 = full message, 1 = packed subgroup
+//!   width      u16      lane width in bits
+//!   name_len   u16
+//!   name       UTF-8    message name, or qualified "parent.group"
+//! payload_bits u64      exact stream length in bits
+//! payload      bytes    ⌈payload_bits / 8⌉ bytes, final byte zero-padded
+//! ```
+//!
+//! The header names slots symbolically so a reader with the same flow
+//! catalog rebuilds the schema without access to the selection that
+//! produced it; widths are cross-checked against the catalog on read.
+
+use pstrace_flow::MessageCatalog;
+
+use crate::error::WireError;
+use crate::frame::EncodedStream;
+use crate::schema::{SlotKind, WireSchema};
+
+/// The 4-byte container magic.
+pub const PTW_MAGIC: [u8; 4] = *b"PTW1";
+
+/// The container format version this build reads and writes.
+pub const PTW_VERSION: u8 = 1;
+
+/// Serializes a schema and its encoded stream into a `.ptw` byte buffer.
+#[must_use]
+pub fn write_ptw(catalog: &MessageCatalog, schema: &WireSchema, stream: &EncodedStream) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + stream.bytes.len());
+    out.extend_from_slice(&PTW_MAGIC);
+    out.push(PTW_VERSION);
+    out.extend_from_slice(&schema.body_width().to_le_bytes());
+    out.push(schema.tag_width() as u8);
+    out.push(schema.index_width() as u8);
+    out.push(schema.time_width() as u8);
+    let slot_count = u16::try_from(schema.slots().len()).expect("slot count fits u16");
+    out.extend_from_slice(&slot_count.to_le_bytes());
+    for slot in schema.slots() {
+        let name = match slot.kind {
+            SlotKind::Full => catalog.name(slot.message).to_owned(),
+            SlotKind::Subgroup(g) => catalog.group_qualified_name(g),
+        };
+        out.push(u8::from(slot.is_partial()));
+        out.extend_from_slice(&(slot.width as u16).to_le_bytes());
+        let name_len = u16::try_from(name.len()).expect("slot name fits u16 length");
+        out.extend_from_slice(&name_len.to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    out.extend_from_slice(&stream.bit_len.to_le_bytes());
+    out.extend_from_slice(&stream.bytes);
+    out
+}
+
+/// Byte-slice cursor for header parsing.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(WireError::BadHeader {
+                reason: format!("truncated while reading {what}"),
+            }),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+/// Parses a `.ptw` buffer back into its schema and encoded stream,
+/// resolving slot names against `catalog`.
+///
+/// # Errors
+///
+/// * [`WireError::BadMagic`] / [`WireError::BadVersion`] for foreign input;
+/// * [`WireError::BadHeader`] for a truncated or inconsistent header;
+/// * [`WireError::UnknownName`] when a slot's message or subgroup is not in
+///   the catalog;
+/// * [`WireError::WidthMismatch`] when a slot width disagrees with the
+///   catalog.
+pub fn read_ptw(
+    catalog: &MessageCatalog,
+    bytes: &[u8],
+) -> Result<(WireSchema, EncodedStream), WireError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4, "magic").map_err(|_| WireError::BadMagic)? != PTW_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = c.u8("version")?;
+    if version != PTW_VERSION {
+        return Err(WireError::BadVersion { version });
+    }
+    let body_width = c.u32("body width")?;
+    let tag_width = u32::from(c.u8("tag width")?);
+    let index_width = u32::from(c.u8("index width")?);
+    let time_width = u32::from(c.u8("time width")?);
+    let slot_count = c.u16("slot count")?;
+
+    let mut messages = Vec::new();
+    let mut groups = Vec::new();
+    let mut declared = Vec::new();
+    for i in 0..slot_count {
+        let kind = c.u8("slot kind")?;
+        let width = u32::from(c.u16("slot width")?);
+        let name_len = usize::from(c.u16("slot name length")?);
+        let name_bytes = c.take(name_len, "slot name")?;
+        let name = std::str::from_utf8(name_bytes).map_err(|_| WireError::BadHeader {
+            reason: format!("slot {i} name is not UTF-8"),
+        })?;
+        let catalog_width = match kind {
+            0 => {
+                let m = catalog.get(name).ok_or_else(|| WireError::UnknownName {
+                    name: name.to_owned(),
+                })?;
+                messages.push(m);
+                catalog.width(m)
+            }
+            1 => {
+                let g = catalog
+                    .get_group(name)
+                    .ok_or_else(|| WireError::UnknownName {
+                        name: name.to_owned(),
+                    })?;
+                groups.push(g);
+                catalog.group(g).width()
+            }
+            other => {
+                return Err(WireError::BadHeader {
+                    reason: format!("slot {i} has unknown kind {other}"),
+                })
+            }
+        };
+        if catalog_width != width {
+            return Err(WireError::WidthMismatch {
+                name: name.to_owned(),
+                declared: width,
+                expected: catalog_width,
+            });
+        }
+        declared.push((kind, width));
+    }
+
+    let schema = WireSchema::new(catalog, &messages, &groups, body_width)?
+        .with_index_width(index_width)?
+        .with_time_width(time_width)?;
+    // The rebuilt schema must agree with the header field-for-field:
+    // a mismatch means the file's slot list does not reproduce its own
+    // layout (e.g. duplicate slots that the dedupe rules collapse).
+    if schema.tag_width() != tag_width {
+        return Err(WireError::BadHeader {
+            reason: format!(
+                "tag width {tag_width} disagrees with rebuilt schema ({})",
+                schema.tag_width()
+            ),
+        });
+    }
+    if schema.slots().len() != usize::from(slot_count) {
+        return Err(WireError::BadHeader {
+            reason: format!(
+                "{} slots declared but {} survive schema rebuild",
+                slot_count,
+                schema.slots().len()
+            ),
+        });
+    }
+    for (i, (slot, &(kind, width))) in schema.slots().iter().zip(&declared).enumerate() {
+        if u8::from(slot.is_partial()) != kind || slot.width != width {
+            return Err(WireError::BadHeader {
+                reason: format!("slot {i} disagrees with rebuilt schema layout"),
+            });
+        }
+    }
+
+    let bit_len = c.u64("payload length")?;
+    let payload_len = usize::try_from(bit_len.div_ceil(8)).map_err(|_| WireError::BadHeader {
+        reason: "payload length overflows".to_owned(),
+    })?;
+    let payload = c.take(payload_len, "payload")?;
+    let frame_bits = u64::from(schema.frame_bits());
+    let frames = (bit_len / frame_bits) as usize;
+    Ok((
+        schema,
+        EncodedStream {
+            bytes: payload.to_vec(),
+            bit_len,
+            frames,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_records, WireRecord};
+    use pstrace_flow::{FlowIndex, IndexedMessage};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<MessageCatalog>, WireSchema, EncodedStream) {
+        let mut c = MessageCatalog::new();
+        c.intern("req", 9);
+        let wide = c.intern("wide", 20);
+        c.intern_group(wide, "lo", 6);
+        let c = Arc::new(c);
+        let req = c.get("req").unwrap();
+        let lo = c.get_group("wide.lo").unwrap();
+        let schema = WireSchema::new(&c, &[req], &[lo], 24).unwrap();
+        let records = [
+            WireRecord {
+                time: 3,
+                message: IndexedMessage::new(req, FlowIndex(1)),
+                value: 0x1ff,
+                partial: false,
+            },
+            WireRecord {
+                time: 9,
+                message: IndexedMessage::new(c.get("wide").unwrap(), FlowIndex(2)),
+                value: 0x2a,
+                partial: true,
+            },
+        ];
+        let stream = encode_records(&schema, &records, None).unwrap();
+        (c, schema, stream)
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let (c, schema, stream) = setup();
+        let bytes = write_ptw(&c, &schema, &stream);
+        let (schema2, stream2) = read_ptw(&c, &bytes).unwrap();
+        assert_eq!(schema2, schema);
+        assert_eq!(stream2, stream);
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected() {
+        let (c, schema, stream) = setup();
+        assert_eq!(read_ptw(&c, b"nope").unwrap_err(), WireError::BadMagic);
+        let mut bytes = write_ptw(&c, &schema, &stream);
+        bytes[4] = 9;
+        assert_eq!(
+            read_ptw(&c, &bytes).unwrap_err(),
+            WireError::BadVersion { version: 9 }
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_reported() {
+        let (c, schema, stream) = setup();
+        let bytes = write_ptw(&c, &schema, &stream);
+        for cut in [5, 10, 14, bytes.len() - 1] {
+            let err = read_ptw(&c, &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::BadHeader { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_and_width_drift_are_caught() {
+        let (c, schema, stream) = setup();
+        let bytes = write_ptw(&c, &schema, &stream);
+        let mut foreign = MessageCatalog::new();
+        foreign.intern("other", 4);
+        assert!(matches!(
+            read_ptw(&foreign, &bytes).unwrap_err(),
+            WireError::UnknownName { .. }
+        ));
+        let mut drifted = MessageCatalog::new();
+        drifted.intern("req", 10); // catalog evolved: width changed
+        let wide = drifted.intern("wide", 20);
+        drifted.intern_group(wide, "lo", 6);
+        assert_eq!(
+            read_ptw(&drifted, &bytes).unwrap_err(),
+            WireError::WidthMismatch {
+                name: "req".to_owned(),
+                declared: 9,
+                expected: 10
+            }
+        );
+    }
+}

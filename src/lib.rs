@@ -28,7 +28,10 @@
 //!   the backtracking investigation walk of §5.6–5.7;
 //! * [`rtl`] — the gate-level substrate with state restoration (SRR) and
 //!   the SigSeT / PRNet baseline selectors of §5.4, plus the USB-like
-//!   comparison design.
+//!   comparison design;
+//! * [`wire`] — the bit-packed wire format: selection-derived frame
+//!   schemas, a circular-buffer frame encoder, a damage-tolerant
+//!   streaming decoder and the `.ptw` on-disk container.
 //!
 //! # Quickstart
 //!
@@ -74,6 +77,7 @@ pub use pstrace_flow as flow;
 pub use pstrace_infogain as infogain;
 pub use pstrace_rtl as rtl;
 pub use pstrace_soc as soc;
+pub use pstrace_wire as wire;
 
 /// The paper's contribution: trace message selection (re-export of
 /// `pstrace-core`).

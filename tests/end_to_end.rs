@@ -17,6 +17,7 @@ fn table_3_shape_holds() {
                 buffer_bits: 32,
                 packing: true,
                 depth: None,
+                wire: false,
             },
         )
         .expect("case study runs");
@@ -27,6 +28,7 @@ fn table_3_shape_holds() {
                 buffer_bits: 32,
                 packing: false,
                 depth: None,
+                wire: false,
             },
         )
         .expect("case study runs");

@@ -1,0 +1,217 @@
+//! Wire-format acceptance: the bit-packed codec against the modeled
+//! capture path on every paper scenario.
+//!
+//! * `decode(encode(capture)) == capture` bit-for-bit on every scenario's
+//!   selection — including circular-depth truncation;
+//! * measured per-frame utilization equals the analytic
+//!   `TraceBufferSpec::utilization` of the selection (Table 3), packed
+//!   subgroup bits included;
+//! * a corrupted frame is flagged and decoding resynchronizes at the next
+//!   frame boundary instead of crashing or cascading;
+//! * the chunked decoder is bit-identical to the sequential one;
+//! * the `.ptw` container survives a disk round trip.
+
+use pstrace::select::{Parallelism, SelectionConfig, Selector, TraceBufferSpec};
+use pstrace::soc::wirecap;
+use pstrace::soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario};
+
+fn paper_scenarios() -> Vec<UsageScenario> {
+    vec![
+        UsageScenario::scenario1(),
+        UsageScenario::scenario2(),
+        UsageScenario::scenario3(),
+        UsageScenario::scenario_dma(),
+        UsageScenario::scenario_coherence(),
+    ]
+}
+
+/// Selection-derived trace config + schema for a scenario over the
+/// paper's 32-bit buffer.
+fn selection_setup(
+    model: &SocModel,
+    scenario: &UsageScenario,
+    depth: Option<usize>,
+) -> (TraceBufferConfig, wirecap::WireSchema, f64) {
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let selection = Selector::new(
+        &scenario.interleaving(model).expect("interleaves"),
+        SelectionConfig::new(buffer),
+    )
+    .select()
+    .expect("selection succeeds");
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth,
+    };
+    let schema =
+        wirecap::wire_schema(model, &config, buffer.width_bits()).expect("schema fits buffer");
+    (config, schema, selection.utilization())
+}
+
+#[test]
+fn every_scenario_round_trips_bit_identically() {
+    let model = SocModel::t2();
+    for scenario in paper_scenarios() {
+        for depth in [None, Some(4)] {
+            let (config, schema, _) = selection_setup(&model, &scenario, depth);
+            let out = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(2018)).run();
+            let direct = capture(&model, &out, &config);
+            let stream = wirecap::encode_events(model.catalog(), &schema, &out.events, &config)
+                .expect("records fit the schema");
+            let (decoded, report) = wirecap::decode_capture(
+                &schema,
+                &stream.bytes,
+                Some(stream.bit_len),
+                Parallelism::Off,
+            );
+            assert!(
+                report.is_clean(),
+                "{}: {:?}",
+                scenario.name(),
+                report.damaged
+            );
+            assert_eq!(
+                decoded,
+                direct,
+                "{} depth {:?}: decode(encode(x)) != capture(x)",
+                scenario.name(),
+                depth
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_utilization_matches_the_analytic_model() {
+    // Satellite 3: the decoder-side occupancy measurement reproduces the
+    // Table-3 utilization numbers the selection model predicts, packed
+    // subgroup bits included.
+    let model = SocModel::t2();
+    for scenario in paper_scenarios() {
+        let (config, schema, modeled) = selection_setup(&model, &scenario, None);
+        let out = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(7)).run();
+        let stream = wirecap::encode_events(model.catalog(), &schema, &out.events, &config)
+            .expect("records fit the schema");
+        let (_, report) = wirecap::decode_capture(
+            &schema,
+            &stream.bytes,
+            Some(stream.bit_len),
+            Parallelism::Off,
+        );
+        assert!(
+            (report.utilization() - modeled).abs() < 1e-12,
+            "{}: measured {} != modeled {}",
+            scenario.name(),
+            report.utilization(),
+            modeled
+        );
+        assert!(
+            report.utilization() > 0.5,
+            "{}: a selected schema should fill most of the 32-bit buffer, measured {:.4}",
+            scenario.name(),
+            report.utilization()
+        );
+    }
+}
+
+#[test]
+fn corrupted_frame_is_flagged_and_decoding_resyncs() {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let (config, schema, _) = selection_setup(&model, &scenario, None);
+    let out = Simulator::new(&model, scenario, SimConfig::with_seed(2018)).run();
+    let direct = capture(&model, &out, &config);
+    let stream = wirecap::encode_events(model.catalog(), &schema, &out.events, &config)
+        .expect("records fit the schema");
+    assert!(stream.frames >= 4, "fixture needs a few frames");
+
+    // Trash a middle frame wholesale (every byte it touches).
+    let mut bytes = stream.bytes.clone();
+    let frame_bits = u64::from(schema.frame_bits());
+    let victim = stream.frames / 2;
+    let first_byte = (victim as u64 * frame_bits / 8) as usize;
+    let last_byte = (((victim as u64 + 1) * frame_bits - 1) / 8) as usize;
+    for b in &mut bytes[first_byte..=last_byte] {
+        *b = !*b;
+    }
+
+    let (decoded, report) =
+        wirecap::decode_capture(&schema, &bytes, Some(stream.bit_len), Parallelism::Off);
+    assert!(!report.is_clean(), "the damage must be flagged");
+    assert!(
+        report.damaged.iter().any(|d| d.frame == victim),
+        "the trashed frame {victim} must be flagged: {:?}",
+        report.damaged
+    );
+    // Resync: every record outside the damaged neighborhood survives.
+    // (Byte-sharing and the time heuristic may cost the immediate
+    // neighbors, never more.)
+    assert!(
+        decoded.len() + 3 >= direct.len(),
+        "damage cascaded: {} of {} records survive",
+        decoded.len(),
+        direct.len()
+    );
+    let direct_records = direct.records();
+    for r in decoded.records() {
+        assert!(
+            direct_records.contains(r),
+            "decoder invented a record: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn chunked_decode_is_bit_identical_to_sequential() {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario3();
+    let (config, schema, _) = selection_setup(&model, &scenario, None);
+    let out = Simulator::new(&model, scenario, SimConfig::with_seed(99)).run();
+    let stream = wirecap::encode_events(model.catalog(), &schema, &out.events, &config)
+        .expect("records fit the schema");
+    let (seq_trace, seq_report) = wirecap::decode_capture(
+        &schema,
+        &stream.bytes,
+        Some(stream.bit_len),
+        Parallelism::Off,
+    );
+    for parallelism in [
+        Parallelism::Auto,
+        Parallelism::threads(2),
+        Parallelism::threads(7),
+    ] {
+        let (trace, report) =
+            wirecap::decode_capture(&schema, &stream.bytes, Some(stream.bit_len), parallelism);
+        assert_eq!(trace, seq_trace, "{parallelism:?}");
+        assert_eq!(report, seq_report, "{parallelism:?}");
+    }
+}
+
+#[test]
+fn ptw_container_survives_the_disk() {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario2();
+    let (config, schema, _) = selection_setup(&model, &scenario, Some(8));
+    let out = Simulator::new(&model, scenario, SimConfig::with_seed(5)).run();
+    let direct = capture(&model, &out, &config);
+    let stream = wirecap::encode_events(model.catalog(), &schema, &out.events, &config)
+        .expect("records fit the schema");
+
+    let path = std::env::temp_dir().join("pstrace_wire_roundtrip.ptw");
+    std::fs::write(&path, wirecap::write_ptw(model.catalog(), &schema, &stream)).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let (schema2, stream2) = wirecap::read_ptw(model.catalog(), &bytes).expect("valid container");
+    assert_eq!(schema2, schema);
+    assert_eq!(stream2, stream);
+    let (decoded, report) = wirecap::decode_capture(
+        &schema2,
+        &stream2.bytes,
+        Some(stream2.bit_len),
+        Parallelism::Auto,
+    );
+    assert!(report.is_clean());
+    assert_eq!(decoded, direct);
+}
