@@ -1,0 +1,22 @@
+//! `pstraced` — the live trace ingest daemon, as its own binary.
+//!
+//! Equivalent to `pstrace serve`; every flag is forwarded:
+//!
+//! ```text
+//! pstraced [--addr HOST:PORT] [--threads N] [--sessions N]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = vec!["serve".to_owned()];
+    argv.extend(std::env::args().skip(1));
+    match pstrace_cli::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `pstraced --help` via `pstrace help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -45,6 +45,8 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "stats" => cmd_stats(),
         "select-file" => cmd_select_file(rest),
         "trace" => cmd_trace(rest),
+        "serve" => cmd_serve(rest),
+        "stream" => cmd_stream(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -65,6 +67,10 @@ fn print_help() {
     println!("           [--no-packing] [--depth D]    pack a text trace into .ptw frames");
     println!("  trace    decode FILE [--out OUT.txt] [--threads N|auto|off]");
     println!("                                         decode a .ptw stream back to text");
+    println!("  serve    [--addr HOST:PORT] [--threads N] [--sessions N]");
+    println!("                                         run the live trace ingest daemon");
+    println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
+    println!("                                         replay a .ptw capture to a daemon");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -543,6 +549,98 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Runs the live trace ingest daemon (`pstraced` forwards here).
+///
+/// `--sessions N` exits after N sessions have completed or failed
+/// (0 = bind, print the address, shut straight down — a smoke check);
+/// without it the daemon serves until killed.
+fn cmd_serve(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["addr", "threads", "sessions"])?;
+    let config = pstrace_stream::ServerConfig {
+        addr: args.option("addr").unwrap_or("127.0.0.1:7455").to_owned(),
+        threads: args.option_or("threads", 2usize)?,
+        ..pstrace_stream::ServerConfig::default()
+    };
+    let sessions: Option<u64> = args.option_opt("sessions")?;
+    let model = Arc::new(SocModel::t2());
+    let server = pstrace_stream::Server::spawn(model, &config)?;
+    println!("serving on {}", server.local_addr());
+    match sessions {
+        Some(limit) => {
+            use std::sync::atomic::Ordering;
+            loop {
+                let stats = server.stats();
+                let done =
+                    stats.completed.load(Ordering::Relaxed) + stats.failed.load(Ordering::Relaxed);
+                if done >= limit {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let stats = server.stats();
+            println!(
+                "served {} sessions ({} failed): {} bytes, {} frames, {} records, {} damaged",
+                stats.sessions.load(Ordering::Relaxed),
+                stats.failed.load(Ordering::Relaxed),
+                stats.bytes.load(Ordering::Relaxed),
+                stats.frames.load(Ordering::Relaxed),
+                stats.records.load(Ordering::Relaxed),
+                stats.damaged_frames.load(Ordering::Relaxed),
+            );
+            server.shutdown();
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
+/// Replays a `.ptw` capture to an ingest daemon and prints the server's
+/// session report. Without `--addr`, a private in-process daemon is
+/// spun up on loopback for the replay — the full TCP path, no external
+/// process needed.
+fn cmd_stream(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[],
+        &["addr", "scenario", "mode", "chunk"],
+    )?;
+    let input = args
+        .positional()
+        .first()
+        .ok_or("stream needs an input .ptw file")?;
+    let ptw = std::fs::read(input)?;
+    let scenario = args.option_or("scenario", 1u8)?;
+    let mode = pstrace_stream::proto::mode_from_name(args.option("mode").unwrap_or("prefix"))?;
+    let chunk = args.option_or("chunk", pstrace_stream::DEFAULT_CHUNK_BYTES)?;
+    let model = SocModel::t2();
+
+    let report = match args.option("addr") {
+        Some(addr) => {
+            pstrace_stream::stream_ptw(addr, model.catalog(), scenario, mode, &ptw, chunk)?
+        }
+        None => {
+            let server = pstrace_stream::Server::spawn(
+                Arc::new(SocModel::t2()),
+                &pstrace_stream::ServerConfig::default(),
+            )?;
+            let report = pstrace_stream::stream_ptw(
+                server.local_addr(),
+                model.catalog(),
+                scenario,
+                mode,
+                &ptw,
+                chunk,
+            );
+            server.shutdown();
+            report?
+        }
+    };
+    print!("{report}");
+    Ok(())
+}
+
 fn cmd_stats() -> CmdResult {
     let usb = UsbDesign::new();
     let stats = pstrace_rtl::netlist_stats(&usb.netlist);
@@ -781,5 +879,65 @@ mod tests {
         assert!(dispatch(&argv(&["dot", "--flow", "pior", "--interleaved"])).is_ok());
         assert!(dispatch(&argv(&["dot", "--scenario", "2"])).is_ok());
         assert!(dispatch(&argv(&["dot", "--flow", "nope"])).is_err());
+    }
+
+    #[test]
+    fn serve_smoke_binds_and_shuts_down() {
+        // `--sessions 0` binds an ephemeral port, prints stats, exits.
+        assert!(dispatch(&argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "0"
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&["serve", "--addr", "not-an-address"])).is_err());
+    }
+
+    #[test]
+    fn stream_replays_a_capture_in_process() {
+        let dir = std::env::temp_dir();
+        let txt = dir.join("pstrace_cli_stream.txt");
+        let ptw = dir.join("pstrace_cli_stream.ptw");
+        let txt_s = txt.to_string_lossy().to_string();
+        let ptw_s = ptw.to_string_lossy().to_string();
+
+        assert!(dispatch(&argv(&["simulate", "--scenario", "1", "--save", &txt_s])).is_ok());
+        assert!(dispatch(&argv(&[
+            "trace",
+            "encode",
+            &txt_s,
+            "--out",
+            &ptw_s,
+            "--scenario",
+            "1"
+        ]))
+        .is_ok());
+
+        // No --addr: a private loopback daemon handles the replay.
+        for mode in ["exact", "prefix", "suffix", "substring"] {
+            assert!(
+                dispatch(&argv(&[
+                    "stream",
+                    &ptw_s,
+                    "--scenario",
+                    "1",
+                    "--mode",
+                    mode,
+                    "--chunk",
+                    "7"
+                ]))
+                .is_ok(),
+                "--mode {mode}"
+            );
+        }
+        assert!(dispatch(&argv(&["stream", &ptw_s, "--mode", "fuzzy"])).is_err());
+        assert!(dispatch(&argv(&["stream"])).is_err());
+        assert!(dispatch(&argv(&["stream", "/nonexistent.ptw"])).is_err());
+
+        for p in [txt, ptw] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

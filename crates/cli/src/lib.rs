@@ -1,0 +1,7 @@
+//! Library surface of the `pstrace` command-line driver, shared by the
+//! `pstrace` and `pstraced` binaries.
+
+mod args;
+mod commands;
+
+pub use commands::dispatch;

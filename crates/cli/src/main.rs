@@ -6,18 +6,17 @@
 //! pstrace select   --scenario N [...]      run message selection
 //! pstrace simulate --scenario N [...]      run the SoC simulator
 //! pstrace debug    --case N [...]          run a debugging case study
+//! pstrace serve    [--addr A] [...]        run the live ingest daemon
+//! pstrace stream   FILE.ptw [...]          replay a capture to a daemon
 //! pstrace dot      --scenario N | --flow K export Graphviz
 //! pstrace usb                               USB baseline comparison
 //! ```
-
-mod args;
-mod commands;
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(&argv) {
+    match pstrace_cli::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -24,11 +24,24 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// The all-zero summary reported for a campaign with no runs. An
+    /// empty value slice has no meaningful extrema; rather than the
+    /// `min = +inf / max = -inf` fold identities, zero-seed campaigns
+    /// report this sentinel so every field stays finite and `min <= mean
+    /// <= max` holds unconditionally.
+    pub const ZERO: Summary = Summary {
+        min: 0.0,
+        mean: 0.0,
+        max: 0.0,
+    };
+
     fn of(values: &[f64]) -> Summary {
-        let n = values.len().max(1) as f64;
+        if values.is_empty() {
+            return Summary::ZERO;
+        }
         Summary {
             min: values.iter().copied().fold(f64::INFINITY, f64::min),
-            mean: values.iter().sum::<f64>() / n,
+            mean: values.iter().sum::<f64>() / values.len() as f64,
             max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         }
     }
@@ -128,6 +141,19 @@ mod tests {
                 stats.localization.max
             );
         }
+    }
+
+    #[test]
+    fn empty_campaign_reports_the_zero_summary() {
+        let model = SocModel::t2();
+        let cs = &case_studies()[0];
+        let stats = run_campaign(&model, cs, CaseStudyConfig::default(), &[]).unwrap();
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.localization, Summary::ZERO);
+        assert_eq!(stats.pruning, Summary::ZERO);
+        assert!(stats.localization.min.is_finite());
+        assert!(stats.localization.min <= stats.localization.mean);
+        assert!(stats.localization.mean <= stats.localization.max);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * [`localize`] / [`consistent_paths`] — the §5.2 path-localization
 //!   metric: the fraction of interleaved-flow paths consistent with the
 //!   captured trace (exact for completed runs, prefix for hangs);
+//! * [`OnlineLocalizer`] — the streaming form of the same DP: one decoded
+//!   record folded in at a time in `O(edges)` amortized, bit-identical to
+//!   the batch result at every prefix (the engine behind `pstrace-stream`);
 //! * [`Evidence`] / [`distill`] — per-witness verdicts (healthy, corrupt,
 //!   absent, unobserved) from a golden/buggy capture pair;
 //! * [`RootCause`] / [`scenario_causes`] / [`evaluate_causes`] — the
@@ -43,6 +46,7 @@ mod campaign;
 mod causes;
 mod evidence;
 mod localize;
+mod online;
 mod report;
 mod walk;
 
@@ -53,6 +57,7 @@ pub use localize::{
     consistent_paths, consistent_paths_bruteforce, localize, Localization, LocalizationStats,
     MatchMode,
 };
+pub use online::{Frontier, OnlineLocalizer};
 pub use report::{
     run_case_study, run_case_study_with_seed, CaseStudyConfig, CaseStudyReport, WireTripSummary,
 };

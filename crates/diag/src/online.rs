@@ -1,0 +1,527 @@
+//! Online path localization: fold one observed record at a time.
+//!
+//! The batch DP in [`localize`](crate::localize) recomputes the whole
+//! `(product state × observation position)` table for every new
+//! observation — diagnosing a growing trace of `N` records this way costs
+//! `O(N² · edges)`. [`OnlineLocalizer`] keeps only the *frontier* of that
+//! table — one dense column of path mass per product state — and advances
+//! it by one column per record, so a live stream is localized in
+//! `O(edges)` amortized per message while staying bit-identical to
+//! [`consistent_paths`] on every prefix of the observation.
+//!
+//! How each [`MatchMode`] is incrementalized:
+//!
+//! * **Exact** — the column is *start-anchored*: `F[s]` counts walks from
+//!   an initial state to `s` whose projection onto the selected set is
+//!   exactly the observation so far. Appending observation `o` rebuilds
+//!   the column in one topological sweep: selected edges matching `o`
+//!   consume the previous column, unselected edges propagate within the
+//!   new one. The count is the column mass over stop states.
+//! * **Prefix** — same column; the count decomposes each matching path at
+//!   the edge consuming the newest observation, weighting the selected
+//!   inflow of every state by the precomputed unrestricted path count from
+//!   that state to a stop state.
+//! * **Suffix** — the column is *end-anchored*: `E[s]` counts walks from
+//!   an initial state to `s` whose projection **ends with** the
+//!   observation so far. It is seeded with the unrestricted walk counts
+//!   (every projection ends with the empty observation) and advances with
+//!   the same sweep; appending to the observation extends the matched
+//!   suffix at the walk's end, so no previously folded record is ever
+//!   revisited. The count is again the mass over stop states.
+//! * **Substring** — counting *paths* (not occurrences) that contain the
+//!   observation needs leftmost-occurrence disambiguation, which no fixed
+//!   per-state frontier survives when the pattern grows. The localizer
+//!   instead exploits monotonicity: the consistent set only shrinks as
+//!   the observation grows, so once the count reaches zero every later
+//!   push is `O(1)`; while it is nonzero the batch automaton DP is re-run
+//!   on the stored observation, whose useful length is bounded by the
+//!   longest projection any path can produce — a property of the flow,
+//!   not of the trace. Amortized over a long stream the per-message cost
+//!   is `O(edges)`. The end-anchored column is still maintained as the
+//!   live occurrence frontier.
+//!
+//! Counts use the same saturating `u128` arithmetic as the batch DP;
+//! prefix equality is exact whenever no intermediate count saturates
+//! (astronomically far away for every modeled flow).
+
+use pstrace_flow::{path_count, topological_order, IndexedMessage, InterleavedFlow, MessageId};
+
+use crate::localize::{consistent_paths, Localization, MatchMode};
+
+/// One dense DP column: path mass per product state, in state-index
+/// order. This is the object [`OnlineLocalizer`] advances per record;
+/// it is exposed so live consumers (dashboards, the stream daemon) can
+/// watch the localization narrow without reading the counts alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    values: Vec<u128>,
+}
+
+impl Frontier {
+    /// The per-state mass, indexed by dense product-state index.
+    #[must_use]
+    pub fn values(&self) -> &[u128] {
+        &self.values
+    }
+
+    /// Number of states carrying nonzero mass — the "width" of the
+    /// frontier. A shrinking support is the live signature of an
+    /// observation pinning down the execution.
+    #[must_use]
+    pub fn support(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Total mass across all states (saturating).
+    #[must_use]
+    pub fn mass(&self) -> u128 {
+        self.values.iter().fold(0u128, |a, &v| a.saturating_add(v))
+    }
+}
+
+/// Incoming-edge program of one product state, pre-resolved at
+/// construction so a push never touches the flow again.
+#[derive(Debug, Clone, Default)]
+struct Inflow {
+    /// Sources of unselected incoming edges (propagate within a column).
+    unselected: Vec<u32>,
+    /// `(label, source)` of selected incoming edges (consume the
+    /// previous column when the label matches the pushed observation).
+    selected: Vec<(IndexedMessage, u32)>,
+}
+
+/// Streaming counterpart of [`localize`](crate::localize): construct it
+/// with the interleaving, the selected message set and a [`MatchMode`],
+/// then [`push`](OnlineLocalizer::push) each observed record as it
+/// arrives. After `N` pushes, [`consistent`](OnlineLocalizer::consistent)
+/// equals `consistent_paths(flow, &observed[..N], selected, mode)`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pstrace_flow::{examples::cache_coherence, instantiate, FlowIndex, IndexedMessage, InterleavedFlow};
+/// use pstrace_diag::{consistent_paths, MatchMode, OnlineLocalizer};
+///
+/// # fn main() -> Result<(), pstrace_flow::FlowError> {
+/// let (flow, catalog) = cache_coherence();
+/// let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2))?;
+/// let req = catalog.get("ReqE").unwrap();
+/// let gnt = catalog.get("GntE").unwrap();
+/// let selected = [req, gnt];
+/// let observed = [
+///     IndexedMessage::new(req, FlowIndex(1)),
+///     IndexedMessage::new(gnt, FlowIndex(1)),
+///     IndexedMessage::new(req, FlowIndex(2)),
+/// ];
+/// let mut online = OnlineLocalizer::new(&u, &selected, MatchMode::Prefix);
+/// for (n, &m) in observed.iter().enumerate() {
+///     online.push(m);
+///     assert_eq!(
+///         online.consistent(),
+///         consistent_paths(&u, &observed[..=n], &selected, MatchMode::Prefix),
+///     );
+/// }
+/// assert_eq!(online.consistent(), 1); // pinned down from 6 interleavings
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineLocalizer {
+    mode: MatchMode,
+    /// Forward topological order of the product states.
+    topo: Vec<u32>,
+    /// Per-state incoming-edge program (indexed by state).
+    inflow: Vec<Inflow>,
+    /// Initial-state indicator per state.
+    is_initial: Vec<bool>,
+    /// Stop states (dense indices).
+    stops: Vec<u32>,
+    /// Unrestricted path count from each state to a stop state
+    /// (the Prefix-mode continuation weights).
+    to_stop: Vec<u128>,
+    /// The live DP column.
+    column: Frontier,
+    /// Scratch buffer for the next column (kept to avoid reallocation).
+    scratch: Vec<u128>,
+    consistent: u128,
+    total: u128,
+    pushed: usize,
+    /// Substring mode keeps the observation and a flow clone for the
+    /// bounded batch recompute; empty/`None` in the other modes.
+    observed: Vec<IndexedMessage>,
+    selected: Vec<MessageId>,
+    flow: Option<Box<InterleavedFlow>>,
+}
+
+impl OnlineLocalizer {
+    /// Builds the localizer for `flow` under the selected message set and
+    /// match mode. Construction runs two `O(states + edges)` sweeps; no
+    /// reference to `flow` is kept except in [`MatchMode::Substring`]
+    /// (which clones it for its bounded recompute).
+    #[must_use]
+    pub fn new(flow: &InterleavedFlow, selected: &[MessageId], mode: MatchMode) -> Self {
+        let n = flow.state_count();
+        let topo: Vec<u32> = topological_order(flow)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
+        let mut inflow = vec![Inflow::default(); n];
+        for s in flow.states() {
+            let inf = &mut inflow[s.index()];
+            for e in flow.edges_into(s) {
+                if selected.contains(&e.message.message) {
+                    inf.selected.push((e.message, e.from.index() as u32));
+                } else {
+                    inf.unselected.push(e.from.index() as u32);
+                }
+            }
+        }
+        let mut is_initial = vec![false; n];
+        for &s in flow.initial_states() {
+            is_initial[s.index()] = true;
+        }
+        let stops: Vec<u32> = flow
+            .stop_states()
+            .iter()
+            .map(|s| s.index() as u32)
+            .collect();
+        let mut is_stop = vec![false; n];
+        for &s in &stops {
+            is_stop[s as usize] = true;
+        }
+
+        // Unrestricted continuation counts: paths from s to a stop state.
+        let mut to_stop = vec![0u128; n];
+        for &u in topo.iter().rev() {
+            let mut acc = u128::from(is_stop[u as usize]);
+            let state = flow.state_at(u as usize);
+            for e in flow.edges_from(state) {
+                acc = acc.saturating_add(to_stop[e.to.index()]);
+            }
+            to_stop[u as usize] = acc;
+        }
+
+        let total = path_count(flow);
+        let mut this = OnlineLocalizer {
+            mode,
+            topo,
+            inflow,
+            is_initial,
+            stops,
+            to_stop,
+            column: Frontier { values: vec![0; n] },
+            scratch: vec![0; n],
+            consistent: 0,
+            total,
+            pushed: 0,
+            observed: Vec::new(),
+            selected: selected.to_vec(),
+            flow: (mode == MatchMode::Substring).then(|| Box::new(flow.clone())),
+        };
+        this.seed();
+        this
+    }
+
+    /// Seeds the column and count for the empty observation.
+    fn seed(&mut self) {
+        match self.mode {
+            // Start-anchored: walks whose projection is exactly empty —
+            // initial states closed over unselected edges only.
+            MatchMode::Exact | MatchMode::Prefix => {
+                for &u in &self.topo {
+                    let s = u as usize;
+                    let mut acc = u128::from(self.is_initial[s]);
+                    for &src in &self.inflow[s].unselected {
+                        acc = acc.saturating_add(self.column.values[src as usize]);
+                    }
+                    self.column.values[s] = acc;
+                }
+            }
+            // End-anchored: every projection ends with the empty
+            // observation — unrestricted walk counts from the roots.
+            MatchMode::Suffix | MatchMode::Substring => {
+                for &u in &self.topo {
+                    let s = u as usize;
+                    let mut acc = u128::from(self.is_initial[s]);
+                    for &src in &self.inflow[s].unselected {
+                        acc = acc.saturating_add(self.column.values[src as usize]);
+                    }
+                    for &(_, src) in &self.inflow[s].selected {
+                        acc = acc.saturating_add(self.column.values[src as usize]);
+                    }
+                    self.column.values[s] = acc;
+                }
+            }
+        }
+        self.consistent = match self.mode {
+            MatchMode::Exact => self.stop_mass(),
+            // Every path starts with / ends with / contains ε.
+            MatchMode::Prefix | MatchMode::Suffix | MatchMode::Substring => self.total,
+        };
+    }
+
+    /// Mass of the current column over the stop states.
+    fn stop_mass(&self) -> u128 {
+        self.stops.iter().fold(0u128, |a, &s| {
+            a.saturating_add(self.column.values[s as usize])
+        })
+    }
+
+    /// Advances the column by one observation in a single topological
+    /// sweep. Returns the Prefix-mode decomposition sum: the selected
+    /// inflow of each state weighted by its unrestricted continuation.
+    fn advance(&mut self, m: IndexedMessage) -> u128 {
+        let mut dot = 0u128;
+        for &u in &self.topo {
+            let s = u as usize;
+            let mut matched = 0u128;
+            for &(label, src) in &self.inflow[s].selected {
+                if label == m {
+                    matched = matched.saturating_add(self.column.values[src as usize]);
+                }
+            }
+            dot = dot.saturating_add(matched.saturating_mul(self.to_stop[s]));
+            let mut acc = matched;
+            for &src in &self.inflow[s].unselected {
+                acc = acc.saturating_add(self.scratch[src as usize]);
+            }
+            self.scratch[s] = acc;
+        }
+        std::mem::swap(&mut self.column.values, &mut self.scratch);
+        dot
+    }
+
+    /// Folds one observed record into the localization.
+    pub fn push(&mut self, m: IndexedMessage) {
+        match self.mode {
+            MatchMode::Exact => {
+                self.advance(m);
+                self.consistent = self.stop_mass();
+            }
+            MatchMode::Prefix => {
+                self.consistent = self.advance(m);
+            }
+            MatchMode::Suffix => {
+                self.advance(m);
+                self.consistent = self.stop_mass();
+            }
+            MatchMode::Substring => {
+                self.advance(m);
+                self.observed.push(m);
+                // Monotone: once no path contains the observation, no
+                // extension can match — every further push is O(1).
+                if self.consistent != 0 {
+                    let flow = self.flow.as_ref().expect("substring mode keeps the flow");
+                    self.consistent =
+                        consistent_paths(flow, &self.observed, &self.selected, self.mode);
+                }
+            }
+        }
+        self.pushed += 1;
+    }
+
+    /// Folds a sequence of records in order.
+    pub fn push_all<I: IntoIterator<Item = IndexedMessage>>(&mut self, records: I) {
+        for m in records {
+            self.push(m);
+        }
+    }
+
+    /// Paths consistent with everything pushed so far — bit-identical to
+    /// [`consistent_paths`] over the same prefix.
+    #[must_use]
+    pub fn consistent(&self) -> u128 {
+        self.consistent
+    }
+
+    /// All root-to-stop paths of the interleaving.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// The current [`Localization`] (consistent / total).
+    #[must_use]
+    pub fn localization(&self) -> Localization {
+        Localization {
+            consistent: self.consistent,
+            total: self.total,
+        }
+    }
+
+    /// Records folded in so far.
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// The configured match mode.
+    #[must_use]
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// The live DP column.
+    #[must_use]
+    pub fn frontier(&self) -> &Frontier {
+        &self.column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::{
+        examples::{cache_coherence, diamond},
+        executions, instantiate, FlowIndex,
+    };
+    use std::sync::Arc;
+
+    fn product(instances: u32) -> InterleavedFlow {
+        let (flow, _) = cache_coherence();
+        InterleavedFlow::build(&instantiate(&Arc::new(flow), instances)).unwrap()
+    }
+
+    const MODES: [MatchMode; 4] = [
+        MatchMode::Exact,
+        MatchMode::Prefix,
+        MatchMode::Suffix,
+        MatchMode::Substring,
+    ];
+
+    #[test]
+    fn empty_observation_matches_batch_in_every_mode() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        for mode in MODES {
+            let online = OnlineLocalizer::new(&u, &selected, mode);
+            assert_eq!(
+                online.consistent(),
+                consistent_paths(&u, &[], &selected, mode),
+                "{mode:?}"
+            );
+            assert_eq!(online.total(), path_count(&u));
+            assert_eq!(online.pushed(), 0);
+        }
+    }
+
+    #[test]
+    fn every_prefix_of_every_execution_matches_batch() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        for exec in executions(&u) {
+            let observed = exec.project(&selected);
+            for mode in MODES {
+                let mut online = OnlineLocalizer::new(&u, &selected, mode);
+                for (n, &m) in observed.iter().enumerate() {
+                    online.push(m);
+                    let batch = consistent_paths(&u, &observed[..=n], &selected, mode);
+                    assert_eq!(online.consistent(), batch, "{mode:?} after {}", n + 1);
+                    assert_eq!(online.pushed(), n + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branching_flows_match_batch_on_random_noise() {
+        // Observations that are NOT projections of any execution (noise,
+        // duplicates, unselected messages) must also track batch exactly.
+        let (flow, _catalog) = diamond();
+        let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap();
+        let alphabet = u.message_alphabet();
+        let selected = &alphabet[..alphabet.len() / 2];
+        let ims = u.indexed_messages();
+        // A deterministic pseudo-random walk over the indexed alphabet.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let noise: Vec<IndexedMessage> = (0..12)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ims[(x >> 33) as usize % ims.len()]
+            })
+            .collect();
+        for mode in MODES {
+            let mut online = OnlineLocalizer::new(&u, selected, mode);
+            for (n, &m) in noise.iter().enumerate() {
+                online.push(m);
+                assert_eq!(
+                    online.consistent(),
+                    consistent_paths(&u, &noise[..=n], selected, mode),
+                    "{mode:?} after {}",
+                    n + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unselected_observation_kills_the_count() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let req = catalog.get("ReqE").unwrap();
+        let ack = catalog.get("Ack").unwrap();
+        for mode in MODES {
+            let mut online = OnlineLocalizer::new(&u, &[req], mode);
+            // `Ack` is not selected: no projection can ever contain it.
+            online.push(IndexedMessage::new(ack, FlowIndex(1)));
+            assert_eq!(online.consistent(), 0, "{mode:?}");
+            online.push(IndexedMessage::new(req, FlowIndex(1)));
+            assert_eq!(online.consistent(), 0, "{mode:?} stays dead");
+        }
+    }
+
+    #[test]
+    fn frontier_tracks_walks_consistent_with_the_observation() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        let mut online = OnlineLocalizer::new(&u, &selected, MatchMode::Prefix);
+        // Empty observation, start-anchored: only the unselected closure
+        // of the initial states carries mass (Init's edges are selected).
+        assert_eq!(online.frontier().support(), 1);
+        online.push(IndexedMessage::new(selected[0], FlowIndex(1)));
+        online.push(IndexedMessage::new(selected[1], FlowIndex(1)));
+        assert!(online.frontier().support() > 0);
+        assert!(online.frontier().mass() >= 1);
+        assert_eq!(online.frontier().values().len(), u.state_count());
+        // An impossible continuation empties the frontier for good.
+        online.push(IndexedMessage::new(selected[1], FlowIndex(1)));
+        assert_eq!(online.frontier().support(), 0);
+        assert_eq!(online.frontier().mass(), 0);
+        assert_eq!(online.consistent(), 0);
+    }
+
+    #[test]
+    fn three_instance_product_matches_batch() {
+        let u = product(3);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap()];
+        let exec = executions(&u).nth(5).unwrap();
+        let observed = exec.project(&selected);
+        for mode in MODES {
+            let mut online = OnlineLocalizer::new(&u, &selected, mode);
+            online.push_all(observed.iter().copied());
+            assert_eq!(
+                online.consistent(),
+                consistent_paths(&u, &observed, &selected, mode),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn localization_fraction_is_consistent_with_batch_localize() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("GntE").unwrap()];
+        let exec = executions(&u).next().unwrap();
+        let observed = exec.project(&selected);
+        let mut online = OnlineLocalizer::new(&u, &selected, MatchMode::Exact);
+        online.push_all(observed.iter().copied());
+        let batch = crate::localize::localize(&u, &observed, &selected, MatchMode::Exact);
+        assert_eq!(online.localization(), batch);
+    }
+}

@@ -3,10 +3,12 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use pstrace_diag::{consistent_paths, consistent_paths_bruteforce, localize, MatchMode};
+use pstrace_diag::{
+    consistent_paths, consistent_paths_bruteforce, localize, MatchMode, OnlineLocalizer,
+};
 use pstrace_flow::{
     examples::{cache_coherence, diamond},
-    executions, instantiate, InterleavedFlow, MessageId,
+    executions, instantiate, path_count, InterleavedFlow, MessageId,
 };
 
 fn product() -> InterleavedFlow {
@@ -109,6 +111,59 @@ proptest! {
         let full = exec.project(&alphabet);
         let hits = consistent_paths(&u, &full, &alphabet, MatchMode::Exact);
         prop_assert_eq!(hits, 1);
+    }
+
+    /// Feeding an observation to [`OnlineLocalizer`] one record at a time
+    /// reports, after every push, exactly what batch localization computes
+    /// on that prefix — for all four match modes, on observations that mix
+    /// real projections with random noise records.
+    #[test]
+    fn online_localizer_matches_batch_at_every_prefix(
+        branching in any::<bool>(),
+        exec_idx in 0usize..24,
+        pick in proptest::collection::vec(any::<bool>(), 4),
+        noise in proptest::collection::vec((0usize..12, any::<bool>()), 0..4),
+        mode_idx in 0usize..4,
+    ) {
+        let u = if branching { branching_product() } else { product() };
+        let alphabet = u.message_alphabet();
+        let selected: Vec<MessageId> = alphabet
+            .iter()
+            .zip(&pick)
+            .filter(|(_, &p)| p)
+            .map(|(m, _)| *m)
+            .collect();
+        let execs: Vec<_> = executions(&u).collect();
+        let exec = &execs[exec_idx % execs.len()];
+        let mut observed = exec.project(&selected);
+        // Splice selected-alphabet records at random positions: the
+        // resulting sequence is usually NOT a projection of any path, so
+        // the zero-count regime is exercised too.
+        for &(pos, early) in &noise {
+            if let Some(&m) = exec.project(&alphabet).get(pos) {
+                if selected.contains(&m.message) {
+                    let at = if early { 0 } else { observed.len() };
+                    observed.insert(at, m);
+                }
+            }
+        }
+        let mode = [MatchMode::Exact, MatchMode::Prefix, MatchMode::Suffix, MatchMode::Substring]
+            [mode_idx];
+        let mut online = OnlineLocalizer::new(&u, &selected, mode);
+        prop_assert_eq!(
+            online.consistent(),
+            consistent_paths(&u, &[], &selected, mode),
+            "empty-observation seed diverged ({:?})", mode
+        );
+        for (n, &m) in observed.iter().enumerate() {
+            online.push(m);
+            let batch = consistent_paths(&u, &observed[..=n], &selected, mode);
+            prop_assert_eq!(
+                online.consistent(), batch,
+                "prefix of {} records diverged ({:?})", n + 1, mode
+            );
+            prop_assert_eq!(online.total(), path_count(&u));
+        }
     }
 
     /// Growing the selection never makes localization worse for the same

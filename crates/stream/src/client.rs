@@ -1,0 +1,72 @@
+//! The replay client: stream a `.ptw` capture to a running daemon.
+
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pstrace_diag::MatchMode;
+use pstrace_flow::MessageCatalog;
+use pstrace_wire::read_ptw_schema;
+
+use crate::error::StreamError;
+use crate::proto::{read_reply, write_data, write_finish, write_hello};
+
+/// Default chunk size of the replay client, sized to cut a typical
+/// capture into several chunks without degenerating to per-frame sends.
+pub const DEFAULT_CHUNK_BYTES: usize = 256;
+
+/// Replays the `.ptw` container in `ptw_bytes` to the daemon at `addr`
+/// in `chunk_bytes`-sized data chunks, and returns the server's session
+/// report.
+///
+/// The container's schema prefix becomes the handshake verbatim; the
+/// payload is the chunked stream; the declared payload bit length closes
+/// the session. `catalog` is only used to find the schema/payload split,
+/// so the client validates the file the same way the server will.
+///
+/// # Errors
+///
+/// * [`StreamError::Wire`] when the file is not a valid `.ptw` for
+///   `catalog`;
+/// * [`StreamError::Io`] / [`StreamError::Protocol`] for transport
+///   failures;
+/// * [`StreamError::Remote`] when the server rejects the session.
+pub fn stream_ptw(
+    addr: impl ToSocketAddrs,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+) -> Result<String, StreamError> {
+    let (_, consumed) = read_ptw_schema(catalog, ptw_bytes)?;
+    let schema = &ptw_bytes[..consumed];
+    let rest = &ptw_bytes[consumed..];
+    if rest.len() < 8 {
+        return Err(StreamError::Protocol(
+            "container is truncated before the payload length".to_owned(),
+        ));
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&rest[..8]);
+    let bit_len = u64::from_le_bytes(len_bytes);
+    let payload_len = usize::try_from(bit_len.div_ceil(8))
+        .map_err(|_| StreamError::Protocol("payload length overflows".to_owned()))?;
+    let payload = rest
+        .get(8..8 + payload_len)
+        .ok_or_else(|| StreamError::Protocol("container payload is truncated".to_owned()))?;
+
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    write_hello(&mut writer, scenario, mode, schema)?;
+    let chunk = chunk_bytes.max(1);
+    for piece in payload.chunks(chunk) {
+        write_data(&mut writer, piece)?;
+    }
+    write_finish(&mut writer, bit_len)?;
+    writer.flush()?;
+
+    read_reply(&mut reader)
+}

@@ -1,0 +1,52 @@
+//! Error type of the streaming layer.
+
+use std::fmt;
+use std::io;
+
+use pstrace_wire::WireError;
+
+/// Anything that can go wrong between a client and the ingest daemon.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A socket or file operation failed.
+    Io(io::Error),
+    /// The schema handshake or payload failed wire-format validation.
+    Wire(WireError),
+    /// The peer violated the chunk protocol.
+    Protocol(String),
+    /// The server reported a session failure.
+    Remote(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+            StreamError::Wire(e) => write!(f, "wire error: {e}"),
+            StreamError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            StreamError::Remote(m) => write!(f, "server rejected the session: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Wire(e) => Some(e),
+            StreamError::Protocol(_) | StreamError::Remote(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<WireError> for StreamError {
+    fn from(e: WireError) -> Self {
+        StreamError::Wire(e)
+    }
+}

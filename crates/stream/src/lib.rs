@@ -1,0 +1,40 @@
+//! Live trace ingest for post-silicon debug: stream wire frames over
+//! TCP, localize while they arrive.
+//!
+//! The batch pipeline captures a full trace, then diagnoses it. This
+//! crate closes the loop *during* capture:
+//!
+//! * [`Session`] — the per-stream state machine: chunked bytes are
+//!   decoded frame by frame ([`pstrace_wire::decode_frame_range`]), run
+//!   through an online mirror of the decoder's time-monotonicity pass
+//!   (one-record spike quarantine), and folded into an
+//!   [`OnlineLocalizer`](pstrace_diag::OnlineLocalizer) — the
+//!   consistent-path count is live at every chunk boundary;
+//! * [`proto`] — the length-prefixed chunk protocol with a `.ptw` schema
+//!   handshake, so a live socket and a capture file describe their
+//!   frames identically;
+//! * [`Server`] — the std-only `pstraced` daemon: `TcpListener`, a fixed
+//!   worker pool, per-session and aggregated metrics, graceful shutdown;
+//! * [`stream_ptw`] — the replay client behind `pstrace stream`.
+//!
+//! The contract inherited from the batch side holds end to end: a
+//! session's committed record sequence is bit-identical to
+//! [`pstrace_wire::decode_stream`]'s, and its localization is
+//! bit-identical to batch [`localize`](pstrace_diag::localize) on that
+//! sequence — streaming changes *when* the answer exists, never what it
+//! is.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod error;
+pub mod proto;
+mod server;
+mod session;
+
+pub use client::{stream_ptw, DEFAULT_CHUNK_BYTES};
+pub use error::StreamError;
+pub use server::{scenario_by_number, Server, ServerConfig, ServerStats};
+pub use session::{observed_messages, Session, SessionMetrics, SessionReport};

@@ -1,0 +1,358 @@
+//! The length-prefixed chunk protocol spoken between `pstrace stream`
+//! clients and the `pstraced` ingest daemon.
+//!
+//! One TCP connection carries one session. All multi-byte integers are
+//! little-endian:
+//!
+//! ```text
+//! client hello:
+//!   magic        4 bytes  "PSTS"
+//!   version      u8       = 1
+//!   scenario     u8       usage scenario number (1-5)
+//!   mode         u8       match mode (0 exact, 1 prefix, 2 suffix, 3 substring)
+//!   schema_len   u32      length of the schema handshake in bytes
+//!   schema       bytes    a `.ptw` schema prefix (`write_ptw_schema`)
+//! then any number of chunks:
+//!   DATA   = u8 1, u32 len, `len` raw stream bytes
+//!   FINISH = u8 2, u64 bit_len (exact stream length in bits)
+//! server reply (after FINISH):
+//!   status       u8       0 = ok, 1 = session failed
+//!   report_len   u32
+//!   report       UTF-8    session report, or the failure message
+//! ```
+//!
+//! The schema handshake reuses the `.ptw` container's self-describing
+//! header verbatim, so a capture file and a live socket describe their
+//! frames identically and the server rebuilds the
+//! [`WireSchema`](pstrace_wire::WireSchema) — and from it the selected
+//! message set — with nothing but its flow catalog.
+
+use std::io::{Read, Write};
+
+use pstrace_diag::MatchMode;
+
+use crate::error::StreamError;
+
+/// The 4-byte protocol magic.
+pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
+
+/// The protocol version this build speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Chunk tag: raw stream bytes follow.
+pub const CHUNK_DATA: u8 = 1;
+
+/// Chunk tag: end of stream, exact bit length follows.
+pub const CHUNK_FINISH: u8 = 2;
+
+/// Hard cap on handshake and chunk lengths (16 MiB) so a corrupt length
+/// prefix cannot make the server allocate unboundedly.
+pub const MAX_CHUNK_LEN: u32 = 16 << 20;
+
+/// A parsed client hello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Usage scenario number the stream belongs to.
+    pub scenario: u8,
+    /// How the observation should be matched against path projections.
+    pub mode: MatchMode,
+    /// The raw `.ptw` schema prefix bytes.
+    pub schema: Vec<u8>,
+}
+
+/// Maps a [`MatchMode`] onto its wire byte.
+#[must_use]
+pub fn mode_to_byte(mode: MatchMode) -> u8 {
+    match mode {
+        MatchMode::Exact => 0,
+        MatchMode::Prefix => 1,
+        MatchMode::Suffix => 2,
+        MatchMode::Substring => 3,
+    }
+}
+
+/// Maps a wire byte back onto a [`MatchMode`].
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] for an unassigned byte.
+pub fn mode_from_byte(byte: u8) -> Result<MatchMode, StreamError> {
+    match byte {
+        0 => Ok(MatchMode::Exact),
+        1 => Ok(MatchMode::Prefix),
+        2 => Ok(MatchMode::Suffix),
+        3 => Ok(MatchMode::Substring),
+        other => Err(StreamError::Protocol(format!(
+            "unknown match-mode byte {other}"
+        ))),
+    }
+}
+
+/// Parses a `--mode` style name (`exact`, `prefix`, `suffix`,
+/// `substring`), case-insensitively.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] for an unknown name.
+pub fn mode_from_name(name: &str) -> Result<MatchMode, StreamError> {
+    match name.to_ascii_lowercase().as_str() {
+        "exact" => Ok(MatchMode::Exact),
+        "prefix" => Ok(MatchMode::Prefix),
+        "suffix" => Ok(MatchMode::Suffix),
+        "substring" => Ok(MatchMode::Substring),
+        other => Err(StreamError::Protocol(format!(
+            "unknown match mode `{other}`; use exact, prefix, suffix or substring"
+        ))),
+    }
+}
+
+fn read_exact(r: &mut impl Read, n: usize, what: &str) -> Result<Vec<u8>, StreamError> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)
+        .map_err(|e| StreamError::Protocol(format!("truncated while reading {what}: {e}")))?;
+    Ok(buf)
+}
+
+fn read_u8(r: &mut impl Read, what: &str) -> Result<u8, StreamError> {
+    Ok(read_exact(r, 1, what)?[0])
+}
+
+fn read_u32(r: &mut impl Read, what: &str) -> Result<u32, StreamError> {
+    let b = read_exact(r, 4, what)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn read_u64(r: &mut impl Read, what: &str) -> Result<u64, StreamError> {
+    let b = read_exact(r, 8, what)?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b);
+    Ok(u64::from_le_bytes(a))
+}
+
+fn checked_len(len: u32, what: &str) -> Result<usize, StreamError> {
+    if len > MAX_CHUNK_LEN {
+        return Err(StreamError::Protocol(format!(
+            "{what} length {len} exceeds the {MAX_CHUNK_LEN}-byte cap"
+        )));
+    }
+    Ok(len as usize)
+}
+
+/// Writes a client hello.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_hello(
+    w: &mut impl Write,
+    scenario: u8,
+    mode: MatchMode,
+    schema: &[u8],
+) -> Result<(), StreamError> {
+    let schema_len = u32::try_from(schema.len())
+        .ok()
+        .filter(|&l| l <= MAX_CHUNK_LEN)
+        .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))?;
+    w.write_all(&PROTO_MAGIC)?;
+    w.write_all(&[PROTO_VERSION, scenario, mode_to_byte(mode)])?;
+    w.write_all(&schema_len.to_le_bytes())?;
+    w.write_all(schema)?;
+    Ok(())
+}
+
+/// Reads and validates a client hello.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on a bad magic, version, mode byte
+/// or oversized handshake.
+pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
+    let magic = read_exact(r, 4, "magic")?;
+    if magic != PROTO_MAGIC {
+        return Err(StreamError::Protocol("bad protocol magic".to_owned()));
+    }
+    let version = read_u8(r, "version")?;
+    if version != PROTO_VERSION {
+        return Err(StreamError::Protocol(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let scenario = read_u8(r, "scenario")?;
+    let mode = mode_from_byte(read_u8(r, "mode")?)?;
+    let schema_len = checked_len(read_u32(r, "schema length")?, "schema")?;
+    let schema = read_exact(r, schema_len, "schema handshake")?;
+    Ok(Hello {
+        scenario,
+        mode,
+        schema,
+    })
+}
+
+/// One incoming chunk, as the server sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Chunk {
+    /// Raw stream bytes.
+    Data(Vec<u8>),
+    /// End of stream with the exact bit length.
+    Finish {
+        /// Exact stream length in bits.
+        bit_len: u64,
+    },
+}
+
+/// Writes a data chunk.
+///
+/// # Errors
+///
+/// Propagates socket write failures; rejects chunks over
+/// [`MAX_CHUNK_LEN`].
+pub fn write_data(w: &mut impl Write, bytes: &[u8]) -> Result<(), StreamError> {
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_CHUNK_LEN)
+        .ok_or_else(|| StreamError::Protocol("data chunk too large".to_owned()))?;
+    w.write_all(&[CHUNK_DATA])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+/// Writes the finishing chunk.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_finish(w: &mut impl Write, bit_len: u64) -> Result<(), StreamError> {
+    w.write_all(&[CHUNK_FINISH])?;
+    w.write_all(&bit_len.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads the next chunk.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on an unknown chunk tag, an
+/// oversized length, or a truncated chunk.
+pub fn read_chunk(r: &mut impl Read) -> Result<Chunk, StreamError> {
+    match read_u8(r, "chunk tag")? {
+        CHUNK_DATA => {
+            let len = checked_len(read_u32(r, "chunk length")?, "data chunk")?;
+            Ok(Chunk::Data(read_exact(r, len, "chunk payload")?))
+        }
+        CHUNK_FINISH => Ok(Chunk::Finish {
+            bit_len: read_u64(r, "stream bit length")?,
+        }),
+        other => Err(StreamError::Protocol(format!("unknown chunk tag {other}"))),
+    }
+}
+
+/// Writes the server reply.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_reply(w: &mut impl Write, ok: bool, report: &str) -> Result<(), StreamError> {
+    let bytes = report.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_CHUNK_LEN)
+        .ok_or_else(|| StreamError::Protocol("reply too large".to_owned()))?;
+    w.write_all(&[u8::from(!ok)])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+/// Reads the server reply, mapping a failure status onto
+/// [`StreamError::Remote`].
+///
+/// # Errors
+///
+/// Returns [`StreamError::Remote`] when the server reported a failed
+/// session, [`StreamError::Protocol`] on framing violations.
+pub fn read_reply(r: &mut impl Read) -> Result<String, StreamError> {
+    let status = read_u8(r, "reply status")?;
+    let len = checked_len(read_u32(r, "reply length")?, "reply")?;
+    let bytes = read_exact(r, len, "reply body")?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| StreamError::Protocol("reply is not UTF-8".to_owned()))?;
+    if status == 0 {
+        Ok(text)
+    } else {
+        Err(StreamError::Remote(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn hello_round_trips() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 3, MatchMode::Suffix, b"schema-bytes").unwrap();
+        let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(
+            hello,
+            Hello {
+                scenario: 3,
+                mode: MatchMode::Suffix,
+                schema: b"schema-bytes".to_vec(),
+            }
+        );
+    }
+
+    #[test]
+    fn chunks_round_trip() {
+        let mut buf = Vec::new();
+        write_data(&mut buf, &[1, 2, 3]).unwrap();
+        write_finish(&mut buf, 99).unwrap();
+        let mut c = Cursor::new(&buf);
+        assert_eq!(read_chunk(&mut c).unwrap(), Chunk::Data(vec![1, 2, 3]));
+        assert_eq!(read_chunk(&mut c).unwrap(), Chunk::Finish { bit_len: 99 });
+    }
+
+    #[test]
+    fn replies_round_trip_and_carry_failure() {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, true, "all good").unwrap();
+        assert_eq!(read_reply(&mut Cursor::new(&buf)).unwrap(), "all good");
+        let mut buf = Vec::new();
+        write_reply(&mut buf, false, "boom").unwrap();
+        assert!(matches!(
+            read_reply(&mut Cursor::new(&buf)),
+            Err(StreamError::Remote(m)) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected() {
+        assert!(read_hello(&mut Cursor::new(b"nope....")).is_err());
+        let mut bad_version = Vec::new();
+        write_hello(&mut bad_version, 1, MatchMode::Exact, b"").unwrap();
+        bad_version[4] = 9;
+        assert!(read_hello(&mut Cursor::new(&bad_version)).is_err());
+        assert!(read_chunk(&mut Cursor::new(&[7u8])).is_err());
+        // A length prefix past the cap must error before allocating.
+        let mut huge = vec![CHUNK_DATA];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_chunk(&mut Cursor::new(&huge)).is_err());
+    }
+
+    #[test]
+    fn every_mode_round_trips_through_its_byte() {
+        for mode in [
+            MatchMode::Exact,
+            MatchMode::Prefix,
+            MatchMode::Suffix,
+            MatchMode::Substring,
+        ] {
+            assert_eq!(mode_from_byte(mode_to_byte(mode)).unwrap(), mode);
+        }
+        assert!(mode_from_byte(9).is_err());
+        assert_eq!(mode_from_name("PREFIX").unwrap(), MatchMode::Prefix);
+        assert!(mode_from_name("fuzzy").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The `pstraced` ingest daemon: a std-only TCP server for live trace
+//! streams.
+//!
+//! One connection carries one session (hello → chunks → report, see
+//! [`proto`](crate::proto)). The accept loop hands sockets to a fixed
+//! worker pool; each worker rebuilds the wire schema from the handshake,
+//! derives the observed message set from its slots, and drives a
+//! [`Session`] — so by the time the FINISH chunk lands, the localization
+//! is already computed and the reply is just formatting.
+
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pstrace_soc::{SocModel, UsageScenario};
+use pstrace_wire::read_ptw_schema;
+
+use crate::error::StreamError;
+use crate::proto::{read_hello, write_reply, Chunk, Hello};
+use crate::session::Session;
+
+/// Knobs of the daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling sessions.
+    pub threads: usize,
+    /// Per-socket read timeout; a stalled client costs one worker for at
+    /// most this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated counters across all sessions, readable while serving.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions accepted.
+    pub sessions: AtomicU64,
+    /// Sessions that finished with a report.
+    pub completed: AtomicU64,
+    /// Sessions that failed (protocol, schema or scenario errors).
+    pub failed: AtomicU64,
+    /// Stream bytes ingested across all sessions.
+    pub bytes: AtomicU64,
+    /// Frames decoded across all sessions.
+    pub frames: AtomicU64,
+    /// Records committed across all sessions.
+    pub records: AtomicU64,
+    /// Damaged frames across all sessions.
+    pub damaged_frames: AtomicU64,
+}
+
+/// A running daemon: accept thread plus worker pool.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the accept loop and worker pool.
+    /// Sessions localize over `model`'s scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(model: Arc<SocModel>, config: &ServerConfig) -> io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "empty bind address")
+            })?)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept so the loop can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let model = Arc::clone(&model);
+                let stats = Arc::clone(&stats);
+                let timeout = config.read_timeout;
+                std::thread::spawn(move || loop {
+                    // Holding the lock only for the recv keeps the pool
+                    // honest: one idle worker parks here, the rest wait.
+                    let stream = match rx.lock().expect("receiver lock poisoned").recv() {
+                        Ok(s) => s,
+                        Err(_) => return, // accept loop gone: drain done
+                    };
+                    stats.sessions.fetch_add(1, Ordering::Relaxed);
+                    match serve_session(&model, stream, timeout, &stats) {
+                        Ok(()) => {
+                            stats.completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            stats.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if tx.send(stream).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                }
+                // Dropping `tx` unblocks the workers' recv with Err.
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            stats,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live aggregated counters.
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight sessions finish,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Resolves a protocol scenario number onto the modeled usage scenarios
+/// (the same numbering as the CLI's `--scenario`).
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] for a number outside 1–5.
+pub fn scenario_by_number(n: u8) -> Result<UsageScenario, StreamError> {
+    match n {
+        1 => Ok(UsageScenario::scenario1()),
+        2 => Ok(UsageScenario::scenario2()),
+        3 => Ok(UsageScenario::scenario3()),
+        4 => Ok(UsageScenario::scenario_dma()),
+        5 => Ok(UsageScenario::scenario_coherence()),
+        other => Err(StreamError::Protocol(format!(
+            "no scenario {other}; use 1-5"
+        ))),
+    }
+}
+
+/// Builds the session a hello asked for: scenario interleaving + schema
+/// rebuilt from the handshake bytes.
+fn open_session(model: &SocModel, hello: &Hello) -> Result<Session, StreamError> {
+    let scenario = scenario_by_number(hello.scenario)?;
+    let flow = scenario
+        .interleaving(model)
+        .map_err(|e| StreamError::Protocol(format!("scenario does not interleave: {e}")))?;
+    let (schema, consumed) = read_ptw_schema(model.catalog(), &hello.schema)?;
+    if consumed != hello.schema.len() {
+        return Err(StreamError::Protocol(format!(
+            "{} stray bytes after the schema handshake",
+            hello.schema.len() - consumed
+        )));
+    }
+    Ok(Session::new(&flow, schema, hello.mode))
+}
+
+/// Drives one connection start to finish. Session failures are reported
+/// to the client (status 1) *and* returned, so the caller can count them.
+fn serve_session(
+    model: &SocModel,
+    stream: TcpStream,
+    timeout: Duration,
+    stats: &ServerStats,
+) -> Result<(), StreamError> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let outcome = ingest(model, &mut reader, stats);
+    match outcome {
+        Ok(report) => {
+            write_reply(&mut writer, true, &report)?;
+            writer.flush()?;
+            Ok(())
+        }
+        Err(e) => {
+            // Best effort: the peer may already be gone.
+            let _ = write_reply(&mut writer, false, &e.to_string());
+            let _ = writer.flush();
+            Err(e)
+        }
+    }
+}
+
+/// The hello → chunks → report state machine, factored out so transport
+/// errors and session errors share one path.
+fn ingest(
+    model: &SocModel,
+    reader: &mut impl io::Read,
+    stats: &ServerStats,
+) -> Result<String, StreamError> {
+    let hello = read_hello(reader)?;
+    let mut session = open_session(model, &hello)?;
+    let report = loop {
+        match crate::proto::read_chunk(reader)? {
+            Chunk::Data(bytes) => {
+                stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                session.push_chunk(&bytes);
+            }
+            Chunk::Finish { bit_len } => break session.finish(Some(bit_len)),
+        }
+    };
+    stats
+        .frames
+        .fetch_add(report.metrics.frames as u64, Ordering::Relaxed);
+    stats
+        .records
+        .fetch_add(report.metrics.records as u64, Ordering::Relaxed);
+    stats
+        .damaged_frames
+        .fetch_add(report.metrics.damaged_frames as u64, Ordering::Relaxed);
+    Ok(format!(
+        "session over scenario {} ({:?} match)\n{}",
+        hello.scenario,
+        report.mode,
+        report.render()
+    ))
+}

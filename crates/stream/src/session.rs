@@ -1,0 +1,401 @@
+//! One ingest session: chunked wire bytes in, live localization out.
+//!
+//! A [`Session`] owns the receiving half of the streaming pipeline:
+//!
+//! * it buffers incoming chunk bytes and decodes every frame the moment
+//!   its last byte lands ([`pstrace_wire::decode_frame_range`]);
+//! * it mirrors the batch decoder's time-monotonicity pass *online* by
+//!   quarantining the newest accepted record for one step — a record is
+//!   only committed once its successor confirms it was not an isolated
+//!   forward time spike, so the committed record sequence is bit-identical
+//!   to [`pstrace_wire::decode_stream`]'s on every finished stream;
+//! * each committed record is folded into an
+//!   [`OnlineLocalizer`](pstrace_diag::OnlineLocalizer), so the
+//!   consistent-path count is live at every chunk boundary instead of
+//!   appearing only after a batch re-run.
+
+use std::time::Instant;
+
+use pstrace_diag::{Localization, MatchMode, OnlineLocalizer};
+use pstrace_flow::{InterleavedFlow, MessageId};
+use pstrace_wire::{decode_frame_range, DamageReason, DamagedFrame, WireRecord, WireSchema};
+
+/// The message set a schema observes, as the localization DP needs it:
+/// one entry per slot's (parent) message, sorted and deduplicated —
+/// exactly the selection pipeline's `effective_messages` for the
+/// selection that produced the schema.
+#[must_use]
+pub fn observed_messages(schema: &WireSchema) -> Vec<MessageId> {
+    let mut messages: Vec<MessageId> = schema.slots().iter().map(|s| s.message).collect();
+    messages.sort_unstable();
+    messages.dedup();
+    messages
+}
+
+/// Live counters of one session, updated at every chunk boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Raw stream bytes ingested.
+    pub bytes: u64,
+    /// Chunks pushed.
+    pub chunks: u64,
+    /// Complete frames decoded.
+    pub frames: usize,
+    /// Idle (all-zero) frames among them.
+    pub idle_frames: usize,
+    /// Records committed to the localizer.
+    pub records: usize,
+    /// Frames rejected by validation or the monotonicity pass.
+    pub damaged_frames: usize,
+}
+
+/// Everything a finished session measured.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The final counters.
+    pub metrics: SessionMetrics,
+    /// Damaged frames with reasons, sorted by frame index.
+    pub damaged: Vec<DamagedFrame>,
+    /// The final localization.
+    pub localization: Localization,
+    /// The match mode the session localized under.
+    pub mode: MatchMode,
+    /// Schema-declared per-frame utilization.
+    pub utilization: f64,
+    /// Ingest throughput in bytes per second of wall-clock session time.
+    pub bytes_per_sec: f64,
+}
+
+impl SessionReport {
+    /// Renders the session as a short narrative. The localization line
+    /// is formatted exactly like the `debug` subcommand's, so a live
+    /// session and a batch case study tell the same story.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let m = &self.metrics;
+        let _ = writeln!(
+            out,
+            "  ingest          : {} bytes in {} chunks ({:.0} B/s)",
+            m.bytes, m.chunks, self.bytes_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "  frames          : {} decoded, {} idle, {} damaged, {} records ({:.2}% utilization)",
+            m.frames,
+            m.idle_frames,
+            m.damaged_frames,
+            m.records,
+            self.utilization * 100.0
+        );
+        for d in &self.damaged {
+            let _ = writeln!(out, "    damaged frame {}: {}", d.frame, d.reason);
+        }
+        let _ = writeln!(
+            out,
+            "  localization    : {} of {} interleaved-flow paths ({:.2}%)",
+            self.localization.consistent,
+            self.localization.total,
+            self.localization.fraction() * 100.0
+        );
+        out
+    }
+}
+
+/// The per-session state machine: schema-owning decoder, the one-record
+/// spike quarantine, and the online localizer.
+#[derive(Debug)]
+pub struct Session {
+    schema: WireSchema,
+    localizer: OnlineLocalizer,
+    buf: Vec<u8>,
+    /// Frames fully decoded so far.
+    frames: usize,
+    idle_frames: usize,
+    damaged: Vec<DamagedFrame>,
+    /// The newest accepted record, held back one step so an isolated
+    /// forward time spike can still be reclassified as damage before it
+    /// reaches the localizer (the localizer cannot un-push).
+    pending: Option<(usize, WireRecord)>,
+    /// Time of the newest *committed* record.
+    committed_time: u64,
+    records: usize,
+    bytes: u64,
+    chunks: u64,
+    started: Instant,
+}
+
+impl Session {
+    /// A session localizing over `flow` with the handshaken `schema`.
+    /// The observed message set is derived from the schema's slots; the
+    /// DP frontier is built once here, so pushes never touch `flow`
+    /// again (except in [`MatchMode::Substring`], which keeps a clone).
+    #[must_use]
+    pub fn new(flow: &InterleavedFlow, schema: WireSchema, mode: MatchMode) -> Self {
+        let selected = observed_messages(&schema);
+        let localizer = OnlineLocalizer::new(flow, &selected, mode);
+        Session {
+            schema,
+            localizer,
+            buf: Vec::new(),
+            frames: 0,
+            idle_frames: 0,
+            damaged: Vec::new(),
+            pending: None,
+            committed_time: 0,
+            records: 0,
+            bytes: 0,
+            chunks: 0,
+            started: Instant::now(),
+        }
+    }
+
+    fn commit(&mut self, rec: &WireRecord) {
+        self.localizer.push(rec.message);
+        self.committed_time = rec.time;
+        self.records += 1;
+    }
+
+    /// The online mirror of the batch decoder's monotonicity pass: at
+    /// most one record (the newest) is ever provisional.
+    fn accept(&mut self, frame: usize, rec: WireRecord) {
+        let prev = self.pending.map_or(self.committed_time, |(_, p)| p.time);
+        if rec.time >= prev {
+            if let Some((_, p)) = self.pending.take() {
+                self.commit(&p);
+            }
+            self.pending = Some((frame, rec));
+            return;
+        }
+        // The record regresses. If it is still consistent with the last
+        // *committed* time, the pending record was an isolated forward
+        // spike — damage it instead, exactly as the batch pass does.
+        if rec.time >= self.committed_time {
+            let (spike_frame, spike) = self.pending.take().expect("regression implies a pending");
+            self.damaged.push(DamagedFrame {
+                frame: spike_frame,
+                reason: DamageReason::TimeSpike {
+                    time: spike.time,
+                    next: rec.time,
+                },
+            });
+            self.pending = Some((frame, rec));
+        } else {
+            self.damaged.push(DamagedFrame {
+                frame,
+                reason: DamageReason::TimeRegression {
+                    time: rec.time,
+                    prev,
+                },
+            });
+        }
+    }
+
+    /// Feeds one chunk of raw stream bytes, decoding and localizing
+    /// every frame the chunk completes.
+    pub fn push_chunk(&mut self, bytes: &[u8]) {
+        self.bytes += bytes.len() as u64;
+        self.chunks += 1;
+        self.buf.extend_from_slice(bytes);
+        let frame_bits = u64::from(self.schema.frame_bits());
+        let avail = self.buf.len() as u64 * 8;
+        let ready = (avail / frame_bits) as usize;
+        if ready > self.frames {
+            let range = decode_frame_range(
+                &self.schema,
+                &self.buf,
+                avail,
+                self.frames,
+                ready - self.frames,
+            );
+            self.idle_frames += range.idle_frames;
+            self.damaged.extend(range.damaged);
+            for (frame, rec) in range.events {
+                self.accept(frame, rec);
+            }
+            self.frames = ready;
+        }
+    }
+
+    /// The live counters as of the last chunk.
+    #[must_use]
+    pub fn metrics(&self) -> SessionMetrics {
+        SessionMetrics {
+            bytes: self.bytes,
+            chunks: self.chunks,
+            frames: self.frames,
+            idle_frames: self.idle_frames,
+            records: self.records + usize::from(self.pending.is_some()),
+            damaged_frames: self.damaged.len(),
+        }
+    }
+
+    /// The live localization. The quarantined newest record is *not*
+    /// reflected yet — it may still turn out to be a time spike.
+    #[must_use]
+    pub fn localization(&self) -> Localization {
+        self.localizer.localization()
+    }
+
+    /// The schema this session decodes with.
+    #[must_use]
+    pub fn schema(&self) -> &WireSchema {
+        &self.schema
+    }
+
+    /// Finishes the stream: flushes the quarantined record, truncates to
+    /// the declared `bit_len` when given, and produces the report.
+    #[must_use]
+    pub fn finish(mut self, bit_len: Option<u64>) -> SessionReport {
+        if let Some(bits) = bit_len {
+            let frame_bits = u64::from(self.schema.frame_bits());
+            let declared = (bits.min(self.buf.len() as u64 * 8) / frame_bits) as usize;
+            if declared < self.frames {
+                // A caller-declared length undercuts the pushed bytes:
+                // drop everything decoded past the declared end.
+                self.frames = declared;
+                self.damaged.retain(|d| d.frame < declared);
+                if self.pending.is_some_and(|(f, _)| f >= declared) {
+                    self.pending = None;
+                }
+                // Committed records are already inside the localizer and
+                // cannot be dropped; declaring a shorter stream than was
+                // pushed is a caller error the report keeps visible via
+                // the frame counters.
+            }
+        }
+        if let Some((_, p)) = self.pending.take() {
+            self.commit(&p);
+        }
+        self.damaged.sort_by_key(|d| d.frame);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        SessionReport {
+            metrics: self.metrics(),
+            localization: self.localizer.localization(),
+            mode: self.localizer.mode(),
+            utilization: self.schema.utilization(),
+            bytes_per_sec: self.bytes as f64 / elapsed,
+            damaged: self.damaged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::{examples::cache_coherence, instantiate, IndexedMessage};
+    use pstrace_wire::{decode_stream, encode_records};
+    use std::sync::Arc;
+
+    fn setup() -> (InterleavedFlow, WireSchema) {
+        let (flow, catalog) = cache_coherence();
+        let u = InterleavedFlow::build(&instantiate(&Arc::new(flow), 2)).unwrap();
+        let req = catalog.get("ReqE").unwrap();
+        let gnt = catalog.get("GntE").unwrap();
+        let schema = WireSchema::new(&catalog, &[req, gnt], &[], 4).unwrap();
+        (u, schema)
+    }
+
+    fn records(u: &InterleavedFlow) -> Vec<WireRecord> {
+        // Project the first execution onto the observed set, stamping
+        // strictly increasing times.
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        pstrace_flow::executions(u)
+            .next()
+            .unwrap()
+            .project(&selected)
+            .into_iter()
+            .enumerate()
+            .map(|(i, message)| WireRecord {
+                time: i as u64 * 5,
+                message,
+                value: 1,
+                partial: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observed_messages_come_from_the_slots() {
+        let (_, schema) = setup();
+        let observed = observed_messages(&schema);
+        assert_eq!(observed.len(), 2);
+        assert!(observed.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn chunked_session_matches_batch_decode_and_batch_localize() {
+        let (u, schema) = setup();
+        let recs = records(&u);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let batch = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        let selected = observed_messages(&schema);
+        let observed: Vec<IndexedMessage> = batch.records.iter().map(|r| r.message).collect();
+        let expect = pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix);
+
+        for chunk_size in [1usize, 3, 7, 1024] {
+            let mut session = Session::new(&u, schema.clone(), MatchMode::Prefix);
+            for chunk in stream.bytes.chunks(chunk_size) {
+                session.push_chunk(chunk);
+            }
+            let report = session.finish(Some(stream.bit_len));
+            assert_eq!(report.metrics.records, batch.records.len());
+            assert_eq!(report.metrics.frames, batch.frames);
+            assert_eq!(report.damaged, batch.damaged);
+            assert_eq!(report.localization, expect, "chunk {chunk_size}");
+            assert!(report.render().contains("interleaved-flow paths"));
+        }
+    }
+
+    #[test]
+    fn spike_quarantine_matches_the_batch_monotonicity_pass() {
+        let (u, schema) = setup();
+        let mut recs = records(&u);
+        recs[1].time = 1 << 20; // isolated forward spike
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let batch = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        assert_eq!(batch.damaged.len(), 1, "the spike must be damage");
+
+        let mut session = Session::new(&u, schema.clone(), MatchMode::Prefix);
+        for chunk in stream.bytes.chunks(2) {
+            session.push_chunk(chunk);
+        }
+        let report = session.finish(Some(stream.bit_len));
+        assert_eq!(report.damaged, batch.damaged);
+        assert_eq!(report.metrics.records, batch.records.len());
+
+        // Regression variant: the damaged record must never reach the
+        // localizer.
+        let mut recs = records(&u);
+        recs[2].time = 0;
+        recs[1].time = 7; // rec 2 regresses below rec 1 and rec 0
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let batch = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        let mut session = Session::new(&u, schema.clone(), MatchMode::Prefix);
+        session.push_chunk(&stream.bytes);
+        let report = session.finish(Some(stream.bit_len));
+        assert_eq!(report.damaged, batch.damaged);
+        let observed: Vec<IndexedMessage> = batch.records.iter().map(|r| r.message).collect();
+        let selected = observed_messages(&schema);
+        assert_eq!(
+            report.localization,
+            pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix)
+        );
+    }
+
+    #[test]
+    fn live_localization_is_visible_mid_stream() {
+        let (u, schema) = setup();
+        let recs = records(&u);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let mut session = Session::new(&u, schema, MatchMode::Prefix);
+        let total = session.localization().total;
+        assert_eq!(session.localization().consistent, total);
+        session.push_chunk(&stream.bytes);
+        // All but the quarantined record are localized already.
+        assert!(session.localization().consistent < total);
+        assert_eq!(session.metrics().records, recs.len());
+    }
+}

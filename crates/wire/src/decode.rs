@@ -190,6 +190,62 @@ struct ChunkOutcome {
     idle: usize,
 }
 
+/// Raw decode of a frame range: per-frame outcomes **before** the
+/// stream-wide time-monotonicity pass.
+///
+/// This is the chunk-boundary building block consumers with their own
+/// stream state (e.g. a live ingest session holding records back for
+/// spike reclassification) use to decode frames as they land without
+/// borrowing a [`StreamDecoder`]'s schema lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameRange {
+    /// `(absolute frame index, record)` pairs, in stream order.
+    pub events: Vec<(usize, WireRecord)>,
+    /// Frames that failed per-frame validation, in stream order. Time
+    /// regressions/spikes are *not* detected here — they are a property
+    /// of the whole stream, not of a frame range.
+    pub damaged: Vec<DamagedFrame>,
+    /// Idle (all-zero tag) frames in the range.
+    pub idle_frames: usize,
+}
+
+/// Decodes the `count` frames starting at absolute frame `start` from a
+/// bit stream of exactly `bit_len` bits.
+///
+/// Frames are self-contained, so any range decodes independently; the
+/// caller is responsible for stream-wide concerns (time monotonicity,
+/// trailing-bit checks) — or can feed whole streams to [`decode_stream`]
+/// instead, which layers those on top of this.
+///
+/// # Panics
+///
+/// Panics when the requested range runs past `bit_len` or `bit_len`
+/// exceeds the byte buffer.
+#[must_use]
+pub fn decode_frame_range(
+    schema: &WireSchema,
+    bytes: &[u8],
+    bit_len: u64,
+    start: usize,
+    count: usize,
+) -> FrameRange {
+    assert!(
+        bit_len <= bytes.len() as u64 * 8,
+        "declared bit length exceeds the byte buffer"
+    );
+    let frame_bits = u64::from(schema.frame_bits());
+    assert!(
+        (start as u64 + count as u64) * frame_bits <= bit_len,
+        "frame range runs past the declared stream end"
+    );
+    let out = decode_chunk(schema, bytes, bit_len, start, count);
+    FrameRange {
+        events: out.events,
+        damaged: out.damaged,
+        idle_frames: out.idle,
+    }
+}
+
 /// Decodes `count` frames starting at frame `start`.
 fn decode_chunk(
     schema: &WireSchema,
@@ -593,6 +649,38 @@ mod tests {
                 "chunk {chunk_size}"
             );
         }
+    }
+
+    #[test]
+    fn frame_range_decode_composes_to_the_full_stream() {
+        let (c, schema) = setup();
+        let recs = records(&c, 25);
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let whole = decode_frame_range(&schema, &stream.bytes, stream.bit_len, 0, 25);
+        assert_eq!(whole.events.len(), 25);
+        assert!(whole.damaged.is_empty());
+        // Any split of the frame range concatenates to the whole.
+        for split in [1usize, 7, 12, 24] {
+            let head = decode_frame_range(&schema, &stream.bytes, stream.bit_len, 0, split);
+            let tail =
+                decode_frame_range(&schema, &stream.bytes, stream.bit_len, split, 25 - split);
+            let mut glued = head.clone();
+            glued.events.extend(tail.events.iter().copied());
+            glued.damaged.extend(tail.damaged.iter().copied());
+            glued.idle_frames += tail.idle_frames;
+            assert_eq!(glued, whole, "split at {split}");
+        }
+        // Frame indices in the tail are absolute, not range-relative.
+        let tail = decode_frame_range(&schema, &stream.bytes, stream.bit_len, 20, 5);
+        assert_eq!(tail.events[0].0, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs past the declared stream end")]
+    fn frame_range_past_the_end_is_rejected() {
+        let (c, schema) = setup();
+        let stream = encode_records(&schema, &records(&c, 3), None).unwrap();
+        let _ = decode_frame_range(&schema, &stream.bytes, stream.bit_len, 2, 2);
     }
 
     #[test]

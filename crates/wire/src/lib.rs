@@ -36,9 +36,10 @@ mod schema;
 
 pub use bits::{BitReader, BitWriter};
 pub use decode::{
-    decode_stream, decode_stream_chunked, DamageReason, DamagedFrame, DecodeReport, StreamDecoder,
+    decode_frame_range, decode_stream, decode_stream_chunked, DamageReason, DamagedFrame,
+    DecodeReport, FrameRange, StreamDecoder,
 };
 pub use error::WireError;
 pub use frame::{encode_records, EncodedStream, Encoder, FrameRing, WireRecord};
-pub use ptw::{read_ptw, write_ptw, PTW_MAGIC, PTW_VERSION};
+pub use ptw::{read_ptw, read_ptw_schema, write_ptw, write_ptw_schema, PTW_MAGIC, PTW_VERSION};
 pub use schema::{Slot, SlotKind, WireSchema, DEFAULT_INDEX_WIDTH, DEFAULT_TIME_WIDTH};

@@ -35,10 +35,16 @@ pub const PTW_MAGIC: [u8; 4] = *b"PTW1";
 /// The container format version this build reads and writes.
 pub const PTW_VERSION: u8 = 1;
 
-/// Serializes a schema and its encoded stream into a `.ptw` byte buffer.
+/// Serializes just the schema part of a `.ptw` header (magic through the
+/// slot table, no payload fields).
+///
+/// This is the self-describing prefix of every `.ptw` file, and doubles
+/// as the schema handshake of the live streaming protocol: a receiver
+/// with the same catalog rebuilds the full [`WireSchema`] from these
+/// bytes alone via [`read_ptw_schema`].
 #[must_use]
-pub fn write_ptw(catalog: &MessageCatalog, schema: &WireSchema, stream: &EncodedStream) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + stream.bytes.len());
+pub fn write_ptw_schema(catalog: &MessageCatalog, schema: &WireSchema) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&PTW_MAGIC);
     out.push(PTW_VERSION);
     out.extend_from_slice(&schema.body_width().to_le_bytes());
@@ -58,6 +64,14 @@ pub fn write_ptw(catalog: &MessageCatalog, schema: &WireSchema, stream: &Encoded
         out.extend_from_slice(&name_len.to_le_bytes());
         out.extend_from_slice(name.as_bytes());
     }
+    out
+}
+
+/// Serializes a schema and its encoded stream into a `.ptw` byte buffer.
+#[must_use]
+pub fn write_ptw(catalog: &MessageCatalog, schema: &WireSchema, stream: &EncodedStream) -> Vec<u8> {
+    let mut out = write_ptw_schema(catalog, schema);
+    out.reserve(8 + stream.bytes.len());
     out.extend_from_slice(&stream.bit_len.to_le_bytes());
     out.extend_from_slice(&stream.bytes);
     out
@@ -121,6 +135,40 @@ pub fn read_ptw(
     catalog: &MessageCatalog,
     bytes: &[u8],
 ) -> Result<(WireSchema, EncodedStream), WireError> {
+    let (schema, consumed) = read_ptw_schema(catalog, bytes)?;
+    let mut c = Cursor {
+        bytes,
+        pos: consumed,
+    };
+    let bit_len = c.u64("payload length")?;
+    let payload_len = usize::try_from(bit_len.div_ceil(8)).map_err(|_| WireError::BadHeader {
+        reason: "payload length overflows".to_owned(),
+    })?;
+    let payload = c.take(payload_len, "payload")?;
+    let frame_bits = u64::from(schema.frame_bits());
+    let frames = (bit_len / frame_bits) as usize;
+    Ok((
+        schema,
+        EncodedStream {
+            bytes: payload.to_vec(),
+            bit_len,
+            frames,
+        },
+    ))
+}
+
+/// Parses the schema prefix written by [`write_ptw_schema`], returning
+/// the rebuilt schema and the number of header bytes consumed (so a
+/// caller can continue reading whatever follows — payload fields in a
+/// file, chunked frames on a socket).
+///
+/// # Errors
+///
+/// Same as [`read_ptw`], minus the payload checks.
+pub fn read_ptw_schema(
+    catalog: &MessageCatalog,
+    bytes: &[u8],
+) -> Result<(WireSchema, usize), WireError> {
     let mut c = Cursor { bytes, pos: 0 };
     if c.take(4, "magic").map_err(|_| WireError::BadMagic)? != PTW_MAGIC {
         return Err(WireError::BadMagic);
@@ -210,21 +258,7 @@ pub fn read_ptw(
         }
     }
 
-    let bit_len = c.u64("payload length")?;
-    let payload_len = usize::try_from(bit_len.div_ceil(8)).map_err(|_| WireError::BadHeader {
-        reason: "payload length overflows".to_owned(),
-    })?;
-    let payload = c.take(payload_len, "payload")?;
-    let frame_bits = u64::from(schema.frame_bits());
-    let frames = (bit_len / frame_bits) as usize;
-    Ok((
-        schema,
-        EncodedStream {
-            bytes: payload.to_vec(),
-            bit_len,
-            frames,
-        },
-    ))
+    Ok((schema, c.pos))
 }
 
 #[cfg(test)]
@@ -268,6 +302,27 @@ mod tests {
         let (schema2, stream2) = read_ptw(&c, &bytes).unwrap();
         assert_eq!(schema2, schema);
         assert_eq!(stream2, stream);
+    }
+
+    #[test]
+    fn schema_prefix_round_trips_standalone() {
+        let (c, schema, stream) = setup();
+        let header = write_ptw_schema(&c, &schema);
+        let (schema2, consumed) = read_ptw_schema(&c, &header).unwrap();
+        assert_eq!(schema2, schema);
+        assert_eq!(consumed, header.len());
+        // The full container is exactly header + payload fields, so the
+        // prefix parser consumes the same bytes there too.
+        let full = write_ptw(&c, &schema, &stream);
+        assert_eq!(&full[..header.len()], &header[..]);
+        let (schema3, consumed3) = read_ptw_schema(&c, &full).unwrap();
+        assert_eq!(schema3, schema);
+        assert_eq!(consumed3, header.len());
+        // Trailing bytes after the slot table are the next reader's
+        // problem — a bare header with junk appended still parses.
+        let mut extended = header.clone();
+        extended.extend_from_slice(b"payload follows");
+        assert!(read_ptw_schema(&c, &extended).is_ok());
     }
 
     #[test]

@@ -30,6 +30,7 @@ run() {
 run cargo build --release --locked
 run cargo test -q --locked
 run cargo test -q --locked --workspace
+run cargo test -q --locked --test stream_smoke
 run cargo bench --no-run --locked --workspace
 
 # job: test (MSRV)

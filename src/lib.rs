@@ -31,7 +31,10 @@
 //!   comparison design;
 //! * [`wire`] — the bit-packed wire format: selection-derived frame
 //!   schemas, a circular-buffer frame encoder, a damage-tolerant
-//!   streaming decoder and the `.ptw` on-disk container.
+//!   streaming decoder and the `.ptw` on-disk container;
+//! * [`stream`] — the live ingest path: a chunk-at-a-time decode
+//!   session with incremental online localization, a loopback TCP
+//!   daemon (`pstraced`) and the replay client behind `pstrace stream`.
 //!
 //! # Quickstart
 //!
@@ -77,6 +80,7 @@ pub use pstrace_flow as flow;
 pub use pstrace_infogain as infogain;
 pub use pstrace_rtl as rtl;
 pub use pstrace_soc as soc;
+pub use pstrace_stream as stream;
 pub use pstrace_wire as wire;
 
 /// The paper's contribution: trace message selection (re-export of
