@@ -12,9 +12,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pstrace_core::{
-    beam_select, enumerate_combinations, rank_combinations_cached, Parallelism, TraceBufferSpec,
+    beam_select, enumerate_combinations, rank_combinations_cached, rank_combinations_observed,
+    Parallelism, TraceBufferSpec,
 };
 use pstrace_infogain::{LogBase, MiCache};
+use pstrace_obs::Registry;
 use pstrace_soc::{FlowKind, SocModel, UsageScenario};
 
 fn scaling_scenario(instances: u32) -> UsageScenario {
@@ -95,5 +97,61 @@ fn bench_rank_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_rank_parallelism);
+/// Instrumentation overhead: the same exhaustive ranking over the
+/// 3-instance scenario with and without a live [`Registry`]. The observed
+/// path pays one registry construction, a handful of counter/gauge
+/// updates and one span per run — the per-candidate scoring loop is
+/// untouched, so the two curves must stay within a few percent.
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let model = SocModel::t2();
+    let scenario = scaling_scenario(3);
+    let product = scenario.interleaving(&model).expect("interleaves");
+    let catalog = product.catalog().clone();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let candidates = enumerate_combinations(
+        &catalog,
+        &product.message_alphabet(),
+        buffer.width_bits(),
+        2_000_000,
+    )
+    .expect("within limit");
+    let cache = MiCache::new(&product, LogBase::Nats);
+
+    let mut group = c.benchmark_group(format!("rank_instrumentation_{}cands", candidates.len()));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            black_box(rank_combinations_cached(
+                &product,
+                &candidates,
+                &cache,
+                Parallelism::Off,
+            ))
+        });
+    });
+    group.bench_function("observed", |b| {
+        b.iter(|| {
+            // A fresh registry each run: construction and span recording
+            // are part of the cost being measured.
+            let registry = Registry::new();
+            black_box(rank_combinations_observed(
+                &product,
+                &candidates,
+                &cache,
+                Parallelism::Off,
+                Some(&registry),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_rank_parallelism,
+    bench_instrumentation_overhead
+);
 criterion_main!(benches);

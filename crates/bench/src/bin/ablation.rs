@@ -16,10 +16,12 @@ use pstrace_core::{
 use pstrace_diag::{consistent_paths, MatchMode};
 use pstrace_flow::path_count;
 use pstrace_infogain::LogBase;
+use pstrace_obs::{render_profile_table, Registry};
 use pstrace_soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario};
 
 fn main() {
     let model = SocModel::t2();
+    let registry = Registry::new();
     let buffer = TraceBufferSpec::new(32).expect("nonzero");
     let mut scenarios = UsageScenario::all_paper_scenarios();
     scenarios.push(UsageScenario::scenario_dma());
@@ -30,20 +32,28 @@ fn main() {
         "Scenario", "Selector", "Gain", "Coverage", "Localization"
     );
     for scenario in scenarios {
-        let product = scenario.interleaving(&model).expect("interleaves");
+        let product = registry.time("interleave", || {
+            scenario.interleaving(&model).expect("interleaves")
+        });
         let total_paths = path_count(&product);
 
         let mut config = SelectionConfig::new(buffer);
         config.packing = false;
         let info = Selector::new(&product, config)
-            .select()
+            .select_observed(Some(&registry))
             .expect("selection succeeds")
             .chosen;
-        let cov = coverage_greedy_select(&product, buffer, LogBase::Nats);
-        let cnt = count_greedy_select(&product, buffer, LogBase::Nats);
+        let (cov, cnt) = registry.time("ablation-selectors", || {
+            (
+                coverage_greedy_select(&product, buffer, LogBase::Nats),
+                count_greedy_select(&product, buffer, LogBase::Nats),
+            )
+        });
 
         // A bug-free reference run, captured through each selection.
-        let out = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(0xab1a)).run();
+        let out = registry.time("simulate", || {
+            Simulator::new(&model, scenario.clone(), SimConfig::with_seed(0xab1a)).run()
+        });
 
         for (name, combo) in [
             ("info-gain", &info),
@@ -55,12 +65,14 @@ fn main() {
                 &out,
                 &TraceBufferConfig::messages_only(&combo.messages),
             );
-            let consistent = consistent_paths(
-                &product,
-                &trace.message_sequence(),
-                &combo.messages,
-                MatchMode::Exact,
-            );
+            let consistent = registry.time("localize", || {
+                consistent_paths(
+                    &product,
+                    &trace.message_sequence(),
+                    &combo.messages,
+                    MatchMode::Exact,
+                )
+            });
             let localization = consistent as f64 / total_paths as f64;
             println!(
                 "{:<18} {:<16} {:>8.4} {:>9} {:>12}",
@@ -75,4 +87,6 @@ fn main() {
     }
     println!("expectation: info-gain dominates gain by construction and matches or");
     println!("beats the ablations on localization; coverage-greedy can tie on coverage");
+    println!("\nphase timings over all scenarios (wall clock):");
+    print!("{}", render_profile_table(&registry));
 }

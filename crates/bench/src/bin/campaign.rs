@@ -5,10 +5,12 @@
 use pstrace_bench::pct;
 use pstrace_bug::case_studies;
 use pstrace_diag::{run_campaign, CaseStudyConfig};
+use pstrace_obs::{render_profile_table, Registry};
 use pstrace_soc::SocModel;
 
 fn main() {
     let model = SocModel::t2();
+    let registry = Registry::new();
     let seeds: Vec<u64> = (0..20).map(|i| 0xc0ffee + i * 7919).collect();
 
     println!("Campaign — 20 seeds per case study (32-bit buffer, packing on)\n");
@@ -17,8 +19,9 @@ fn main() {
         "Case", "Hangs", "BadTraps", "Localization min/mean/max", "Pruning min/mean/max"
     );
     for cs in case_studies() {
-        let stats =
-            run_campaign(&model, &cs, CaseStudyConfig::default(), &seeds).expect("campaign runs");
+        let stats = registry.time(format!("case-{}", cs.number), || {
+            run_campaign(&model, &cs, CaseStudyConfig::default(), &seeds).expect("campaign runs")
+        });
         println!(
             "{:>5} {:>6} {:>9} {:>8}/{:>7}/{:>7} {:>9}/{:>7}/{:>7}",
             stats.case_number,
@@ -35,4 +38,6 @@ fn main() {
     }
     println!("\nthe paper reports one debugging session per case study; the campaign");
     println!("shows the same qualitative story holds across interleavings");
+    println!("\nper-case wall clock (20 seeds each):");
+    print!("{}", render_profile_table(&registry));
 }

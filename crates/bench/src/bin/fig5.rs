@@ -8,27 +8,36 @@
 
 use pstrace_core::{enumerate_combinations, flow_spec_coverage, rank_combinations};
 use pstrace_infogain::LogBase;
+use pstrace_obs::{render_profile_table, Registry};
 use pstrace_soc::{SocModel, UsageScenario};
 
 fn main() {
     let model = SocModel::t2();
+    let registry = Registry::new();
     println!("Figure 5 — mutual information gain vs flow-spec coverage (32-bit buffer)\n");
 
     for scenario in UsageScenario::all_paper_scenarios() {
-        let product = scenario.interleaving(&model).expect("scenario interleaves");
-        let combos =
+        let product = registry.time("interleave", || {
+            scenario.interleaving(&model).expect("scenario interleaves")
+        });
+        let combos = registry.time("enumerate", || {
             enumerate_combinations(model.catalog(), &product.message_alphabet(), 32, 2_000_000)
-                .expect("enumeration fits the limit");
-        let mut ranked = rank_combinations(&product, &combos, LogBase::Nats);
+                .expect("enumeration fits the limit")
+        });
+        let mut ranked = registry.time("rank", || {
+            rank_combinations(&product, &combos, LogBase::Nats)
+        });
         ranked.reverse(); // ascending gain for the series
 
-        let series: Vec<(f64, f64)> = ranked
-            .iter()
-            .map(|c| (c.gain, flow_spec_coverage(&product, &c.messages)))
-            .collect();
+        let series: Vec<(f64, f64)> = registry.time("coverage", || {
+            ranked
+                .iter()
+                .map(|c| (c.gain, flow_spec_coverage(&product, &c.messages)))
+                .collect()
+        });
 
         // Spearman rank correlation between gain and coverage.
-        let rho = spearman(&series);
+        let rho = registry.time("spearman", || spearman(&series));
 
         println!(
             "{}: {} candidate combinations, spearman(gain, coverage) = {:.3}",
@@ -51,6 +60,8 @@ fn main() {
         println!();
     }
     println!("paper: coverage increases monotonically with gain in all three scenarios");
+    println!("\nphase timings over all scenarios (wall clock):");
+    print!("{}", render_profile_table(&registry));
 }
 
 /// Spearman rank correlation of y against x.

@@ -11,8 +11,9 @@
 
 use pstrace_bug::{case_studies, CaseStudy};
 use pstrace_core::{SelectError, SelectionConfig, Selector, TraceBufferSpec};
-use pstrace_diag::{run_case_study, CaseStudyConfig, CaseStudyReport};
+use pstrace_diag::{run_case_study_observed, CaseStudyConfig, CaseStudyReport};
 use pstrace_flow::{FlowIndex, IndexedFlow, InterleavedFlow, MessageId};
+use pstrace_obs::Registry;
 use pstrace_rtl::{
     prnet_select, sigset_select, simulate, RandomStimulus, SignalId, UsbDesign, Waveform,
 };
@@ -42,9 +43,24 @@ pub const USB_STIMULUS_SEED: u64 = 11;
 pub fn run_all_case_studies(
     model: &SocModel,
 ) -> Result<Vec<(CaseStudy, CaseStudyReport, CaseStudyReport)>, SelectError> {
+    run_all_case_studies_observed(model, None)
+}
+
+/// [`run_all_case_studies`] with optional instrumentation: with a
+/// registry, every pipeline phase of every case study accumulates into
+/// the shared span log, so the regeneration binaries report wall time
+/// through the same `pstrace-obs` path as `pstrace --profile`.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from message selection.
+pub fn run_all_case_studies_observed(
+    model: &SocModel,
+    obs: Option<&Registry>,
+) -> Result<Vec<(CaseStudy, CaseStudyReport, CaseStudyReport)>, SelectError> {
     let mut out = Vec::new();
     for cs in case_studies() {
-        let with = run_case_study(
+        let with = run_case_study_observed(
             model,
             &cs,
             CaseStudyConfig {
@@ -53,8 +69,10 @@ pub fn run_all_case_studies(
                 depth: None,
                 wire: false,
             },
+            cs.seed,
+            obs,
         )?;
-        let without = run_case_study(
+        let without = run_case_study_observed(
             model,
             &cs,
             CaseStudyConfig {
@@ -63,6 +81,8 @@ pub fn run_all_case_studies(
                 depth: None,
                 wire: false,
             },
+            cs.seed,
+            obs,
         )?;
         out.push((cs, with, without));
     }

@@ -5,8 +5,9 @@ use std::sync::Arc;
 
 use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
 use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBufferSpec};
-use pstrace_diag::{run_case_study, scenario_causes, CaseStudyConfig};
+use pstrace_diag::{run_case_study_observed, scenario_causes, CaseStudyConfig};
 use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
+use pstrace_obs::maybe_time;
 use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
 use pstrace_soc::{
     tracefile, value::mask_to_width, wirecap, FlowKind, SimConfig, Simulator, SocModel,
@@ -14,6 +15,7 @@ use pstrace_soc::{
 };
 
 use crate::args::Args;
+use crate::profile::{obs, Profiler};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -47,6 +49,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "trace" => cmd_trace(rest),
         "serve" => cmd_serve(rest),
         "stream" => cmd_stream(rest),
+        "metrics" => cmd_metrics(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -68,9 +71,10 @@ fn print_help() {
     println!("  trace    decode FILE [--out OUT.txt] [--threads N|auto|off]");
     println!("                                         decode a .ptw stream back to text");
     println!("  serve    [--addr HOST:PORT] [--threads N] [--sessions N]");
-    println!("                                         run the live trace ingest daemon");
+    println!("           [--metrics-addr HOST:PORT]    run the live trace ingest daemon");
     println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
     println!("                                         replay a .ptw capture to a daemon");
+    println!("  metrics  [--addr HOST:PORT]            fetch a daemon's Prometheus metrics");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -80,6 +84,10 @@ fn print_help() {
     println!("  stats                                  USB netlist structure report");
     println!("  vcd      [--cycles N] [--seed S] [--restored] [--out FILE]");
     println!("                                         dump a USB waveform as VCD");
+    println!();
+    println!("select, select-file, debug and trace also accept --profile (print a");
+    println!("phase-timing table) and --profile-json FILE (write the span timeline");
+    println!("as Chrome trace-event JSON).");
 }
 
 fn scenario_by_number(n: u8) -> Result<UsageScenario, Box<dyn Error>> {
@@ -156,9 +164,10 @@ fn parse_parallelism(args: &Args) -> Result<Parallelism, Box<dyn Error>> {
 fn cmd_select(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing"],
-        &["scenario", "buffer", "beam", "threads"],
+        &["no-packing", "profile"],
+        &["scenario", "buffer", "beam", "threads", "profile-json"],
     )?;
+    let profiler = Profiler::from_args(&args);
     let model = SocModel::t2();
     let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
     let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
@@ -169,8 +178,10 @@ fn cmd_select(argv: &[String]) -> CmdResult {
         config.strategy = Strategy::Beam { width };
     }
 
-    let product = scenario.interleaving(&model)?;
-    let report = Selector::new(&product, config).select()?;
+    let product = maybe_time(obs(&profiler), "interleave", || {
+        scenario.interleaving(&model)
+    })?;
+    let report = Selector::new(&product, config).select_observed(obs(&profiler))?;
     let catalog = model.catalog();
 
     println!(
@@ -193,6 +204,9 @@ fn cmd_select(argv: &[String]) -> CmdResult {
     println!("gain        : {:.4} nats", report.gain_packed);
     println!("utilization : {:.2} %", report.utilization() * 100.0);
     println!("coverage    : {:.2} %", report.coverage() * 100.0);
+    if let Some(p) = &profiler {
+        p.finish()?;
+    }
     Ok(())
 }
 
@@ -257,9 +271,10 @@ fn cmd_simulate(argv: &[String]) -> CmdResult {
 fn cmd_debug(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing", "wire"],
-        &["case", "buffer", "depth"],
+        &["no-packing", "wire", "profile"],
+        &["case", "buffer", "depth", "profile-json"],
     )?;
+    let profiler = Profiler::from_args(&args);
     let model = SocModel::t2();
     let case_no = args.option_or("case", 1u8)?;
     let cases = case_studies();
@@ -277,8 +292,11 @@ fn cmd_debug(argv: &[String]) -> CmdResult {
         depth,
         wire: args.flag("wire"),
     };
-    let report = run_case_study(&model, case, config)?;
+    let report = run_case_study_observed(&model, case, config, case.seed, obs(&profiler))?;
     print!("{}", report.render(&model));
+    if let Some(p) = &profiler {
+        p.finish()?;
+    }
     Ok(())
 }
 
@@ -358,9 +376,10 @@ fn cmd_usb(argv: &[String]) -> CmdResult {
 fn cmd_select_file(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing"],
-        &["buffer", "instances", "threads"],
+        &["no-packing", "profile"],
+        &["buffer", "instances", "threads", "profile-json"],
     )?;
+    let profiler = Profiler::from_args(&args);
     let path = args
         .positional()
         .first()
@@ -379,12 +398,14 @@ fn cmd_select_file(argv: &[String]) -> CmdResult {
             next += 1;
         }
     }
-    let product = InterleavedFlow::build(&indexed)?;
+    let product = maybe_time(obs(&profiler), "interleave", || {
+        InterleavedFlow::build(&indexed)
+    })?;
     let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
     let mut config = SelectionConfig::new(buffer);
     config.packing = !args.flag("no-packing");
     config.parallelism = parse_parallelism(&args)?;
-    let report = Selector::new(&product, config).select()?;
+    let report = Selector::new(&product, config).select_observed(obs(&profiler))?;
 
     println!(
         "{} flows x{} instances: {} states, {} edges",
@@ -411,6 +432,9 @@ fn cmd_select_file(argv: &[String]) -> CmdResult {
     println!("gain        : {:.4} nats", report.gain_packed);
     println!("utilization : {:.2} %", report.utilization() * 100.0);
     println!("coverage    : {:.2} %", report.coverage() * 100.0);
+    if let Some(p) = &profiler {
+        p.finish()?;
+    }
     Ok(())
 }
 
@@ -432,9 +456,10 @@ fn cmd_trace(argv: &[String]) -> CmdResult {
 fn cmd_trace_encode(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing"],
-        &["scenario", "buffer", "depth", "out"],
+        &["no-packing", "profile"],
+        &["scenario", "buffer", "depth", "out", "profile-json"],
     )?;
+    let profiler = Profiler::from_args(&args);
     let input = args
         .positional()
         .first()
@@ -446,49 +471,63 @@ fn cmd_trace_encode(argv: &[String]) -> CmdResult {
     }
 
     let model = SocModel::t2();
-    let trace = tracefile::read_trace(&model, &std::fs::read_to_string(input)?)?;
+    let trace = maybe_time(obs(&profiler), "read-trace", || {
+        tracefile::read_trace(&model, &std::fs::read_to_string(input)?)
+            .map_err(Box::<dyn Error>::from)
+    })?;
 
     let scenario = scenario_by_number(args.option_or("scenario", 1u8)?)?;
     let buffer = TraceBufferSpec::new(args.option_or("buffer", 32u32)?)?;
     let mut sel_config = SelectionConfig::new(buffer);
     sel_config.packing = !args.flag("no-packing");
-    let selection = Selector::new(&scenario.interleaving(&model)?, sel_config).select()?;
+    let product = maybe_time(obs(&profiler), "interleave", || {
+        scenario.interleaving(&model)
+    })?;
+    let selection = Selector::new(&product, sel_config).select_observed(obs(&profiler))?;
     let trace_config = TraceBufferConfig {
         messages: selection.chosen.messages.clone(),
         groups: selection.packed_groups.clone(),
         depth,
     };
-    let schema = wirecap::wire_schema(&model, &trace_config, buffer.width_bits())?;
+    let schema = maybe_time(obs(&profiler), "wire-schema", || {
+        wirecap::wire_schema(&model, &trace_config, buffer.width_bits())
+    })?;
 
     let mut enc = wirecap::Encoder::new(&schema, depth);
     let mut dropped = 0usize;
-    for r in trace.records() {
-        let m = r.message.message;
-        if schema.slot_for(m, r.partial).is_some() {
-            enc.push(&wirecap::WireRecord {
-                time: r.time,
-                message: r.message,
-                value: r.value,
-                partial: r.partial,
-            })?;
-        } else if let Some((_, slot)) = (!r.partial).then(|| schema.slot_for(m, true)).flatten() {
-            // Full record of a packed parent: the buffer records only the
-            // subgroup bits.
-            enc.push(&wirecap::WireRecord {
-                time: r.time,
-                message: r.message,
-                value: mask_to_width(r.value, slot.width),
-                partial: true,
-            })?;
-        } else {
-            dropped += 1;
+    maybe_time(obs(&profiler), "encode-frames", || {
+        for r in trace.records() {
+            let m = r.message.message;
+            if schema.slot_for(m, r.partial).is_some() {
+                enc.push(&wirecap::WireRecord {
+                    time: r.time,
+                    message: r.message,
+                    value: r.value,
+                    partial: r.partial,
+                })?;
+            } else if let Some((_, slot)) = (!r.partial).then(|| schema.slot_for(m, true)).flatten()
+            {
+                // Full record of a packed parent: the buffer records only
+                // the subgroup bits.
+                enc.push(&wirecap::WireRecord {
+                    time: r.time,
+                    message: r.message,
+                    value: mask_to_width(r.value, slot.width),
+                    partial: true,
+                })?;
+            } else {
+                dropped += 1;
+            }
         }
-    }
+        Ok::<(), Box<dyn Error>>(())
+    })?;
     let stream = enc.finish();
-    std::fs::write(
-        out_path,
-        wirecap::write_ptw(model.catalog(), &schema, &stream),
-    )?;
+    maybe_time(obs(&profiler), "write-ptw", || {
+        std::fs::write(
+            out_path,
+            wirecap::write_ptw(model.catalog(), &schema, &stream),
+        )
+    })?;
     println!(
         "encoded {} frames of {} bits ({} records dropped by the selection, {} lost to wraparound)",
         stream.frames,
@@ -502,25 +541,33 @@ fn cmd_trace_encode(argv: &[String]) -> CmdResult {
         schema.body_width(),
         schema.utilization() * 100.0
     );
+    if let Some(p) = &profiler {
+        p.finish()?;
+    }
     Ok(())
 }
 
 /// Decodes a `.ptw` stream back into the text trace format, reporting
 /// damaged frames and the measured buffer utilization.
 fn cmd_trace_decode(argv: &[String]) -> CmdResult {
-    let args = Args::parse(argv.iter().cloned(), &[], &["out", "threads"])?;
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["profile"],
+        &["out", "threads", "profile-json"],
+    )?;
+    let profiler = Profiler::from_args(&args);
     let input = args
         .positional()
         .first()
         .ok_or("trace decode needs an input .ptw file")?;
     let model = SocModel::t2();
-    let (schema, stream) = wirecap::read_ptw(model.catalog(), &std::fs::read(input)?)?;
-    let (trace, report) = wirecap::decode_capture(
-        &schema,
-        &stream.bytes,
-        Some(stream.bit_len),
-        parse_parallelism(&args)?,
-    );
+    let parallelism = parse_parallelism(&args)?;
+    let (schema, stream) = maybe_time(obs(&profiler), "read-ptw", || {
+        wirecap::read_ptw(model.catalog(), &std::fs::read(input)?).map_err(Box::<dyn Error>::from)
+    })?;
+    let (trace, report) = maybe_time(obs(&profiler), "decode", || {
+        wirecap::decode_capture(&schema, &stream.bytes, Some(stream.bit_len), parallelism)
+    });
     println!(
         "decoded {} frames: {} records, {} idle, {} damaged ({:.2} % measured utilization)",
         report.frames,
@@ -538,13 +585,18 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
             report.trailing_bits
         );
     }
-    let text = tracefile::write_trace(&model, &trace);
+    let text = maybe_time(obs(&profiler), "render-text", || {
+        tracefile::write_trace(&model, &trace)
+    });
     match args.option("out") {
         Some(path) => {
             std::fs::write(path, text)?;
             println!("wrote {} records to {path}", trace.len());
         }
         None => print!("{text}"),
+    }
+    if let Some(p) = &profiler {
+        p.finish()?;
     }
     Ok(())
 }
@@ -555,7 +607,11 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
 /// (0 = bind, print the address, shut straight down — a smoke check);
 /// without it the daemon serves until killed.
 fn cmd_serve(argv: &[String]) -> CmdResult {
-    let args = Args::parse(argv.iter().cloned(), &[], &["addr", "threads", "sessions"])?;
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[],
+        &["addr", "threads", "sessions", "metrics-addr"],
+    )?;
     let config = pstrace_stream::ServerConfig {
         addr: args.option("addr").unwrap_or("127.0.0.1:7455").to_owned(),
         threads: args.option_or("threads", 2usize)?,
@@ -565,28 +621,28 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
     let model = Arc::new(SocModel::t2());
     let server = pstrace_stream::Server::spawn(model, &config)?;
     println!("serving on {}", server.local_addr());
+    let endpoint = match args.option("metrics-addr") {
+        Some(addr) => {
+            let endpoint =
+                pstrace_stream::MetricsEndpoint::spawn(addr, Arc::clone(server.registry()))?;
+            println!("metrics on http://{}/metrics", endpoint.local_addr());
+            Some(endpoint)
+        }
+        None => None,
+    };
     match sessions {
         Some(limit) => {
-            use std::sync::atomic::Ordering;
             loop {
-                let stats = server.stats();
-                let done =
-                    stats.completed.load(Ordering::Relaxed) + stats.failed.load(Ordering::Relaxed);
-                if done >= limit {
+                let snap = server.snapshot();
+                if snap.completed + snap.failed >= limit {
                     break;
                 }
                 std::thread::sleep(std::time::Duration::from_millis(10));
             }
-            let stats = server.stats();
-            println!(
-                "served {} sessions ({} failed): {} bytes, {} frames, {} records, {} damaged",
-                stats.sessions.load(Ordering::Relaxed),
-                stats.failed.load(Ordering::Relaxed),
-                stats.bytes.load(Ordering::Relaxed),
-                stats.frames.load(Ordering::Relaxed),
-                stats.records.load(Ordering::Relaxed),
-                stats.damaged_frames.load(Ordering::Relaxed),
-            );
+            print_server_summary(&server.snapshot());
+            if let Some(endpoint) = endpoint {
+                endpoint.shutdown();
+            }
             server.shutdown();
         }
         None => loop {
@@ -594,6 +650,14 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
         },
     }
     Ok(())
+}
+
+/// One shutdown summary line shared by `serve` and in-process `stream`.
+fn print_server_summary(snap: &pstrace_stream::StatsSnapshot) {
+    println!(
+        "served {} sessions ({} failed): {} bytes, {} frames, {} records, {} damaged",
+        snap.sessions, snap.failed, snap.bytes, snap.frames, snap.records, snap.damaged_frames,
+    );
 }
 
 /// Replays a `.ptw` capture to an ingest daemon and prints the server's
@@ -616,9 +680,11 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
     let chunk = args.option_or("chunk", pstrace_stream::DEFAULT_CHUNK_BYTES)?;
     let model = SocModel::t2();
 
-    let report = match args.option("addr") {
+    match args.option("addr") {
         Some(addr) => {
-            pstrace_stream::stream_ptw(addr, model.catalog(), scenario, mode, &ptw, chunk)?
+            let report =
+                pstrace_stream::stream_ptw(addr, model.catalog(), scenario, mode, &ptw, chunk)?;
+            print!("{report}");
         }
         None => {
             let server = pstrace_stream::Server::spawn(
@@ -633,11 +699,23 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
                 &ptw,
                 chunk,
             );
+            let snap = server.snapshot();
             server.shutdown();
-            report?
+            print!("{}", report?);
+            // The private daemon served exactly this replay: its final
+            // counters are part of the result, not hidden state.
+            print_server_summary(&snap);
         }
-    };
-    print!("{report}");
+    }
+    Ok(())
+}
+
+/// Fetches a running daemon's Prometheus text exposition over the PSTS
+/// `METRICS` verb and prints it verbatim.
+fn cmd_metrics(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["addr"])?;
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7455");
+    print!("{}", pstrace_stream::fetch_metrics(addr)?);
     Ok(())
 }
 
@@ -893,6 +971,59 @@ mod tests {
         ]))
         .is_ok());
         assert!(dispatch(&argv(&["serve", "--addr", "not-an-address"])).is_err());
+        // With a metrics endpoint riding along.
+        assert!(dispatch(&argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "0"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn profile_flags_run_and_write_valid_chrome_json() {
+        assert!(dispatch(&argv(&["select", "--scenario", "1", "--profile"])).is_ok());
+        assert!(dispatch(&argv(&["debug", "--case", "1", "--profile"])).is_ok());
+
+        let tmp = std::env::temp_dir().join("pstrace_cli_profile.json");
+        let path = tmp.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&["debug", "--case", "1", "--profile-json", &path])).is_ok());
+        let json = std::fs::read_to_string(&tmp).unwrap();
+        let value = pstrace_obs::validate_json(&json).expect("chrome trace JSON parses");
+        let events = value
+            .get("traceEvents")
+            .expect("traceEvents key")
+            .as_array()
+            .expect("traceEvents is an array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(pstrace_obs::JsonValue::as_str))
+            .collect();
+        for phase in ["interleave", "rank", "localize", "investigate"] {
+            assert!(names.contains(&phase), "missing phase {phase} in {names:?}");
+        }
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn metrics_subcommand_scrapes_a_live_daemon() {
+        let server = pstrace_stream::Server::spawn(
+            Arc::new(SocModel::t2()),
+            &pstrace_stream::ServerConfig::default(),
+        )
+        .expect("spawn daemon");
+        let addr = server.local_addr().to_string();
+        assert!(dispatch(&argv(&["metrics", "--addr", &addr])).is_ok());
+        server.shutdown();
+        // Nothing listening on a fresh ephemeral port: connection refused.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        assert!(dispatch(&argv(&["metrics", "--addr", &dead_addr])).is_err());
     }
 
     #[test]

@@ -3,5 +3,7 @@
 
 mod args;
 mod commands;
+mod profile;
 
 pub use commands::dispatch;
+pub use profile::PROFILE_CLOCK_ENV;

@@ -1,0 +1,83 @@
+//! `--profile` / `--profile-json` support: an opt-in metrics registry
+//! threaded through the long-running subcommands.
+//!
+//! Profiling is off by default and costs nothing when off — every
+//! instrumented library entry point takes an `Option<&Registry>` and the
+//! `None` path is the pre-instrumentation code. When on, phase timings
+//! are printed as a table after the command's normal output, and
+//! `--profile-json FILE` additionally writes the raw span timeline as
+//! Chrome trace-event JSON (load it in `chrome://tracing` or Perfetto).
+
+use std::error::Error;
+
+use pstrace_obs::{render_chrome_trace, render_profile_table, ManualClock, Registry};
+
+use crate::args::Args;
+
+/// Environment variable selecting the profiling clock. Set to `manual`
+/// for a deterministic virtual clock where every span lasts exactly one
+/// tick — golden tests and CI smoke checks use this; any other value
+/// (or unset) means wall time.
+pub const PROFILE_CLOCK_ENV: &str = "PSTRACE_PROFILE_CLOCK";
+
+/// The per-command profiling session: a registry plus what to do with it
+/// when the command finishes.
+#[derive(Debug)]
+pub struct Profiler {
+    registry: Registry,
+    table: bool,
+    json_path: Option<String>,
+}
+
+impl Profiler {
+    /// Builds a profiler if the parsed arguments ask for one (`--profile`
+    /// and/or `--profile-json FILE`); `None` means profiling stays off.
+    #[must_use]
+    pub fn from_args(args: &Args) -> Option<Profiler> {
+        let table = args.flag("profile");
+        let json_path = args.option("profile-json").map(str::to_owned);
+        if !table && json_path.is_none() {
+            return None;
+        }
+        let registry = match std::env::var(PROFILE_CLOCK_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("manual") => {
+                Registry::with_clock(Box::new(ManualClock::new()))
+            }
+            _ => Registry::new(),
+        };
+        Some(Profiler {
+            registry,
+            table,
+            json_path,
+        })
+    }
+
+    /// The registry instrumented code records into.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Emits the requested reports: the phase-timing table on stdout
+    /// and/or the Chrome trace-event JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the JSON file.
+    pub fn finish(&self) -> Result<(), Box<dyn Error>> {
+        if self.table {
+            print!("{}", render_profile_table(&self.registry));
+        }
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, render_chrome_trace(&self.registry))?;
+            println!("wrote span timeline to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// The `Option<&Registry>` view instrumented library calls take.
+#[must_use]
+pub fn obs(profiler: &Option<Profiler>) -> Option<&Registry> {
+    profiler.as_ref().map(Profiler::registry)
+}

@@ -63,7 +63,7 @@ pub use partition::{
     even_partitions, partitioned_select, Partition, PartitionOutcome, PartitionReport,
 };
 pub use rank::{
-    beam_select, beam_select_cached, rank_combinations, rank_combinations_cached, Parallelism,
-    RankedCombination,
+    beam_select, beam_select_cached, rank_combinations, rank_combinations_cached,
+    rank_combinations_observed, Parallelism, RankedCombination,
 };
 pub use selector::{SelectionConfig, SelectionReport, Selector, Strategy};

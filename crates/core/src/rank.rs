@@ -14,6 +14,7 @@ use std::num::NonZeroUsize;
 
 use pstrace_flow::{InterleavedFlow, MessageCatalog, MessageId};
 use pstrace_infogain::{LogBase, MiCache};
+use pstrace_obs::Registry;
 
 use crate::error::SelectError;
 
@@ -145,9 +146,38 @@ pub fn rank_combinations_cached(
     cache: &MiCache,
     parallelism: Parallelism,
 ) -> Vec<RankedCombination> {
+    rank_combinations_observed(flow, candidates, cache, parallelism, None)
+}
+
+/// [`rank_combinations_cached`] with optional instrumentation.
+///
+/// With a registry, each scoring worker is timed as a `rank-worker` span
+/// on its own logical thread lane (tid = worker index + 1) and the chosen
+/// fan-out lands in the `pstrace_select_rank_workers` gauge — enough to
+/// read worker utilization off the Chrome-trace timeline. The scoring
+/// inner loop itself stays untouched: per-candidate instrumentation would
+/// contend across workers, and the observed path must stay bit-identical
+/// to (and nearly as fast as) the plain one.
+#[must_use]
+pub fn rank_combinations_observed(
+    flow: &InterleavedFlow,
+    candidates: &[Vec<MessageId>],
+    cache: &MiCache,
+    parallelism: Parallelism,
+    obs: Option<&Registry>,
+) -> Vec<RankedCombination> {
     let catalog = flow.catalog();
     let workers = parallelism.worker_count(candidates.len());
+    if let Some(registry) = obs {
+        registry
+            .gauge("pstrace_select_rank_workers")
+            .set(i64::try_from(workers).unwrap_or(i64::MAX));
+        registry
+            .counter("pstrace_select_candidates_total")
+            .add(candidates.len() as u64);
+    }
     let mut ranked: Vec<RankedCombination> = if workers <= 1 {
+        let _span = obs.map(|r| r.span_on("rank-worker", 1));
         candidates
             .iter()
             .map(|combo| score_one(combo, catalog, cache))
@@ -156,8 +186,13 @@ pub fn rank_combinations_cached(
         let mut slots: Vec<Option<RankedCombination>> = vec![None; candidates.len()];
         let chunk = candidates.len().div_ceil(workers);
         std::thread::scope(|s| {
-            for (cand_chunk, out_chunk) in candidates.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            for (wid, (cand_chunk, out_chunk)) in candidates
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+            {
                 s.spawn(move || {
+                    let _span = obs.map(|r| r.span_on("rank-worker", wid as u32 + 1));
                     for (combo, slot) in cand_chunk.iter().zip(out_chunk.iter_mut()) {
                         *slot = Some(score_one(combo, catalog, cache));
                     }
@@ -371,6 +406,40 @@ mod tests {
         }
         let auto = rank_combinations_cached(&u, &candidates, &cache, Parallelism::Auto);
         assert_eq!(sequential, auto);
+    }
+
+    #[test]
+    fn observed_ranking_is_bit_identical_and_records_worker_spans() {
+        let u = product();
+        let catalog = u.catalog().clone();
+        let candidates = enumerate_combinations(&catalog, &u.message_alphabet(), 4, 100).unwrap();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let plain = rank_combinations_cached(&u, &candidates, &cache, Parallelism::threads(3));
+        let obs = Registry::new();
+        let observed = rank_combinations_observed(
+            &u,
+            &candidates,
+            &cache,
+            Parallelism::threads(3),
+            Some(&obs),
+        );
+        assert_eq!(plain, observed);
+        let workers = Parallelism::threads(3).worker_count(candidates.len());
+        let spans = obs.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "rank-worker").count(),
+            workers
+        );
+        // Worker lanes are 1-based so the main lane (tid 0) stays free.
+        assert!(spans.iter().all(|s| s.tid >= 1));
+        assert_eq!(
+            obs.gauge("pstrace_select_rank_workers").get(),
+            workers as i64
+        );
+        assert_eq!(
+            obs.counter("pstrace_select_candidates_total").get(),
+            candidates.len() as u64
+        );
     }
 
     #[test]

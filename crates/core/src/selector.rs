@@ -2,13 +2,14 @@
 
 use pstrace_flow::{GroupId, InterleavedFlow, MessageId};
 use pstrace_infogain::{LogBase, MiCache};
+use pstrace_obs::{maybe_time, Registry};
 
 use crate::buffer::TraceBufferSpec;
 use crate::combine::enumerate_combinations;
 use crate::coverage::flow_spec_coverage;
 use crate::error::SelectError;
 use crate::packing::{pack_cached, Packing};
-use crate::rank::{beam_select_cached, rank_combinations_cached, Parallelism, RankedCombination};
+use crate::rank::{beam_select_cached, rank_combinations_observed, Parallelism, RankedCombination};
 
 /// How Step 1/2 explore the combination space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +169,19 @@ impl<'a> Selector<'a> {
     ///   enumeration exceeds its limit;
     /// * [`SelectError::ZeroBeamWidth`] if the beam width is zero.
     pub fn select(&self) -> Result<SelectionReport, SelectError> {
+        self.select_observed(None)
+    }
+
+    /// [`select`](Selector::select) with optional instrumentation: with a
+    /// registry, each pipeline phase (`mi-cache`, `enumerate`, `rank` /
+    /// `beam`, `pack`, `coverage`) is timed as a span, and candidate-count
+    /// plus MI-cache hit/miss counters are recorded. The selection itself
+    /// is bit-identical with and without a registry.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`select`](Selector::select).
+    pub fn select_observed(&self, obs: Option<&Registry>) -> Result<SelectionReport, SelectError> {
         let flow = self.flow;
         let catalog = flow.catalog().clone();
         let buffer = self.config.buffer;
@@ -175,13 +189,14 @@ impl<'a> Selector<'a> {
 
         // One cache serves Step 2 ranking, beam extension deltas, and the
         // Step 3 packing loop.
-        let cache = MiCache::new(flow, log_base);
+        let cache = maybe_time(obs, "mi-cache", || MiCache::new(flow, log_base));
 
         let (chosen, candidates) = match self.config.strategy {
             Strategy::Exhaustive { limit } => {
                 let alphabet = flow.message_alphabet();
-                let combos =
-                    enumerate_combinations(&catalog, &alphabet, buffer.width_bits(), limit)?;
+                let combos = maybe_time(obs, "enumerate", || {
+                    enumerate_combinations(&catalog, &alphabet, buffer.width_bits(), limit)
+                })?;
                 if combos.is_empty() {
                     // No single message fits; Step 2 selects nothing and
                     // Step 3 packing gets the whole buffer.
@@ -194,23 +209,49 @@ impl<'a> Selector<'a> {
                         Vec::new(),
                     )
                 } else {
-                    let ranked =
-                        rank_combinations_cached(flow, &combos, &cache, self.config.parallelism);
+                    let ranked = maybe_time(obs, "rank", || {
+                        rank_combinations_observed(
+                            flow,
+                            &combos,
+                            &cache,
+                            self.config.parallelism,
+                            obs,
+                        )
+                    });
+                    if let Some(registry) = obs {
+                        // Recounted after the fact so the scoring hot loop
+                        // carries no shared atomic traffic.
+                        let (mut hits, mut misses) = (0u64, 0u64);
+                        for combo in &combos {
+                            let (h, m) = cache.lookup_stats(combo);
+                            hits += h;
+                            misses += m;
+                        }
+                        registry
+                            .counter("pstrace_select_mi_cache_hits_total")
+                            .add(hits);
+                        registry
+                            .counter("pstrace_select_mi_cache_misses_total")
+                            .add(misses);
+                    }
                     (ranked[0].clone(), ranked)
                 }
             }
             Strategy::Beam { width } => (
-                beam_select_cached(flow, buffer.width_bits(), width, &cache)?,
+                maybe_time(obs, "beam", || {
+                    beam_select_cached(flow, buffer.width_bits(), width, &cache)
+                })?,
                 Vec::new(),
             ),
         };
 
         let width_unpacked = chosen.width;
-        let coverage_unpacked = flow_spec_coverage(flow, &chosen.messages);
         let utilization_unpacked = buffer.utilization(width_unpacked);
 
         let packing = if self.config.packing {
-            pack_cached(flow, &chosen.messages, buffer, &cache)
+            maybe_time(obs, "pack", || {
+                pack_cached(flow, &chosen.messages, buffer, &cache)
+            })
         } else {
             Packing {
                 groups: Vec::new(),
@@ -219,7 +260,12 @@ impl<'a> Selector<'a> {
             }
         };
         let effective_messages = packing.effective_messages(flow, &chosen.messages);
-        let coverage_packed = flow_spec_coverage(flow, &effective_messages);
+        let (coverage_unpacked, coverage_packed) = maybe_time(obs, "coverage", || {
+            (
+                flow_spec_coverage(flow, &chosen.messages),
+                flow_spec_coverage(flow, &effective_messages),
+            )
+        });
         let utilization_packed = buffer.utilization(packing.occupied_bits);
 
         Ok(SelectionReport {
@@ -354,6 +400,48 @@ mod tests {
         assert!(report.chosen.messages.is_empty());
         assert_eq!(report.packed_groups.len(), 1);
         assert!(report.coverage() > 0.0);
+    }
+
+    #[test]
+    fn observed_selection_is_identical_and_times_every_phase() {
+        let u = running_example();
+        let config = SelectionConfig::new(TraceBufferSpec::new(2).unwrap());
+        let selector = Selector::new(&u, config);
+        let plain = selector.select().unwrap();
+        let obs = pstrace_obs::Registry::with_clock(Box::new(pstrace_obs::ManualClock::new()));
+        let observed = selector.select_observed(Some(&obs)).unwrap();
+        assert_eq!(plain, observed);
+        let phases: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+        for expected in [
+            "mi-cache",
+            "enumerate",
+            "rank-worker",
+            "rank",
+            "pack",
+            "coverage",
+        ] {
+            assert!(
+                phases.iter().any(|p| p == expected),
+                "missing phase {expected} in {phases:?}"
+            );
+        }
+        // Running example: 6 candidates, all single/pair lookups hit.
+        assert_eq!(obs.counter("pstrace_select_candidates_total").get(), 6);
+        assert!(obs.counter("pstrace_select_mi_cache_hits_total").get() > 0);
+        assert_eq!(obs.counter("pstrace_select_mi_cache_misses_total").get(), 0);
+    }
+
+    #[test]
+    fn observed_beam_selection_times_the_beam_phase() {
+        let u = running_example();
+        let mut config = SelectionConfig::new(TraceBufferSpec::new(2).unwrap());
+        config.strategy = Strategy::Beam { width: 4 };
+        let obs = pstrace_obs::Registry::new();
+        let report = Selector::new(&u, config)
+            .select_observed(Some(&obs))
+            .unwrap();
+        assert!(!report.chosen.messages.is_empty());
+        assert!(obs.spans().iter().any(|s| s.name == "beam"));
     }
 
     #[test]

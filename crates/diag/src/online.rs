@@ -45,6 +45,7 @@
 //! (astronomically far away for every modeled flow).
 
 use pstrace_flow::{path_count, topological_order, IndexedMessage, InterleavedFlow, MessageId};
+use pstrace_obs::Registry;
 
 use crate::localize::{consistent_paths, Localization, MatchMode};
 
@@ -367,6 +368,22 @@ impl OnlineLocalizer {
     pub fn frontier(&self) -> &Frontier {
         &self.column
     }
+
+    /// Publishes the localizer's live state into `obs` as gauges:
+    /// `pstrace_localizer_frontier_support` (states with nonzero mass),
+    /// `pstrace_localizer_consistent_paths` and
+    /// `pstrace_localizer_records_pushed` (counts saturate at `i64::MAX`).
+    /// Stream sessions call this after each chunk so dashboards can watch
+    /// the localization narrow.
+    pub fn record_frontier(&self, obs: &Registry) {
+        let clamp = |v: u128| i64::try_from(v).unwrap_or(i64::MAX);
+        obs.gauge("pstrace_localizer_frontier_support")
+            .set(i64::try_from(self.column.support()).unwrap_or(i64::MAX));
+        obs.gauge("pstrace_localizer_consistent_paths")
+            .set(clamp(self.consistent));
+        obs.gauge("pstrace_localizer_records_pushed")
+            .set(i64::try_from(self.pushed).unwrap_or(i64::MAX));
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +422,34 @@ mod tests {
             assert_eq!(online.total(), path_count(&u));
             assert_eq!(online.pushed(), 0);
         }
+    }
+
+    #[test]
+    fn record_frontier_publishes_live_gauges() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        let exec = executions(&u).next().expect("the product has executions");
+        let observed = exec.project(&selected);
+        let mut online = OnlineLocalizer::new(&u, &selected, MatchMode::Exact);
+        let obs = Registry::new();
+        online.record_frontier(&obs);
+        assert_eq!(obs.gauge("pstrace_localizer_records_pushed").get(), 0);
+        assert!(obs.gauge("pstrace_localizer_frontier_support").get() > 0);
+        online.push_all(observed.iter().copied());
+        online.record_frontier(&obs);
+        assert_eq!(
+            obs.gauge("pstrace_localizer_records_pushed").get(),
+            observed.len() as i64
+        );
+        assert_eq!(
+            obs.gauge("pstrace_localizer_consistent_paths").get() as u128,
+            online.consistent()
+        );
+        assert_eq!(
+            obs.gauge("pstrace_localizer_frontier_support").get() as usize,
+            online.frontier().support()
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use pstrace_bug::{bug_catalog, detect_symptom, BugInterceptor, CaseStudy, Sympto
 use pstrace_core::{
     Parallelism, SelectError, SelectionConfig, SelectionReport, Selector, TraceBufferSpec,
 };
+use pstrace_obs::{maybe_time, Registry};
 use pstrace_soc::{
     capture, wirecap, CapturedTrace, SimConfig, SimOutcome, Simulator, SocModel, TraceBufferConfig,
     UsageScenario,
@@ -212,23 +213,44 @@ pub fn run_case_study_with_seed(
     config: CaseStudyConfig,
     seed: u64,
 ) -> Result<CaseStudyReport, SelectError> {
+    run_case_study_observed(model, case, config, seed, None)
+}
+
+/// [`run_case_study_with_seed`] with optional instrumentation: with a
+/// registry, every pipeline phase (`interleave`, the selection phases,
+/// `simulate-golden`, `simulate-buggy`, `capture` / `wire-trip`,
+/// `localize`, `causes`, `investigate`) is timed as a span. The report is
+/// identical with and without a registry.
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from message selection.
+pub fn run_case_study_observed(
+    model: &SocModel,
+    case: &CaseStudy,
+    config: CaseStudyConfig,
+    seed: u64,
+    obs: Option<&Registry>,
+) -> Result<CaseStudyReport, SelectError> {
     let scenario = case.scenario.clone();
-    let interleaving = scenario
-        .interleaving(model)
-        .expect("paper scenarios always interleave");
+    let interleaving = maybe_time(obs, "interleave", || {
+        scenario
+            .interleaving(model)
+            .expect("paper scenarios always interleave")
+    });
 
     // Select messages for the trace buffer.
     let buffer = TraceBufferSpec::new(config.buffer_bits)?;
     let mut sel_config = SelectionConfig::new(buffer);
     sel_config.packing = config.packing;
-    let selection = Selector::new(&interleaving, sel_config).select()?;
+    let selection = Selector::new(&interleaving, sel_config).select_observed(obs)?;
 
     // Golden and buggy runs under identical randomness.
     let sim = Simulator::new(model, scenario.clone(), SimConfig::with_seed(seed));
-    let golden = sim.run();
+    let golden = maybe_time(obs, "simulate-golden", || sim.run());
     let catalog = bug_catalog(model);
     let mut interceptor = BugInterceptor::new(model, case.bugs(&catalog));
-    let buggy = sim.run_with(&mut interceptor);
+    let buggy = maybe_time(obs, "simulate-buggy", || sim.run_with(&mut interceptor));
     let symptom = detect_symptom(&golden, &buggy);
 
     // The trace buffer sees only the selected messages/subgroups.
@@ -241,6 +263,7 @@ pub fn run_case_study_with_seed(
     // through the wire codec and debug from the decoded streams.
     let mut wire_summary = None;
     let (golden_capture, buggy_capture) = if config.wire {
+        let _span = obs.map(|r| r.span("wire-trip"));
         let schema = wirecap::wire_schema(model, &trace_config, config.buffer_bits)
             .expect("a selection-derived schema fits its own buffer");
         let trip = |events: &SimOutcome| {
@@ -267,10 +290,12 @@ pub fn run_case_study_with_seed(
         });
         (golden_trace, buggy_trace)
     } else {
-        (
-            capture(model, &golden, &trace_config),
-            capture(model, &buggy, &trace_config),
-        )
+        maybe_time(obs, "capture", || {
+            (
+                capture(model, &golden, &trace_config),
+                capture(model, &buggy, &trace_config),
+            )
+        })
     };
 
     // Path localization mode: a complete capture of a complete run is
@@ -285,23 +310,30 @@ pub fn run_case_study_with_seed(
         (false, true) => MatchMode::Substring,
     };
     let observed = buggy_capture.message_sequence();
-    let localization = localize(
-        &interleaving,
-        &observed,
-        &selection.effective_messages,
-        mode,
-    );
+    let localization = maybe_time(obs, "localize", || {
+        localize(
+            &interleaving,
+            &observed,
+            &selection.effective_messages,
+            mode,
+        )
+    });
 
     // Cause pruning and the investigation walk. A wrapped buffer cannot
     // testify about absence (the evicted window might have held the
     // message), so absence verdicts are weakened to keep pruning sound.
-    let causes = scenario_causes(model, &scenario);
-    let mut evidence = distill(model, &scenario, &golden_capture, &buggy_capture);
-    if wrapped {
-        evidence.weaken_absence();
-    }
-    let cause_report = evaluate_causes(&causes, &evidence);
-    let walk = investigate(model, &scenario, &golden_capture, &buggy_capture, &causes);
+    let (causes, cause_report) = maybe_time(obs, "causes", || {
+        let causes = scenario_causes(model, &scenario);
+        let mut evidence = distill(model, &scenario, &golden_capture, &buggy_capture);
+        if wrapped {
+            evidence.weaken_absence();
+        }
+        let cause_report = evaluate_causes(&causes, &evidence);
+        (causes, cause_report)
+    });
+    let walk = maybe_time(obs, "investigate", || {
+        investigate(model, &scenario, &golden_capture, &buggy_capture, &causes)
+    });
 
     Ok(CaseStudyReport {
         case_number: case.number,
@@ -341,6 +373,43 @@ mod tests {
                 report.path_localization()
             );
             assert!(report.localization.total > 0);
+        }
+    }
+
+    #[test]
+    fn observed_case_study_is_identical_and_covers_the_pipeline_phases() {
+        let model = SocModel::t2();
+        let cs = &case_studies()[0];
+        for wire in [false, true] {
+            let config = CaseStudyConfig {
+                wire,
+                ..CaseStudyConfig::default()
+            };
+            let plain = run_case_study(&model, cs, config).unwrap();
+            let obs = pstrace_obs::Registry::with_clock(Box::new(pstrace_obs::ManualClock::new()));
+            let observed =
+                run_case_study_observed(&model, cs, config, cs.seed, Some(&obs)).unwrap();
+            assert_eq!(plain.captured, observed.captured);
+            assert_eq!(plain.localization, observed.localization);
+            assert_eq!(plain.symptom, observed.symptom);
+            let phases: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+            let mut expected = vec![
+                "interleave",
+                "mi-cache",
+                "rank",
+                "simulate-golden",
+                "simulate-buggy",
+                "localize",
+                "causes",
+                "investigate",
+            ];
+            expected.push(if wire { "wire-trip" } else { "capture" });
+            for phase in expected {
+                assert!(
+                    phases.iter().any(|p| p == phase),
+                    "wire={wire}: missing phase {phase} in {phases:?}"
+                );
+            }
         }
     }
 

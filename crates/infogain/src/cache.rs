@@ -247,6 +247,38 @@ impl MiCache {
         self.entries.get(&message).map_or(0, |e| e.ys.len())
     }
 
+    /// Whether `message` labels at least one edge (i.e. the cache holds an
+    /// entry for it and a lookup would hit).
+    #[must_use]
+    pub fn contains(&self, message: MessageId) -> bool {
+        self.entries.contains_key(&message)
+    }
+
+    /// Counts the `(hits, misses)` a [`MiCache::combination_mi`] call over
+    /// `combination` performs against the per-message table, deduplicating
+    /// the way the scoring path does.
+    ///
+    /// This exists for observability: the ranking hot path stays free of
+    /// instrumentation (shared atomic hit counters would contend across
+    /// worker threads), and profilers recount after the fact instead.
+    #[must_use]
+    pub fn lookup_stats(&self, combination: &[MessageId]) -> (u64, u64) {
+        let mut seen: Vec<MessageId> = Vec::with_capacity(combination.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for &m in combination {
+            if seen.contains(&m) {
+                continue;
+            }
+            seen.push(m);
+            if self.contains(m) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        (hits, misses)
+    }
+
     /// Debug helper: asserts the cache reproduces the from-scratch value
     /// for `combination`. Used by tests; cheap enough to call ad hoc.
     ///
@@ -350,6 +382,23 @@ mod tests {
         let combo = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
         let gain = cache.combination_mi(&combo);
         assert!((gain - (2.0 / 3.0) * 5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_stats_dedup_and_miss_counting() {
+        let (u, catalog) = product();
+        let cache = MiCache::new(&u, LogBase::Nats);
+        let req = catalog.get("ReqE").unwrap();
+        let gnt = catalog.get("GntE").unwrap();
+        assert!(cache.contains(req));
+        // A freshly interned message never labels an edge of the product.
+        let mut extended = (*catalog).clone();
+        let bogus = extended.intern("NeverSent", 1);
+        assert!(!cache.contains(bogus));
+        assert_eq!(cache.lookup_stats(&[req, gnt]), (2, 0));
+        assert_eq!(cache.lookup_stats(&[req, req, gnt]), (2, 0));
+        assert_eq!(cache.lookup_stats(&[req, bogus]), (1, 1));
+        assert_eq!(cache.lookup_stats(&[]), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! `pstrace-obs` — std-only observability for the pstrace pipeline.
+//!
+//! The paper argues for designed-in observability of silicon; this crate
+//! applies the same discipline to the reproduction itself. It provides:
+//!
+//! - a **global-free [`Registry`]** of atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s — no singletons, callers own their
+//!   registry and share it via `Arc`;
+//! - **timing [`Span`]s** with an injectable [`Clock`] so production code
+//!   reads a wall clock while tests inject a [`ManualClock`] and get
+//!   bit-identical, golden-testable timings;
+//! - **exporters**: Prometheus-style text exposition
+//!   ([`render_prometheus`]), Chrome trace-event JSON
+//!   ([`render_chrome_trace`]) and the human `--profile` table
+//!   ([`render_profile_table`]).
+//!
+//! Zero dependencies by design: the instrumented crates sit below the
+//! CLI, and everything here is a thin veneer over `std::sync::atomic`.
+//!
+//! ```
+//! use pstrace_obs::{ManualClock, Registry, render_profile_table};
+//!
+//! let obs = Registry::with_clock(Box::new(ManualClock::new()));
+//! obs.counter("frames").add(7);
+//! let answer = obs.time("rank", || 6 * 7);
+//! assert_eq!(answer, 42);
+//! assert!(render_profile_table(&obs).contains("rank"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod export;
+mod metrics;
+mod span;
+
+pub use clock::{Clock, ManualClock, WallClock, MANUAL_TICK_NS};
+pub use export::{
+    render_chrome_trace, render_chrome_trace_spans, render_profile_table, render_prometheus,
+    validate_json, JsonValue,
+};
+pub use metrics::{maybe_time, Counter, Gauge, Histogram, MetricKey, Registry, Sample};
+pub use span::{phase_summaries, PhaseSummary, Span, SpanRecord};

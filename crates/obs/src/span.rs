@@ -1,0 +1,157 @@
+//! Timing spans: RAII guards that measure a named phase on a logical
+//! thread and record it into the [`Registry`](crate::Registry)'s span log.
+
+use crate::metrics::Registry;
+
+/// One finished measurement: a named interval on a logical thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (e.g. `"rank"`, `"localize"`).
+    pub name: String,
+    /// Start, in clock nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Logical thread id (0 for the main lane, worker index + 1 for
+    /// pool workers).
+    pub tid: u32,
+}
+
+/// A live span; the measurement lands in the registry when this guard
+/// drops (or [`finish`](Span::finish) is called explicitly).
+#[derive(Debug)]
+pub struct Span<'r> {
+    registry: &'r Registry,
+    name: Option<String>,
+    start_ns: u64,
+    tid: u32,
+}
+
+impl<'r> Span<'r> {
+    pub(crate) fn start(registry: &'r Registry, name: String, tid: u32) -> Self {
+        let start_ns = registry.now_ns();
+        Span {
+            registry,
+            name: Some(name),
+            start_ns,
+            tid,
+        }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some(name) = self.name.take() {
+            let end_ns = self.registry.now_ns();
+            self.registry.record_span(SpanRecord {
+                name,
+                start_ns: self.start_ns,
+                dur_ns: end_ns.saturating_sub(self.start_ns),
+                tid: self.tid,
+            });
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Aggregate of all spans sharing a name, as the profile table prints it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+}
+
+/// Folds a span log into per-phase totals, preserving first-seen order so
+/// the table reads in pipeline order rather than alphabetically.
+#[must_use]
+pub fn phase_summaries(spans: &[SpanRecord]) -> Vec<PhaseSummary> {
+    let mut out: Vec<PhaseSummary> = Vec::new();
+    for span in spans {
+        match out.iter_mut().find(|p| p.name == span.name) {
+            Some(p) => {
+                p.calls += 1;
+                p.total_ns += span.dur_ns;
+            }
+            None => out.push(PhaseSummary {
+                name: span.name.clone(),
+                calls: 1,
+                total_ns: span.dur_ns,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual() -> Registry {
+        Registry::with_clock(Box::new(ManualClock::with_tick(100)))
+    }
+
+    #[test]
+    fn drop_records_the_span() {
+        let r = manual();
+        {
+            let _s = r.span("alpha");
+        }
+        let spans = r.spans();
+        assert_eq!(
+            spans,
+            vec![SpanRecord {
+                name: "alpha".into(),
+                start_ns: 0,
+                dur_ns: 100,
+                tid: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let r = manual();
+        let s = r.span_on("beta", 3);
+        s.finish();
+        let spans = r.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].tid, 3);
+    }
+
+    #[test]
+    fn summaries_preserve_first_seen_order() {
+        let r = manual();
+        r.time("load", || ());
+        r.time("rank", || ());
+        r.time("load", || ());
+        let summary = phase_summaries(&r.spans());
+        assert_eq!(
+            summary,
+            vec![
+                PhaseSummary {
+                    name: "load".into(),
+                    calls: 2,
+                    total_ns: 200,
+                },
+                PhaseSummary {
+                    name: "rank".into(),
+                    calls: 1,
+                    total_ns: 100,
+                },
+            ]
+        );
+    }
+}

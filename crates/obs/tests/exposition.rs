@@ -1,0 +1,112 @@
+//! Integration goldens for the text exposition format and the
+//! deterministic profile table.
+
+use pstrace_obs::{
+    render_chrome_trace, render_profile_table, render_prometheus, validate_json, JsonValue,
+    ManualClock, Registry,
+};
+
+#[test]
+fn exposition_orders_metrics_stably() {
+    let r = Registry::new();
+    // Register deliberately out of order; exposition must sort by
+    // (name, labels).
+    r.gauge("pstrace_stream_active_sessions").set(1);
+    r.counter("pstrace_stream_frames_total").add(10);
+    r.counter_with(
+        "pstrace_stream_damaged_frames_total",
+        &[("reason", "time-spike")],
+    )
+    .add(2);
+    r.counter_with(
+        "pstrace_stream_damaged_frames_total",
+        &[("reason", "bad-tag")],
+    )
+    .inc();
+    let text = render_prometheus(&r);
+    let expected = "\
+# TYPE pstrace_stream_active_sessions gauge
+pstrace_stream_active_sessions 1
+# TYPE pstrace_stream_damaged_frames_total counter
+pstrace_stream_damaged_frames_total{reason=\"bad-tag\"} 1
+pstrace_stream_damaged_frames_total{reason=\"time-spike\"} 2
+# TYPE pstrace_stream_frames_total counter
+pstrace_stream_frames_total 10
+";
+    assert_eq!(text, expected);
+    // Rendering twice must be byte-identical.
+    assert_eq!(render_prometheus(&r), expected);
+}
+
+#[test]
+fn exposition_escapes_problem_label_values() {
+    let r = Registry::new();
+    r.counter_with("c", &[("msg", "line\nbreak \"quoted\" back\\slash")])
+        .inc();
+    let text = render_prometheus(&r);
+    assert!(
+        text.contains(r#"c{msg="line\nbreak \"quoted\" back\\slash"} 1"#),
+        "unexpected exposition: {text}"
+    );
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_count() {
+    let r = Registry::new();
+    let h = r.histogram("pstrace_chunk_bytes", &[64.0, 256.0, 1024.0]);
+    for v in [10.0, 100.0, 100.0, 500.0, 5000.0, 5000.0] {
+        h.observe(v);
+    }
+    let text = render_prometheus(&r);
+    let bucket_values: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("pstrace_chunk_bytes_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(bucket_values, vec![1, 3, 4, 6]);
+    assert!(
+        bucket_values.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be non-decreasing"
+    );
+    assert!(text.contains("pstrace_chunk_bytes_count 6"));
+    assert!(text.ends_with("pstrace_chunk_bytes_count 6\n"));
+}
+
+#[test]
+fn profile_table_golden_under_manual_clock() {
+    let r = Registry::with_clock(Box::new(ManualClock::new()));
+    r.time("interleave", || ());
+    r.time("rank", || ());
+    r.time("rank", || ());
+    r.time("pack", || ());
+    let expected = "\
+phase        calls         total          mean       %
+----------  ------  ------------  ------------  ------
+interleave       1       1.000ms       1.000ms   25.0%
+rank             2       2.000ms       1.000ms   50.0%
+pack             1       1.000ms       1.000ms   25.0%
+total            4       4.000ms
+";
+    assert_eq!(render_profile_table(&r), expected);
+}
+
+#[test]
+fn chrome_trace_round_trips_through_validator() {
+    let r = Registry::with_clock(Box::new(ManualClock::with_tick(2_000)));
+    r.time("enumerate", || ());
+    {
+        let _w = r.span_on("rank-worker", 2);
+    }
+    let json = render_chrome_trace(&r);
+    let doc = validate_json(&json).expect("chrome trace must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    assert_eq!(names, ["enumerate", "rank-worker"]);
+    assert_eq!(events[1].get("tid"), Some(&JsonValue::Number(2.0)));
+}

@@ -1,0 +1,60 @@
+//! Property tests: concurrent updates never lose counts, and histograms
+//! conserve observations.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use pstrace_obs::Registry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// However increments are split across threads, the counter ends at
+    /// the exact sum — no update is ever lost.
+    #[test]
+    fn concurrent_counter_increments_never_lose_counts(
+        per_thread in proptest::collection::vec(1u64..200, 1..8),
+        batch in 1u64..5,
+    ) {
+        let registry = Arc::new(Registry::new());
+        let expected: u64 = per_thread.iter().map(|&n| n * batch).sum();
+        thread::scope(|scope| {
+            for &n in &per_thread {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let counter = registry.counter("hits");
+                    for _ in 0..n {
+                        counter.add(batch);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(registry.counter("hits").get(), expected);
+    }
+
+    /// Concurrent histogram observations conserve both the observation
+    /// count and the per-bucket totals.
+    #[test]
+    fn concurrent_histogram_observations_conserve_count(
+        per_thread in proptest::collection::vec(1u64..100, 1..6),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let expected: u64 = per_thread.iter().sum();
+        thread::scope(|scope| {
+            for (i, &n) in per_thread.iter().enumerate() {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let hist = registry.histogram("obs", &[10.0, 100.0]);
+                    for k in 0..n {
+                        // Spread observations across all three buckets.
+                        hist.observe(((i as u64 * 37 + k * 11) % 150) as f64);
+                    }
+                });
+            }
+        });
+        let hist = registry.histogram("obs", &[10.0, 100.0]);
+        prop_assert_eq!(hist.count(), expected);
+        prop_assert_eq!(hist.bucket_counts().iter().sum::<u64>(), expected);
+    }
+}

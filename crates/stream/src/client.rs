@@ -8,7 +8,7 @@ use pstrace_flow::MessageCatalog;
 use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
-use crate::proto::{read_reply, write_data, write_finish, write_hello};
+use crate::proto::{read_reply, write_data, write_finish, write_hello, write_metrics_request};
 
 /// Default chunk size of the replay client, sized to cut a typical
 /// capture into several chunks without degenerating to per-frame sends.
@@ -68,5 +68,23 @@ pub fn stream_ptw(
     write_finish(&mut writer, bit_len)?;
     writer.flush()?;
 
+    read_reply(&mut reader)
+}
+
+/// Asks the daemon at `addr` for its Prometheus text exposition (the
+/// METRICS verb of the PSTS protocol) and returns it verbatim.
+///
+/// # Errors
+///
+/// * [`StreamError::Io`] / [`StreamError::Protocol`] for transport
+///   failures;
+/// * [`StreamError::Remote`] when the server rejects the request.
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> Result<String, StreamError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_metrics_request(&mut writer)?;
+    writer.flush()?;
     read_reply(&mut reader)
 }

@@ -12,10 +12,15 @@
 //!   consistent-path count is live at every chunk boundary;
 //! * [`proto`] — the length-prefixed chunk protocol with a `.ptw` schema
 //!   handshake, so a live socket and a capture file describe their
-//!   frames identically;
+//!   frames identically; v2 adds a `METRICS` verb that returns the
+//!   daemon's Prometheus exposition;
 //! * [`Server`] — the std-only `pstraced` daemon: `TcpListener`, a fixed
-//!   worker pool, per-session and aggregated metrics, graceful shutdown;
-//! * [`stream_ptw`] — the replay client behind `pstrace stream`.
+//!   worker pool, registry-backed per-session and aggregated metrics
+//!   ([`pstrace_obs::Registry`]), graceful shutdown;
+//! * [`MetricsEndpoint`] — an HTTP/1.0 scrape endpoint over the same
+//!   registry, for off-the-shelf Prometheus scrapers;
+//! * [`stream_ptw`] and [`fetch_metrics`] — the replay and scrape
+//!   clients behind `pstrace stream` / `pstrace metrics`.
 //!
 //! The contract inherited from the batch side holds end to end: a
 //! session's committed record sequence is bit-identical to
@@ -30,11 +35,13 @@
 
 mod client;
 mod error;
+mod metrics;
 pub mod proto;
 mod server;
 mod session;
 
-pub use client::{stream_ptw, DEFAULT_CHUNK_BYTES};
+pub use client::{fetch_metrics, stream_ptw, DEFAULT_CHUNK_BYTES};
 pub use error::StreamError;
-pub use server::{scenario_by_number, Server, ServerConfig, ServerStats};
+pub use metrics::MetricsEndpoint;
+pub use server::{scenario_by_number, snapshot_from, Server, ServerConfig, StatsSnapshot};
 pub use session::{observed_messages, Session, SessionMetrics, SessionReport};

@@ -1,13 +1,16 @@
 //! The length-prefixed chunk protocol spoken between `pstrace stream`
 //! clients and the `pstraced` ingest daemon.
 //!
-//! One TCP connection carries one session. All multi-byte integers are
+//! One TCP connection carries one request. All multi-byte integers are
 //! little-endian:
 //!
 //! ```text
-//! client hello:
+//! request preamble:
 //!   magic        4 bytes  "PSTS"
-//!   version      u8       = 1
+//!   version      u8       = 2
+//!   request      u8       1 = SESSION, 2 = METRICS
+//!
+//! SESSION request — the rest of the hello follows:
 //!   scenario     u8       usage scenario number (1-5)
 //!   mode         u8       match mode (0 exact, 1 prefix, 2 suffix, 3 substring)
 //!   schema_len   u32      length of the schema handshake in bytes
@@ -19,7 +22,14 @@
 //!   status       u8       0 = ok, 1 = session failed
 //!   report_len   u32
 //!   report       UTF-8    session report, or the failure message
+//!
+//! METRICS request — nothing follows; the server immediately replies
+//! (same status/len/text framing) with its metric registry rendered in
+//! Prometheus text exposition format.
 //! ```
+//!
+//! Version history: v1 had no request byte (every connection was a
+//! session); v2 added the `METRICS` verb and is what this build speaks.
 //!
 //! The schema handshake reuses the `.ptw` container's self-describing
 //! header verbatim, so a capture file and a live socket describe their
@@ -37,7 +47,13 @@ use crate::error::StreamError;
 pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
 
 /// The protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 1;
+pub const PROTO_VERSION: u8 = 2;
+
+/// Request kind: a streaming ingest session follows.
+pub const REQ_SESSION: u8 = 1;
+
+/// Request kind: render the server's metric registry and reply.
+pub const REQ_METRICS: u8 = 2;
 
 /// Chunk tag: raw stream bytes follow.
 pub const CHUNK_DATA: u8 = 1;
@@ -154,19 +170,40 @@ pub fn write_hello(
         .filter(|&l| l <= MAX_CHUNK_LEN)
         .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))?;
     w.write_all(&PROTO_MAGIC)?;
-    w.write_all(&[PROTO_VERSION, scenario, mode_to_byte(mode)])?;
+    w.write_all(&[PROTO_VERSION, REQ_SESSION, scenario, mode_to_byte(mode)])?;
     w.write_all(&schema_len.to_le_bytes())?;
     w.write_all(schema)?;
     Ok(())
 }
 
-/// Reads and validates a client hello.
+/// Writes a `METRICS` request: preamble only, nothing follows.
 ///
 /// # Errors
 ///
-/// Returns [`StreamError::Protocol`] on a bad magic, version, mode byte
-/// or oversized handshake.
-pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
+/// Propagates socket write failures.
+pub fn write_metrics_request(w: &mut impl Write) -> Result<(), StreamError> {
+    w.write_all(&PROTO_MAGIC)?;
+    w.write_all(&[PROTO_VERSION, REQ_METRICS])?;
+    Ok(())
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A streaming ingest session with its hello.
+    Session(Hello),
+    /// A metrics snapshot request.
+    Metrics,
+}
+
+/// Reads and validates a client request (preamble plus, for sessions,
+/// the rest of the hello).
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on a bad magic, version, request
+/// kind, mode byte or oversized handshake.
+pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
     let magic = read_exact(r, 4, "magic")?;
     if magic != PROTO_MAGIC {
         return Err(StreamError::Protocol("bad protocol magic".to_owned()));
@@ -177,15 +214,39 @@ pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
             "unsupported protocol version {version}"
         )));
     }
-    let scenario = read_u8(r, "scenario")?;
-    let mode = mode_from_byte(read_u8(r, "mode")?)?;
-    let schema_len = checked_len(read_u32(r, "schema length")?, "schema")?;
-    let schema = read_exact(r, schema_len, "schema handshake")?;
-    Ok(Hello {
-        scenario,
-        mode,
-        schema,
-    })
+    match read_u8(r, "request kind")? {
+        REQ_SESSION => {
+            let scenario = read_u8(r, "scenario")?;
+            let mode = mode_from_byte(read_u8(r, "mode")?)?;
+            let schema_len = checked_len(read_u32(r, "schema length")?, "schema")?;
+            let schema = read_exact(r, schema_len, "schema handshake")?;
+            Ok(Request::Session(Hello {
+                scenario,
+                mode,
+                schema,
+            }))
+        }
+        REQ_METRICS => Ok(Request::Metrics),
+        other => Err(StreamError::Protocol(format!(
+            "unknown request kind {other}"
+        ))),
+    }
+}
+
+/// Reads and validates a client hello (a [`Request::Session`]).
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on a bad magic, version, request
+/// kind (including a `METRICS` request, which carries no session), mode
+/// byte or oversized handshake.
+pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
+    match read_request(r)? {
+        Request::Session(hello) => Ok(hello),
+        Request::Metrics => Err(StreamError::Protocol(
+            "expected a session hello, got a metrics request".to_owned(),
+        )),
+    }
 }
 
 /// One incoming chunk, as the server sees it.
@@ -339,6 +400,29 @@ mod tests {
         let mut huge = vec![CHUNK_DATA];
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(read_chunk(&mut Cursor::new(&huge)).is_err());
+    }
+
+    #[test]
+    fn metrics_request_round_trips_and_is_distinguished() {
+        let mut buf = Vec::new();
+        write_metrics_request(&mut buf).unwrap();
+        assert_eq!(
+            read_request(&mut Cursor::new(&buf)).unwrap(),
+            Request::Metrics
+        );
+        // read_hello refuses a metrics request.
+        assert!(read_hello(&mut Cursor::new(&buf)).is_err());
+        let mut session = Vec::new();
+        write_hello(&mut session, 2, MatchMode::Prefix, b"s").unwrap();
+        assert!(matches!(
+            read_request(&mut Cursor::new(&session)).unwrap(),
+            Request::Session(h) if h.scenario == 2
+        ));
+        // An unassigned request kind is rejected.
+        let mut bad = Vec::new();
+        write_metrics_request(&mut bad).unwrap();
+        bad[5] = 9;
+        assert!(read_request(&mut Cursor::new(&bad)).is_err());
     }
 
     #[test]

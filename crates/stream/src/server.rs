@@ -1,12 +1,21 @@
 //! The `pstraced` ingest daemon: a std-only TCP server for live trace
 //! streams.
 //!
-//! One connection carries one session (hello → chunks → report, see
-//! [`proto`](crate::proto)). The accept loop hands sockets to a fixed
-//! worker pool; each worker rebuilds the wire schema from the handshake,
-//! derives the observed message set from its slots, and drives a
-//! [`Session`] — so by the time the FINISH chunk lands, the localization
-//! is already computed and the reply is just formatting.
+//! One connection carries one request (see [`proto`](crate::proto)): a
+//! SESSION request streams hello → chunks → report, a METRICS request
+//! gets the daemon's Prometheus exposition back. The accept loop hands
+//! sockets to a fixed worker pool; each session worker rebuilds the wire
+//! schema from the handshake, derives the observed message set from its
+//! slots, and drives an observed [`Session`] — so by the time the FINISH
+//! chunk lands, the localization is already computed, the registry
+//! already carries the session's counters, and the reply is just
+//! formatting.
+//!
+//! All counters live in a [`pstrace_obs::Registry`] shared by every
+//! worker (per-daemon `pstrace_stream_*` series plus per-session
+//! `pstrace_session_*` series keyed by a `session` label). The
+//! [`Server::snapshot`] accessor folds the registry back into plain
+//! numbers for shutdown summaries.
 
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -16,11 +25,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pstrace_obs::{render_prometheus, Registry, Sample};
 use pstrace_soc::{SocModel, UsageScenario};
 use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
-use crate::proto::{read_hello, write_reply, Chunk, Hello};
+use crate::proto::{read_request, write_reply, Chunk, Hello, Request};
 use crate::session::Session;
 
 /// Knobs of the daemon.
@@ -45,23 +55,24 @@ impl Default for ServerConfig {
     }
 }
 
-/// Aggregated counters across all sessions, readable while serving.
-#[derive(Debug, Default)]
-pub struct ServerStats {
+/// A point-in-time copy of the daemon's aggregated counters, folded out
+/// of the metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
     /// Sessions accepted.
-    pub sessions: AtomicU64,
+    pub sessions: u64,
     /// Sessions that finished with a report.
-    pub completed: AtomicU64,
+    pub completed: u64,
     /// Sessions that failed (protocol, schema or scenario errors).
-    pub failed: AtomicU64,
+    pub failed: u64,
     /// Stream bytes ingested across all sessions.
-    pub bytes: AtomicU64,
+    pub bytes: u64,
     /// Frames decoded across all sessions.
-    pub frames: AtomicU64,
+    pub frames: u64,
     /// Records committed across all sessions.
-    pub records: AtomicU64,
-    /// Damaged frames across all sessions.
-    pub damaged_frames: AtomicU64,
+    pub records: u64,
+    /// Damaged frames across all sessions (summed over damage reasons).
+    pub damaged_frames: u64,
 }
 
 /// A running daemon: accept thread plus worker pool.
@@ -69,19 +80,35 @@ pub struct ServerStats {
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
+    registry: Arc<Registry>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr` and spawns the accept loop and worker pool.
-    /// Sessions localize over `model`'s scenarios.
+    /// Binds `config.addr` and spawns the accept loop and worker pool
+    /// with a fresh private metrics registry. Sessions localize over
+    /// `model`'s scenarios.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn spawn(model: Arc<SocModel>, config: &ServerConfig) -> io::Result<Server> {
+        Server::spawn_with_registry(model, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`Server::spawn`], but records into a caller-provided
+    /// registry — the daemon's series land next to whatever else the
+    /// process is measuring (and a metrics endpoint can expose both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_with_registry(
+        model: Arc<SocModel>,
+        config: &ServerConfig,
+        registry: Arc<Registry>,
+    ) -> io::Result<Server> {
         let listener =
             TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidInput, "empty bind address")
@@ -91,7 +118,7 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(ServerStats::default());
+        let session_seq = Arc::new(AtomicU64::new(1));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -99,7 +126,8 @@ impl Server {
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let model = Arc::clone(&model);
-                let stats = Arc::clone(&stats);
+                let registry = Arc::clone(&registry);
+                let session_seq = Arc::clone(&session_seq);
                 let timeout = config.read_timeout;
                 std::thread::spawn(move || loop {
                     // Holding the lock only for the recv keeps the pool
@@ -108,15 +136,7 @@ impl Server {
                         Ok(s) => s,
                         Err(_) => return, // accept loop gone: drain done
                     };
-                    stats.sessions.fetch_add(1, Ordering::Relaxed);
-                    match serve_session(&model, stream, timeout, &stats) {
-                        Ok(()) => {
-                            stats.completed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(_) => {
-                            stats.failed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    let _ = serve_conn(&model, stream, timeout, &registry, &session_seq);
                 })
             })
             .collect();
@@ -144,7 +164,7 @@ impl Server {
         Ok(Server {
             addr,
             shutdown,
-            stats,
+            registry,
             accept: Some(accept),
             workers,
         })
@@ -156,10 +176,17 @@ impl Server {
         self.addr
     }
 
-    /// The live aggregated counters.
+    /// The shared metrics registry the daemon records into.
     #[must_use]
-    pub fn stats(&self) -> &ServerStats {
-        &self.stats
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Folds the registry's `pstrace_stream_*` series into a plain
+    /// snapshot, readable while serving.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        snapshot_from(&self.registry)
     }
 
     /// Graceful shutdown: stop accepting, let in-flight sessions finish,
@@ -185,6 +212,28 @@ impl Drop for Server {
     }
 }
 
+/// Folds the daemon-level series out of `registry` (see
+/// [`Server::snapshot`]). Damaged frames are summed over their `reason`
+/// labels.
+#[must_use]
+pub fn snapshot_from(registry: &Registry) -> StatsSnapshot {
+    let mut snap = StatsSnapshot::default();
+    for (key, sample) in registry.samples() {
+        let Sample::Counter(v) = sample else { continue };
+        match key.name() {
+            "pstrace_stream_sessions_total" => snap.sessions += v,
+            "pstrace_stream_completed_total" => snap.completed += v,
+            "pstrace_stream_failed_total" => snap.failed += v,
+            "pstrace_stream_bytes_total" => snap.bytes += v,
+            "pstrace_stream_frames_total" => snap.frames += v,
+            "pstrace_stream_records_total" => snap.records += v,
+            "pstrace_stream_damaged_frames_total" => snap.damaged_frames += v,
+            _ => {}
+        }
+    }
+    snap
+}
+
 /// Resolves a protocol scenario number onto the modeled usage scenarios
 /// (the same numbering as the CLI's `--scenario`).
 ///
@@ -205,8 +254,14 @@ pub fn scenario_by_number(n: u8) -> Result<UsageScenario, StreamError> {
 }
 
 /// Builds the session a hello asked for: scenario interleaving + schema
-/// rebuilt from the handshake bytes.
-fn open_session(model: &SocModel, hello: &Hello) -> Result<Session, StreamError> {
+/// rebuilt from the handshake bytes. The session records into `registry`
+/// under the `session_id` label.
+fn open_session(
+    model: &SocModel,
+    hello: &Hello,
+    registry: &Arc<Registry>,
+    session_id: u64,
+) -> Result<Session, StreamError> {
     let scenario = scenario_by_number(hello.scenario)?;
     let flow = scenario
         .interleaving(model)
@@ -218,30 +273,59 @@ fn open_session(model: &SocModel, hello: &Hello) -> Result<Session, StreamError>
             hello.schema.len() - consumed
         )));
     }
-    Ok(Session::new(&flow, schema, hello.mode))
+    Ok(Session::observed(
+        &flow,
+        schema,
+        hello.mode,
+        Arc::clone(registry),
+        session_id,
+    ))
 }
 
-/// Drives one connection start to finish. Session failures are reported
-/// to the client (status 1) *and* returned, so the caller can count them.
-fn serve_session(
+/// Drives one connection: dispatches on the request preamble, then either
+/// serves the metrics exposition or runs a full session. Session failures
+/// are reported to the client (status 1) *and* returned, so tests can
+/// observe them; they also bump `pstrace_stream_failed_total`.
+fn serve_conn(
     model: &SocModel,
     stream: TcpStream,
     timeout: Duration,
-    stats: &ServerStats,
+    registry: &Arc<Registry>,
+    session_seq: &AtomicU64,
 ) -> Result<(), StreamError> {
     stream.set_read_timeout(Some(timeout))?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
-    let outcome = ingest(model, &mut reader, stats);
+    let hello = match read_request(&mut reader)? {
+        Request::Metrics => {
+            // A scrape is not a session: it bumps its own counter only.
+            registry
+                .counter("pstrace_stream_metrics_requests_total")
+                .inc();
+            write_reply(&mut writer, true, &render_prometheus(registry))?;
+            writer.flush()?;
+            return Ok(());
+        }
+        Request::Session(hello) => hello,
+    };
+
+    registry.counter("pstrace_stream_sessions_total").inc();
+    let active = registry.gauge("pstrace_stream_active_sessions");
+    active.add(1);
+    let session_id = session_seq.fetch_add(1, Ordering::Relaxed);
+    let outcome = ingest(model, &mut reader, &hello, registry, session_id);
+    active.sub(1);
     match outcome {
         Ok(report) => {
+            registry.counter("pstrace_stream_completed_total").inc();
             write_reply(&mut writer, true, &report)?;
             writer.flush()?;
             Ok(())
         }
         Err(e) => {
+            registry.counter("pstrace_stream_failed_total").inc();
             // Best effort: the peer may already be gone.
             let _ = write_reply(&mut writer, false, &e.to_string());
             let _ = writer.flush();
@@ -250,33 +334,25 @@ fn serve_session(
     }
 }
 
-/// The hello → chunks → report state machine, factored out so transport
-/// errors and session errors share one path.
+/// The chunks → report state machine, factored out so transport errors
+/// and session errors share one path. Byte/frame/record counting happens
+/// inside the observed [`Session`] itself.
 fn ingest(
     model: &SocModel,
     reader: &mut impl io::Read,
-    stats: &ServerStats,
+    hello: &Hello,
+    registry: &Arc<Registry>,
+    session_id: u64,
 ) -> Result<String, StreamError> {
-    let hello = read_hello(reader)?;
-    let mut session = open_session(model, &hello)?;
+    let mut session = open_session(model, hello, registry, session_id)?;
     let report = loop {
         match crate::proto::read_chunk(reader)? {
             Chunk::Data(bytes) => {
-                stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
                 session.push_chunk(&bytes);
             }
             Chunk::Finish { bit_len } => break session.finish(Some(bit_len)),
         }
     };
-    stats
-        .frames
-        .fetch_add(report.metrics.frames as u64, Ordering::Relaxed);
-    stats
-        .records
-        .fetch_add(report.metrics.records as u64, Ordering::Relaxed);
-    stats
-        .damaged_frames
-        .fetch_add(report.metrics.damaged_frames as u64, Ordering::Relaxed);
     Ok(format!(
         "session over scenario {} ({:?} match)\n{}",
         hello.scenario,

@@ -14,10 +14,12 @@
 //!   consistent-path count is live at every chunk boundary instead of
 //!   appearing only after a batch re-run.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pstrace_diag::{Localization, MatchMode, OnlineLocalizer};
 use pstrace_flow::{InterleavedFlow, MessageId};
+use pstrace_obs::{Counter, Registry};
 use pstrace_wire::{decode_frame_range, DamageReason, DamagedFrame, WireRecord, WireSchema};
 
 /// The message set a schema observes, as the localization DP needs it:
@@ -103,6 +105,53 @@ impl SessionReport {
     }
 }
 
+/// The observability hooks of one session: cached counter handles into a
+/// shared registry, so the per-record hot path costs one relaxed atomic
+/// add and never touches the registry's lock.
+#[derive(Debug)]
+struct SessionObserver {
+    registry: Arc<Registry>,
+    bytes: Counter,
+    chunks: Counter,
+    frames: Counter,
+    records: Counter,
+    /// This session's own record counter
+    /// (`pstrace_session_records_total{session="N"}`).
+    session_records: Counter,
+    /// This session's own damage counter
+    /// (`pstrace_session_damaged_frames_total{session="N"}`).
+    session_damaged: Counter,
+}
+
+impl SessionObserver {
+    fn new(registry: Arc<Registry>, session_id: u64) -> Self {
+        let id = session_id.to_string();
+        SessionObserver {
+            bytes: registry.counter("pstrace_stream_bytes_total"),
+            chunks: registry.counter("pstrace_stream_chunks_total"),
+            frames: registry.counter("pstrace_stream_frames_total"),
+            records: registry.counter("pstrace_stream_records_total"),
+            session_records: registry
+                .counter_with("pstrace_session_records_total", &[("session", &id)]),
+            session_damaged: registry
+                .counter_with("pstrace_session_damaged_frames_total", &[("session", &id)]),
+            registry,
+        }
+    }
+
+    /// Damage is rare, so the per-reason labeled counter is resolved on
+    /// the spot rather than pre-registered for all six reasons.
+    fn damage(&self, reason: &DamageReason) {
+        self.registry
+            .counter_with(
+                "pstrace_stream_damaged_frames_total",
+                &[("reason", reason.label())],
+            )
+            .inc();
+        self.session_damaged.inc();
+    }
+}
+
 /// The per-session state machine: schema-owning decoder, the one-record
 /// spike quarantine, and the online localizer.
 #[derive(Debug)]
@@ -124,6 +173,7 @@ pub struct Session {
     bytes: u64,
     chunks: u64,
     started: Instant,
+    obs: Option<SessionObserver>,
 }
 
 impl Session {
@@ -148,13 +198,43 @@ impl Session {
             bytes: 0,
             chunks: 0,
             started: Instant::now(),
+            obs: None,
         }
+    }
+
+    /// [`new`](Session::new) wired into a shared metric registry:
+    /// ingest/frame/record counters (aggregate and per-`session_id`),
+    /// per-reason damage counters, and the localizer's frontier gauges —
+    /// refreshed at every chunk boundary. Ingest results are identical
+    /// with and without a registry.
+    #[must_use]
+    pub fn observed(
+        flow: &InterleavedFlow,
+        schema: WireSchema,
+        mode: MatchMode,
+        registry: Arc<Registry>,
+        session_id: u64,
+    ) -> Self {
+        let mut session = Session::new(flow, schema, mode);
+        session.obs = Some(SessionObserver::new(registry, session_id));
+        session
     }
 
     fn commit(&mut self, rec: &WireRecord) {
         self.localizer.push(rec.message);
         self.committed_time = rec.time;
         self.records += 1;
+        if let Some(o) = &self.obs {
+            o.records.inc();
+            o.session_records.inc();
+        }
+    }
+
+    fn record_damage(&mut self, damaged: DamagedFrame) {
+        if let Some(o) = &self.obs {
+            o.damage(&damaged.reason);
+        }
+        self.damaged.push(damaged);
     }
 
     /// The online mirror of the batch decoder's monotonicity pass: at
@@ -173,7 +253,7 @@ impl Session {
         // spike — damage it instead, exactly as the batch pass does.
         if rec.time >= self.committed_time {
             let (spike_frame, spike) = self.pending.take().expect("regression implies a pending");
-            self.damaged.push(DamagedFrame {
+            self.record_damage(DamagedFrame {
                 frame: spike_frame,
                 reason: DamageReason::TimeSpike {
                     time: spike.time,
@@ -182,7 +262,7 @@ impl Session {
             });
             self.pending = Some((frame, rec));
         } else {
-            self.damaged.push(DamagedFrame {
+            self.record_damage(DamagedFrame {
                 frame,
                 reason: DamageReason::TimeRegression {
                     time: rec.time,
@@ -197,6 +277,10 @@ impl Session {
     pub fn push_chunk(&mut self, bytes: &[u8]) {
         self.bytes += bytes.len() as u64;
         self.chunks += 1;
+        if let Some(o) = &self.obs {
+            o.bytes.add(bytes.len() as u64);
+            o.chunks.inc();
+        }
         self.buf.extend_from_slice(bytes);
         let frame_bits = u64::from(self.schema.frame_bits());
         let avail = self.buf.len() as u64 * 8;
@@ -210,11 +294,22 @@ impl Session {
                 ready - self.frames,
             );
             self.idle_frames += range.idle_frames;
-            self.damaged.extend(range.damaged);
+            for damaged in range.damaged {
+                self.record_damage(damaged);
+            }
             for (frame, rec) in range.events {
                 self.accept(frame, rec);
             }
+            if let Some(o) = &self.obs {
+                o.frames.add((ready - self.frames) as u64);
+            }
             self.frames = ready;
+        }
+        if let Some(o) = &self.obs {
+            // Refresh the live frontier gauges once per chunk, not per
+            // record — the gauge write is cheap but the chunk boundary is
+            // the natural dashboard cadence.
+            self.localizer.record_frontier(&o.registry);
         }
     }
 
@@ -269,6 +364,12 @@ impl Session {
             self.commit(&p);
         }
         self.damaged.sort_by_key(|d| d.frame);
+        if let Some(o) = &self.obs {
+            o.registry
+                .counter("pstrace_stream_idle_frames_total")
+                .add(self.idle_frames as u64);
+            self.localizer.record_frontier(&o.registry);
+        }
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         SessionReport {
             metrics: self.metrics(),
@@ -383,6 +484,72 @@ mod tests {
             report.localization,
             pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix)
         );
+    }
+
+    #[test]
+    fn observed_session_counters_match_the_report() {
+        let (u, schema) = setup();
+        let mut recs = records(&u);
+        recs[1].time = 1 << 20; // one isolated forward spike → damage
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let registry = Arc::new(Registry::new());
+        let mut session = Session::observed(
+            &u,
+            schema.clone(),
+            MatchMode::Prefix,
+            Arc::clone(&registry),
+            7,
+        );
+        for chunk in stream.bytes.chunks(3) {
+            session.push_chunk(chunk);
+        }
+        let report = session.finish(Some(stream.bit_len));
+        let counter = |name: &str| registry.counter(name).get();
+        assert_eq!(counter("pstrace_stream_bytes_total"), report.metrics.bytes);
+        assert_eq!(
+            counter("pstrace_stream_chunks_total"),
+            report.metrics.chunks
+        );
+        assert_eq!(
+            counter("pstrace_stream_frames_total"),
+            report.metrics.frames as u64
+        );
+        assert_eq!(
+            counter("pstrace_stream_records_total"),
+            report.metrics.records as u64
+        );
+        assert_eq!(
+            registry
+                .counter_with("pstrace_session_records_total", &[("session", "7")])
+                .get(),
+            report.metrics.records as u64
+        );
+        assert_eq!(
+            registry
+                .counter_with("pstrace_session_damaged_frames_total", &[("session", "7")])
+                .get(),
+            report.metrics.damaged_frames as u64
+        );
+        assert_eq!(
+            registry
+                .counter_with(
+                    "pstrace_stream_damaged_frames_total",
+                    &[("reason", "time-spike")]
+                )
+                .get(),
+            1
+        );
+        // The frontier gauges reflect the finished session.
+        assert_eq!(
+            registry.gauge("pstrace_localizer_records_pushed").get(),
+            report.metrics.records as i64
+        );
+        // Instrumentation must not change the ingest outcome.
+        let mut plain = Session::new(&u, schema, MatchMode::Prefix);
+        plain.push_chunk(&stream.bytes);
+        let plain_report = plain.finish(Some(stream.bit_len));
+        assert_eq!(plain_report.damaged, report.damaged);
+        assert_eq!(plain_report.localization, report.localization);
     }
 
     #[test]

@@ -59,6 +59,23 @@ pub enum DamageReason {
     },
 }
 
+impl DamageReason {
+    /// A stable kebab-case label for this damage kind, independent of the
+    /// variant's payload — the `reason` label on the observability layer's
+    /// damage counters.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DamageReason::BadTag { .. } => "bad-tag",
+            DamageReason::DirtyIdle => "dirty-idle",
+            DamageReason::LaneSpill { .. } => "lane-spill",
+            DamageReason::PaddingSpill => "padding-spill",
+            DamageReason::TimeRegression { .. } => "time-regression",
+            DamageReason::TimeSpike { .. } => "time-spike",
+        }
+    }
+}
+
 impl fmt::Display for DamageReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -483,6 +500,32 @@ mod tests {
     use crate::frame::encode_records;
     use pstrace_flow::MessageCatalog;
     use std::sync::Arc;
+
+    #[test]
+    fn damage_labels_are_stable_and_distinct() {
+        let reasons = [
+            DamageReason::BadTag { tag: 7 },
+            DamageReason::DirtyIdle,
+            DamageReason::LaneSpill { slot: 2 },
+            DamageReason::PaddingSpill,
+            DamageReason::TimeRegression { time: 1, prev: 9 },
+            DamageReason::TimeSpike { time: 9, next: 1 },
+        ];
+        let labels: Vec<&str> = reasons.iter().map(DamageReason::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "bad-tag",
+                "dirty-idle",
+                "lane-spill",
+                "padding-spill",
+                "time-regression",
+                "time-spike"
+            ]
+        );
+        // Labels are payload-independent: same variant, same label.
+        assert_eq!(DamageReason::BadTag { tag: 99 }.label(), "bad-tag");
+    }
 
     fn setup() -> (Arc<MessageCatalog>, WireSchema) {
         let mut c = MessageCatalog::new();

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Validate a `pstrace --profile-json` export.
+
+The file must parse as Chrome trace-event JSON, carry a non-empty
+`traceEvents` array of complete ("X") events with numeric timestamps,
+and name the expected pipeline phases. CI runs this against
+`pstrace debug --case 1 --profile-json` under the deterministic manual
+clock.
+"""
+
+import json
+import sys
+
+EXPECTED_PHASES = {"interleave", "rank", "localize", "investigate"}
+
+
+def main(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events, "traceEvents is empty"
+    for event in events:
+        assert event["ph"] == "X", f"not a complete event: {event}"
+        assert isinstance(event["ts"], (int, float)), f"bad ts: {event}"
+        assert isinstance(event["dur"], (int, float)), f"bad dur: {event}"
+        assert isinstance(event["name"], str) and event["name"], f"bad name: {event}"
+    names = {event["name"] for event in events}
+    missing = EXPECTED_PHASES - names
+    assert not missing, f"missing phases {sorted(missing)}; got {sorted(names)}"
+    print(f"ok: {len(events)} events over phases {sorted(names)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -33,6 +33,20 @@ run cargo test -q --locked --workspace
 run cargo test -q --locked --test stream_smoke
 run cargo bench --no-run --locked --workspace
 
+# Profile smoke: the deterministic manual clock makes the span timeline
+# reproducible; the checker wants valid Chrome trace JSON with the
+# pipeline's phase names.
+if command -v python3 >/dev/null 2>&1; then
+    profile_json="$(mktemp -t pstrace-profile-XXXXXX.json)"
+    run env PSTRACE_PROFILE_CLOCK=manual \
+        cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+        debug --case 1 --profile --profile-json "$profile_json"
+    run python3 scripts/check_profile.py "$profile_json"
+    rm -f "$profile_json"
+else
+    echo "==> python3 not found; skipping profile-json validation"
+fi
+
 # job: test (MSRV)
 if ! $skip_msrv; then
     if rustup toolchain list 2>/dev/null | grep -q '^1\.75'; then

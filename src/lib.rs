@@ -34,7 +34,10 @@
 //!   streaming decoder and the `.ptw` on-disk container;
 //! * [`stream`] — the live ingest path: a chunk-at-a-time decode
 //!   session with incremental online localization, a loopback TCP
-//!   daemon (`pstraced`) and the replay client behind `pstrace stream`.
+//!   daemon (`pstraced`) and the replay client behind `pstrace stream`;
+//! * [`obs`] — the observability layer: a global-free metrics registry,
+//!   deterministic timing spans and the Prometheus / Chrome-trace
+//!   exporters behind `--profile` and the daemon's `METRICS` verb.
 //!
 //! # Quickstart
 //!
@@ -78,6 +81,7 @@ pub use pstrace_bug as bug;
 pub use pstrace_diag as diag;
 pub use pstrace_flow as flow;
 pub use pstrace_infogain as infogain;
+pub use pstrace_obs as obs;
 pub use pstrace_rtl as rtl;
 pub use pstrace_soc as soc;
 pub use pstrace_stream as stream;

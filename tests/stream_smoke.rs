@@ -8,7 +8,7 @@ use pstrace::bug::{bug_catalog, case_studies, BugInterceptor};
 use pstrace::diag::{run_case_study, CaseStudyConfig, MatchMode};
 use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
 use pstrace::soc::{wirecap, SimConfig, Simulator, SocModel, TraceBufferConfig};
-use pstrace::stream::{stream_ptw, Server, ServerConfig};
+use pstrace::stream::{fetch_metrics, stream_ptw, Server, ServerConfig};
 use pstrace::wire::write_ptw;
 
 /// The localization line (`  localization    : C of T interleaved-flow
@@ -72,6 +72,31 @@ fn loopback_stream_reproduces_batch_debug_localization() {
         64,
     )
     .unwrap();
+
+    // The METRICS verb on the same daemon: the Prometheus exposition must
+    // agree with the session the daemon just served.
+    let exposition = fetch_metrics(server.local_addr()).unwrap();
+    for line in [
+        "pstrace_stream_sessions_total 1",
+        "pstrace_stream_completed_total 1",
+        "pstrace_stream_active_sessions 0",
+        "pstrace_stream_metrics_requests_total 1",
+    ] {
+        assert!(
+            exposition.contains(&format!("{line}\n")),
+            "missing `{line}` in exposition:\n{exposition}"
+        );
+    }
+    assert!(
+        exposition.contains("pstrace_session_records_total{session=\"1\"}"),
+        "per-session counter missing:\n{exposition}"
+    );
+    let snap = server.snapshot();
+    assert_eq!(snap.sessions, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.failed, 0);
+    assert!(snap.records > 0, "records flowed: {snap:?}");
+    assert_eq!(snap.bytes, stream.bytes.len() as u64);
     server.shutdown();
 
     assert!(
