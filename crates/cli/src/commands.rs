@@ -50,6 +50,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "serve" => cmd_serve(rest),
         "stream" => cmd_stream(rest),
         "metrics" => cmd_metrics(rest),
+        "chaos" => cmd_chaos(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -73,8 +74,13 @@ fn print_help() {
     println!("  serve    [--addr HOST:PORT] [--threads N] [--sessions N]");
     println!("           [--metrics-addr HOST:PORT]    run the live trace ingest daemon");
     println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
-    println!("                                         replay a .ptw capture to a daemon");
+    println!("           [--retries N]                 replay a .ptw capture to a daemon");
+    println!("                                         (--retries uses the resumable client)");
     println!("  metrics  [--addr HOST:PORT]            fetch a daemon's Prometheus metrics");
+    println!("  chaos    [--seed S] [--sessions N] [--intensity quiet|light|standard|heavy]");
+    println!("           [--records N] [--chunk B] [--threads N] [--reconnect-faults]");
+    println!("                                         seeded fault-injection soak against a");
+    println!("                                         live daemon; fails on survival breach");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -668,7 +674,7 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
         &[],
-        &["addr", "scenario", "mode", "chunk"],
+        &["addr", "scenario", "mode", "chunk", "retries"],
     )?;
     let input = args
         .positional()
@@ -678,12 +684,37 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
     let scenario = args.option_or("scenario", 1u8)?;
     let mode = pstrace_stream::proto::mode_from_name(args.option("mode").unwrap_or("prefix"))?;
     let chunk = args.option_or("chunk", pstrace_stream::DEFAULT_CHUNK_BYTES)?;
+    let retries: Option<u32> = args.option_opt("retries")?;
     let model = SocModel::t2();
+
+    // With --retries the hardened resumable client replays the capture:
+    // connect/read timeouts plus up to N reconnects resuming at the
+    // server's acked byte offset. Without it, the plain one-shot client.
+    let replay = |addr: std::net::SocketAddr| match retries {
+        Some(n) => {
+            let policy = pstrace_stream::RetryPolicy {
+                max_reconnects: n,
+                ..pstrace_stream::RetryPolicy::default()
+            };
+            pstrace_stream::stream_ptw_with(
+                addr,
+                model.catalog(),
+                scenario,
+                mode,
+                &ptw,
+                chunk,
+                &policy,
+            )
+        }
+        None => pstrace_stream::stream_ptw(addr, model.catalog(), scenario, mode, &ptw, chunk),
+    };
 
     match args.option("addr") {
         Some(addr) => {
-            let report =
-                pstrace_stream::stream_ptw(addr, model.catalog(), scenario, mode, &ptw, chunk)?;
+            let addr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+                .next()
+                .ok_or("--addr resolved to nothing")?;
+            let report = replay(addr)?;
             print!("{report}");
         }
         None => {
@@ -691,14 +722,7 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
                 Arc::new(SocModel::t2()),
                 &pstrace_stream::ServerConfig::default(),
             )?;
-            let report = pstrace_stream::stream_ptw(
-                server.local_addr(),
-                model.catalog(),
-                scenario,
-                mode,
-                &ptw,
-                chunk,
-            );
+            let report = replay(server.local_addr());
             let snap = server.snapshot();
             server.shutdown();
             print!("{}", report?);
@@ -716,6 +740,49 @@ fn cmd_metrics(argv: &[String]) -> CmdResult {
     let args = Args::parse(argv.iter().cloned(), &[], &["addr"])?;
     let addr = args.option("addr").unwrap_or("127.0.0.1:7455");
     print!("{}", pstrace_stream::fetch_metrics(addr)?);
+    Ok(())
+}
+
+/// Runs a seeded fault-injection soak against a private in-process
+/// daemon and prints the survival report (fault ledger, daemon counters,
+/// degradation paths, clean-probe verdict).
+///
+/// By default reconnect-path transport faults (dropped writes,
+/// disconnects) are disabled so the printed fault-ledger fingerprint is
+/// a pure function of `--seed`; `--reconnect-faults` turns them back on
+/// to exercise the park/resume path. Exits nonzero when the survival
+/// criteria are breached (a worker panic escaped, or the post-storm
+/// clean probe failed or diverged from the batch pipeline).
+fn cmd_chaos(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["reconnect-faults"],
+        &[
+            "seed",
+            "sessions",
+            "intensity",
+            "records",
+            "chunk",
+            "threads",
+        ],
+    )?;
+    let seed = args.option_or("seed", 0xda_c2018u64)?;
+    let intensity = args.option("intensity").unwrap_or("standard");
+    let mut plan = pstrace_faults::FaultPlan::by_intensity(intensity, seed)?;
+    if !args.flag("reconnect-faults") {
+        plan = plan.without_reconnect_faults();
+    }
+    let mut config = pstrace_faults::SoakConfig::new(plan);
+    config.sessions = args.option_or("sessions", config.sessions)?;
+    config.records = args.option_or("records", config.records)?;
+    config.chunk_bytes = args.option_or("chunk", config.chunk_bytes)?;
+    config.threads = args.option_or("threads", config.threads)?;
+
+    let report = pstrace_faults::run_soak(&config)?;
+    print!("{}", report.render());
+    report
+        .survival()
+        .map_err(|v| format!("chaos soak failed the survival criteria:\n{v}"))?;
     Ok(())
 }
 
@@ -1067,8 +1134,29 @@ mod tests {
         assert!(dispatch(&argv(&["stream"])).is_err());
         assert!(dispatch(&argv(&["stream", "/nonexistent.ptw"])).is_err());
 
+        // The hardened client path: same replay, resumable protocol.
+        assert!(dispatch(&argv(&["stream", &ptw_s, "--retries", "2"])).is_ok());
+        assert!(dispatch(&argv(&["stream", &ptw_s, "--retries", "many"])).is_err());
+
         for p in [txt, ptw] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn chaos_soak_smoke_survives() {
+        assert!(dispatch(&argv(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--sessions",
+            "2",
+            "--intensity",
+            "light",
+            "--records",
+            "300",
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&["chaos", "--intensity", "apocalyptic"])).is_err());
     }
 }

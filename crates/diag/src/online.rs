@@ -43,6 +43,26 @@
 //! Counts use the same saturating `u128` arithmetic as the batch DP;
 //! prefix equality is exact whenever no intermediate count saturates
 //! (astronomically far away for every modeled flow).
+//!
+//! # Checkpoint and resync
+//!
+//! On hostile silicon the observation itself can be corrupted: a damage
+//! burst (dropped buffer region, storm of flipped bits) can push records
+//! that no execution produces, after which the frontier is empty and —
+//! because every mode is monotone — stays empty forever, even though the
+//! post-burst stream is perfectly good. Two escape hatches exist for
+//! that:
+//!
+//! * [`OnlineLocalizer::checkpoint`] / [`OnlineLocalizer::restore`]
+//!   snapshot and reinstate the full DP state, so a consumer can roll
+//!   back to the last known-good chunk boundary;
+//! * [`OnlineLocalizer::resync`] abandons the poisoned observation
+//!   entirely: the DP re-seeds as if the stream restarted, the
+//!   localization collapses to "unknown since record N" (reported via
+//!   [`OnlineLocalizer::unknown_since`]) and subsequent pushes narrow it
+//!   again. Counts after a resync are relative to the post-resync
+//!   observation — a designed degradation, visible in the report, instead
+//!   of a permanently dead frontier.
 
 use pstrace_flow::{path_count, topological_order, IndexedMessage, InterleavedFlow, MessageId};
 use pstrace_obs::Registry;
@@ -153,6 +173,26 @@ pub struct OnlineLocalizer {
     observed: Vec<IndexedMessage>,
     selected: Vec<MessageId>,
     flow: Option<Box<InterleavedFlow>>,
+    /// Times [`resync`](OnlineLocalizer::resync) was called.
+    resyncs: usize,
+    /// Records pushed before the most recent resync, when any.
+    unknown_since: Option<usize>,
+}
+
+/// A snapshot of an [`OnlineLocalizer`]'s mutable DP state, produced by
+/// [`OnlineLocalizer::checkpoint`] and reinstated by
+/// [`OnlineLocalizer::restore`]. The immutable graph program (topological
+/// order, inflow lists, continuation counts) is *not* duplicated — a
+/// checkpoint is one dense column plus counters, cheap enough to take at
+/// every chunk boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalizerCheckpoint {
+    column: Vec<u128>,
+    consistent: u128,
+    pushed: usize,
+    observed: Vec<IndexedMessage>,
+    resyncs: usize,
+    unknown_since: Option<usize>,
 }
 
 impl OnlineLocalizer {
@@ -219,6 +259,8 @@ impl OnlineLocalizer {
             observed: Vec::new(),
             selected: selected.to_vec(),
             flow: (mode == MatchMode::Substring).then(|| Box::new(flow.clone())),
+            resyncs: 0,
+            unknown_since: None,
         };
         this.seed();
         this
@@ -369,6 +411,76 @@ impl OnlineLocalizer {
         &self.column
     }
 
+    /// Snapshots the mutable DP state (column, counts, stored
+    /// observation). Restoring the checkpoint later rolls the localizer
+    /// back to exactly this point; the immutable graph program is shared,
+    /// so a checkpoint costs one column clone.
+    #[must_use]
+    pub fn checkpoint(&self) -> LocalizerCheckpoint {
+        LocalizerCheckpoint {
+            column: self.column.values.clone(),
+            consistent: self.consistent,
+            pushed: self.pushed,
+            observed: self.observed.clone(),
+            resyncs: self.resyncs,
+            unknown_since: self.unknown_since,
+        }
+    }
+
+    /// Rolls the localizer back to a state taken with
+    /// [`checkpoint`](OnlineLocalizer::checkpoint) on this localizer (or
+    /// one constructed with identical `(flow, selected, mode)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's column width disagrees with this
+    /// localizer's state count — i.e. it was taken from a localizer over
+    /// a different flow.
+    pub fn restore(&mut self, checkpoint: &LocalizerCheckpoint) {
+        assert_eq!(
+            checkpoint.column.len(),
+            self.column.values.len(),
+            "checkpoint belongs to a different flow"
+        );
+        self.column.values.clone_from(&checkpoint.column);
+        self.consistent = checkpoint.consistent;
+        self.pushed = checkpoint.pushed;
+        self.observed.clone_from(&checkpoint.observed);
+        self.resyncs = checkpoint.resyncs;
+        self.unknown_since = checkpoint.unknown_since;
+    }
+
+    /// Abandons the observation folded in so far and re-seeds the DP as
+    /// if the stream restarted here: the count collapses back to the
+    /// empty-observation value ("unknown since record
+    /// [`unknown_since`](OnlineLocalizer::unknown_since)") and subsequent
+    /// pushes narrow it again — relative to the post-resync observation
+    /// only. This is the designed degradation path for damage bursts
+    /// that would otherwise leave the monotone frontier empty forever.
+    ///
+    /// [`pushed`](OnlineLocalizer::pushed) keeps counting across resyncs.
+    pub fn resync(&mut self) {
+        self.column.values.iter_mut().for_each(|v| *v = 0);
+        self.observed.clear();
+        self.seed();
+        self.resyncs += 1;
+        self.unknown_since = Some(self.pushed);
+    }
+
+    /// Times [`resync`](OnlineLocalizer::resync) was called.
+    #[must_use]
+    pub fn resyncs(&self) -> usize {
+        self.resyncs
+    }
+
+    /// Records pushed before the most recent resync: the point since
+    /// which the pre-gap execution is unknown. `None` while no resync
+    /// has happened.
+    #[must_use]
+    pub fn unknown_since(&self) -> Option<usize> {
+        self.unknown_since
+    }
+
     /// Publishes the localizer's live state into `obs` as gauges:
     /// `pstrace_localizer_frontier_support` (states with nonzero mass),
     /// `pstrace_localizer_consistent_paths` and
@@ -383,6 +495,8 @@ impl OnlineLocalizer {
             .set(clamp(self.consistent));
         obs.gauge("pstrace_localizer_records_pushed")
             .set(i64::try_from(self.pushed).unwrap_or(i64::MAX));
+        obs.gauge("pstrace_localizer_resyncs")
+            .set(i64::try_from(self.resyncs).unwrap_or(i64::MAX));
     }
 }
 
@@ -555,6 +669,106 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_rolls_back_exactly() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap(), catalog.get("GntE").unwrap()];
+        for mode in MODES {
+            let exec = executions(&u).next().unwrap();
+            let observed = exec.project(&selected);
+            let mut online = OnlineLocalizer::new(&u, &selected, mode);
+            online.push(observed[0]);
+            let ckpt = online.checkpoint();
+            let frozen = online.clone();
+            for &m in &observed[1..] {
+                online.push(m);
+            }
+            assert_ne!(online.consistent(), frozen.consistent(), "{mode:?}");
+            online.restore(&ckpt);
+            assert_eq!(online.consistent(), frozen.consistent(), "{mode:?}");
+            assert_eq!(online.pushed(), 1);
+            assert_eq!(online.frontier(), frozen.frontier());
+            // The restored localizer keeps tracking batch exactly.
+            for (n, &m) in observed.iter().enumerate().skip(1) {
+                online.push(m);
+                assert_eq!(
+                    online.consistent(),
+                    consistent_paths(&u, &observed[..=n], &selected, mode),
+                    "{mode:?} after restore"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resync_revives_a_dead_frontier_and_renarrows() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let req = catalog.get("ReqE").unwrap();
+        let ack = catalog.get("Ack").unwrap();
+        let selected = [req, catalog.get("GntE").unwrap()];
+        let exec = executions(&u).next().unwrap();
+        let observed = exec.project(&selected);
+        for mode in MODES {
+            let mut online = OnlineLocalizer::new(&u, &selected, mode);
+            // An unselected observation kills the count in every mode.
+            online.push(IndexedMessage::new(ack, FlowIndex(1)));
+            assert_eq!(online.consistent(), 0, "{mode:?}");
+            assert_eq!(online.resyncs(), 0);
+            assert_eq!(online.unknown_since(), None);
+
+            online.resync();
+            assert_eq!(online.resyncs(), 1, "{mode:?}");
+            assert_eq!(online.unknown_since(), Some(1));
+            // The empty-observation count is back...
+            assert_eq!(
+                online.consistent(),
+                consistent_paths(&u, &[], &selected, mode),
+                "{mode:?} reseeded"
+            );
+            // ...and the post-resync observation narrows like a fresh
+            // localizer fed only the post-gap records.
+            for (n, &m) in observed.iter().enumerate() {
+                online.push(m);
+                assert_eq!(
+                    online.consistent(),
+                    consistent_paths(&u, &observed[..=n], &selected, mode),
+                    "{mode:?} after resync push {}",
+                    n + 1
+                );
+            }
+            assert!(online.consistent() > 0, "{mode:?} re-narrowed, not dead");
+            assert_eq!(
+                online.pushed(),
+                observed.len() + 1,
+                "{mode:?} keeps counting"
+            );
+        }
+    }
+
+    #[test]
+    fn resync_state_is_published_and_checkpointed() {
+        let u = product(2);
+        let catalog = u.catalog();
+        let selected = [catalog.get("ReqE").unwrap()];
+        let mut online = OnlineLocalizer::new(&u, &selected, MatchMode::Prefix);
+        online.push(IndexedMessage::new(
+            catalog.get("ReqE").unwrap(),
+            FlowIndex(1),
+        ));
+        online.resync();
+        let ckpt = online.checkpoint();
+        online.resync();
+        assert_eq!(online.resyncs(), 2);
+        assert_eq!(online.unknown_since(), Some(1));
+        online.restore(&ckpt);
+        assert_eq!(online.resyncs(), 1);
+        let obs = Registry::new();
+        online.record_frontier(&obs);
+        assert_eq!(obs.gauge("pstrace_localizer_resyncs").get(), 1);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! The fault ledger: an append-only record of every injected fault.
+//!
+//! The ledger is the determinism contract made checkable. Every injector
+//! appends a [`FaultEvent`] the moment it fires, and the ledger folds
+//! each event into a running FNV-1a [`fingerprint`](FaultLedger::fingerprint).
+//! Two soak runs with the same seed and plan must produce identical
+//! fingerprints; a mismatch means an injector consulted something other
+//! than its forked RNG stream.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::plan::{FaultKind, Seam};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Ledger sequence number (0-based, assigned on record).
+    pub seq: u64,
+    /// Which soak session the fault landed in.
+    pub session: u64,
+    /// The seam the fault attacked.
+    pub seam: Seam,
+    /// The fault kind.
+    pub kind: FaultKind,
+    /// Seam-specific position: bit offset for wire faults, write index
+    /// for transport faults, frame index for session storms.
+    pub position: u64,
+    /// Seam-specific magnitude: bytes dropped, frames stormed, µs
+    /// delayed — whatever quantifies the fault (0 when not applicable).
+    pub magnitude: u64,
+}
+
+/// Append-only fault record with a running deterministic fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLedger {
+    events: Vec<FaultEvent>,
+    fingerprint: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl FaultLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultLedger {
+            events: Vec::new(),
+            fingerprint: FNV_OFFSET,
+        }
+    }
+
+    /// Records one fault, assigning its sequence number.
+    pub fn record(&mut self, session: u64, kind: FaultKind, position: u64, magnitude: u64) {
+        let seq = self.events.len() as u64;
+        let mut h = self.fingerprint;
+        h = fnv_fold(h, seq);
+        h = fnv_fold(h, session);
+        h = fnv_fold(h, kind.label().len() as u64 ^ (kind as u64) << 8);
+        h = fnv_fold(h, position);
+        h = fnv_fold(h, magnitude);
+        self.fingerprint = h;
+        self.events.push(FaultEvent {
+            seq,
+            session,
+            seam: kind.seam(),
+            kind,
+            position,
+            magnitude,
+        });
+    }
+
+    /// Appends every event of `other`, re-sequencing and re-hashing them
+    /// in order. Used to merge per-session ledgers into the soak ledger
+    /// in deterministic session order.
+    pub fn absorb(&mut self, other: &FaultLedger) {
+        for ev in &other.events {
+            self.record(ev.session, ev.kind, ev.position, ev.magnitude);
+        }
+    }
+
+    /// All recorded events in injection order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Total faults recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The running FNV-1a fingerprint over every event. Equal
+    /// fingerprints (plus equal lengths) certify equal fault sequences.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Events per fault kind, keyed by stable label (sorted).
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            *out.entry(ev.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// A human-readable per-kind summary table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fault ledger    : {} faults, fingerprint {:016x}",
+            self.len(),
+            self.fingerprint
+        );
+        for (label, count) in self.counts() {
+            let _ = writeln!(out, "  {label:<16}: {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed_shift: u64) -> FaultLedger {
+        let mut ledger = FaultLedger::new();
+        ledger.record(0, FaultKind::BitFlip, 100 + seed_shift, 0);
+        ledger.record(0, FaultKind::DropChunk, 3, 4096);
+        ledger.record(1, FaultKind::DamageStorm, 40, 12);
+        ledger
+    }
+
+    #[test]
+    fn identical_sequences_share_a_fingerprint() {
+        assert_eq!(sample(0).fingerprint(), sample(0).fingerprint());
+        assert_ne!(sample(0).fingerprint(), sample(1).fingerprint());
+    }
+
+    #[test]
+    fn order_matters_to_the_fingerprint() {
+        let mut a = FaultLedger::new();
+        a.record(0, FaultKind::BitFlip, 1, 0);
+        a.record(0, FaultKind::Truncate, 2, 0);
+        let mut b = FaultLedger::new();
+        b.record(0, FaultKind::Truncate, 2, 0);
+        b.record(0, FaultKind::BitFlip, 1, 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn absorb_matches_direct_recording() {
+        let mut direct = FaultLedger::new();
+        direct.record(0, FaultKind::BitFlip, 100, 0);
+        direct.record(0, FaultKind::DropChunk, 3, 4096);
+        direct.record(1, FaultKind::DamageStorm, 40, 12);
+
+        let mut merged = FaultLedger::new();
+        let mut s0 = FaultLedger::new();
+        s0.record(0, FaultKind::BitFlip, 100, 0);
+        s0.record(0, FaultKind::DropChunk, 3, 4096);
+        let mut s1 = FaultLedger::new();
+        s1.record(1, FaultKind::DamageStorm, 40, 12);
+        merged.absorb(&s0);
+        merged.absorb(&s1);
+
+        assert_eq!(direct.fingerprint(), merged.fingerprint());
+        assert_eq!(direct.events(), merged.events());
+    }
+
+    #[test]
+    fn counts_and_render_reflect_events() {
+        let ledger = sample(0);
+        let counts = ledger.counts();
+        assert_eq!(counts["bit-flip"], 1);
+        assert_eq!(counts["drop-chunk"], 1);
+        assert_eq!(counts["damage-storm"], 1);
+        let text = ledger.render();
+        assert!(text.contains("3 faults"));
+        assert!(text.contains("bit-flip"));
+    }
+}

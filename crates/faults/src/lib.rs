@@ -1,0 +1,46 @@
+//! Seeded, deterministic fault injection for the pstrace pipeline.
+//!
+//! Post-silicon trace infrastructure earns its keep on *bad* days: dead
+//! buffer banks, flaky links, wedged DMA engines. This crate makes bad
+//! days reproducible. A [`FaultPlan`] composes fault kinds × rates ×
+//! burst models at the three seams of the ingest pipeline, and every
+//! injector draws exclusively from a forked [`pstrace_rng::Rng64`]
+//! stream, so identical `(plan, seed)` produce identical fault sequences
+//! — certified by the [`FaultLedger`]'s running fingerprint.
+//!
+//! * **Wire seam** — [`corrupt_wire`]: bit flips (optionally bursty),
+//!   mid-frame truncation, duplicated and reordered frames, operating at
+//!   frame granularity through bit-level re-serialization (frames are
+//!   not byte-aligned);
+//! * **Transport seam** — [`ChaosStream`]: a `Read + Write` wrapper
+//!   that drops, splits, delays and slow-lorises writes, or tears the
+//!   connection down mid-stream;
+//! * **Session seam** — damage storms inside [`corrupt_wire`]: a
+//!   contiguous run of frames stomped with noise, the fault that empties
+//!   an online localizer frontier and exercises its resync path.
+//!
+//! [`run_soak`] composes all three against an in-process
+//! [`pstrace_stream::Server`] and scores the result: the daemon must
+//! survive every fault, account for every degradation on a designed
+//! path, and still serve a clean session afterward with localization
+//! bit-identical to the batch pipeline. The `pstrace chaos` subcommand,
+//! the `chaos_soak` integration test and the `chaos` bench all drive
+//! this one harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chaos;
+mod ledger;
+mod plan;
+mod soak;
+mod wire;
+
+pub use chaos::ChaosStream;
+pub use ledger::{FaultEvent, FaultLedger};
+pub use plan::{
+    BurstModel, FaultGate, FaultKind, FaultPlan, Seam, SessionFaults, TransportFaults, WireFaults,
+};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use wire::corrupt_wire;

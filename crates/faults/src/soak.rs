@@ -1,0 +1,413 @@
+//! The soak harness: all three fault seams against a live in-process
+//! daemon, scored for survival.
+//!
+//! [`run_soak`] spins up a real [`pstrace_stream::Server`] on a loopback
+//! socket, then replays a synthetic scenario-1 capture through it once
+//! per session — each capture corrupted at the wire seam by
+//! [`corrupt_wire`](crate::corrupt_wire), each transport wrapped in a
+//! [`ChaosStream`], each session driven by the hardened resumable client
+//! so transport deaths exercise the park/resume path. Afterward it
+//! streams one *clean* probe session and checks the daemon's
+//! localization line against the batch pipeline's — the proof that the
+//! storm neither killed the daemon nor bent its answers.
+//!
+//! Determinism: session loops run sequentially and every injector draws
+//! from forks of [`FaultPlan::session_rng`], so for plans without
+//! reconnect-path transport faults (see
+//! [`FaultPlan::without_reconnect_faults`]) the merged
+//! [`FaultLedger`] fingerprint is a pure function of the plan.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::mem;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pstrace_core::{SelectionConfig, Selector, TraceBufferSpec};
+use pstrace_diag::{localize, MatchMode};
+use pstrace_flow::{FlowIndex, IndexedMessage};
+use pstrace_obs::{Registry, Sample};
+use pstrace_soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace_stream::{
+    observed_messages, snapshot_from, stream_ptw, stream_ptw_resumable, RetryPolicy, Server,
+    ServerConfig, StatsSnapshot,
+};
+use pstrace_wire::{decode_stream, encode_records, write_ptw, EncodedStream, WireRecord};
+
+use crate::chaos::ChaosStream;
+use crate::ledger::FaultLedger;
+use crate::plan::FaultPlan;
+use crate::wire::corrupt_wire;
+
+/// Knobs of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// The fault plan (kinds × rates × burst models), including the seed.
+    pub plan: FaultPlan,
+    /// Faulted sessions to replay (one corrupted capture each).
+    pub sessions: usize,
+    /// Synthetic records per capture.
+    pub records: usize,
+    /// Client chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// Daemon worker threads.
+    pub threads: usize,
+}
+
+impl SoakConfig {
+    /// A soak over `plan` with defaults sized for an interactive run.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        SoakConfig {
+            plan,
+            sessions: 8,
+            records: 2_000,
+            chunk_bytes: 256,
+            threads: 2,
+        }
+    }
+}
+
+/// What a soak run produced, with the survival verdict attached.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// The seed the whole run derived from.
+    pub seed: u64,
+    /// Sessions replayed under fault injection.
+    pub sessions: usize,
+    /// Faulted sessions the daemon completed with a report.
+    pub completed: usize,
+    /// Faulted sessions that failed *gracefully* (typed error, no panic).
+    pub failed: usize,
+    /// Every fault injected, merged across seams in session order.
+    pub ledger: FaultLedger,
+    /// The daemon's aggregated counters after the storm.
+    pub snapshot: StatsSnapshot,
+    /// `pstrace_degradation_events_total` by `path` label.
+    pub degradations: BTreeMap<String, u64>,
+    /// Whether the post-storm clean probe completed at all.
+    pub probe_completed: bool,
+    /// Whether the probe's localization line was bit-identical to the
+    /// batch pipeline's on the same clean capture.
+    pub probe_matches_batch: bool,
+    /// The localization line the batch pipeline computed.
+    pub batch_localization: String,
+}
+
+impl SoakReport {
+    /// The survival criteria of the harness: no worker panics escaped,
+    /// and after the storm the daemon served a clean session whose
+    /// localization is bit-identical to the batch pipeline's.
+    ///
+    /// # Errors
+    ///
+    /// Every violated criterion, newline-joined.
+    pub fn survival(&self) -> Result<(), String> {
+        let mut violations = Vec::new();
+        if self.snapshot.worker_panics > 0 {
+            violations.push(format!(
+                "{} worker panic(s) escaped a session",
+                self.snapshot.worker_panics
+            ));
+        }
+        if !self.probe_completed {
+            violations.push("the post-storm clean probe did not complete".to_owned());
+        } else if !self.probe_matches_batch {
+            violations
+                .push("the clean probe's localization diverged from the batch pipeline".to_owned());
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("\n"))
+        }
+    }
+
+    /// Renders the survival report (ledger, daemon counters, verdict).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "chaos soak      : seed {}, {} sessions ({} completed, {} failed gracefully)",
+            self.seed, self.sessions, self.completed, self.failed
+        );
+        out.push_str(&self.ledger.render());
+        let _ = writeln!(
+            out,
+            "daemon          : {} sessions, {} parked, {} resumed, {} worker panics, {} accept retries",
+            self.snapshot.sessions,
+            self.snapshot.parked,
+            self.snapshot.resumed,
+            self.snapshot.worker_panics,
+            self.snapshot.accept_retries
+        );
+        if self.degradations.is_empty() {
+            let _ = writeln!(out, "degradations    : none");
+        } else {
+            let _ = writeln!(out, "degradations    :");
+            for (path, count) in &self.degradations {
+                let _ = writeln!(out, "  {path:<16}: {count}");
+            }
+        }
+        let probe = if !self.probe_completed {
+            "FAILED"
+        } else if self.probe_matches_batch {
+            "clean, bit-identical to batch"
+        } else {
+            "completed but DIVERGED from batch"
+        };
+        let _ = writeln!(out, "clean probe     : {probe}");
+        let _ = match self.survival() {
+            Ok(()) => writeln!(out, "verdict         : survived"),
+            Err(v) => writeln!(out, "verdict         : FAILED\n{v}"),
+        };
+        out
+    }
+}
+
+/// The scenario-1 soak fixture (mirrors the ingest bench): interleaved
+/// flow, selection-derived schema, and a synthetic encoded stream.
+struct Fixture {
+    model: Arc<SocModel>,
+    schema: pstrace_wire::WireSchema,
+    encoded: EncodedStream,
+    clean_ptw: Vec<u8>,
+    batch_localization: String,
+}
+
+fn build_fixture(records: usize) -> Result<Fixture, String> {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let buffer =
+        TraceBufferSpec::new(32).map_err(|e| format!("trace buffer spec rejected: {e}"))?;
+    let flow = scenario
+        .interleaving(&model)
+        .map_err(|e| format!("scenario does not interleave: {e}"))?;
+    let selection = Selector::new(&flow, SelectionConfig::new(buffer))
+        .select()
+        .map_err(|e| format!("selection failed: {e}"))?;
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: None,
+    };
+    let schema = wirecap::wire_schema(&model, &config, buffer.width_bits())
+        .map_err(|e| format!("schema does not fit the buffer: {e}"))?;
+    let slots = schema.slots().to_vec();
+    let stream: Vec<WireRecord> = (0..records)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1u64 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    let encoded = encode_records(&schema, &stream, None).map_err(|e| format!("encode: {e}"))?;
+    let clean_ptw = write_ptw(model.catalog(), &schema, &encoded);
+
+    // The batch pipeline's answer on the clean capture — the line the
+    // post-storm probe must reproduce bit-for-bit.
+    let report = decode_stream(&schema, &encoded.bytes, Some(encoded.bit_len));
+    let observed: Vec<IndexedMessage> = report.records.iter().map(|r| r.message).collect();
+    let selected = observed_messages(&schema);
+    let loc = localize(&flow, &observed, &selected, MatchMode::Prefix);
+    let batch_localization = format!(
+        "  localization    : {} of {} interleaved-flow paths ({:.2}%)",
+        loc.consistent,
+        loc.total,
+        loc.fraction() * 100.0
+    );
+
+    Ok(Fixture {
+        model: Arc::new(model),
+        schema,
+        encoded,
+        clean_ptw,
+        batch_localization,
+    })
+}
+
+/// Runs one seeded soak: `config.sessions` corrupted replays through a
+/// live daemon, then the clean probe. See the module docs for the
+/// determinism contract.
+///
+/// # Errors
+///
+/// Only harness-construction failures (fixture or bind); fault-induced
+/// session failures are *data*, reported in the [`SoakReport`].
+pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
+    let plan = &config.plan;
+    let fixture = build_fixture(config.records.max(1))?;
+    let registry = Arc::new(Registry::new());
+
+    // Server read timeout well under the client backoff: a dead
+    // transport must be parked before the client's resume arrives.
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: config.threads.max(1),
+        read_timeout: Duration::from_millis(150),
+        handshake_timeout: Duration::from_millis(500),
+        resume_grace: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn_with_registry(
+        Arc::clone(&fixture.model),
+        &server_config,
+        Arc::clone(&registry),
+    )
+    .map_err(|e| format!("daemon failed to bind: {e}"))?;
+    let addr = server.local_addr();
+
+    let policy = RetryPolicy {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(1),
+        max_reconnects: 6,
+        initial_backoff: Duration::from_millis(500),
+        max_backoff: Duration::from_secs(1),
+    };
+
+    let mut ledger = FaultLedger::new();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+
+    // Sessions run sequentially: the merged ledger's event order (wire
+    // seam, then transport seam, per session) is part of the contract.
+    for s in 0..config.sessions {
+        let session = s as u64;
+        let srng = plan.session_rng(session);
+
+        let mut wire_rng = srng.fork(1);
+        let mut wire_ledger = FaultLedger::new();
+        let corrupted = corrupt_wire(
+            plan,
+            session,
+            fixture.schema.frame_bits(),
+            &fixture.encoded,
+            &mut wire_rng,
+            &mut wire_ledger,
+        );
+        let ptw = write_ptw(fixture.model.catalog(), &fixture.schema, &corrupted);
+
+        let transport_ledger = Arc::new(Mutex::new(FaultLedger::new()));
+        let connector_ledger = Arc::clone(&transport_ledger);
+        let transport = plan.transport;
+        let result = stream_ptw_resumable(
+            move |attempt| -> io::Result<ChaosStream<TcpStream>> {
+                let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(policy.read_timeout)).ok();
+                Ok(ChaosStream::with_ledger(
+                    stream,
+                    transport,
+                    srng.fork(0x7a_0000 + u64::from(attempt)),
+                    session,
+                    Arc::clone(&connector_ledger),
+                ))
+            },
+            fixture.model.catalog(),
+            1,
+            MatchMode::Prefix,
+            &ptw,
+            config.chunk_bytes.max(1),
+            &policy,
+        );
+        match result {
+            Ok(_) => completed += 1,
+            Err(_) => failed += 1,
+        }
+
+        ledger.absorb(&wire_ledger);
+        let drained = mem::take(
+            &mut *transport_ledger
+                .lock()
+                .expect("transport ledger lock poisoned"),
+        );
+        ledger.absorb(&drained);
+    }
+
+    for (kind, count) in ledger.counts() {
+        registry
+            .counter_with("pstrace_faults_injected_total", &[("kind", kind)])
+            .add(count as u64);
+    }
+
+    // The clean probe: one undamaged capture through the plain client.
+    // The daemon must still accept it and answer exactly like batch.
+    let probe = stream_ptw(
+        addr,
+        fixture.model.catalog(),
+        1,
+        MatchMode::Prefix,
+        &fixture.clean_ptw,
+        config.chunk_bytes.max(1),
+    );
+    let (probe_completed, probe_matches_batch) = match &probe {
+        Ok(report) => (true, report.contains(&fixture.batch_localization)),
+        Err(_) => (false, false),
+    };
+
+    let snapshot = snapshot_from(&registry);
+    let mut degradations = BTreeMap::new();
+    for (key, sample) in registry.samples() {
+        if key.name() != "pstrace_degradation_events_total" {
+            continue;
+        }
+        let Sample::Counter(v) = sample else { continue };
+        for (label, value) in key.labels() {
+            if label == "path" {
+                *degradations.entry(value.clone()).or_insert(0) += v;
+            }
+        }
+    }
+    server.shutdown();
+
+    Ok(SoakReport {
+        seed: plan.seed,
+        sessions: config.sessions,
+        completed,
+        failed,
+        ledger,
+        snapshot,
+        degradations,
+        probe_completed,
+        probe_matches_batch,
+        batch_localization: fixture.batch_localization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_soak_completes_every_session_and_matches_batch() {
+        let mut config = SoakConfig::new(FaultPlan::quiet(3));
+        config.sessions = 2;
+        config.records = 300;
+        let report = run_soak(&config).expect("harness builds");
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 0);
+        assert!(report.ledger.is_empty());
+        assert!(report.probe_matches_batch, "{}", report.render());
+        report.survival().expect("quiet soak survives");
+    }
+
+    #[test]
+    fn deterministic_plan_reproduces_its_fingerprint() {
+        let mut config = SoakConfig::new(FaultPlan::standard(41).without_reconnect_faults());
+        config.sessions = 2;
+        config.records = 400;
+        let a = run_soak(&config).expect("harness builds");
+        let b = run_soak(&config).expect("harness builds");
+        assert!(!a.ledger.is_empty());
+        assert_eq!(a.ledger.fingerprint(), b.ledger.fingerprint());
+        assert_eq!(a.ledger.len(), b.ledger.len());
+        a.survival().expect("soak survives");
+    }
+}

@@ -1,0 +1,303 @@
+//! Wire-seam fault injection: corrupting an encoded trace stream the way
+//! silicon does.
+//!
+//! Frames in the pstrace wire format are *not* byte-aligned — a frame is
+//! `frame_bits` wide and frame `k` starts at stream bit `k * frame_bits`.
+//! Structural faults (duplicated frames, reordered frames, damage storms)
+//! must therefore operate at frame granularity through
+//! [`BitReader`]/[`BitWriter`] re-serialization, while bit flips and
+//! truncation act on the final serialized bit stream. The injection order
+//! is fixed (storm → duplicate → reorder → flips → truncate) so the
+//! ledger is a pure function of `(plan, seed, input stream)`.
+
+use pstrace_rng::Rng64;
+use pstrace_wire::{BitReader, BitWriter, EncodedStream};
+
+use crate::ledger::FaultLedger;
+use crate::plan::{FaultGate, FaultKind, FaultPlan};
+
+/// One frame extracted as `(value, width)` bit fields, ≤ 64 bits each.
+type FrameWords = Vec<(u64, u32)>;
+
+fn extract_frames(stream: &EncodedStream, frame_bits: u32) -> (Vec<FrameWords>, FrameWords) {
+    let mut reader = BitReader::new(&stream.bytes, stream.bit_len);
+    let complete = (stream.bit_len / u64::from(frame_bits)) as usize;
+    let mut frames = Vec::with_capacity(complete);
+    for _ in 0..complete {
+        let mut words = Vec::with_capacity((frame_bits as usize).div_ceil(64));
+        let mut remaining = frame_bits;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let value = reader.read(take).expect("complete frame in bounds");
+            words.push((value, take));
+            remaining -= take;
+        }
+        frames.push(words);
+    }
+    // Partial trailing bits (possible after upstream truncation) survive
+    // untouched at the end of the stream.
+    let mut tail = Vec::new();
+    while reader.remaining() > 0 {
+        let take = (reader.remaining().min(64)) as u32;
+        let value = reader.read(take).expect("tail in bounds");
+        tail.push((value, take));
+    }
+    (frames, tail)
+}
+
+fn serialize(frames: &[FrameWords], tail: &[(u64, u32)], frame_bits: u32) -> EncodedStream {
+    let mut writer = BitWriter::new();
+    for frame in frames {
+        for &(value, width) in frame {
+            writer.write(value, width);
+        }
+    }
+    for &(value, width) in tail {
+        writer.write(value, width);
+    }
+    let bit_len = writer.bit_len();
+    EncodedStream {
+        bytes: writer.into_bytes(),
+        bit_len,
+        frames: (bit_len / u64::from(frame_bits)) as usize,
+    }
+}
+
+/// Applies the wire- and session-seam faults of `plan` to an encoded
+/// stream, returning the corrupted stream and appending every injected
+/// fault to `ledger`. Draws only from `rng`, so identical
+/// `(plan, rng state, stream)` produce identical output and ledger.
+#[must_use]
+pub fn corrupt_wire(
+    plan: &FaultPlan,
+    session: u64,
+    frame_bits: u32,
+    stream: &EncodedStream,
+    rng: &mut Rng64,
+    ledger: &mut FaultLedger,
+) -> EncodedStream {
+    let (mut frames, tail) = extract_frames(stream, frame_bits);
+
+    // Session seam: a damage storm stomps a contiguous run of frames
+    // with noise — the model of a dead trace-buffer bank. Decoded, the
+    // run becomes a burst of damaged frames that empties the online
+    // localizer frontier.
+    if !frames.is_empty()
+        && plan.session.damage_storm > 0.0
+        && rng.gen_f64() < plan.session.damage_storm
+    {
+        let span = ((frames.len() as f64 * plan.session.storm_frames) as usize).max(1);
+        let span = span.min(frames.len());
+        let start = rng.gen_index(frames.len() - span + 1);
+        for frame in &mut frames[start..start + span] {
+            for (value, width) in frame.iter_mut() {
+                let mask = if *width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << *width) - 1
+                };
+                *value = rng.next_u64() & mask;
+            }
+        }
+        ledger.record(session, FaultKind::DamageStorm, start as u64, span as u64);
+    }
+
+    // Frame duplication: the buffer read-out replays a frame.
+    if plan.wire.duplicate_frame > 0.0 {
+        let mut duplicated = Vec::with_capacity(frames.len());
+        for (i, frame) in frames.iter().enumerate() {
+            duplicated.push(frame.clone());
+            if rng.gen_f64() < plan.wire.duplicate_frame {
+                duplicated.push(frame.clone());
+                ledger.record(session, FaultKind::DuplicateFrame, i as u64, 1);
+            }
+        }
+        frames = duplicated;
+    }
+
+    // Adjacent-frame reorder: two frames swap places (skewed read-out).
+    if plan.wire.reorder_frames > 0.0 && frames.len() >= 2 {
+        let mut i = 0;
+        while i + 1 < frames.len() {
+            if rng.gen_f64() < plan.wire.reorder_frames {
+                frames.swap(i, i + 1);
+                ledger.record(session, FaultKind::ReorderFrames, i as u64, 2);
+                i += 2; // a swapped pair is not re-drawn
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let mut out = serialize(&frames, &tail, frame_bits);
+
+    // Bit flips over the serialized stream, shaped by the burst model.
+    if plan.wire.bit_flip > 0.0 && out.bit_len > 0 {
+        let mut gate = FaultGate::new(plan.wire.bit_flip, plan.wire.burst);
+        for bit in 0..out.bit_len {
+            if gate.fires(rng) {
+                out.bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                ledger.record(session, FaultKind::BitFlip, bit, 1);
+            }
+        }
+    }
+
+    // Truncation: the capture ends mid-frame (power loss, buffer cut).
+    if plan.wire.truncate > 0.0 && out.bit_len > 1 && rng.gen_f64() < plan.wire.truncate {
+        let cut = rng.gen_range_u64(1, out.bit_len - 1);
+        let removed = out.bit_len - cut;
+        out.bit_len = cut;
+        out.bytes.truncate((cut as usize).div_ceil(8));
+        // Zero the dead bits of the final partial byte so the stream is
+        // a valid zero-padded bit buffer.
+        let live = (cut % 8) as u32;
+        if live != 0 {
+            if let Some(last) = out.bytes.last_mut() {
+                *last &= (1u16 << live).wrapping_sub(1) as u8;
+            }
+        }
+        out.frames = (out.bit_len / u64::from(frame_bits)) as usize;
+        ledger.record(session, FaultKind::Truncate, cut, removed);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::BurstModel;
+
+    fn toy_stream(frame_bits: u32, frames: usize) -> EncodedStream {
+        let mut w = BitWriter::new();
+        for k in 0..frames {
+            let mut remaining = frame_bits;
+            let mut word = 0;
+            while remaining > 0 {
+                let take = remaining.min(64);
+                let mask = if take == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << take) - 1
+                };
+                w.write(
+                    (k as u64).wrapping_mul(0x9e37).wrapping_add(word) & mask,
+                    take,
+                );
+                remaining -= take;
+                word += 1;
+            }
+        }
+        let bit_len = w.bit_len();
+        EncodedStream {
+            bytes: w.into_bytes(),
+            bit_len,
+            frames,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_is_the_identity() {
+        let stream = toy_stream(77, 40);
+        let plan = FaultPlan::quiet(1);
+        let mut rng = plan.session_rng(0);
+        let mut ledger = FaultLedger::new();
+        let out = corrupt_wire(&plan, 0, 77, &stream, &mut rng, &mut ledger);
+        assert_eq!(out.bytes, stream.bytes);
+        assert_eq!(out.bit_len, stream.bit_len);
+        assert_eq!(out.frames, stream.frames);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_corruption_and_ledger() {
+        let stream = toy_stream(131, 200);
+        let plan = FaultPlan::heavy(42);
+        let run = |session| {
+            let mut rng = plan.session_rng(session);
+            let mut ledger = FaultLedger::new();
+            let out = corrupt_wire(&plan, session, 131, &stream, &mut rng, &mut ledger);
+            (out, ledger)
+        };
+        let (a, la) = run(7);
+        let (b, lb) = run(7);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.bit_len, b.bit_len);
+        assert_eq!(la.fingerprint(), lb.fingerprint());
+        assert_eq!(la.events(), lb.events());
+        assert!(!la.is_empty(), "heavy plan injected nothing");
+        let (c, lc) = run(8);
+        assert!(
+            c.bytes != a.bytes || lc.fingerprint() != la.fingerprint(),
+            "different sessions should diverge"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reorder_change_frame_structure_only() {
+        let stream = toy_stream(64, 50);
+        let mut plan = FaultPlan::quiet(3);
+        plan.wire.duplicate_frame = 0.2;
+        plan.wire.reorder_frames = 0.2;
+        let mut rng = plan.session_rng(0);
+        let mut ledger = FaultLedger::new();
+        let out = corrupt_wire(&plan, 0, 64, &stream, &mut rng, &mut ledger);
+        let dups = ledger.counts().get("duplicate-frame").copied().unwrap_or(0);
+        assert!(dups > 0, "no duplicates at 20%");
+        assert_eq!(out.frames, 50 + dups);
+        assert_eq!(out.bit_len % 64, 0);
+    }
+
+    #[test]
+    fn truncation_cuts_and_zero_pads() {
+        let stream = toy_stream(77, 100);
+        let mut plan = FaultPlan::quiet(5);
+        plan.wire.truncate = 1.0;
+        let mut rng = plan.session_rng(0);
+        let mut ledger = FaultLedger::new();
+        let out = corrupt_wire(&plan, 0, 77, &stream, &mut rng, &mut ledger);
+        assert!(out.bit_len < stream.bit_len);
+        assert_eq!(out.bytes.len(), (out.bit_len as usize).div_ceil(8));
+        let live = (out.bit_len % 8) as u32;
+        if live != 0 {
+            let dead_mask = !(((1u16 << live) - 1) as u8);
+            assert_eq!(out.bytes.last().unwrap() & dead_mask, 0, "dead bits dirty");
+        }
+        assert_eq!(ledger.counts()["truncate"], 1);
+    }
+
+    #[test]
+    fn bit_flips_touch_only_flipped_positions() {
+        let stream = toy_stream(90, 80);
+        let mut plan = FaultPlan::quiet(9);
+        plan.wire.bit_flip = 0.01;
+        plan.wire.burst = BurstModel::Uniform;
+        let mut rng = plan.session_rng(0);
+        let mut ledger = FaultLedger::new();
+        let out = corrupt_wire(&plan, 0, 90, &stream, &mut rng, &mut ledger);
+        assert_eq!(out.bit_len, stream.bit_len);
+        // Flipping each ledgered bit back must restore the original.
+        let mut restored = out.bytes.clone();
+        for ev in ledger.events() {
+            restored[(ev.position / 8) as usize] ^= 1 << (ev.position % 8);
+        }
+        assert_eq!(restored, stream.bytes);
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn storm_stays_inside_the_stream() {
+        let stream = toy_stream(100, 60);
+        let mut plan = FaultPlan::quiet(13);
+        plan.session.damage_storm = 1.0;
+        plan.session.storm_frames = 0.25;
+        let mut rng = plan.session_rng(0);
+        let mut ledger = FaultLedger::new();
+        let out = corrupt_wire(&plan, 0, 100, &stream, &mut rng, &mut ledger);
+        assert_eq!(out.bit_len, stream.bit_len);
+        let ev = &ledger.events()[0];
+        assert_eq!(ev.kind, FaultKind::DamageStorm);
+        assert!(ev.position as usize + ev.magnitude as usize <= 60);
+        assert_eq!(ev.magnitude, 15);
+    }
+}

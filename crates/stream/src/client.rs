@@ -1,18 +1,89 @@
 //! The replay client: stream a `.ptw` capture to a running daemon.
+//!
+//! Two shapes:
+//!
+//! * [`stream_ptw`] — the plain one-shot client: one connection, no
+//!   retries, a transport error is the caller's problem;
+//! * [`stream_ptw_with`] — the hardened client: connect/read timeouts
+//!   from a [`RetryPolicy`], the v3 resumable-session verb, and bounded
+//!   reconnect-with-backoff that picks the session back up at the
+//!   server's acknowledged byte offset, so the reassembled stream is
+//!   byte-identical to an uninterrupted one.
+//!
+//! [`stream_ptw_resumable`] is the transport-generic core of the
+//! hardened client: it speaks to whatever `Read + Write` the connector
+//! returns, which is how the fault-injection harness slips a chaos
+//! wrapper between the client and the socket.
 
-use std::io::{BufReader, BufWriter, Write as _};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use pstrace_diag::MatchMode;
 use pstrace_flow::MessageCatalog;
 use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
-use crate::proto::{read_reply, write_data, write_finish, write_hello, write_metrics_request};
+use crate::proto::{
+    parse_resume_ack, read_reply, write_data, write_finish, write_hello, write_metrics_request,
+    write_resume_hello,
+};
 
 /// Default chunk size of the replay client, sized to cut a typical
 /// capture into several chunks without degenerating to per-frame sends.
 pub const DEFAULT_CHUNK_BYTES: usize = 256;
+
+/// Transport robustness knobs of the hardened client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout while waiting for acks and replies.
+    pub read_timeout: Duration,
+    /// Reconnect attempts after the first connection (0 = one shot).
+    pub max_reconnects: u32,
+    /// Backoff before the first reconnect; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            max_reconnects: 4,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Splits a `.ptw` container into `(schema prefix, bit_len, payload)`,
+/// validating it against `catalog` exactly as the server will.
+fn split_ptw<'a>(
+    catalog: &MessageCatalog,
+    ptw_bytes: &'a [u8],
+) -> Result<(&'a [u8], u64, &'a [u8]), StreamError> {
+    let (_, consumed) = read_ptw_schema(catalog, ptw_bytes)?;
+    let schema = &ptw_bytes[..consumed];
+    let rest = &ptw_bytes[consumed..];
+    if rest.len() < 8 {
+        return Err(StreamError::Protocol(
+            "container is truncated before the payload length".to_owned(),
+        ));
+    }
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&rest[..8]);
+    let bit_len = u64::from_le_bytes(len_bytes);
+    let payload_len = usize::try_from(bit_len.div_ceil(8))
+        .map_err(|_| StreamError::Protocol("payload length overflows".to_owned()))?;
+    let payload = rest
+        .get(8..8 + payload_len)
+        .ok_or_else(|| StreamError::Protocol("container payload is truncated".to_owned()))?;
+    Ok((schema, bit_len, payload))
+}
 
 /// Replays the `.ptw` container in `ptw_bytes` to the daemon at `addr`
 /// in `chunk_bytes`-sized data chunks, and returns the server's session
@@ -38,22 +109,7 @@ pub fn stream_ptw(
     ptw_bytes: &[u8],
     chunk_bytes: usize,
 ) -> Result<String, StreamError> {
-    let (_, consumed) = read_ptw_schema(catalog, ptw_bytes)?;
-    let schema = &ptw_bytes[..consumed];
-    let rest = &ptw_bytes[consumed..];
-    if rest.len() < 8 {
-        return Err(StreamError::Protocol(
-            "container is truncated before the payload length".to_owned(),
-        ));
-    }
-    let mut len_bytes = [0u8; 8];
-    len_bytes.copy_from_slice(&rest[..8]);
-    let bit_len = u64::from_le_bytes(len_bytes);
-    let payload_len = usize::try_from(bit_len.div_ceil(8))
-        .map_err(|_| StreamError::Protocol("payload length overflows".to_owned()))?;
-    let payload = rest
-        .get(8..8 + payload_len)
-        .ok_or_else(|| StreamError::Protocol("container payload is truncated".to_owned()))?;
+    let (schema, bit_len, payload) = split_ptw(catalog, ptw_bytes)?;
 
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
@@ -69,6 +125,162 @@ pub fn stream_ptw(
     writer.flush()?;
 
     read_reply(&mut reader)
+}
+
+/// Everything one resumable attempt needs besides the transport and the
+/// evolving resume token: the per-session constants of the replay.
+struct AttemptArgs<'a> {
+    scenario: u8,
+    mode: MatchMode,
+    schema: &'a [u8],
+    bit_len: u64,
+    payload: &'a [u8],
+    chunk: usize,
+}
+
+/// One attempt of the resumable protocol over an established transport:
+/// resume hello → ack → chunks from the acked offset → FINISH → reply.
+/// Returns the updated token alongside any error so the caller can
+/// reconnect and resume.
+fn resume_attempt<S: Read + Write>(
+    transport: &mut S,
+    token: &mut u64,
+    args: &AttemptArgs<'_>,
+) -> Result<String, StreamError> {
+    write_resume_hello(transport, *token, args.scenario, args.mode, args.schema)?;
+    transport.flush()?;
+    let ack = read_reply(transport)?;
+    let (acked_token, offset) = parse_resume_ack(&ack)?;
+    *token = acked_token;
+    let offset = usize::try_from(offset)
+        .ok()
+        .filter(|&o| o <= args.payload.len())
+        .ok_or_else(|| {
+            StreamError::Protocol(format!("server acked an impossible offset {offset}"))
+        })?;
+    for piece in args.payload[offset..].chunks(args.chunk) {
+        write_data(transport, piece)?;
+    }
+    write_finish(transport, args.bit_len)?;
+    transport.flush()?;
+    read_reply(transport)
+}
+
+/// The transport-generic hardened client: replays `ptw_bytes` through
+/// whatever `connect` returns, resuming across transport deaths.
+///
+/// `connect` is called once per attempt (first connection plus up to
+/// `policy.max_reconnects` reconnects) with the 0-based attempt number;
+/// returning an error consumes an attempt. After a mid-stream death the
+/// next attempt sends the server's resume token and continues from the
+/// acknowledged byte offset — never re-sending acknowledged bytes, never
+/// skipping unacknowledged ones.
+///
+/// # Errors
+///
+/// * [`StreamError::Wire`] when the file is not a valid `.ptw` for
+///   `catalog`;
+/// * [`StreamError::Io`] / [`StreamError::Protocol`] when every attempt
+///   died on transport;
+/// * [`StreamError::Remote`] when the server rejects the session (not
+///   retried: the rejection is authoritative).
+pub fn stream_ptw_resumable<S, F>(
+    mut connect: F,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+    policy: &RetryPolicy,
+) -> Result<String, StreamError>
+where
+    S: Read + Write,
+    F: FnMut(u32) -> io::Result<S>,
+{
+    let (schema, bit_len, payload) = split_ptw(catalog, ptw_bytes)?;
+    let args = AttemptArgs {
+        scenario,
+        mode,
+        schema,
+        bit_len,
+        payload,
+        chunk: chunk_bytes.max(1),
+    };
+    let mut token = 0u64;
+    let mut backoff = policy.initial_backoff;
+    let attempts = policy.max_reconnects.saturating_add(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(policy.max_backoff);
+        }
+        let mut transport = match connect(attempt) {
+            Ok(t) => t,
+            Err(e) => {
+                last_err = Some(StreamError::Io(e));
+                continue;
+            }
+        };
+        match resume_attempt(&mut transport, &mut token, &args) {
+            Ok(report) => return Ok(report),
+            // The server spoke: its verdict is final, not a transport
+            // fault to retry through.
+            Err(e @ StreamError::Remote(_)) => return Err(e),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| StreamError::Protocol("no connection attempts were made".to_owned())))
+}
+
+/// [`stream_ptw`] hardened per `policy`: connect timeout per attempt,
+/// read timeout on the socket, and bounded reconnect-with-backoff that
+/// resumes mid-stream at the server's acknowledged byte offset.
+///
+/// # Errors
+///
+/// As [`stream_ptw_resumable`].
+pub fn stream_ptw_with(
+    addr: impl ToSocketAddrs,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+    policy: &RetryPolicy,
+) -> Result<String, StreamError> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(StreamError::Protocol(
+            "address resolved to nothing".to_owned(),
+        ));
+    }
+    let policy_copy = *policy;
+    stream_ptw_resumable(
+        move |_attempt| {
+            let mut last = None;
+            for a in &addrs {
+                match TcpStream::connect_timeout(a, policy_copy.connect_timeout) {
+                    Ok(s) => {
+                        s.set_nodelay(true).ok();
+                        s.set_read_timeout(Some(policy_copy.read_timeout)).ok();
+                        return Ok(s);
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(last.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::AddrNotAvailable, "no address to connect to")
+            }))
+        },
+        catalog,
+        scenario,
+        mode,
+        ptw_bytes,
+        chunk_bytes,
+        policy,
+    )
 }
 
 /// Asks the daemon at `addr` for its Prometheus text exposition (the

@@ -12,15 +12,22 @@
 //!   consistent-path count is live at every chunk boundary;
 //! * [`proto`] — the length-prefixed chunk protocol with a `.ptw` schema
 //!   handshake, so a live socket and a capture file describe their
-//!   frames identically; v2 adds a `METRICS` verb that returns the
-//!   daemon's Prometheus exposition;
-//! * [`Server`] — the std-only `pstraced` daemon: `TcpListener`, a fixed
-//!   worker pool, registry-backed per-session and aggregated metrics
-//!   ([`pstrace_obs::Registry`]), graceful shutdown;
+//!   frames identically; v2 added a `METRICS` verb that returns the
+//!   daemon's Prometheus exposition, v3 adds `SESSION_RESUME` — a
+//!   token/offset ack that lets a session survive transport death;
+//! * [`Server`] — the std-only `pstraced` daemon: `TcpListener` with a
+//!   backoff-retrying accept loop, a fixed panic-isolated worker pool,
+//!   per-session ingest budgets ([`SessionLimits`]), handshake
+//!   deadlines, a parking lot for resumable sessions, registry-backed
+//!   per-session and aggregated metrics ([`pstrace_obs::Registry`]),
+//!   graceful shutdown;
 //! * [`MetricsEndpoint`] — an HTTP/1.0 scrape endpoint over the same
 //!   registry, for off-the-shelf Prometheus scrapers;
 //! * [`stream_ptw`] and [`fetch_metrics`] — the replay and scrape
-//!   clients behind `pstrace stream` / `pstrace metrics`.
+//!   clients behind `pstrace stream` / `pstrace metrics`;
+//! * [`stream_ptw_with`] / [`stream_ptw_resumable`] — the hardened
+//!   client: connect/read timeouts ([`RetryPolicy`]) and bounded
+//!   reconnect-with-backoff resuming at the server's acked byte offset.
 //!
 //! The contract inherited from the batch side holds end to end: a
 //! session's committed record sequence is bit-identical to
@@ -40,8 +47,13 @@ pub mod proto;
 mod server;
 mod session;
 
-pub use client::{fetch_metrics, stream_ptw, DEFAULT_CHUNK_BYTES};
+pub use client::{
+    fetch_metrics, stream_ptw, stream_ptw_resumable, stream_ptw_with, RetryPolicy,
+    DEFAULT_CHUNK_BYTES,
+};
 pub use error::StreamError;
 pub use metrics::MetricsEndpoint;
-pub use server::{scenario_by_number, snapshot_from, Server, ServerConfig, StatsSnapshot};
+pub use server::{
+    scenario_by_number, snapshot_from, Server, ServerConfig, SessionLimits, StatsSnapshot,
+};
 pub use session::{observed_messages, Session, SessionMetrics, SessionReport};

@@ -7,8 +7,8 @@
 //! ```text
 //! request preamble:
 //!   magic        4 bytes  "PSTS"
-//!   version      u8       = 2
-//!   request      u8       1 = SESSION, 2 = METRICS
+//!   version      u8       = 3
+//!   request      u8       1 = SESSION, 2 = METRICS, 3 = SESSION_RESUME
 //!
 //! SESSION request — the rest of the hello follows:
 //!   scenario     u8       usage scenario number (1-5)
@@ -26,10 +26,25 @@
 //! METRICS request — nothing follows; the server immediately replies
 //! (same status/len/text framing) with its metric registry rendered in
 //! Prometheus text exposition format.
+//!
+//! SESSION_RESUME request — like SESSION, but a resume token precedes
+//! the hello and the server acknowledges before any chunk flows:
+//!   token        u64      0 to open a fresh resumable session, or a
+//!                         token from an earlier ack to pick up a parked
+//!                         one
+//!   scenario/mode/schema_len/schema as in SESSION
+//! server ack (immediately, reply framing): `resume <token> <offset>` —
+//! the assigned (or echoed) token and the number of payload bytes the
+//! server has already ingested. The client sends `payload[offset..]` in
+//! chunks. If the transport dies before FINISH, the server parks the
+//! session for a grace period; reconnecting with the token resumes at
+//! the new acked offset, and the reassembled stream is byte-identical
+//! to an uninterrupted one.
 //! ```
 //!
 //! Version history: v1 had no request byte (every connection was a
-//! session); v2 added the `METRICS` verb and is what this build speaks.
+//! session); v2 added the `METRICS` verb; v3 (this build) added the
+//! `SESSION_RESUME` verb with its token/offset ack.
 //!
 //! The schema handshake reuses the `.ptw` container's self-describing
 //! header verbatim, so a capture file and a live socket describe their
@@ -47,13 +62,17 @@ use crate::error::StreamError;
 pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
 
 /// The protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 2;
+pub const PROTO_VERSION: u8 = 3;
 
 /// Request kind: a streaming ingest session follows.
 pub const REQ_SESSION: u8 = 1;
 
 /// Request kind: render the server's metric registry and reply.
 pub const REQ_METRICS: u8 = 2;
+
+/// Request kind: a resumable session — a token precedes the hello and
+/// the server acks `resume <token> <offset>` before chunks flow.
+pub const REQ_SESSION_RESUME: u8 = 3;
 
 /// Chunk tag: raw stream bytes follow.
 pub const CHUNK_DATA: u8 = 1;
@@ -176,6 +195,61 @@ pub fn write_hello(
     Ok(())
 }
 
+/// Writes a resumable-session hello: preamble, the resume token
+/// (0 opens a fresh resumable session), then the usual hello fields.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_resume_hello(
+    w: &mut impl Write,
+    token: u64,
+    scenario: u8,
+    mode: MatchMode,
+    schema: &[u8],
+) -> Result<(), StreamError> {
+    let schema_len = u32::try_from(schema.len())
+        .ok()
+        .filter(|&l| l <= MAX_CHUNK_LEN)
+        .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))?;
+    w.write_all(&PROTO_MAGIC)?;
+    w.write_all(&[PROTO_VERSION, REQ_SESSION_RESUME])?;
+    w.write_all(&token.to_le_bytes())?;
+    w.write_all(&[scenario, mode_to_byte(mode)])?;
+    w.write_all(&schema_len.to_le_bytes())?;
+    w.write_all(schema)?;
+    Ok(())
+}
+
+/// Writes the server's resume ack (reply framing, so rejections travel
+/// the same channel as a failed session).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_resume_ack(w: &mut impl Write, token: u64, offset: u64) -> Result<(), StreamError> {
+    write_reply(w, true, &format!("resume {token} {offset}"))
+}
+
+/// Parses the text of a resume ack back into `(token, offset)`.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] when the text is not an ack.
+pub fn parse_resume_ack(text: &str) -> Result<(u64, u64), StreamError> {
+    let mut parts = text.split_whitespace();
+    let bad = || StreamError::Protocol(format!("malformed resume ack `{text}`"));
+    if parts.next() != Some("resume") {
+        return Err(bad());
+    }
+    let token = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let offset = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok((token, offset))
+}
+
 /// Writes a `METRICS` request: preamble only, nothing follows.
 ///
 /// # Errors
@@ -194,6 +268,13 @@ pub enum Request {
     Session(Hello),
     /// A metrics snapshot request.
     Metrics,
+    /// A resumable session: token 0 opens fresh, a prior token resumes.
+    Resume {
+        /// The resume token (0 = fresh).
+        token: u64,
+        /// The session hello.
+        hello: Hello,
+    },
 }
 
 /// Reads and validates a client request (preamble plus, for sessions,
@@ -214,19 +295,28 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
             "unsupported protocol version {version}"
         )));
     }
+    let read_hello_body = |r: &mut dyn Read| -> Result<Hello, StreamError> {
+        let mut r = r;
+        let scenario = read_u8(&mut r, "scenario")?;
+        let mode = mode_from_byte(read_u8(&mut r, "mode")?)?;
+        let schema_len = checked_len(read_u32(&mut r, "schema length")?, "schema")?;
+        let schema = read_exact(&mut r, schema_len, "schema handshake")?;
+        Ok(Hello {
+            scenario,
+            mode,
+            schema,
+        })
+    };
     match read_u8(r, "request kind")? {
-        REQ_SESSION => {
-            let scenario = read_u8(r, "scenario")?;
-            let mode = mode_from_byte(read_u8(r, "mode")?)?;
-            let schema_len = checked_len(read_u32(r, "schema length")?, "schema")?;
-            let schema = read_exact(r, schema_len, "schema handshake")?;
-            Ok(Request::Session(Hello {
-                scenario,
-                mode,
-                schema,
-            }))
-        }
+        REQ_SESSION => Ok(Request::Session(read_hello_body(r)?)),
         REQ_METRICS => Ok(Request::Metrics),
+        REQ_SESSION_RESUME => {
+            let token = read_u64(r, "resume token")?;
+            Ok(Request::Resume {
+                token,
+                hello: read_hello_body(r)?,
+            })
+        }
         other => Err(StreamError::Protocol(format!(
             "unknown request kind {other}"
         ))),
@@ -245,6 +335,9 @@ pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
         Request::Session(hello) => Ok(hello),
         Request::Metrics => Err(StreamError::Protocol(
             "expected a session hello, got a metrics request".to_owned(),
+        )),
+        Request::Resume { .. } => Err(StreamError::Protocol(
+            "expected a session hello, got a resumable-session request".to_owned(),
         )),
     }
 }
@@ -423,6 +516,28 @@ mod tests {
         write_metrics_request(&mut bad).unwrap();
         bad[5] = 9;
         assert!(read_request(&mut Cursor::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn resume_hello_and_ack_round_trip() {
+        let mut buf = Vec::new();
+        write_resume_hello(&mut buf, 42, 4, MatchMode::Prefix, b"schema").unwrap();
+        match read_request(&mut Cursor::new(&buf)).unwrap() {
+            Request::Resume { token, hello } => {
+                assert_eq!(token, 42);
+                assert_eq!(hello.scenario, 4);
+                assert_eq!(hello.mode, MatchMode::Prefix);
+                assert_eq!(hello.schema, b"schema");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let mut ack = Vec::new();
+        write_resume_ack(&mut ack, 42, 1024).unwrap();
+        let text = read_reply(&mut Cursor::new(&ack)).unwrap();
+        assert_eq!(parse_resume_ack(&text).unwrap(), (42, 1024));
+        assert!(parse_resume_ack("resume x y").is_err());
+        assert!(parse_resume_ack("session ok").is_err());
+        assert!(parse_resume_ack("resume 1 2 3").is_err());
     }
 
     #[test]

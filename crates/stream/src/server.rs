@@ -3,13 +3,35 @@
 //!
 //! One connection carries one request (see [`proto`](crate::proto)): a
 //! SESSION request streams hello → chunks → report, a METRICS request
-//! gets the daemon's Prometheus exposition back. The accept loop hands
-//! sockets to a fixed worker pool; each session worker rebuilds the wire
-//! schema from the handshake, derives the observed message set from its
-//! slots, and drives an observed [`Session`] — so by the time the FINISH
-//! chunk lands, the localization is already computed, the registry
-//! already carries the session's counters, and the reply is just
-//! formatting.
+//! gets the daemon's Prometheus exposition back, and a SESSION_RESUME
+//! request opens (or picks back up) a *resumable* session that survives
+//! transport death. The accept loop hands sockets to a fixed worker
+//! pool; each session worker rebuilds the wire schema from the
+//! handshake, derives the observed message set from its slots, and
+//! drives an observed [`Session`] — so by the time the FINISH chunk
+//! lands, the localization is already computed, the registry already
+//! carries the session's counters, and the reply is just formatting.
+//!
+//! # Hardening
+//!
+//! Every fault the transport or a hostile client can produce lands on a
+//! designed degradation path, each counted under
+//! `pstrace_degradation_events_total{path=…}`:
+//!
+//! * **`accept-retry`** — a failing `accept(2)` no longer kills the
+//!   daemon; the loop retries under capped exponential backoff.
+//! * **`worker-respawn`** — a panicking session is caught
+//!   (`catch_unwind`) and the worker keeps serving; the panic is counted
+//!   in `pstrace_stream_worker_panics_total`.
+//! * **`budget-close`** — per-session byte/frame/record budgets
+//!   ([`SessionLimits`]) close over-limit sessions with a polite
+//!   status-1 reply instead of unbounded ingestion.
+//! * **`handshake-deadline`** — the request preamble must arrive within
+//!   [`ServerConfig::handshake_timeout`]; only then does the socket get
+//!   the (longer) session read timeout.
+//! * **`session-parked`** — when a resumable session's transport dies,
+//!   the session is parked for [`ServerConfig::resume_grace`] and a
+//!   reconnect with its token resumes at the acked byte offset.
 //!
 //! All counters live in a [`pstrace_obs::Registry`] shared by every
 //! worker (per-daemon `pstrace_stream_*` series plus per-session
@@ -17,21 +39,67 @@
 //! [`Server::snapshot`] accessor folds the registry back into plain
 //! numbers for shutdown summaries.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pstrace_obs::{render_prometheus, Registry, Sample};
 use pstrace_soc::{SocModel, UsageScenario};
 use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
-use crate::proto::{read_request, write_reply, Chunk, Hello, Request};
+use crate::proto::{read_request, write_reply, write_resume_ack, Chunk, Hello, Request};
 use crate::session::Session;
+
+/// Per-session ingest budgets. A session crossing any limit is closed
+/// with a polite status-1 reply (degradation path `budget-close`); the
+/// default is unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionLimits {
+    /// Maximum raw stream bytes a session may ingest.
+    pub max_bytes: Option<u64>,
+    /// Maximum complete frames a session may decode.
+    pub max_frames: Option<usize>,
+    /// Maximum records a session may commit.
+    pub max_records: Option<usize>,
+}
+
+impl SessionLimits {
+    /// The first exceeded budget, as a human-readable close message.
+    fn exceeded(&self, m: &crate::session::SessionMetrics) -> Option<String> {
+        if let Some(max) = self.max_bytes {
+            if m.bytes > max {
+                return Some(format!(
+                    "session exceeded its byte budget ({} > {max})",
+                    m.bytes
+                ));
+            }
+        }
+        if let Some(max) = self.max_frames {
+            if m.frames > max {
+                return Some(format!(
+                    "session exceeded its frame budget ({} > {max})",
+                    m.frames
+                ));
+            }
+        }
+        if let Some(max) = self.max_records {
+            if m.records > max {
+                return Some(format!(
+                    "session exceeded its record budget ({} > {max})",
+                    m.records
+                ));
+            }
+        }
+        None
+    }
+}
 
 /// Knobs of the daemon.
 #[derive(Debug, Clone)]
@@ -43,6 +111,16 @@ pub struct ServerConfig {
     /// Per-socket read timeout; a stalled client costs one worker for at
     /// most this long.
     pub read_timeout: Duration,
+    /// Deadline for the request preamble: a connection that has not
+    /// produced its hello within this window is closed (degradation path
+    /// `handshake-deadline`), so slow-loris connects cannot pin workers
+    /// for the full session timeout.
+    pub handshake_timeout: Duration,
+    /// How long a resumable session stays parked after transport death
+    /// before its token expires.
+    pub resume_grace: Duration,
+    /// Per-session ingest budgets.
+    pub limits: SessionLimits,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +129,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             threads: 2,
             read_timeout: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(5),
+            resume_grace: Duration::from_secs(30),
+            limits: SessionLimits::default(),
         }
     }
 }
@@ -73,6 +154,53 @@ pub struct StatsSnapshot {
     pub records: u64,
     /// Damaged frames across all sessions (summed over damage reasons).
     pub damaged_frames: u64,
+    /// Resumable sessions parked after transport death.
+    pub parked: u64,
+    /// Parked sessions picked back up by a resume token.
+    pub resumed: u64,
+    /// Worker panics caught and survived.
+    pub worker_panics: u64,
+    /// Accept-loop errors retried under backoff.
+    pub accept_retries: u64,
+}
+
+/// Bumps `pstrace_degradation_events_total{path=…}` — the one series
+/// every designed degradation path reports through.
+fn degrade(registry: &Registry, path: &str) {
+    registry
+        .counter_with("pstrace_degradation_events_total", &[("path", path)])
+        .inc();
+}
+
+/// A resumable session waiting out its grace period.
+#[derive(Debug)]
+struct Parked {
+    session: Session,
+    scenario: u8,
+    schema: Vec<u8>,
+    deadline: Instant,
+}
+
+/// Everything a worker needs to serve connections.
+#[derive(Debug)]
+struct WorkerCtx {
+    model: Arc<SocModel>,
+    registry: Arc<Registry>,
+    session_seq: AtomicU64,
+    parked: Mutex<HashMap<u64, Parked>>,
+    read_timeout: Duration,
+    handshake_timeout: Duration,
+    resume_grace: Duration,
+    limits: SessionLimits,
+}
+
+impl WorkerCtx {
+    /// Drops parked sessions whose grace period has lapsed (lazy purge:
+    /// runs on every park/resume access, so idle daemons hold nothing).
+    fn purge_expired(&self, now: Instant) {
+        let mut parked = self.parked.lock().expect("parked lock poisoned");
+        parked.retain(|_, p| p.deadline > now);
+    }
 }
 
 /// A running daemon: accept thread plus worker pool.
@@ -118,17 +246,23 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let session_seq = Arc::new(AtomicU64::new(1));
+        let ctx = Arc::new(WorkerCtx {
+            model,
+            registry: Arc::clone(&registry),
+            session_seq: AtomicU64::new(1),
+            parked: Mutex::new(HashMap::new()),
+            read_timeout: config.read_timeout,
+            handshake_timeout: config.handshake_timeout,
+            resume_grace: config.resume_grace,
+            limits: config.limits,
+        });
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..config.threads.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let model = Arc::clone(&model);
-                let registry = Arc::clone(&registry);
-                let session_seq = Arc::clone(&session_seq);
-                let timeout = config.read_timeout;
+                let ctx = Arc::clone(&ctx);
                 std::thread::spawn(move || loop {
                     // Holding the lock only for the recv keeps the pool
                     // honest: one idle worker parks here, the rest wait.
@@ -136,25 +270,50 @@ impl Server {
                         Ok(s) => s,
                         Err(_) => return, // accept loop gone: drain done
                     };
-                    let _ = serve_conn(&model, stream, timeout, &registry, &session_seq);
+                    // A panicking session must cost exactly that session:
+                    // catch it, count it, keep the worker serving.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = serve_conn(&ctx, stream);
+                    }));
+                    if outcome.is_err() {
+                        ctx.registry
+                            .counter("pstrace_stream_worker_panics_total")
+                            .inc();
+                        degrade(&ctx.registry, "worker-respawn");
+                    }
                 })
             })
             .collect();
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
             std::thread::spawn(move || {
+                // A failing accept(2) (EMFILE, ECONNABORTED, …) is
+                // retried under capped exponential backoff, never fatal:
+                // the daemon must outlive transient resource pressure.
+                let initial = Duration::from_millis(5);
+                let cap = Duration::from_secs(1);
+                let mut backoff = initial;
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff = initial;
                             if tx.send(stream).is_err() {
                                 return;
                             }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
+                            std::thread::sleep(initial);
                         }
-                        Err(_) => return,
+                        Err(_) => {
+                            registry
+                                .counter("pstrace_stream_accept_retries_total")
+                                .inc();
+                            degrade(&registry, "accept-retry");
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(cap);
+                        }
                     }
                 }
                 // Dropping `tx` unblocks the workers' recv with Err.
@@ -228,6 +387,10 @@ pub fn snapshot_from(registry: &Registry) -> StatsSnapshot {
             "pstrace_stream_frames_total" => snap.frames += v,
             "pstrace_stream_records_total" => snap.records += v,
             "pstrace_stream_damaged_frames_total" => snap.damaged_frames += v,
+            "pstrace_stream_parked_total" => snap.parked += v,
+            "pstrace_stream_resumed_total" => snap.resumed += v,
+            "pstrace_stream_worker_panics_total" => snap.worker_panics += v,
+            "pstrace_stream_accept_retries_total" => snap.accept_retries += v,
             _ => {}
         }
     }
@@ -282,23 +445,69 @@ fn open_session(
     ))
 }
 
+/// What pumping chunks into a session ended with.
+enum Pumped {
+    /// FINISH arrived; the rendered report.
+    Done(String),
+    /// The transport died mid-stream; the session comes back so a
+    /// resumable caller can park it.
+    Dead(Box<Session>, StreamError),
+    /// A budget was exceeded; the polite close message.
+    Over(String),
+}
+
+/// Reads chunks into `session` until FINISH, transport death or a blown
+/// budget. Shared by the plain and resumable ingest paths.
+fn pump(ctx: &WorkerCtx, reader: &mut impl io::Read, mut session: Session, scenario: u8) -> Pumped {
+    loop {
+        match crate::proto::read_chunk(reader) {
+            Ok(Chunk::Data(bytes)) => {
+                session.push_chunk(&bytes);
+                if let Some(msg) = ctx.limits.exceeded(&session.metrics()) {
+                    degrade(&ctx.registry, "budget-close");
+                    return Pumped::Over(msg);
+                }
+            }
+            Ok(Chunk::Finish { bit_len }) => {
+                let report = session.finish(Some(bit_len));
+                return Pumped::Done(format!(
+                    "session over scenario {} ({:?} match)\n{}",
+                    scenario,
+                    report.mode,
+                    report.render()
+                ));
+            }
+            Err(e) => return Pumped::Dead(Box::new(session), e),
+        }
+    }
+}
+
 /// Drives one connection: dispatches on the request preamble, then either
 /// serves the metrics exposition or runs a full session. Session failures
 /// are reported to the client (status 1) *and* returned, so tests can
 /// observe them; they also bump `pstrace_stream_failed_total`.
-fn serve_conn(
-    model: &SocModel,
-    stream: TcpStream,
-    timeout: Duration,
-    registry: &Arc<Registry>,
-    session_seq: &AtomicU64,
-) -> Result<(), StreamError> {
-    stream.set_read_timeout(Some(timeout))?;
+fn serve_conn(ctx: &WorkerCtx, stream: TcpStream) -> Result<(), StreamError> {
+    // The preamble gets the short handshake deadline; only a validated
+    // request earns the full session timeout.
+    stream.set_read_timeout(Some(ctx.handshake_timeout))?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(stream.try_clone()?);
 
-    let hello = match read_request(&mut reader)? {
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => {
+            degrade(&ctx.registry, "handshake-deadline");
+            // Best effort: the peer may be gone or never spoke PSTS.
+            let _ = write_reply(&mut writer, false, &e.to_string());
+            let _ = writer.flush();
+            return Err(e);
+        }
+    };
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
+
+    let registry = &ctx.registry;
+    match request {
         Request::Metrics => {
             // A scrape is not a session: it bumps its own counter only.
             registry
@@ -306,57 +515,140 @@ fn serve_conn(
                 .inc();
             write_reply(&mut writer, true, &render_prometheus(registry))?;
             writer.flush()?;
-            return Ok(());
+            Ok(())
         }
-        Request::Session(hello) => hello,
-    };
+        Request::Session(hello) => {
+            registry.counter("pstrace_stream_sessions_total").inc();
+            let active = registry.gauge("pstrace_stream_active_sessions");
+            active.add(1);
+            let session_id = ctx.session_seq.fetch_add(1, Ordering::Relaxed);
+            let outcome = match open_session(&ctx.model, &hello, registry, session_id) {
+                Ok(session) => match pump(ctx, &mut reader, session, hello.scenario) {
+                    Pumped::Done(report) => Ok(report),
+                    Pumped::Dead(_, e) => Err(e),
+                    Pumped::Over(msg) => Err(StreamError::Protocol(msg)),
+                },
+                Err(e) => Err(e),
+            };
+            active.sub(1);
+            finish_reply(registry, &mut writer, outcome)
+        }
+        Request::Resume { token, hello } => {
+            serve_resume(ctx, &mut reader, &mut writer, token, hello)
+        }
+    }
+}
 
-    registry.counter("pstrace_stream_sessions_total").inc();
-    let active = registry.gauge("pstrace_stream_active_sessions");
-    active.add(1);
-    let session_id = session_seq.fetch_add(1, Ordering::Relaxed);
-    let outcome = ingest(model, &mut reader, &hello, registry, session_id);
-    active.sub(1);
+/// Sends the final session reply and keeps the completion counters
+/// honest. Failures are best-effort on the wire (the peer may be gone)
+/// but always surfaced to the caller.
+fn finish_reply(
+    registry: &Registry,
+    writer: &mut impl io::Write,
+    outcome: Result<String, StreamError>,
+) -> Result<(), StreamError> {
     match outcome {
         Ok(report) => {
             registry.counter("pstrace_stream_completed_total").inc();
-            write_reply(&mut writer, true, &report)?;
+            write_reply(writer, true, &report)?;
             writer.flush()?;
             Ok(())
         }
         Err(e) => {
             registry.counter("pstrace_stream_failed_total").inc();
-            // Best effort: the peer may already be gone.
-            let _ = write_reply(&mut writer, false, &e.to_string());
+            let _ = write_reply(writer, false, &e.to_string());
             let _ = writer.flush();
             Err(e)
         }
     }
 }
 
-/// The chunks → report state machine, factored out so transport errors
-/// and session errors share one path. Byte/frame/record counting happens
-/// inside the observed [`Session`] itself.
-fn ingest(
-    model: &SocModel,
+/// The resumable path: ack `resume <token> <offset>`, pump chunks, and
+/// on transport death park the session for the grace period instead of
+/// failing it.
+fn serve_resume(
+    ctx: &WorkerCtx,
     reader: &mut impl io::Read,
-    hello: &Hello,
-    registry: &Arc<Registry>,
-    session_id: u64,
-) -> Result<String, StreamError> {
-    let mut session = open_session(model, hello, registry, session_id)?;
-    let report = loop {
-        match crate::proto::read_chunk(reader)? {
-            Chunk::Data(bytes) => {
-                session.push_chunk(&bytes);
+    writer: &mut impl io::Write,
+    token: u64,
+    hello: Hello,
+) -> Result<(), StreamError> {
+    let registry = &ctx.registry;
+    ctx.purge_expired(Instant::now());
+
+    let (token, session) = if token == 0 {
+        // Fresh resumable session.
+        registry.counter("pstrace_stream_sessions_total").inc();
+        let session_id = ctx.session_seq.fetch_add(1, Ordering::Relaxed);
+        let session = match open_session(&ctx.model, &hello, registry, session_id) {
+            Ok(s) => s,
+            Err(e) => {
+                registry.counter("pstrace_stream_failed_total").inc();
+                let _ = write_reply(writer, false, &e.to_string());
+                let _ = writer.flush();
+                return Err(e);
             }
-            Chunk::Finish { bit_len } => break session.finish(Some(bit_len)),
+        };
+        (session_id, session)
+    } else {
+        // Pick a parked session back up.
+        let parked = {
+            let mut map = ctx.parked.lock().expect("parked lock poisoned");
+            map.remove(&token)
+        };
+        let Some(parked) = parked else {
+            degrade(registry, "resume-expired");
+            let e = StreamError::Protocol(format!("unknown or expired resume token {token}"));
+            let _ = write_reply(writer, false, &e.to_string());
+            let _ = writer.flush();
+            return Err(e);
+        };
+        if parked.schema != hello.schema || parked.scenario != hello.scenario {
+            // A mismatched resume is a client bug; the parked session
+            // goes back to wait for the right one.
+            let deadline = parked.deadline;
+            ctx.parked
+                .lock()
+                .expect("parked lock poisoned")
+                .insert(token, Parked { deadline, ..parked });
+            let e =
+                StreamError::Protocol("resume hello does not match the parked session".to_owned());
+            let _ = write_reply(writer, false, &e.to_string());
+            let _ = writer.flush();
+            return Err(e);
         }
+        registry.counter("pstrace_stream_resumed_total").inc();
+        (token, parked.session)
     };
-    Ok(format!(
-        "session over scenario {} ({:?} match)\n{}",
-        hello.scenario,
-        report.mode,
-        report.render()
-    ))
+
+    // The ack: the authoritative byte offset ingest will continue from.
+    let offset = session.metrics().bytes;
+    write_resume_ack(writer, token, offset)?;
+    writer.flush()?;
+
+    let active = registry.gauge("pstrace_stream_active_sessions");
+    active.add(1);
+    let scenario = hello.scenario;
+    let pumped = pump(ctx, reader, session, scenario);
+    active.sub(1);
+    match pumped {
+        Pumped::Done(report) => finish_reply(registry, writer, Ok(report)),
+        Pumped::Over(msg) => finish_reply(registry, writer, Err(StreamError::Protocol(msg))),
+        Pumped::Dead(session, e) => {
+            // The socket is gone — no reply can land. Park the session
+            // so the client's reconnect picks it up at the acked offset.
+            registry.counter("pstrace_stream_parked_total").inc();
+            degrade(registry, "session-parked");
+            ctx.parked.lock().expect("parked lock poisoned").insert(
+                token,
+                Parked {
+                    session: *session,
+                    scenario,
+                    schema: hello.schema,
+                    deadline: Instant::now() + ctx.resume_grace,
+                },
+            );
+            Err(e)
+        }
+    }
 }

@@ -60,6 +60,12 @@ pub struct SessionReport {
     pub damaged: Vec<DamagedFrame>,
     /// The final localization.
     pub localization: Localization,
+    /// Times the localizer re-anchored after damage emptied its
+    /// frontier (see [`OnlineLocalizer::resync`]).
+    pub resyncs: usize,
+    /// When resyncs happened: records before this index are unknown to
+    /// the final localization.
+    pub unknown_since: Option<usize>,
     /// The match mode the session localized under.
     pub mode: MatchMode,
     /// Schema-declared per-frame utilization.
@@ -93,6 +99,16 @@ impl SessionReport {
         );
         for d in &self.damaged {
             let _ = writeln!(out, "    damaged frame {}: {}", d.frame, d.reason);
+        }
+        if self.resyncs > 0 {
+            let since = self.unknown_since.unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  resync          : {} localizer resync{} after damage; paths unknown before record {}",
+                self.resyncs,
+                if self.resyncs == 1 { "" } else { "s" },
+                since
+            );
         }
         let _ = writeln!(
             out,
@@ -150,6 +166,14 @@ impl SessionObserver {
             .inc();
         self.session_damaged.inc();
     }
+
+    /// Marks one designed degradation-path activation
+    /// (`pstrace_degradation_events_total{path=…}`).
+    fn degrade(&self, path: &str) {
+        self.registry
+            .counter_with("pstrace_degradation_events_total", &[("path", path)])
+            .inc();
+    }
 }
 
 /// The per-session state machine: schema-owning decoder, the one-record
@@ -169,6 +193,9 @@ pub struct Session {
     pending: Option<(usize, WireRecord)>,
     /// Time of the newest *committed* record.
     committed_time: u64,
+    /// Damaged frames seen since the last localizer resync — the gate
+    /// that keeps clean-but-inconsistent streams from ever resyncing.
+    damage_since_resync: usize,
     records: usize,
     bytes: u64,
     chunks: u64,
@@ -194,6 +221,7 @@ impl Session {
             damaged: Vec::new(),
             pending: None,
             committed_time: 0,
+            damage_since_resync: 0,
             records: 0,
             bytes: 0,
             chunks: 0,
@@ -234,7 +262,26 @@ impl Session {
         if let Some(o) = &self.obs {
             o.damage(&damaged.reason);
         }
+        self.damage_since_resync += 1;
         self.damaged.push(damaged);
+    }
+
+    /// The self-healing gate, checked at chunk boundaries: when damage
+    /// has emptied the frontier (`consistent == 0` *and* frames were
+    /// damaged since the last resync), re-anchor the localizer so it
+    /// re-narrows over what follows instead of staying empty forever.
+    /// A clean stream — even one whose trace is genuinely inconsistent
+    /// with every path — never trips the gate, so undamaged sessions
+    /// stay bit-identical to batch localization.
+    fn maybe_resync(&mut self) {
+        if self.damage_since_resync == 0 || self.localizer.consistent() != 0 {
+            return;
+        }
+        self.localizer.resync();
+        self.damage_since_resync = 0;
+        if let Some(o) = &self.obs {
+            o.degrade("localizer-resync");
+        }
     }
 
     /// The online mirror of the batch decoder's monotonicity pass: at
@@ -305,6 +352,7 @@ impl Session {
             }
             self.frames = ready;
         }
+        self.maybe_resync();
         if let Some(o) = &self.obs {
             // Refresh the live frontier gauges once per chunk, not per
             // record — the gauge write is cheap but the chunk boundary is
@@ -363,6 +411,7 @@ impl Session {
         if let Some((_, p)) = self.pending.take() {
             self.commit(&p);
         }
+        self.maybe_resync();
         self.damaged.sort_by_key(|d| d.frame);
         if let Some(o) = &self.obs {
             o.registry
@@ -374,6 +423,8 @@ impl Session {
         SessionReport {
             metrics: self.metrics(),
             localization: self.localizer.localization(),
+            resyncs: self.localizer.resyncs(),
+            unknown_since: self.localizer.unknown_since(),
             mode: self.localizer.mode(),
             utilization: self.schema.utilization(),
             bytes_per_sec: self.bytes as f64 / elapsed,
@@ -550,6 +601,81 @@ mod tests {
         let plain_report = plain.finish(Some(stream.bit_len));
         assert_eq!(plain_report.damaged, report.damaged);
         assert_eq!(plain_report.localization, report.localization);
+    }
+
+    #[test]
+    fn damage_plus_dead_frontier_triggers_exactly_one_resync() {
+        let (u, schema) = setup();
+        let base = records(&u);
+        let m = base[0].message;
+        // Eight repeats of one message kill every path's prefix; a spike
+        // in the middle supplies the damage the resync gate requires.
+        let mut recs: Vec<WireRecord> = (0..8)
+            .map(|i| WireRecord {
+                time: (i as u64 + 1) * 4,
+                message: m,
+                value: 1,
+                partial: false,
+            })
+            .collect();
+        recs[3].time = 1 << 20; // isolated forward spike → damaged frame
+        let selected = observed_messages(&schema);
+        let observed: Vec<IndexedMessage> = vec![m; 7];
+        assert_eq!(
+            pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix).consistent,
+            0,
+            "precondition: the repeated message must kill every path"
+        );
+
+        let stream = encode_records(&schema, &recs, None).unwrap();
+        let registry = Arc::new(Registry::new());
+        let mut session = Session::observed(
+            &u,
+            schema.clone(),
+            MatchMode::Prefix,
+            Arc::clone(&registry),
+            9,
+        );
+        for chunk in stream.bytes.chunks(2) {
+            session.push_chunk(chunk);
+        }
+        let report = session.finish(Some(stream.bit_len));
+        assert_eq!(report.resyncs, 1, "one resync, then no further damage");
+        assert!(report.unknown_since.is_some());
+        assert!(
+            report
+                .render()
+                .contains("resync          : 1 localizer resync"),
+            "report: {}",
+            report.render()
+        );
+        assert_eq!(
+            registry
+                .counter_with(
+                    "pstrace_degradation_events_total",
+                    &[("path", "localizer-resync")]
+                )
+                .get(),
+            1
+        );
+
+        // A clean stream — even a wildly inconsistent one — never
+        // resyncs: no damage, no gate.
+        let clean: Vec<WireRecord> = (0..8)
+            .map(|i| WireRecord {
+                time: (i as u64 + 1) * 4,
+                message: m,
+                value: 1,
+                partial: false,
+            })
+            .collect();
+        let stream = encode_records(&schema, &clean, None).unwrap();
+        let mut session = Session::new(&u, schema, MatchMode::Prefix);
+        session.push_chunk(&stream.bytes);
+        let report = session.finish(Some(stream.bit_len));
+        assert_eq!(report.resyncs, 0);
+        assert_eq!(report.localization.consistent, 0);
+        assert!(!report.render().contains("resync"));
     }
 
     #[test]

@@ -33,6 +33,11 @@ run cargo test -q --locked --workspace
 run cargo test -q --locked --test stream_smoke
 run cargo bench --no-run --locked --workspace
 
+# Chaos-soak smoke: a seeded fault-injection run against a live daemon.
+# The command exits nonzero if the survival criteria are breached.
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    chaos --seed 7 --sessions 3 --intensity light --records 400
+
 # Profile smoke: the deterministic manual clock makes the span timeline
 # reproducible; the checker wants valid Chrome trace JSON with the
 # pipeline's phase names.

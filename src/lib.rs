@@ -37,7 +37,11 @@
 //!   daemon (`pstraced`) and the replay client behind `pstrace stream`;
 //! * [`obs`] — the observability layer: a global-free metrics registry,
 //!   deterministic timing spans and the Prometheus / Chrome-trace
-//!   exporters behind `--profile` and the daemon's `METRICS` verb.
+//!   exporters behind `--profile` and the daemon's `METRICS` verb;
+//! * [`faults`] — seeded deterministic fault injection at the wire,
+//!   transport and session seams, with the soak harness behind
+//!   `pstrace chaos` that scores the hardened ingest pipeline for
+//!   survival.
 //!
 //! # Quickstart
 //!
@@ -79,6 +83,7 @@
 
 pub use pstrace_bug as bug;
 pub use pstrace_diag as diag;
+pub use pstrace_faults as faults;
 pub use pstrace_flow as flow;
 pub use pstrace_infogain as infogain;
 pub use pstrace_obs as obs;

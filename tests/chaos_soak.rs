@@ -1,0 +1,152 @@
+//! Seeded chaos soak: tens of thousands of injected faults against the
+//! live ingest pipeline, scored for survival and determinism.
+//!
+//! Acceptance criteria pinned here:
+//! * a seeded soak injects >= 10k faults with zero worker panics and the
+//!   daemon still serves a clean session afterward, bit-identical to the
+//!   batch pipeline;
+//! * an identical seed reproduces the identical fault ledger;
+//! * online localization over undamaged prefixes is bit-identical to
+//!   batch `consistent_paths` at every prefix length;
+//! * reconnect-path faults (drops, disconnects) drive the park/resume
+//!   machinery without breaking survival.
+
+use pstrace::diag::{consistent_paths, MatchMode, OnlineLocalizer};
+use pstrace::faults::{run_soak, FaultPlan, SoakConfig};
+use pstrace::flow::{FlowIndex, IndexedMessage};
+use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
+use pstrace::soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace::stream::observed_messages;
+use pstrace::wire::{decode_stream, encode_records, WireRecord};
+
+#[test]
+fn seeded_soak_injects_over_10k_faults_and_survives() {
+    let plan = FaultPlan::heavy(0x00c0_ffee).without_reconnect_faults();
+    let mut config = SoakConfig::new(plan);
+    config.sessions = 4;
+    config.records = 12_000;
+    config.chunk_bytes = 2_048;
+    let report = run_soak(&config).expect("harness builds");
+
+    assert!(
+        report.ledger.len() >= 10_000,
+        "expected >= 10k injected faults, got {}:\n{}",
+        report.ledger.len(),
+        report.render()
+    );
+    assert_eq!(
+        report.snapshot.worker_panics,
+        0,
+        "a worker panic escaped:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.completed + report.failed,
+        config.sessions,
+        "every session must end gracefully:\n{}",
+        report.render()
+    );
+    // No reconnect-path faults: every corrupted session still completes
+    // (damage degrades the answer, never the protocol).
+    assert_eq!(report.completed, config.sessions, "{}", report.render());
+    assert!(
+        report.probe_completed && report.probe_matches_batch,
+        "post-storm clean probe must be bit-identical to batch:\n{}",
+        report.render()
+    );
+    report.survival().expect("survival criteria hold");
+}
+
+#[test]
+fn identical_seed_reproduces_identical_fault_ledger() {
+    let plan = FaultPlan::standard(99).without_reconnect_faults();
+    let mut config = SoakConfig::new(plan);
+    config.sessions = 2;
+    config.records = 800;
+    let a = run_soak(&config).expect("harness builds");
+    let b = run_soak(&config).expect("harness builds");
+    assert!(!a.ledger.is_empty(), "the standard plan injects faults");
+    assert_eq!(a.ledger.len(), b.ledger.len());
+    assert_eq!(
+        a.ledger.fingerprint(),
+        b.ledger.fingerprint(),
+        "same seed must reproduce the same fault ledger:\n{}\nvs\n{}",
+        a.render(),
+        b.render()
+    );
+    // A different seed must not.
+    let mut other = config.clone();
+    other.plan = FaultPlan::standard(100).without_reconnect_faults();
+    let c = run_soak(&other).expect("harness builds");
+    assert_ne!(a.ledger.fingerprint(), c.ledger.fingerprint());
+}
+
+#[test]
+fn reconnect_faults_drive_park_resume_and_daemon_survives() {
+    let mut config = SoakConfig::new(FaultPlan::heavy(7));
+    config.sessions = 3;
+    config.records = 1_500;
+    config.chunk_bytes = 128;
+    let report = run_soak(&config).expect("harness builds");
+
+    assert_eq!(report.snapshot.worker_panics, 0, "{}", report.render());
+    assert_eq!(
+        report.completed + report.failed,
+        config.sessions,
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.probe_completed && report.probe_matches_batch,
+        "daemon must still serve clean sessions after the storm:\n{}",
+        report.render()
+    );
+    report.survival().expect("survival criteria hold");
+}
+
+#[test]
+fn online_localization_matches_batch_on_every_undamaged_prefix() {
+    // The scenario-1 fixture the soak replays, kept small enough to run
+    // the batch DP at every prefix length.
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let flow = scenario.interleaving(&model).expect("interleaves");
+    let selection = Selector::new(&flow, SelectionConfig::new(buffer))
+        .select()
+        .expect("selection succeeds");
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: None,
+    };
+    let schema = wirecap::wire_schema(&model, &config, buffer.width_bits()).expect("schema fits");
+    let slots = schema.slots().to_vec();
+    let stream: Vec<WireRecord> = (0..64)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1u64 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    let encoded = encode_records(&schema, &stream, None).expect("encodes");
+    let report = decode_stream(&schema, &encoded.bytes, Some(encoded.bit_len));
+    assert!(report.damaged.is_empty(), "the clean stream has no damage");
+
+    let observed: Vec<IndexedMessage> = report.records.iter().map(|r| r.message).collect();
+    let selected = observed_messages(&schema);
+    let mut online = OnlineLocalizer::new(&flow, &selected, MatchMode::Prefix);
+    for n in 1..=observed.len() {
+        online.push(observed[n - 1]);
+        let batch = consistent_paths(&flow, &observed[..n], &selected, MatchMode::Prefix);
+        assert_eq!(
+            online.consistent(),
+            batch,
+            "online diverged from batch consistent_paths at prefix {n}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Malformed `.ptw` input never panics: every corruption lands on a
+//! typed error (or an empty-but-valid decode), across the batch decoder,
+//! the replay client, and a live daemon session.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pstrace::diag::MatchMode;
+use pstrace::flow::{FlowIndex, IndexedMessage};
+use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
+use pstrace::soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace::stream::{proto, stream_ptw, Server, ServerConfig, StreamError};
+use pstrace::wire::{decode_stream, encode_records, read_ptw, write_ptw, WireRecord, WireSchema};
+
+/// A small valid scenario-1 capture: `(schema, ptw bytes, payload bits)`.
+fn fixture(records: usize) -> (SocModel, WireSchema, Vec<u8>) {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let flow = scenario.interleaving(&model).expect("interleaves");
+    let selection = Selector::new(&flow, SelectionConfig::new(buffer))
+        .select()
+        .expect("selection succeeds");
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: None,
+    };
+    let schema = wirecap::wire_schema(&model, &config, buffer.width_bits()).expect("schema fits");
+    let slots = schema.slots().to_vec();
+    let stream: Vec<WireRecord> = (0..records)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1u64 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    let encoded = encode_records(&schema, &stream, None).expect("encodes");
+    let ptw = write_ptw(model.catalog(), &schema, &encoded);
+    (model, schema, ptw)
+}
+
+#[test]
+fn truncated_header_is_a_typed_error() {
+    let (model, _, ptw) = fixture(40);
+    // Every truncation point inside the header must error, never panic.
+    for cut in [0usize, 1, 3, 4, 5, 8, 12, 13] {
+        let err = read_ptw(model.catalog(), &ptw[..cut.min(ptw.len())]);
+        assert!(err.is_err(), "header cut at {cut} bytes must error");
+    }
+}
+
+#[test]
+fn garbage_catalog_names_are_a_typed_error() {
+    let (model, _, ptw) = fixture(40);
+    // Stomp the slot table (everything past the fixed 13-byte header):
+    // slot names become garbage the catalog cannot resolve.
+    let mut bad = ptw.clone();
+    for b in bad.iter_mut().skip(13).take(32) {
+        *b = 0xFF;
+    }
+    assert!(
+        read_ptw(model.catalog(), &bad).is_err(),
+        "garbage slot table must be rejected"
+    );
+    // Foreign magic likewise.
+    let mut foreign = ptw;
+    foreign[..4].copy_from_slice(b"NOPE");
+    assert!(read_ptw(model.catalog(), &foreign).is_err());
+}
+
+#[test]
+fn mid_file_eof_is_a_typed_error_everywhere() {
+    let (model, _, ptw) = fixture(40);
+    let (_, consumed) = pstrace::wire::read_ptw_schema(model.catalog(), &ptw).expect("valid");
+
+    // Cut inside the payload-length field.
+    let short_len = &ptw[..consumed + 3];
+    assert!(read_ptw(model.catalog(), short_len).is_err());
+
+    // Cut mid-payload: the declared bit length outruns the bytes.
+    let payload_len = ptw.len() - consumed - 8;
+    let mid = &ptw[..consumed + 8 + payload_len / 2];
+    assert!(read_ptw(model.catalog(), mid).is_err());
+
+    // The replay client validates the same way before touching a socket,
+    // so a daemon never sees the malformed container.
+    let err = stream_ptw(
+        "127.0.0.1:1", // never connected: validation fails first
+        model.catalog(),
+        1,
+        MatchMode::Prefix,
+        mid,
+        64,
+    )
+    .expect_err("client rejects the truncated container");
+    assert!(
+        !matches!(err, StreamError::Io(_)),
+        "must fail on validation, not transport: {err}"
+    );
+}
+
+#[test]
+fn zero_length_body_decodes_to_zero_frames_and_streams_cleanly() {
+    let (model, schema, _) = fixture(1);
+    let empty = encode_records(&schema, &[], None).expect("empty stream encodes");
+    assert_eq!(empty.bit_len, 0);
+    let ptw = write_ptw(model.catalog(), &schema, &empty);
+
+    // Batch: a valid container with zero frames, not an error.
+    let (schema_back, stream_back) = read_ptw(model.catalog(), &ptw).expect("parses");
+    assert_eq!(schema_back.frame_bits(), schema.frame_bits());
+    let report = decode_stream(&schema_back, &stream_back.bytes, Some(stream_back.bit_len));
+    assert_eq!(report.frames, 0);
+    assert!(report.records.is_empty());
+
+    // Live: the session completes with zero records.
+    let server = Server::spawn(Arc::new(SocModel::t2()), &ServerConfig::default()).unwrap();
+    let reply = stream_ptw(
+        server.local_addr(),
+        model.catalog(),
+        1,
+        MatchMode::Prefix,
+        &ptw,
+        64,
+    )
+    .expect("zero-length session completes");
+    assert!(reply.contains("records"), "report renders: {reply}");
+    let snap = server.snapshot();
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.records, 0);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_handshake_is_rejected_and_the_daemon_survives() {
+    let (model, _, ptw) = fixture(40);
+    let server = Server::spawn(Arc::new(SocModel::t2()), &ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A hello whose schema bytes are not a `.ptw` prefix: the server must
+    // reject the session with a typed remote error, not die.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    proto::write_hello(&mut writer, 1, MatchMode::Prefix, b"this is not a schema").unwrap();
+    let err = proto::read_reply(&mut reader).expect_err("server rejects garbage schema");
+    assert!(
+        matches!(err, StreamError::Remote(_)),
+        "typed rejection: {err}"
+    );
+    drop(reader);
+    drop(writer);
+
+    // A bad scenario number on an otherwise valid handshake likewise.
+    let err = stream_ptw(addr, model.catalog(), 77, MatchMode::Prefix, &ptw, 64)
+        .expect_err("scenario 77 does not exist");
+    assert!(
+        matches!(err, StreamError::Remote(_)),
+        "typed rejection: {err}"
+    );
+
+    // The daemon shrugged both off: a valid session still completes.
+    stream_ptw(addr, model.catalog(), 1, MatchMode::Prefix, &ptw, 64)
+        .expect("daemon survives malformed handshakes");
+    let snap = server.snapshot();
+    assert_eq!(snap.completed, 1);
+    assert!(snap.failed >= 2, "both rejections were counted: {snap:?}");
+    server.shutdown();
+}
