@@ -1,0 +1,85 @@
+//! Fleet-scale ingest: aggregate records/s of the sharded event-loop
+//! daemon under 1k+ simultaneous chaos-wrapped sessions.
+//!
+//! Not a criterion bench: one soak run at this scale takes seconds, so
+//! the statistics of interest are the soak's own (sessions completed,
+//! aggregate records/s, faults injected), printed as a table per shard
+//! count. Every run must meet the soak survival criteria — zero worker
+//! panics and a post-storm clean probe bit-identical to the batch
+//! pipeline — or the bench panics.
+//!
+//! On a multi-core host records/s is expected to rise monotonically
+//! from 1 shard to 4; that expectation is only *asserted* when the host
+//! reports ≥4 cores, because shards are worker threads and cannot scale
+//! past the physical parallelism underneath them.
+//!
+//! `--test` (as passed by `cargo test --benches`) runs a miniature
+//! configuration so CI compile-and-run checks stay fast.
+
+use std::time::Duration;
+
+use pstrace_faults::{run_soak, watchdog, FaultPlan, SoakConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let (sessions, records, concurrency) = if quick {
+        (64usize, 60usize, 32usize)
+    } else {
+        (1_024, 120, 1_024)
+    };
+    let _guard = watchdog(Duration::from_secs(1_800), "fleet bench");
+
+    println!(
+        "fleet ingest: {sessions} chaos-wrapped sessions ({concurrency} concurrent), \
+         {records} records each, light plan"
+    );
+    println!(
+        "{:<7} {:>12} {:>10} {:>10} {:>8} {:>8} {:>9}",
+        "shards", "records/s", "elapsed_s", "completed", "failed", "parked", "handoffs"
+    );
+
+    let mut rates = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let plan = FaultPlan::light(0x000f_1ee7).without_reconnect_faults();
+        let mut config = SoakConfig::new(plan);
+        config.sessions = sessions;
+        config.records = records;
+        config.chunk_bytes = 1_024;
+        config.shards = shards;
+        config.concurrency = concurrency;
+        let report = run_soak(&config).expect("harness builds");
+        if let Err(violations) = report.survival() {
+            panic!(
+                "fleet soak at {shards} shard(s) failed survival:\n{violations}\n{}",
+                report.render()
+            );
+        }
+        println!(
+            "{:<7} {:>12.0} {:>10.2} {:>10} {:>8} {:>8} {:>9}",
+            shards,
+            report.records_per_sec,
+            report.elapsed.as_secs_f64(),
+            report.completed,
+            report.failed,
+            report.snapshot.parked,
+            report.snapshot.handoffs,
+        );
+        rates.push(report.records_per_sec);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    if cores >= 4 {
+        assert!(
+            rates[2] > rates[0],
+            "4 shards must out-ingest 1 shard on a {cores}-core host \
+             ({:.0} vs {:.0} records/s)",
+            rates[2],
+            rates[0]
+        );
+    } else {
+        println!("(<4 cores: shard-scaling assertion skipped — shards cannot outrun the host)");
+    }
+}

@@ -3,7 +3,8 @@
 //! Equivalent to `pstrace serve`; every flag is forwarded:
 //!
 //! ```text
-//! pstraced [--addr HOST:PORT] [--threads N] [--sessions N]
+//! pstraced [--addr HOST:PORT] [--shards N] [--sessions N]
+//!          [--max-sessions N] [--tenant-quota N] [--metrics-addr HOST:PORT]
 //! ```
 
 use std::process::ExitCode;

@@ -48,9 +48,11 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "select-file" => cmd_select_file(rest),
         "trace" => cmd_trace(rest),
         "serve" => cmd_serve(rest),
+        "stop" => cmd_stop(rest),
         "stream" => cmd_stream(rest),
         "metrics" => cmd_metrics(rest),
         "chaos" => cmd_chaos(rest),
+        "fleet" => cmd_fleet(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -71,16 +73,21 @@ fn print_help() {
     println!("           [--no-packing] [--depth D]    pack a text trace into .ptw frames");
     println!("  trace    decode FILE [--out OUT.txt] [--threads N|auto|off]");
     println!("                                         decode a .ptw stream back to text");
-    println!("  serve    [--addr HOST:PORT] [--threads N] [--sessions N]");
+    println!("  serve    [--addr HOST:PORT] [--shards N] [--sessions N]");
+    println!("           [--max-sessions N] [--tenant-quota N]");
     println!("           [--metrics-addr HOST:PORT]    run the live trace ingest daemon");
+    println!("  stop     [--addr HOST:PORT]            ask a daemon to drain and exit");
     println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
     println!("           [--retries N]                 replay a .ptw capture to a daemon");
     println!("                                         (--retries uses the resumable client)");
     println!("  metrics  [--addr HOST:PORT]            fetch a daemon's Prometheus metrics");
     println!("  chaos    [--seed S] [--sessions N] [--intensity quiet|light|standard|heavy]");
-    println!("           [--records N] [--chunk B] [--threads N] [--reconnect-faults]");
-    println!("                                         seeded fault-injection soak against a");
+    println!("           [--records N] [--chunk B] [--shards N] [--concurrency N]");
+    println!("           [--reconnect-faults]          seeded fault-injection soak against a");
     println!("                                         live daemon; fails on survival breach");
+    println!("  fleet    [--sessions N] [--concurrency N] [--shards N] [--records N]");
+    println!("           [--json FILE]                 fleet-scale concurrent ingest soak;");
+    println!("                                         prints aggregate records/s");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -611,50 +618,79 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
 ///
 /// `--sessions N` exits after N sessions have completed or failed
 /// (0 = bind, print the address, shut straight down — a smoke check);
-/// without it the daemon serves until killed.
+/// without it the daemon serves until a client's SHUTDOWN verb
+/// (`pstrace stop`) asks it to drain. Either way the exit path is the
+/// same: drain every shard, print the summary exactly once, join every
+/// thread — nothing is leaked, with or without a session limit.
 fn cmd_serve(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
         &[],
-        &["addr", "threads", "sessions", "metrics-addr"],
+        &[
+            "addr",
+            "shards",
+            "threads",
+            "sessions",
+            "max-sessions",
+            "tenant-quota",
+            "metrics-addr",
+        ],
     )?;
+    // `--threads` is the pre-fleet spelling of `--shards`; still honored.
+    let shards = match args.option_opt::<usize>("shards")? {
+        Some(n) => n,
+        None => args.option_or("threads", 2usize)?,
+    };
     let config = pstrace_stream::ServerConfig {
         addr: args.option("addr").unwrap_or("127.0.0.1:7455").to_owned(),
-        threads: args.option_or("threads", 2usize)?,
+        shards,
+        max_sessions: args.option_opt("max-sessions")?,
+        tenant_quota: args.option_opt("tenant-quota")?,
         ..pstrace_stream::ServerConfig::default()
     };
     let sessions: Option<u64> = args.option_opt("sessions")?;
     let model = Arc::new(SocModel::t2());
     let server = pstrace_stream::Server::spawn(model, &config)?;
-    println!("serving on {}", server.local_addr());
+    println!(
+        "serving on {} ({} shards)",
+        server.local_addr(),
+        shards.max(1)
+    );
     let endpoint = match args.option("metrics-addr") {
         Some(addr) => {
             let endpoint =
-                pstrace_stream::MetricsEndpoint::spawn(addr, Arc::clone(server.registry()))?;
+                pstrace_stream::MetricsEndpoint::spawn_merged(addr, server.registries())?;
             println!("metrics on http://{}/metrics", endpoint.local_addr());
             Some(endpoint)
         }
         None => None,
     };
-    match sessions {
-        Some(limit) => {
-            loop {
-                let snap = server.snapshot();
-                if snap.completed + snap.failed >= limit {
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(10));
-            }
-            print_server_summary(&server.snapshot());
-            if let Some(endpoint) = endpoint {
-                endpoint.shutdown();
-            }
-            server.shutdown();
+    loop {
+        if server.shutdown_requested() {
+            break;
         }
-        None => loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
-        },
+        if let Some(limit) = sessions {
+            let snap = server.snapshot();
+            if snap.completed + snap.failed >= limit {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
     }
+    if let Some(endpoint) = endpoint {
+        endpoint.shutdown();
+    }
+    // Drain first, then report: the post-drain snapshot is final.
+    print_server_summary(&server.shutdown());
+    Ok(())
+}
+
+/// Asks a running daemon to drain and exit via the PSTS `SHUTDOWN`
+/// verb, printing the daemon's acknowledgement.
+fn cmd_stop(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["addr"])?;
+    let addr = args.option("addr").unwrap_or("127.0.0.1:7455");
+    println!("{}", pstrace_stream::request_shutdown(addr)?);
     Ok(())
 }
 
@@ -763,7 +799,9 @@ fn cmd_chaos(argv: &[String]) -> CmdResult {
             "intensity",
             "records",
             "chunk",
+            "shards",
             "threads",
+            "concurrency",
         ],
     )?;
     let seed = args.option_or("seed", 0xda_c2018u64)?;
@@ -776,13 +814,78 @@ fn cmd_chaos(argv: &[String]) -> CmdResult {
     config.sessions = args.option_or("sessions", config.sessions)?;
     config.records = args.option_or("records", config.records)?;
     config.chunk_bytes = args.option_or("chunk", config.chunk_bytes)?;
-    config.threads = args.option_or("threads", config.threads)?;
+    // `--threads` is the pre-fleet spelling of `--shards`; still honored.
+    config.shards = match args.option_opt::<usize>("shards")? {
+        Some(n) => n,
+        None => args.option_or("threads", config.shards)?,
+    };
+    config.concurrency = args.option_or("concurrency", config.concurrency)?;
 
     let report = pstrace_faults::run_soak(&config)?;
     print!("{}", report.render());
     report
         .survival()
         .map_err(|v| format!("chaos soak failed the survival criteria:\n{v}"))?;
+    Ok(())
+}
+
+/// Fleet-scale ingest measurement: a seeded soak fanned out over many
+/// concurrent client threads against a sharded daemon, reported as
+/// aggregate records/s. `--json FILE` additionally writes the numbers
+/// in the shape `scripts/check_bench.py` compares against
+/// `BENCH_fleet.json`. Exits nonzero on a survival breach, exactly like
+/// `chaos`.
+fn cmd_fleet(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[],
+        &[
+            "seed",
+            "sessions",
+            "intensity",
+            "records",
+            "chunk",
+            "shards",
+            "concurrency",
+            "json",
+        ],
+    )?;
+    let seed = args.option_or("seed", 0xf1ee7u64)?;
+    let intensity = args.option("intensity").unwrap_or("quiet");
+    let plan = pstrace_faults::FaultPlan::by_intensity(intensity, seed)?.without_reconnect_faults();
+    let mut config = pstrace_faults::SoakConfig::new(plan);
+    config.sessions = args.option_or("sessions", 256usize)?;
+    config.records = args.option_or("records", 200usize)?;
+    config.chunk_bytes = args.option_or("chunk", 1024usize)?;
+    config.shards = args.option_or("shards", 4usize)?;
+    config.concurrency = args.option_or("concurrency", 64usize)?;
+
+    // A wedged fleet soak should name itself and die fast, not hang the
+    // terminal (or a CI job) until an external timeout fires.
+    let guard = pstrace_faults::watchdog(std::time::Duration::from_secs(600), "pstrace fleet");
+    let report = pstrace_faults::run_soak(&config)?;
+    drop(guard);
+    print!("{}", report.render());
+
+    if let Some(path) = args.option("json") {
+        let json = format!(
+            "{{\"bench\":\"fleet_ingest\",\"sessions\":{},\"concurrency\":{},\"shards\":{},\
+             \"records_per_session\":{},\"records_total\":{},\"elapsed_sec\":{:.6},\
+             \"records_per_sec\":{:.2}}}\n",
+            report.sessions,
+            report.concurrency,
+            report.shards,
+            config.records,
+            report.completed * config.records,
+            report.elapsed.as_secs_f64(),
+            report.records_per_sec,
+        );
+        std::fs::write(path, json)?;
+        println!("wrote {path}");
+    }
+    report
+        .survival()
+        .map_err(|v| format!("fleet soak failed the survival criteria:\n{v}"))?;
     Ok(())
 }
 
@@ -1158,5 +1261,65 @@ mod tests {
         ]))
         .is_ok());
         assert!(dispatch(&argv(&["chaos", "--intensity", "apocalyptic"])).is_err());
+        // Fleet spelling: sharded daemon, concurrent clients.
+        assert!(dispatch(&argv(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--sessions",
+            "4",
+            "--records",
+            "150",
+            "--shards",
+            "2",
+            "--concurrency",
+            "4",
+            "--intensity",
+            "light",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn stop_asks_a_live_daemon_to_drain() {
+        let server = pstrace_stream::Server::spawn(
+            Arc::new(SocModel::t2()),
+            &pstrace_stream::ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                ..pstrace_stream::ServerConfig::default()
+            },
+        )
+        .expect("spawn daemon");
+        let addr = server.local_addr().to_string();
+        assert!(dispatch(&argv(&["stop", "--addr", &addr])).is_ok());
+        assert!(server.shutdown_requested());
+        server.shutdown();
+        // Nothing listening afterward: the verb reaches a dead daemon.
+        assert!(dispatch(&argv(&["stop", "--addr", &addr])).is_err());
+    }
+
+    #[test]
+    fn fleet_smoke_reports_throughput_and_writes_json() {
+        let tmp = std::env::temp_dir().join("pstrace_cli_fleet.json");
+        let path = tmp.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&[
+            "fleet",
+            "--sessions",
+            "8",
+            "--records",
+            "150",
+            "--shards",
+            "2",
+            "--concurrency",
+            "8",
+            "--json",
+            &path,
+        ]))
+        .is_ok());
+        let json = std::fs::read_to_string(&tmp).unwrap();
+        assert!(json.contains("\"bench\":\"fleet_ingest\""), "{json}");
+        assert!(json.contains("\"records_per_sec\":"), "{json}");
+        assert!(json.contains("\"shards\":2"), "{json}");
+        std::fs::remove_file(&tmp).ok();
     }
 }

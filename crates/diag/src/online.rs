@@ -498,6 +498,22 @@ impl OnlineLocalizer {
         obs.gauge("pstrace_localizer_resyncs")
             .set(i64::try_from(self.resyncs).unwrap_or(i64::MAX));
     }
+
+    /// Zeroes the gauges [`OnlineLocalizer::record_frontier`] publishes.
+    /// A session that ended has no live frontier; leaving its last state
+    /// behind would read as current — and, summed across a sharded
+    /// daemon's per-shard registries, would fabricate load that is not
+    /// there.
+    pub fn clear_frontier(obs: &Registry) {
+        for name in [
+            "pstrace_localizer_frontier_support",
+            "pstrace_localizer_consistent_paths",
+            "pstrace_localizer_records_pushed",
+            "pstrace_localizer_resyncs",
+        ] {
+            obs.gauge(name).set(0);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ mod chaos;
 mod ledger;
 mod plan;
 mod soak;
+mod watchdog;
 mod wire;
 
 pub use chaos::ChaosStream;
@@ -43,4 +44,5 @@ pub use plan::{
     BurstModel, FaultGate, FaultKind, FaultPlan, Seam, SessionFaults, TransportFaults, WireFaults,
 };
 pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use watchdog::{watchdog, Watchdog};
 pub use wire::corrupt_wire;

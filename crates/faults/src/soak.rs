@@ -11,19 +11,25 @@
 //! localization line against the batch pipeline's — the proof that the
 //! storm neither killed the daemon nor bent its answers.
 //!
-//! Determinism: session loops run sequentially and every injector draws
-//! from forks of [`FaultPlan::session_rng`], so for plans without
-//! reconnect-path transport faults (see
-//! [`FaultPlan::without_reconnect_faults`]) the merged
-//! [`FaultLedger`] fingerprint is a pure function of the plan.
+//! Fleet mode: [`SoakConfig::concurrency`] fans the storm out over that
+//! many client threads against a daemon running
+//! [`SoakConfig::shards`] shard workers, which is how the `fleet`
+//! bench measures aggregate ingest throughput. Determinism survives the
+//! fan-out: every injector draws only from forks of
+//! [`FaultPlan::session_rng`], each session keeps its own pair of
+//! ledgers, and the merged [`FaultLedger`] absorbs them in session
+//! order after the storm — so for plans without reconnect-path
+//! transport faults (see [`FaultPlan::without_reconnect_faults`]) the
+//! fingerprint is a pure function of the plan, at any concurrency.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::mem;
-use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use pstrace_core::{SelectionConfig, Selector, TraceBufferSpec};
 use pstrace_diag::{localize, MatchMode};
@@ -31,8 +37,8 @@ use pstrace_flow::{FlowIndex, IndexedMessage};
 use pstrace_obs::{Registry, Sample};
 use pstrace_soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
 use pstrace_stream::{
-    observed_messages, snapshot_from, stream_ptw, stream_ptw_resumable, RetryPolicy, Server,
-    ServerConfig, StatsSnapshot,
+    observed_messages, stream_ptw, stream_ptw_resumable_as, RetryPolicy, Server, ServerConfig,
+    StatsSnapshot,
 };
 use pstrace_wire::{decode_stream, encode_records, write_ptw, EncodedStream, WireRecord};
 
@@ -40,6 +46,10 @@ use crate::chaos::ChaosStream;
 use crate::ledger::FaultLedger;
 use crate::plan::FaultPlan;
 use crate::wire::corrupt_wire;
+
+/// Tenant ids cycle over this many distinct tenants so the daemon's
+/// per-tenant accounting is always exercised, quota or no quota.
+const TENANT_CYCLE: u64 = 4;
 
 /// Knobs of one soak run.
 #[derive(Debug, Clone)]
@@ -52,8 +62,10 @@ pub struct SoakConfig {
     pub records: usize,
     /// Client chunk size in bytes.
     pub chunk_bytes: usize,
-    /// Daemon worker threads.
-    pub threads: usize,
+    /// Daemon shard workers.
+    pub shards: usize,
+    /// Client threads driving the storm (1 = sequential).
+    pub concurrency: usize,
 }
 
 impl SoakConfig {
@@ -65,7 +77,8 @@ impl SoakConfig {
             sessions: 8,
             records: 2_000,
             chunk_bytes: 256,
-            threads: 2,
+            shards: 2,
+            concurrency: 1,
         }
     }
 }
@@ -81,6 +94,16 @@ pub struct SoakReport {
     pub completed: usize,
     /// Faulted sessions that failed *gracefully* (typed error, no panic).
     pub failed: usize,
+    /// Daemon shard workers the storm ran against.
+    pub shards: usize,
+    /// Client threads that drove the storm.
+    pub concurrency: usize,
+    /// Wall-clock duration of the storm (excludes fixture build and the
+    /// clean probe).
+    pub elapsed: Duration,
+    /// Aggregate ingest rate: records of *completed* sessions over
+    /// [`SoakReport::elapsed`].
+    pub records_per_sec: f64,
     /// Every fault injected, merged across seams in session order.
     pub ledger: FaultLedger,
     /// The daemon's aggregated counters after the storm.
@@ -134,13 +157,23 @@ impl SoakReport {
             "chaos soak      : seed {}, {} sessions ({} completed, {} failed gracefully)",
             self.seed, self.sessions, self.completed, self.failed
         );
+        let _ = writeln!(
+            out,
+            "throughput      : {:.2}s across {} shard(s) × {} client(s) → {:.0} records/s",
+            self.elapsed.as_secs_f64(),
+            self.shards,
+            self.concurrency,
+            self.records_per_sec
+        );
         out.push_str(&self.ledger.render());
         let _ = writeln!(
             out,
-            "daemon          : {} sessions, {} parked, {} resumed, {} worker panics, {} accept retries",
+            "daemon          : {} sessions, {} parked, {} resumed, {} shed, {} handoffs, {} worker panics, {} accept retries",
             self.snapshot.sessions,
             self.snapshot.parked,
             self.snapshot.resumed,
+            self.snapshot.shed,
+            self.snapshot.handoffs,
             self.snapshot.worker_panics,
             self.snapshot.accept_retries
         );
@@ -233,9 +266,83 @@ fn build_fixture(records: usize) -> Result<Fixture, String> {
     })
 }
 
+/// What one storm session left behind: its verdict and its two
+/// per-seam ledgers, merged into the run ledger in session order.
+struct SessionOutcome {
+    ok: bool,
+    wire: FaultLedger,
+    transport: FaultLedger,
+}
+
+/// One storm session end to end: corrupt the capture at the wire seam,
+/// replay it through a chaos-wrapped resumable client. Runs on whichever
+/// client thread claimed the session index; all randomness forks from
+/// `plan.session_rng(s)`, so the outcome ledgers are independent of
+/// thread interleaving.
+fn run_one_session(
+    s: usize,
+    fixture: &Fixture,
+    plan: &FaultPlan,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    chunk_bytes: usize,
+) -> SessionOutcome {
+    let session = s as u64;
+    let srng = plan.session_rng(session);
+
+    let mut wire_rng = srng.fork(1);
+    let mut wire = FaultLedger::new();
+    let corrupted = corrupt_wire(
+        plan,
+        session,
+        fixture.schema.frame_bits(),
+        &fixture.encoded,
+        &mut wire_rng,
+        &mut wire,
+    );
+    let ptw = write_ptw(fixture.model.catalog(), &fixture.schema, &corrupted);
+
+    let transport_ledger = Arc::new(Mutex::new(FaultLedger::new()));
+    let connector_ledger = Arc::clone(&transport_ledger);
+    let transport_faults = plan.transport;
+    let result = stream_ptw_resumable_as(
+        move |attempt| -> io::Result<ChaosStream<TcpStream>> {
+            let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(policy.read_timeout)).ok();
+            Ok(ChaosStream::with_ledger(
+                stream,
+                transport_faults,
+                srng.fork(0x7a_0000 + u64::from(attempt)),
+                session,
+                Arc::clone(&connector_ledger),
+            ))
+        },
+        fixture.model.catalog(),
+        1,
+        MatchMode::Prefix,
+        (session % TENANT_CYCLE) as u32,
+        &ptw,
+        chunk_bytes,
+        &policy,
+    );
+
+    let transport = mem::take(
+        &mut *transport_ledger
+            .lock()
+            .expect("transport ledger lock poisoned"),
+    );
+    SessionOutcome {
+        ok: result.is_ok(),
+        wire,
+        transport,
+    }
+}
+
 /// Runs one seeded soak: `config.sessions` corrupted replays through a
-/// live daemon, then the clean probe. See the module docs for the
-/// determinism contract.
+/// live daemon (fanned out over `config.concurrency` client threads),
+/// then the clean probe. See the module docs for the determinism
+/// contract.
 ///
 /// # Errors
 ///
@@ -245,14 +352,23 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
     let plan = &config.plan;
     let fixture = build_fixture(config.records.max(1))?;
     let registry = Arc::new(Registry::new());
+    let concurrency = config.concurrency.max(1);
 
-    // Server read timeout well under the client backoff: a dead
-    // transport must be parked before the client's resume arrives.
+    // Sequential storms keep the server's read timeout well under the
+    // client backoff: a dead transport must be parked before the
+    // client's resume arrives. Fleet storms widen both daemon deadlines
+    // — with hundreds of client threads contending for cores, a healthy
+    // session can legitimately go quiet for longer than 150 ms.
+    let (read_timeout, handshake_timeout) = if concurrency == 1 {
+        (Duration::from_millis(150), Duration::from_millis(500))
+    } else {
+        (Duration::from_secs(2), Duration::from_secs(5))
+    };
     let server_config = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
-        threads: config.threads.max(1),
-        read_timeout: Duration::from_millis(150),
-        handshake_timeout: Duration::from_millis(500),
+        shards: config.shards.max(1),
+        read_timeout,
+        handshake_timeout,
         resume_grace: Duration::from_secs(10),
         ..ServerConfig::default()
     };
@@ -271,65 +387,49 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         initial_backoff: Duration::from_millis(500),
         max_backoff: Duration::from_secs(1),
     };
+    let chunk_bytes = config.chunk_bytes.max(1);
+
+    // The storm. Client threads claim session indices from a shared
+    // counter; each session's outcome lands in its own slot so the
+    // merged ledger can absorb them in session order afterward —
+    // fingerprints are interleaving-independent.
+    let slots: Vec<OnceLock<SessionOutcome>> =
+        (0..config.sessions).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = concurrency.min(config.sessions.max(1));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= config.sessions {
+                    break;
+                }
+                let outcome = run_one_session(s, &fixture, plan, addr, policy, chunk_bytes);
+                let _ = slots[s].set(outcome);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
 
     let mut ledger = FaultLedger::new();
     let mut completed = 0usize;
     let mut failed = 0usize;
-
-    // Sessions run sequentially: the merged ledger's event order (wire
-    // seam, then transport seam, per session) is part of the contract.
-    for s in 0..config.sessions {
-        let session = s as u64;
-        let srng = plan.session_rng(session);
-
-        let mut wire_rng = srng.fork(1);
-        let mut wire_ledger = FaultLedger::new();
-        let corrupted = corrupt_wire(
-            plan,
-            session,
-            fixture.schema.frame_bits(),
-            &fixture.encoded,
-            &mut wire_rng,
-            &mut wire_ledger,
-        );
-        let ptw = write_ptw(fixture.model.catalog(), &fixture.schema, &corrupted);
-
-        let transport_ledger = Arc::new(Mutex::new(FaultLedger::new()));
-        let connector_ledger = Arc::clone(&transport_ledger);
-        let transport = plan.transport;
-        let result = stream_ptw_resumable(
-            move |attempt| -> io::Result<ChaosStream<TcpStream>> {
-                let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
-                stream.set_nodelay(true).ok();
-                stream.set_read_timeout(Some(policy.read_timeout)).ok();
-                Ok(ChaosStream::with_ledger(
-                    stream,
-                    transport,
-                    srng.fork(0x7a_0000 + u64::from(attempt)),
-                    session,
-                    Arc::clone(&connector_ledger),
-                ))
-            },
-            fixture.model.catalog(),
-            1,
-            MatchMode::Prefix,
-            &ptw,
-            config.chunk_bytes.max(1),
-            &policy,
-        );
-        match result {
-            Ok(_) => completed += 1,
-            Err(_) => failed += 1,
+    for slot in slots {
+        let outcome = slot.into_inner().expect("every claimed session reports");
+        if outcome.ok {
+            completed += 1;
+        } else {
+            failed += 1;
         }
-
-        ledger.absorb(&wire_ledger);
-        let drained = mem::take(
-            &mut *transport_ledger
-                .lock()
-                .expect("transport ledger lock poisoned"),
-        );
-        ledger.absorb(&drained);
+        ledger.absorb(&outcome.wire);
+        ledger.absorb(&outcome.transport);
     }
+    let records_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        (completed * config.records.max(1)) as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
 
     for (kind, count) in ledger.counts() {
         registry
@@ -345,16 +445,18 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         1,
         MatchMode::Prefix,
         &fixture.clean_ptw,
-        config.chunk_bytes.max(1),
+        chunk_bytes,
     );
     let (probe_completed, probe_matches_batch) = match &probe {
         Ok(report) => (true, report.contains(&fixture.batch_localization)),
         Err(_) => (false, false),
     };
 
-    let snapshot = snapshot_from(&registry);
+    // Counters live across the root registry *and* every shard's — the
+    // server's own merge is the only honest aggregate.
+    let snapshot = server.snapshot();
     let mut degradations = BTreeMap::new();
-    for (key, sample) in registry.samples() {
+    for (key, sample) in server.merged_samples() {
         if key.name() != "pstrace_degradation_events_total" {
             continue;
         }
@@ -372,6 +474,10 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         sessions: config.sessions,
         completed,
         failed,
+        shards: config.shards.max(1),
+        concurrency,
+        elapsed,
+        records_per_sec,
         ledger,
         snapshot,
         degradations,
@@ -409,5 +515,26 @@ mod tests {
         assert_eq!(a.ledger.fingerprint(), b.ledger.fingerprint());
         assert_eq!(a.ledger.len(), b.ledger.len());
         a.survival().expect("soak survives");
+    }
+
+    #[test]
+    fn concurrent_storm_matches_the_sequential_fingerprint() {
+        let mut config = SoakConfig::new(FaultPlan::standard(77).without_reconnect_faults());
+        config.sessions = 6;
+        config.records = 200;
+        config.shards = 3;
+        let sequential = run_soak(&config).expect("harness builds");
+        config.concurrency = 6;
+        let concurrent = run_soak(&config).expect("harness builds");
+        assert!(!sequential.ledger.is_empty());
+        assert_eq!(
+            sequential.ledger.fingerprint(),
+            concurrent.ledger.fingerprint()
+        );
+        assert_eq!(
+            sequential.completed + sequential.failed,
+            concurrent.completed + concurrent.failed
+        );
+        concurrent.survival().expect("concurrent soak survives");
     }
 }

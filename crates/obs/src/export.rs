@@ -4,7 +4,7 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::{Registry, Sample};
+use crate::metrics::{MetricKey, Registry, Sample};
 use crate::span::{phase_summaries, SpanRecord};
 
 fn escape_label(value: &str) -> String {
@@ -54,9 +54,19 @@ fn fmt_f64(v: f64) -> String {
 /// bucket plus `_sum` and `_count` series.
 #[must_use]
 pub fn render_prometheus(registry: &Registry) -> String {
+    render_prometheus_samples(&registry.samples())
+}
+
+/// [`render_prometheus`] over an explicit sample set — the exposition
+/// path for merged shard registries
+/// ([`merged_samples`](crate::merged_samples)). Samples must already be
+/// in stable (name, labels) order, as both [`Registry::samples`] and the
+/// merge guarantee.
+#[must_use]
+pub fn render_prometheus_samples(samples: &[(MetricKey, Sample)]) -> String {
     let mut out = String::new();
     let mut last_typed: Option<String> = None;
-    for (key, sample) in registry.samples() {
+    for (key, sample) in samples.iter().cloned() {
         let type_name = match &sample {
             Sample::Counter(_) => "counter",
             Sample::Gauge(_) => "gauge",

@@ -38,7 +38,9 @@ mod span;
 pub use clock::{Clock, ManualClock, WallClock, MANUAL_TICK_NS};
 pub use export::{
     render_chrome_trace, render_chrome_trace_spans, render_profile_table, render_prometheus,
-    validate_json, JsonValue,
+    render_prometheus_samples, validate_json, JsonValue,
 };
-pub use metrics::{maybe_time, Counter, Gauge, Histogram, MetricKey, Registry, Sample};
+pub use metrics::{
+    maybe_time, merged_samples, Counter, Gauge, Histogram, MetricKey, Registry, Sample,
+};
 pub use span::{phase_summaries, PhaseSummary, Span, SpanRecord};

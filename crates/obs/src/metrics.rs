@@ -406,6 +406,70 @@ impl Registry {
     }
 }
 
+/// Merges point-in-time samples from several registries into one sample
+/// set, as if every update had landed in a single registry.
+///
+/// Counters and gauges sum; histograms with identical bucket bounds sum
+/// bucket-wise (counts, totals and sums add). The output keeps the
+/// registries' stable (name, labels) order, so
+/// [`render_prometheus_samples`](crate::render_prometheus_samples) over
+/// the merge is a valid single exposition. This is the aggregation path
+/// of sharded daemons: each shard owns a private registry (lock-free hot
+/// path), the scrape merges.
+///
+/// # Panics
+///
+/// Panics when the same key carries different metric kinds or histogram
+/// bounds across registries — same-name-same-kind is the registry's own
+/// convention ([`Registry::counter`] panics intra-registry), extended
+/// here across shards.
+#[must_use]
+pub fn merged_samples(registries: &[Arc<Registry>]) -> Vec<(MetricKey, Sample)> {
+    let mut merged: BTreeMap<MetricKey, Sample> = BTreeMap::new();
+    for registry in registries {
+        for (key, sample) in registry.samples() {
+            match merged.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(sample);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let name = slot.key().name().to_owned();
+                    match (slot.get_mut(), sample) {
+                        (Sample::Counter(a), Sample::Counter(b)) => *a += b,
+                        (Sample::Gauge(a), Sample::Gauge(b)) => *a += b,
+                        (
+                            Sample::Histogram {
+                                bounds: ba,
+                                buckets: ka,
+                                sum: sa,
+                                count: ca,
+                            },
+                            Sample::Histogram {
+                                bounds: bb,
+                                buckets: kb,
+                                sum: sb,
+                                count: cb,
+                            },
+                        ) => {
+                            assert_eq!(
+                                *ba, bb,
+                                "histogram `{name}` has mismatched bounds across registries"
+                            );
+                            for (a, b) in ka.iter_mut().zip(kb) {
+                                *a += b;
+                            }
+                            *sa += sb;
+                            *ca += cb;
+                        }
+                        _ => panic!("metric `{name}` has mismatched kinds across registries"),
+                    }
+                }
+            }
+        }
+    }
+    merged.into_iter().collect()
+}
+
 /// Times `f` under `name` when a registry is present, or just runs it.
 ///
 /// The instrumented pipeline layers thread `Option<&Registry>` through
@@ -499,5 +563,68 @@ mod tests {
         let r = Registry::new();
         assert_eq!(maybe_time(Some(&r), "x", || 42), 42);
         assert_eq!(r.spans().len(), 1);
+    }
+
+    /// The same update stream applied to one registry, or spread
+    /// round-robin over three then merged, must sample identically.
+    #[test]
+    fn merge_of_sharded_registries_equals_a_single_registry() {
+        let single = Registry::new();
+        let shards: Vec<Arc<Registry>> = (0..3).map(|_| Arc::new(Registry::new())).collect();
+        let apply = |r: &Registry, i: u64| {
+            r.counter("events").add(i + 1);
+            r.counter_with(
+                "by_kind",
+                &[("kind", if i.is_multiple_of(2) { "a" } else { "b" })],
+            )
+            .inc();
+            r.gauge("active")
+                .add(if i.is_multiple_of(3) { 2 } else { -1 });
+            r.histogram("lat", &[1.0, 10.0]).observe(i as f64);
+        };
+        for i in 0..20u64 {
+            apply(&single, i);
+            apply(&shards[(i % 3) as usize], i);
+        }
+        assert_eq!(merged_samples(&shards), single.samples());
+    }
+
+    #[test]
+    fn merge_sums_every_kind_bucketwise() {
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        a.counter("c").add(3);
+        b.counter("c").add(4);
+        a.gauge("g").set(5);
+        b.gauge("g").set(-2);
+        a.histogram("h", &[1.0]).observe(0.5);
+        b.histogram("h", &[1.0]).observe(2.0);
+        let merged = merged_samples(&[a, b]);
+        assert_eq!(
+            merged,
+            vec![
+                (MetricKey::new("c", &[]), Sample::Counter(7)),
+                (MetricKey::new("g", &[]), Sample::Gauge(3)),
+                (
+                    MetricKey::new("h", &[]),
+                    Sample::Histogram {
+                        bounds: vec![1.0],
+                        buckets: vec![1, 1],
+                        sum: 2.5,
+                        count: 2,
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched kinds")]
+    fn merge_panics_on_kind_mismatch() {
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        a.counter("m").inc();
+        b.gauge("m").set(1);
+        let _ = merged_samples(&[a, b]);
     }
 }

@@ -25,8 +25,8 @@ use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
 use crate::proto::{
-    parse_resume_ack, read_reply, write_data, write_finish, write_hello, write_metrics_request,
-    write_resume_hello,
+    parse_resume_ack, read_reply, write_data, write_finish, write_hello_as, write_metrics_request,
+    write_resume_hello_as, write_shutdown_request,
 };
 
 /// Default chunk size of the replay client, sized to cut a typical
@@ -109,6 +109,24 @@ pub fn stream_ptw(
     ptw_bytes: &[u8],
     chunk_bytes: usize,
 ) -> Result<String, StreamError> {
+    stream_ptw_as(addr, catalog, scenario, mode, 0, ptw_bytes, chunk_bytes)
+}
+
+/// [`stream_ptw`] with an explicit tenant id on the hello, for daemons
+/// enforcing per-tenant quotas.
+///
+/// # Errors
+///
+/// As [`stream_ptw`].
+pub fn stream_ptw_as(
+    addr: impl ToSocketAddrs,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+) -> Result<String, StreamError> {
     let (schema, bit_len, payload) = split_ptw(catalog, ptw_bytes)?;
 
     let stream = TcpStream::connect(addr)?;
@@ -116,7 +134,7 @@ pub fn stream_ptw(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
-    write_hello(&mut writer, scenario, mode, schema)?;
+    write_hello_as(&mut writer, scenario, mode, tenant, schema)?;
     let chunk = chunk_bytes.max(1);
     for piece in payload.chunks(chunk) {
         write_data(&mut writer, piece)?;
@@ -132,6 +150,7 @@ pub fn stream_ptw(
 struct AttemptArgs<'a> {
     scenario: u8,
     mode: MatchMode,
+    tenant: u32,
     schema: &'a [u8],
     bit_len: u64,
     payload: &'a [u8],
@@ -147,7 +166,14 @@ fn resume_attempt<S: Read + Write>(
     token: &mut u64,
     args: &AttemptArgs<'_>,
 ) -> Result<String, StreamError> {
-    write_resume_hello(transport, *token, args.scenario, args.mode, args.schema)?;
+    write_resume_hello_as(
+        transport,
+        *token,
+        args.scenario,
+        args.mode,
+        args.tenant,
+        args.schema,
+    )?;
     transport.flush()?;
     let ack = read_reply(transport)?;
     let (acked_token, offset) = parse_resume_ack(&ack)?;
@@ -185,10 +211,43 @@ fn resume_attempt<S: Read + Write>(
 /// * [`StreamError::Remote`] when the server rejects the session (not
 ///   retried: the rejection is authoritative).
 pub fn stream_ptw_resumable<S, F>(
+    connect: F,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+    policy: &RetryPolicy,
+) -> Result<String, StreamError>
+where
+    S: Read + Write,
+    F: FnMut(u32) -> io::Result<S>,
+{
+    stream_ptw_resumable_as(
+        connect,
+        catalog,
+        scenario,
+        mode,
+        0,
+        ptw_bytes,
+        chunk_bytes,
+        policy,
+    )
+}
+
+/// [`stream_ptw_resumable`] with an explicit tenant id riding every
+/// (re)connection's hello, for daemons enforcing per-tenant quotas.
+///
+/// # Errors
+///
+/// As [`stream_ptw_resumable`].
+#[allow(clippy::too_many_arguments)]
+pub fn stream_ptw_resumable_as<S, F>(
     mut connect: F,
     catalog: &MessageCatalog,
     scenario: u8,
     mode: MatchMode,
+    tenant: u32,
     ptw_bytes: &[u8],
     chunk_bytes: usize,
     policy: &RetryPolicy,
@@ -201,6 +260,7 @@ where
     let args = AttemptArgs {
         scenario,
         mode,
+        tenant,
         schema,
         bit_len,
         payload,
@@ -297,6 +357,26 @@ pub fn fetch_metrics(addr: impl ToSocketAddrs) -> Result<String, StreamError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     write_metrics_request(&mut writer)?;
+    writer.flush()?;
+    read_reply(&mut reader)
+}
+
+/// Asks the daemon at `addr` to drain its shards and exit (the v4
+/// `SHUTDOWN` verb). Returns the daemon's acknowledgement; the drain
+/// happens after the ack, so poll the port (or the process) to observe
+/// completion.
+///
+/// # Errors
+///
+/// * [`StreamError::Io`] / [`StreamError::Protocol`] for transport
+///   failures;
+/// * [`StreamError::Remote`] when the server refuses the request.
+pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<String, StreamError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_shutdown_request(&mut writer)?;
     writer.flush()?;
     read_reply(&mut reader)
 }

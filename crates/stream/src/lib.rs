@@ -15,12 +15,17 @@
 //!   frames identically; v2 added a `METRICS` verb that returns the
 //!   daemon's Prometheus exposition, v3 adds `SESSION_RESUME` — a
 //!   token/offset ack that lets a session survive transport death;
-//! * [`Server`] — the std-only `pstraced` daemon: `TcpListener` with a
-//!   backoff-retrying accept loop, a fixed panic-isolated worker pool,
-//!   per-session ingest budgets ([`SessionLimits`]), handshake
-//!   deadlines, a parking lot for resumable sessions, registry-backed
-//!   per-session and aggregated metrics ([`pstrace_obs::Registry`]),
-//!   graceful shutdown;
+//! * [`Server`] — the std-only `pstraced` daemon, rebuilt as an
+//!   event loop for fleet scale: a backoff-retrying accept thread pins
+//!   each connection to one of N shard threads, every shard drives its
+//!   own nonblocking connection table (no locks on the ingest hot
+//!   path), resume tokens encode their owning shard so reconnects are
+//!   handed off rather than lost, per-tenant quotas and a global
+//!   session cap shed overload politely, per-session ingest budgets
+//!   ([`SessionLimits`]) and handshake deadlines bound each session,
+//!   per-shard registries merge into one exposition
+//!   ([`pstrace_obs::merged_samples`]), and shutdown — including the v4
+//!   `SHUTDOWN` verb — drains every shard;
 //! * [`MetricsEndpoint`] — an HTTP/1.0 scrape endpoint over the same
 //!   registry, for off-the-shelf Prometheus scrapers;
 //! * [`stream_ptw`] and [`fetch_metrics`] — the replay and scrape
@@ -43,13 +48,15 @@
 mod client;
 mod error;
 mod metrics;
+mod poll;
 pub mod proto;
 mod server;
 mod session;
+mod shard;
 
 pub use client::{
-    fetch_metrics, stream_ptw, stream_ptw_resumable, stream_ptw_with, RetryPolicy,
-    DEFAULT_CHUNK_BYTES,
+    fetch_metrics, request_shutdown, stream_ptw, stream_ptw_as, stream_ptw_resumable,
+    stream_ptw_resumable_as, stream_ptw_with, RetryPolicy, DEFAULT_CHUNK_BYTES,
 };
 pub use error::StreamError;
 pub use metrics::MetricsEndpoint;

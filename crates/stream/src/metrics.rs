@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pstrace_obs::{render_prometheus, Registry};
+use pstrace_obs::{merged_samples, render_prometheus_samples, Registry};
 
 /// A running scrape endpoint: one listener thread answering HTTP GETs
 /// with the registry's Prometheus exposition.
@@ -34,6 +34,21 @@ impl MetricsEndpoint {
     ///
     /// Propagates bind failures.
     pub fn spawn(addr: impl ToSocketAddrs, registry: Arc<Registry>) -> io::Result<MetricsEndpoint> {
+        MetricsEndpoint::spawn_merged(addr, vec![registry])
+    }
+
+    /// Like [`MetricsEndpoint::spawn`] over several registries: every
+    /// scrape answers with the *merged* exposition
+    /// ([`pstrace_obs::merged_samples`]) — the aggregation path for the
+    /// sharded daemon, whose per-shard registries must read as one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn_merged(
+        addr: impl ToSocketAddrs,
+        registries: Vec<Arc<Registry>>,
+    ) -> io::Result<MetricsEndpoint> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Nonblocking accept so the loop can poll the shutdown flag.
@@ -45,7 +60,7 @@ impl MetricsEndpoint {
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = answer(stream, &registry);
+                            let _ = answer(stream, &registries);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -88,8 +103,8 @@ impl Drop for MetricsEndpoint {
 }
 
 /// Drains the request head (best effort, bounded) and writes one
-/// `HTTP/1.0 200` text response with the current exposition.
-fn answer(mut stream: std::net::TcpStream, registry: &Registry) -> io::Result<()> {
+/// `HTTP/1.0 200` text response with the current merged exposition.
+fn answer(mut stream: std::net::TcpStream, registries: &[Arc<Registry>]) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(1)))?;
     stream.set_nodelay(true).ok();
     // Read until the blank line ending the request head, a short
@@ -109,7 +124,7 @@ fn answer(mut stream: std::net::TcpStream, registry: &Registry) -> io::Result<()
             Err(_) => break,
         }
     }
-    let body = render_prometheus(registry);
+    let body = render_prometheus_samples(&merged_samples(registries));
     let response = format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),

@@ -7,12 +7,15 @@
 //! ```text
 //! request preamble:
 //!   magic        4 bytes  "PSTS"
-//!   version      u8       = 3
-//!   request      u8       1 = SESSION, 2 = METRICS, 3 = SESSION_RESUME
+//!   version      u8       = 4
+//!   request      u8       1 = SESSION, 2 = METRICS, 3 = SESSION_RESUME,
+//!                         4 = SHUTDOWN
 //!
 //! SESSION request — the rest of the hello follows:
 //!   scenario     u8       usage scenario number (1-5)
 //!   mode         u8       match mode (0 exact, 1 prefix, 2 suffix, 3 substring)
+//!   tenant       u32      tenant id (0 = the anonymous tenant); quota
+//!                         accounting keys off this
 //!   schema_len   u32      length of the schema handshake in bytes
 //!   schema       bytes    a `.ptw` schema prefix (`write_ptw_schema`)
 //! then any number of chunks:
@@ -32,7 +35,7 @@
 //!   token        u64      0 to open a fresh resumable session, or a
 //!                         token from an earlier ack to pick up a parked
 //!                         one
-//!   scenario/mode/schema_len/schema as in SESSION
+//!   scenario/mode/tenant/schema_len/schema as in SESSION
 //! server ack (immediately, reply framing): `resume <token> <offset>` —
 //! the assigned (or echoed) token and the number of payload bytes the
 //! server has already ingested. The client sends `payload[offset..]` in
@@ -42,9 +45,14 @@
 //! to an uninterrupted one.
 //! ```
 //!
+//! METRICS request — nothing follows beyond the preamble; likewise
+//! SHUTDOWN, which asks the daemon to stop accepting, drain its shards
+//! and exit (the reply acknowledges before the drain starts).
+//!
 //! Version history: v1 had no request byte (every connection was a
-//! session); v2 added the `METRICS` verb; v3 (this build) added the
-//! `SESSION_RESUME` verb with its token/offset ack.
+//! session); v2 added the `METRICS` verb; v3 added the `SESSION_RESUME`
+//! verb with its token/offset ack; v4 (this build) added the `tenant`
+//! field to both session hellos and the `SHUTDOWN` verb.
 //!
 //! The schema handshake reuses the `.ptw` container's self-describing
 //! header verbatim, so a capture file and a live socket describe their
@@ -62,7 +70,7 @@ use crate::error::StreamError;
 pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
 
 /// The protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 3;
+pub const PROTO_VERSION: u8 = 4;
 
 /// Request kind: a streaming ingest session follows.
 pub const REQ_SESSION: u8 = 1;
@@ -73,6 +81,9 @@ pub const REQ_METRICS: u8 = 2;
 /// Request kind: a resumable session — a token precedes the hello and
 /// the server acks `resume <token> <offset>` before chunks flow.
 pub const REQ_SESSION_RESUME: u8 = 3;
+
+/// Request kind: ask the daemon to drain its shards and exit.
+pub const REQ_SHUTDOWN: u8 = 4;
 
 /// Chunk tag: raw stream bytes follow.
 pub const CHUNK_DATA: u8 = 1;
@@ -91,6 +102,8 @@ pub struct Hello {
     pub scenario: u8,
     /// How the observation should be matched against path projections.
     pub mode: MatchMode,
+    /// Tenant id for quota accounting (0 = the anonymous tenant).
+    pub tenant: u32,
     /// The raw `.ptw` schema prefix bytes.
     pub schema: Vec<u8>,
 }
@@ -173,7 +186,14 @@ fn checked_len(len: u32, what: &str) -> Result<usize, StreamError> {
     Ok(len as usize)
 }
 
-/// Writes a client hello.
+fn checked_schema_len(schema: &[u8]) -> Result<u32, StreamError> {
+    u32::try_from(schema.len())
+        .ok()
+        .filter(|&l| l <= MAX_CHUNK_LEN)
+        .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))
+}
+
+/// Writes a client hello for the anonymous tenant (tenant 0).
 ///
 /// # Errors
 ///
@@ -184,19 +204,33 @@ pub fn write_hello(
     mode: MatchMode,
     schema: &[u8],
 ) -> Result<(), StreamError> {
-    let schema_len = u32::try_from(schema.len())
-        .ok()
-        .filter(|&l| l <= MAX_CHUNK_LEN)
-        .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))?;
+    write_hello_as(w, scenario, mode, 0, schema)
+}
+
+/// Writes a client hello carrying an explicit tenant id.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_hello_as(
+    w: &mut impl Write,
+    scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
+    schema: &[u8],
+) -> Result<(), StreamError> {
+    let schema_len = checked_schema_len(schema)?;
     w.write_all(&PROTO_MAGIC)?;
     w.write_all(&[PROTO_VERSION, REQ_SESSION, scenario, mode_to_byte(mode)])?;
+    w.write_all(&tenant.to_le_bytes())?;
     w.write_all(&schema_len.to_le_bytes())?;
     w.write_all(schema)?;
     Ok(())
 }
 
-/// Writes a resumable-session hello: preamble, the resume token
-/// (0 opens a fresh resumable session), then the usual hello fields.
+/// Writes a resumable-session hello for the anonymous tenant: preamble,
+/// the resume token (0 opens a fresh resumable session), then the usual
+/// hello fields.
 ///
 /// # Errors
 ///
@@ -208,14 +242,28 @@ pub fn write_resume_hello(
     mode: MatchMode,
     schema: &[u8],
 ) -> Result<(), StreamError> {
-    let schema_len = u32::try_from(schema.len())
-        .ok()
-        .filter(|&l| l <= MAX_CHUNK_LEN)
-        .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))?;
+    write_resume_hello_as(w, token, scenario, mode, 0, schema)
+}
+
+/// [`write_resume_hello`] carrying an explicit tenant id.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_resume_hello_as(
+    w: &mut impl Write,
+    token: u64,
+    scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
+    schema: &[u8],
+) -> Result<(), StreamError> {
+    let schema_len = checked_schema_len(schema)?;
     w.write_all(&PROTO_MAGIC)?;
     w.write_all(&[PROTO_VERSION, REQ_SESSION_RESUME])?;
     w.write_all(&token.to_le_bytes())?;
     w.write_all(&[scenario, mode_to_byte(mode)])?;
+    w.write_all(&tenant.to_le_bytes())?;
     w.write_all(&schema_len.to_le_bytes())?;
     w.write_all(schema)?;
     Ok(())
@@ -261,6 +309,19 @@ pub fn write_metrics_request(w: &mut impl Write) -> Result<(), StreamError> {
     Ok(())
 }
 
+/// Writes a `SHUTDOWN` request: preamble only, nothing follows. The
+/// daemon acks (reply framing), stops accepting, drains its shards and
+/// exits.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_shutdown_request(w: &mut impl Write) -> Result<(), StreamError> {
+    w.write_all(&PROTO_MAGIC)?;
+    w.write_all(&[PROTO_VERSION, REQ_SHUTDOWN])?;
+    Ok(())
+}
+
 /// One parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -275,6 +336,8 @@ pub enum Request {
         /// The session hello.
         hello: Hello,
     },
+    /// A graceful-shutdown request: drain every shard, then exit.
+    Shutdown,
 }
 
 /// Reads and validates a client request (preamble plus, for sessions,
@@ -299,11 +362,16 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
         let mut r = r;
         let scenario = read_u8(&mut r, "scenario")?;
         let mode = mode_from_byte(read_u8(&mut r, "mode")?)?;
+        let tenant = {
+            let b = read_exact(&mut r, 4, "tenant id")?;
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        };
         let schema_len = checked_len(read_u32(&mut r, "schema length")?, "schema")?;
         let schema = read_exact(&mut r, schema_len, "schema handshake")?;
         Ok(Hello {
             scenario,
             mode,
+            tenant,
             schema,
         })
     };
@@ -317,6 +385,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
                 hello: read_hello_body(r)?,
             })
         }
+        REQ_SHUTDOWN => Ok(Request::Shutdown),
         other => Err(StreamError::Protocol(format!(
             "unknown request kind {other}"
         ))),
@@ -338,6 +407,9 @@ pub fn read_hello(r: &mut impl Read) -> Result<Hello, StreamError> {
         )),
         Request::Resume { .. } => Err(StreamError::Protocol(
             "expected a session hello, got a resumable-session request".to_owned(),
+        )),
+        Request::Shutdown => Err(StreamError::Protocol(
+            "expected a session hello, got a shutdown request".to_owned(),
         )),
     }
 }
@@ -401,6 +473,144 @@ pub fn read_chunk(r: &mut impl Read) -> Result<Chunk, StreamError> {
     }
 }
 
+/// A cursor over a byte slice for the incremental (nonblocking) parsers:
+/// every accessor returns `None` while the buffer is still short, so the
+/// event loop can distinguish "need more bytes" from a protocol error.
+struct Scan<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let piece = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(piece)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        })
+    }
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(None)` while the buffer does not yet hold a complete
+/// request, `Ok(Some((request, consumed)))` once it does. Validation
+/// (magic, version, request kind, mode byte, schema cap) happens as soon
+/// as the relevant bytes are present, so garbage fails fast even when
+/// the peer never sends more.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on a bad magic, version, request
+/// kind, mode byte or oversized handshake.
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, StreamError> {
+    let mut s = Scan { buf, pos: 0 };
+    let Some(magic) = s.take(4) else {
+        // Reject a bad magic as soon as the prefix can no longer match.
+        if !PROTO_MAGIC.starts_with(buf) {
+            return Err(StreamError::Protocol("bad protocol magic".to_owned()));
+        }
+        return Ok(None);
+    };
+    if magic != PROTO_MAGIC {
+        return Err(StreamError::Protocol("bad protocol magic".to_owned()));
+    }
+    let Some(version) = s.u8() else {
+        return Ok(None);
+    };
+    if version != PROTO_VERSION {
+        return Err(StreamError::Protocol(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let Some(kind) = s.u8() else { return Ok(None) };
+    let hello_body = |s: &mut Scan<'_>| -> Result<Option<Hello>, StreamError> {
+        let Some(scenario) = s.u8() else {
+            return Ok(None);
+        };
+        let Some(mode_byte) = s.u8() else {
+            return Ok(None);
+        };
+        let mode = mode_from_byte(mode_byte)?;
+        let Some(tenant) = s.u32() else {
+            return Ok(None);
+        };
+        let Some(schema_len) = s.u32() else {
+            return Ok(None);
+        };
+        let schema_len = checked_len(schema_len, "schema")?;
+        let Some(schema) = s.take(schema_len) else {
+            return Ok(None);
+        };
+        Ok(Some(Hello {
+            scenario,
+            mode,
+            tenant,
+            schema: schema.to_vec(),
+        }))
+    };
+    match kind {
+        REQ_SESSION => Ok(hello_body(&mut s)?.map(|hello| (Request::Session(hello), s.pos))),
+        REQ_METRICS => Ok(Some((Request::Metrics, s.pos))),
+        REQ_SHUTDOWN => Ok(Some((Request::Shutdown, s.pos))),
+        REQ_SESSION_RESUME => {
+            let Some(token) = s.u64() else {
+                return Ok(None);
+            };
+            Ok(hello_body(&mut s)?.map(|hello| (Request::Resume { token, hello }, s.pos)))
+        }
+        other => Err(StreamError::Protocol(format!(
+            "unknown request kind {other}"
+        ))),
+    }
+}
+
+/// Incrementally parses one chunk from the front of `buf`.
+///
+/// Returns `Ok(None)` while the buffer does not yet hold a complete
+/// chunk, `Ok(Some((chunk, consumed)))` once it does.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Protocol`] on an unknown chunk tag or an
+/// oversized length prefix (checked before any payload arrives).
+pub fn decode_chunk(buf: &[u8]) -> Result<Option<(Chunk, usize)>, StreamError> {
+    let mut s = Scan { buf, pos: 0 };
+    let Some(tag) = s.u8() else { return Ok(None) };
+    match tag {
+        CHUNK_DATA => {
+            let Some(len) = s.u32() else { return Ok(None) };
+            let len = checked_len(len, "data chunk")?;
+            let Some(bytes) = s.take(len) else {
+                return Ok(None);
+            };
+            Ok(Some((Chunk::Data(bytes.to_vec()), s.pos)))
+        }
+        CHUNK_FINISH => {
+            let Some(bit_len) = s.u64() else {
+                return Ok(None);
+            };
+            Ok(Some((Chunk::Finish { bit_len }, s.pos)))
+        }
+        other => Err(StreamError::Protocol(format!("unknown chunk tag {other}"))),
+    }
+}
+
 /// Writes the server reply.
 ///
 /// # Errors
@@ -453,9 +663,117 @@ mod tests {
             Hello {
                 scenario: 3,
                 mode: MatchMode::Suffix,
+                tenant: 0,
                 schema: b"schema-bytes".to_vec(),
             }
         );
+    }
+
+    #[test]
+    fn tenant_id_rides_both_hello_shapes() {
+        let mut buf = Vec::new();
+        write_hello_as(&mut buf, 2, MatchMode::Prefix, 0xdead_beef, b"s").unwrap();
+        let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(hello.tenant, 0xdead_beef);
+        let mut buf = Vec::new();
+        write_resume_hello_as(&mut buf, 9, 1, MatchMode::Exact, 77, b"x").unwrap();
+        match read_request(&mut Cursor::new(&buf)).unwrap() {
+            Request::Resume { token, hello } => {
+                assert_eq!(token, 9);
+                assert_eq!(hello.tenant, 77);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_request_round_trips() {
+        let mut buf = Vec::new();
+        write_shutdown_request(&mut buf).unwrap();
+        assert_eq!(
+            read_request(&mut Cursor::new(&buf)).unwrap(),
+            Request::Shutdown
+        );
+        assert!(read_hello(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn incremental_request_parser_agrees_with_the_blocking_one() {
+        let mut requests: Vec<Vec<u8>> = Vec::new();
+        let mut session = Vec::new();
+        write_hello_as(&mut session, 1, MatchMode::Prefix, 42, b"schema-bytes").unwrap();
+        requests.push(session);
+        let mut resume = Vec::new();
+        write_resume_hello_as(&mut resume, 7, 2, MatchMode::Suffix, 3, b"more").unwrap();
+        requests.push(resume);
+        let mut metrics = Vec::new();
+        write_metrics_request(&mut metrics).unwrap();
+        requests.push(metrics);
+        let mut shutdown = Vec::new();
+        write_shutdown_request(&mut shutdown).unwrap();
+        requests.push(shutdown);
+
+        for wire in requests {
+            let blocking = read_request(&mut Cursor::new(&wire)).unwrap();
+            // Every strict prefix is "need more bytes", never an error.
+            for cut in 0..wire.len() {
+                assert_eq!(
+                    decode_request(&wire[..cut]).unwrap(),
+                    None,
+                    "prefix of {cut} bytes must ask for more"
+                );
+            }
+            let (parsed, used) = decode_request(&wire).unwrap().expect("complete");
+            assert_eq!(parsed, blocking);
+            assert_eq!(used, wire.len());
+            // Trailing bytes (pipelined chunks) are left untouched.
+            let mut extra = wire.clone();
+            extra.extend_from_slice(&[0xAA; 9]);
+            let (again, used_again) = decode_request(&extra).unwrap().expect("complete");
+            assert_eq!(again, parsed);
+            assert_eq!(used_again, wire.len());
+        }
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage_as_soon_as_it_can() {
+        assert!(decode_request(b"NO").is_err(), "magic mismatch at byte 1");
+        assert!(decode_request(b"PSTX").is_err());
+        assert!(matches!(decode_request(b"PST"), Ok(None)));
+        let mut bad_version = Vec::new();
+        write_metrics_request(&mut bad_version).unwrap();
+        bad_version[4] = 9;
+        assert!(decode_request(&bad_version).is_err());
+        let mut bad_kind = Vec::new();
+        write_metrics_request(&mut bad_kind).unwrap();
+        bad_kind[5] = 77;
+        assert!(decode_request(&bad_kind).is_err());
+        // An oversized schema length fails before the payload arrives.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&PROTO_MAGIC);
+        huge.extend_from_slice(&[PROTO_VERSION, REQ_SESSION, 1, 1]);
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&huge).is_err());
+    }
+
+    #[test]
+    fn incremental_chunk_parser_agrees_with_the_blocking_one() {
+        let mut wire = Vec::new();
+        write_data(&mut wire, &[1, 2, 3, 4, 5]).unwrap();
+        write_finish(&mut wire, 40).unwrap();
+        for cut in 0..10 {
+            assert!(matches!(decode_chunk(&wire[..cut]), Ok(None)));
+        }
+        let (first, used) = decode_chunk(&wire).unwrap().expect("data chunk");
+        assert_eq!(first, Chunk::Data(vec![1, 2, 3, 4, 5]));
+        let (second, used2) = decode_chunk(&wire[used..]).unwrap().expect("finish");
+        assert_eq!(second, Chunk::Finish { bit_len: 40 });
+        assert_eq!(used + used2, wire.len());
+        assert!(decode_chunk(&[7u8]).is_err(), "unknown tag");
+        let mut huge = vec![CHUNK_DATA];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_chunk(&huge).is_err(), "cap checked before payload");
     }
 
     #[test]

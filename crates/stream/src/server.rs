@@ -1,16 +1,24 @@
-//! The `pstraced` ingest daemon: a std-only TCP server for live trace
-//! streams.
+//! The `pstraced` ingest daemon: a std-only, event-loop TCP server for
+//! live trace streams at fleet scale.
 //!
 //! One connection carries one request (see [`proto`](crate::proto)): a
 //! SESSION request streams hello → chunks → report, a METRICS request
-//! gets the daemon's Prometheus exposition back, and a SESSION_RESUME
+//! gets the daemon's merged Prometheus exposition back, a SESSION_RESUME
 //! request opens (or picks back up) a *resumable* session that survives
-//! transport death. The accept loop hands sockets to a fixed worker
-//! pool; each session worker rebuilds the wire schema from the
-//! handshake, derives the observed message set from its slots, and
-//! drives an observed [`Session`] — so by the time the FINISH chunk
-//! lands, the localization is already computed, the registry already
-//! carries the session's counters, and the reply is just formatting.
+//! transport death, and a SHUTDOWN request drains the daemon.
+//!
+//! # Architecture
+//!
+//! The accept thread pins each socket to one of
+//! [`ServerConfig::shards`] by connection id; each shard (see the
+//! `shard` module) is a single event-loop thread owning its connection
+//! table, its parked-session lot and its own metrics
+//! [`Registry`](pstrace_obs::Registry) — the chunk-ingest hot path
+//! crosses no locks. Resume tokens encode their owning shard, so a
+//! reconnect landing anywhere is handed off to the owner and session
+//! pinning survives. [`Server::snapshot`] and the METRICS verb merge the
+//! per-shard registries (plus the caller's root registry) into one view
+//! ([`pstrace_obs::merged_samples`]).
 //!
 //! # Hardening
 //!
@@ -21,41 +29,37 @@
 //! * **`accept-retry`** — a failing `accept(2)` no longer kills the
 //!   daemon; the loop retries under capped exponential backoff.
 //! * **`worker-respawn`** — a panicking session is caught
-//!   (`catch_unwind`) and the worker keeps serving; the panic is counted
-//!   in `pstrace_stream_worker_panics_total`.
+//!   (`catch_unwind`) and costs exactly its own connection; the panic is
+//!   counted in `pstrace_stream_worker_panics_total`.
 //! * **`budget-close`** — per-session byte/frame/record budgets
 //!   ([`SessionLimits`]) close over-limit sessions with a polite
 //!   status-1 reply instead of unbounded ingestion.
 //! * **`handshake-deadline`** — the request preamble must arrive within
-//!   [`ServerConfig::handshake_timeout`]; only then does the socket get
-//!   the (longer) session read timeout.
+//!   [`ServerConfig::handshake_timeout`].
 //! * **`session-parked`** — when a resumable session's transport dies,
 //!   the session is parked for [`ServerConfig::resume_grace`] and a
 //!   reconnect with its token resumes at the acked byte offset.
-//!
-//! All counters live in a [`pstrace_obs::Registry`] shared by every
-//! worker (per-daemon `pstrace_stream_*` series plus per-session
-//! `pstrace_session_*` series keyed by a `session` label). The
-//! [`Server::snapshot`] accessor folds the registry back into plain
-//! numbers for shutdown summaries.
+//! * **`tenant-quota-shed`** / **`capacity-shed`** — over-quota tenants
+//!   and over-capacity daemons shed new sessions with a polite
+//!   rejection, counted in `pstrace_stream_shed_total{reason=…}`; live
+//!   sessions are never evicted.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use pstrace_obs::{render_prometheus, Registry, Sample};
+use pstrace_obs::{merged_samples, MetricKey, Registry, Sample};
 use pstrace_soc::{SocModel, UsageScenario};
 use pstrace_wire::read_ptw_schema;
 
 use crate::error::StreamError;
-use crate::proto::{read_request, write_reply, write_resume_ack, Chunk, Hello, Request};
+use crate::proto::Hello;
 use crate::session::Session;
+use crate::shard::{run_shard, FleetCtx, ShardMsg, TenantGovernor};
 
 /// Per-session ingest budgets. A session crossing any limit is closed
 /// with a polite status-1 reply (degradation path `budget-close`); the
@@ -72,7 +76,7 @@ pub struct SessionLimits {
 
 impl SessionLimits {
     /// The first exceeded budget, as a human-readable close message.
-    fn exceeded(&self, m: &crate::session::SessionMetrics) -> Option<String> {
+    pub(crate) fn exceeded(&self, m: &crate::session::SessionMetrics) -> Option<String> {
         if let Some(max) = self.max_bytes {
             if m.bytes > max {
                 return Some(format!(
@@ -106,38 +110,53 @@ impl SessionLimits {
 pub struct ServerConfig {
     /// Address to bind (e.g. `127.0.0.1:0` for an ephemeral port).
     pub addr: String,
-    /// Worker threads handling sessions.
-    pub threads: usize,
-    /// Per-socket read timeout; a stalled client costs one worker for at
-    /// most this long.
+    /// Event-loop shards (worker threads); sessions are pinned to a
+    /// shard by connection id, so each shard's hot path is lock-free.
+    pub shards: usize,
+    /// Idle deadline for a streaming session: a session with no
+    /// transport progress for this long dies (and, when resumable,
+    /// parks).
     pub read_timeout: Duration,
     /// Deadline for the request preamble: a connection that has not
     /// produced its hello within this window is closed (degradation path
-    /// `handshake-deadline`), so slow-loris connects cannot pin workers
+    /// `handshake-deadline`), so slow-loris connects cannot pin shards
     /// for the full session timeout.
     pub handshake_timeout: Duration,
     /// How long a resumable session stays parked after transport death
     /// before its token expires.
     pub resume_grace: Duration,
+    /// How long a draining shard waits for in-flight sessions at
+    /// shutdown before it exits anyway.
+    pub drain_timeout: Duration,
     /// Per-session ingest budgets.
     pub limits: SessionLimits,
+    /// Global cap on concurrent sessions; excess opens are shed with a
+    /// polite rejection (`capacity-shed`). `None` = unlimited.
+    pub max_sessions: Option<u64>,
+    /// Per-tenant cap on concurrent sessions (tenant id from the PSTS
+    /// hello); over-quota opens are shed (`tenant-quota-shed`). `None` =
+    /// unlimited.
+    pub tenant_quota: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
-            threads: 2,
+            shards: 2,
             read_timeout: Duration::from_secs(30),
             handshake_timeout: Duration::from_secs(5),
             resume_grace: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
             limits: SessionLimits::default(),
+            max_sessions: None,
+            tenant_quota: None,
         }
     }
 }
 
 /// A point-in-time copy of the daemon's aggregated counters, folded out
-/// of the metrics registry.
+/// of the merged metrics registries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Sessions accepted.
@@ -162,60 +181,32 @@ pub struct StatsSnapshot {
     pub worker_panics: u64,
     /// Accept-loop errors retried under backoff.
     pub accept_retries: u64,
+    /// Sessions shed by quota or capacity (summed over shed reasons).
+    pub shed: u64,
+    /// Resume connections handed off to their owning shard.
+    pub handoffs: u64,
 }
 
 /// Bumps `pstrace_degradation_events_total{path=…}` — the one series
 /// every designed degradation path reports through.
-fn degrade(registry: &Registry, path: &str) {
+pub(crate) fn degrade(registry: &Registry, path: &str) {
     registry
         .counter_with("pstrace_degradation_events_total", &[("path", path)])
         .inc();
 }
 
-/// A resumable session waiting out its grace period.
-#[derive(Debug)]
-struct Parked {
-    session: Session,
-    scenario: u8,
-    schema: Vec<u8>,
-    deadline: Instant,
-}
-
-/// Everything a worker needs to serve connections.
-#[derive(Debug)]
-struct WorkerCtx {
-    model: Arc<SocModel>,
-    registry: Arc<Registry>,
-    session_seq: AtomicU64,
-    parked: Mutex<HashMap<u64, Parked>>,
-    read_timeout: Duration,
-    handshake_timeout: Duration,
-    resume_grace: Duration,
-    limits: SessionLimits,
-}
-
-impl WorkerCtx {
-    /// Drops parked sessions whose grace period has lapsed (lazy purge:
-    /// runs on every park/resume access, so idle daemons hold nothing).
-    fn purge_expired(&self, now: Instant) {
-        let mut parked = self.parked.lock().expect("parked lock poisoned");
-        parked.retain(|_, p| p.deadline > now);
-    }
-}
-
-/// A running daemon: accept thread plus worker pool.
+/// A running daemon: accept thread plus shard event loops.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    registry: Arc<Registry>,
+    ctx: Arc<FleetCtx>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr` and spawns the accept loop and worker pool
-    /// with a fresh private metrics registry. Sessions localize over
+    /// Binds `config.addr` and spawns the accept loop and shard workers
+    /// with a fresh private root registry. Sessions localize over
     /// `model`'s scenarios.
     ///
     /// # Errors
@@ -225,9 +216,12 @@ impl Server {
         Server::spawn_with_registry(model, config, Arc::new(Registry::new()))
     }
 
-    /// Like [`Server::spawn`], but records into a caller-provided
-    /// registry — the daemon's series land next to whatever else the
-    /// process is measuring (and a metrics endpoint can expose both).
+    /// Like [`Server::spawn`], but with a caller-provided root registry —
+    /// the daemon's merged exposition then includes whatever else the
+    /// process is measuring (fault injection counters, CLI spans, …).
+    /// Per-shard series still live in private per-shard registries; use
+    /// [`Server::merged_samples`] or [`Server::snapshot`] for the full
+    /// view.
     ///
     /// # Errors
     ///
@@ -245,48 +239,49 @@ impl Server {
         // Nonblocking accept so the loop can poll the shutdown flag.
         listener.set_nonblocking(true)?;
 
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let ctx = Arc::new(WorkerCtx {
+        let shard_count = config.shards.max(1);
+        let mut registries = Vec::with_capacity(shard_count + 1);
+        registries.push(Arc::clone(&registry));
+        registries.extend((0..shard_count).map(|_| Arc::new(Registry::new())));
+
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut receivers = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = channel::<ShardMsg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let ctx = Arc::new(FleetCtx {
             model,
-            registry: Arc::clone(&registry),
+            registries,
+            senders,
             session_seq: AtomicU64::new(1),
-            parked: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            governor: TenantGovernor::new(
+                config.max_sessions,
+                config.tenant_quota,
+                Arc::clone(&registry),
+            ),
             read_timeout: config.read_timeout,
             handshake_timeout: config.handshake_timeout,
             resume_grace: config.resume_grace,
+            drain_timeout: config.drain_timeout,
             limits: config.limits,
         });
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-        let rx = Arc::new(Mutex::new(rx));
 
-        let workers = (0..config.threads.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
+        let shards = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(index, rx)| {
                 let ctx = Arc::clone(&ctx);
-                std::thread::spawn(move || loop {
-                    // Holding the lock only for the recv keeps the pool
-                    // honest: one idle worker parks here, the rest wait.
-                    let stream = match rx.lock().expect("receiver lock poisoned").recv() {
-                        Ok(s) => s,
-                        Err(_) => return, // accept loop gone: drain done
-                    };
-                    // A panicking session must cost exactly that session:
-                    // catch it, count it, keep the worker serving.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let _ = serve_conn(&ctx, stream);
-                    }));
-                    if outcome.is_err() {
-                        ctx.registry
-                            .counter("pstrace_stream_worker_panics_total")
-                            .inc();
-                        degrade(&ctx.registry, "worker-respawn");
-                    }
-                })
+                std::thread::spawn(move || run_shard(ctx, index, &rx))
             })
             .collect();
 
         let accept = {
-            let shutdown = Arc::clone(&shutdown);
+            let ctx = Arc::clone(&ctx);
             let registry = Arc::clone(&registry);
             std::thread::spawn(move || {
                 // A failing accept(2) (EMFILE, ECONNABORTED, …) is
@@ -295,11 +290,16 @@ impl Server {
                 let initial = Duration::from_millis(5);
                 let cap = Duration::from_secs(1);
                 let mut backoff = initial;
-                while !shutdown.load(Ordering::Relaxed) {
+                let mut conn_id: u64 = 0;
+                while !ctx.shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             backoff = initial;
-                            if tx.send(stream).is_err() {
+                            // Pin by connection id: the shard owns this
+                            // socket for its whole life.
+                            let shard = (conn_id % ctx.senders.len() as u64) as usize;
+                            conn_id += 1;
+                            if ctx.senders[shard].send(ShardMsg::Conn(stream)).is_err() {
                                 return;
                             }
                         }
@@ -316,16 +316,14 @@ impl Server {
                         }
                     }
                 }
-                // Dropping `tx` unblocks the workers' recv with Err.
             })
         };
 
         Ok(Server {
             addr,
-            shutdown,
-            registry,
+            ctx,
             accept: Some(accept),
-            workers,
+            shards,
         })
     }
 
@@ -335,31 +333,57 @@ impl Server {
         self.addr
     }
 
-    /// The shared metrics registry the daemon records into.
+    /// The root metrics registry (the caller-provided one for
+    /// [`Server::spawn_with_registry`]). Shard-recorded series live in
+    /// the per-shard registries — see [`Server::registries`].
     #[must_use]
     pub fn registry(&self) -> &Arc<Registry> {
-        &self.registry
+        &self.ctx.registries[0]
     }
 
-    /// Folds the registry's `pstrace_stream_*` series into a plain
-    /// snapshot, readable while serving.
+    /// Every registry the daemon records into: the root first, then one
+    /// per shard.
+    #[must_use]
+    pub fn registries(&self) -> Vec<Arc<Registry>> {
+        self.ctx.registries.clone()
+    }
+
+    /// The merged sample set across the root and every shard registry —
+    /// key-for-key identical to what a single-registry daemon would
+    /// report.
+    #[must_use]
+    pub fn merged_samples(&self) -> Vec<(MetricKey, Sample)> {
+        merged_samples(&self.ctx.registries)
+    }
+
+    /// Folds the merged registries' `pstrace_stream_*` series into a
+    /// plain snapshot, readable while serving.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
-        snapshot_from(&self.registry)
+        fold_samples(&self.merged_samples())
     }
 
-    /// Graceful shutdown: stop accepting, let in-flight sessions finish,
-    /// join every thread.
-    pub fn shutdown(mut self) {
+    /// Whether a client's SHUTDOWN verb asked the daemon to drain (the
+    /// serve loop polls this to exit).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, drain every shard (bounded by
+    /// [`ServerConfig::drain_timeout`]), join every thread. Returns the
+    /// final post-drain snapshot — the counters cannot move again.
+    pub fn shutdown(mut self) -> StatsSnapshot {
         self.stop();
+        self.snapshot()
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
     }
@@ -371,13 +395,12 @@ impl Drop for Server {
     }
 }
 
-/// Folds the daemon-level series out of `registry` (see
-/// [`Server::snapshot`]). Damaged frames are summed over their `reason`
+/// Folds daemon-level `pstrace_stream_*` series out of a sample set.
+/// Labeled series (damage reasons, shed reasons) are summed over their
 /// labels.
-#[must_use]
-pub fn snapshot_from(registry: &Registry) -> StatsSnapshot {
+fn fold_samples(samples: &[(MetricKey, Sample)]) -> StatsSnapshot {
     let mut snap = StatsSnapshot::default();
-    for (key, sample) in registry.samples() {
+    for (key, sample) in samples {
         let Sample::Counter(v) = sample else { continue };
         match key.name() {
             "pstrace_stream_sessions_total" => snap.sessions += v,
@@ -391,10 +414,19 @@ pub fn snapshot_from(registry: &Registry) -> StatsSnapshot {
             "pstrace_stream_resumed_total" => snap.resumed += v,
             "pstrace_stream_worker_panics_total" => snap.worker_panics += v,
             "pstrace_stream_accept_retries_total" => snap.accept_retries += v,
+            "pstrace_stream_shed_total" => snap.shed += v,
+            "pstrace_stream_handoffs_total" => snap.handoffs += v,
             _ => {}
         }
     }
     snap
+}
+
+/// Folds the daemon-level series out of a single `registry` (see
+/// [`Server::snapshot`], which folds the *merged* registries instead).
+#[must_use]
+pub fn snapshot_from(registry: &Registry) -> StatsSnapshot {
+    fold_samples(&registry.samples())
 }
 
 /// Resolves a protocol scenario number onto the modeled usage scenarios
@@ -419,7 +451,7 @@ pub fn scenario_by_number(n: u8) -> Result<UsageScenario, StreamError> {
 /// Builds the session a hello asked for: scenario interleaving + schema
 /// rebuilt from the handshake bytes. The session records into `registry`
 /// under the `session_id` label.
-fn open_session(
+pub(crate) fn open_session(
     model: &SocModel,
     hello: &Hello,
     registry: &Arc<Registry>,
@@ -443,212 +475,4 @@ fn open_session(
         Arc::clone(registry),
         session_id,
     ))
-}
-
-/// What pumping chunks into a session ended with.
-enum Pumped {
-    /// FINISH arrived; the rendered report.
-    Done(String),
-    /// The transport died mid-stream; the session comes back so a
-    /// resumable caller can park it.
-    Dead(Box<Session>, StreamError),
-    /// A budget was exceeded; the polite close message.
-    Over(String),
-}
-
-/// Reads chunks into `session` until FINISH, transport death or a blown
-/// budget. Shared by the plain and resumable ingest paths.
-fn pump(ctx: &WorkerCtx, reader: &mut impl io::Read, mut session: Session, scenario: u8) -> Pumped {
-    loop {
-        match crate::proto::read_chunk(reader) {
-            Ok(Chunk::Data(bytes)) => {
-                session.push_chunk(&bytes);
-                if let Some(msg) = ctx.limits.exceeded(&session.metrics()) {
-                    degrade(&ctx.registry, "budget-close");
-                    return Pumped::Over(msg);
-                }
-            }
-            Ok(Chunk::Finish { bit_len }) => {
-                let report = session.finish(Some(bit_len));
-                return Pumped::Done(format!(
-                    "session over scenario {} ({:?} match)\n{}",
-                    scenario,
-                    report.mode,
-                    report.render()
-                ));
-            }
-            Err(e) => return Pumped::Dead(Box::new(session), e),
-        }
-    }
-}
-
-/// Drives one connection: dispatches on the request preamble, then either
-/// serves the metrics exposition or runs a full session. Session failures
-/// are reported to the client (status 1) *and* returned, so tests can
-/// observe them; they also bump `pstrace_stream_failed_total`.
-fn serve_conn(ctx: &WorkerCtx, stream: TcpStream) -> Result<(), StreamError> {
-    // The preamble gets the short handshake deadline; only a validated
-    // request earns the full session timeout.
-    stream.set_read_timeout(Some(ctx.handshake_timeout))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream.try_clone()?);
-
-    let request = match read_request(&mut reader) {
-        Ok(r) => r,
-        Err(e) => {
-            degrade(&ctx.registry, "handshake-deadline");
-            // Best effort: the peer may be gone or never spoke PSTS.
-            let _ = write_reply(&mut writer, false, &e.to_string());
-            let _ = writer.flush();
-            return Err(e);
-        }
-    };
-    stream.set_read_timeout(Some(ctx.read_timeout))?;
-
-    let registry = &ctx.registry;
-    match request {
-        Request::Metrics => {
-            // A scrape is not a session: it bumps its own counter only.
-            registry
-                .counter("pstrace_stream_metrics_requests_total")
-                .inc();
-            write_reply(&mut writer, true, &render_prometheus(registry))?;
-            writer.flush()?;
-            Ok(())
-        }
-        Request::Session(hello) => {
-            registry.counter("pstrace_stream_sessions_total").inc();
-            let active = registry.gauge("pstrace_stream_active_sessions");
-            active.add(1);
-            let session_id = ctx.session_seq.fetch_add(1, Ordering::Relaxed);
-            let outcome = match open_session(&ctx.model, &hello, registry, session_id) {
-                Ok(session) => match pump(ctx, &mut reader, session, hello.scenario) {
-                    Pumped::Done(report) => Ok(report),
-                    Pumped::Dead(_, e) => Err(e),
-                    Pumped::Over(msg) => Err(StreamError::Protocol(msg)),
-                },
-                Err(e) => Err(e),
-            };
-            active.sub(1);
-            finish_reply(registry, &mut writer, outcome)
-        }
-        Request::Resume { token, hello } => {
-            serve_resume(ctx, &mut reader, &mut writer, token, hello)
-        }
-    }
-}
-
-/// Sends the final session reply and keeps the completion counters
-/// honest. Failures are best-effort on the wire (the peer may be gone)
-/// but always surfaced to the caller.
-fn finish_reply(
-    registry: &Registry,
-    writer: &mut impl io::Write,
-    outcome: Result<String, StreamError>,
-) -> Result<(), StreamError> {
-    match outcome {
-        Ok(report) => {
-            registry.counter("pstrace_stream_completed_total").inc();
-            write_reply(writer, true, &report)?;
-            writer.flush()?;
-            Ok(())
-        }
-        Err(e) => {
-            registry.counter("pstrace_stream_failed_total").inc();
-            let _ = write_reply(writer, false, &e.to_string());
-            let _ = writer.flush();
-            Err(e)
-        }
-    }
-}
-
-/// The resumable path: ack `resume <token> <offset>`, pump chunks, and
-/// on transport death park the session for the grace period instead of
-/// failing it.
-fn serve_resume(
-    ctx: &WorkerCtx,
-    reader: &mut impl io::Read,
-    writer: &mut impl io::Write,
-    token: u64,
-    hello: Hello,
-) -> Result<(), StreamError> {
-    let registry = &ctx.registry;
-    ctx.purge_expired(Instant::now());
-
-    let (token, session) = if token == 0 {
-        // Fresh resumable session.
-        registry.counter("pstrace_stream_sessions_total").inc();
-        let session_id = ctx.session_seq.fetch_add(1, Ordering::Relaxed);
-        let session = match open_session(&ctx.model, &hello, registry, session_id) {
-            Ok(s) => s,
-            Err(e) => {
-                registry.counter("pstrace_stream_failed_total").inc();
-                let _ = write_reply(writer, false, &e.to_string());
-                let _ = writer.flush();
-                return Err(e);
-            }
-        };
-        (session_id, session)
-    } else {
-        // Pick a parked session back up.
-        let parked = {
-            let mut map = ctx.parked.lock().expect("parked lock poisoned");
-            map.remove(&token)
-        };
-        let Some(parked) = parked else {
-            degrade(registry, "resume-expired");
-            let e = StreamError::Protocol(format!("unknown or expired resume token {token}"));
-            let _ = write_reply(writer, false, &e.to_string());
-            let _ = writer.flush();
-            return Err(e);
-        };
-        if parked.schema != hello.schema || parked.scenario != hello.scenario {
-            // A mismatched resume is a client bug; the parked session
-            // goes back to wait for the right one.
-            let deadline = parked.deadline;
-            ctx.parked
-                .lock()
-                .expect("parked lock poisoned")
-                .insert(token, Parked { deadline, ..parked });
-            let e =
-                StreamError::Protocol("resume hello does not match the parked session".to_owned());
-            let _ = write_reply(writer, false, &e.to_string());
-            let _ = writer.flush();
-            return Err(e);
-        }
-        registry.counter("pstrace_stream_resumed_total").inc();
-        (token, parked.session)
-    };
-
-    // The ack: the authoritative byte offset ingest will continue from.
-    let offset = session.metrics().bytes;
-    write_resume_ack(writer, token, offset)?;
-    writer.flush()?;
-
-    let active = registry.gauge("pstrace_stream_active_sessions");
-    active.add(1);
-    let scenario = hello.scenario;
-    let pumped = pump(ctx, reader, session, scenario);
-    active.sub(1);
-    match pumped {
-        Pumped::Done(report) => finish_reply(registry, writer, Ok(report)),
-        Pumped::Over(msg) => finish_reply(registry, writer, Err(StreamError::Protocol(msg))),
-        Pumped::Dead(session, e) => {
-            // The socket is gone — no reply can land. Park the session
-            // so the client's reconnect picks it up at the acked offset.
-            registry.counter("pstrace_stream_parked_total").inc();
-            degrade(registry, "session-parked");
-            ctx.parked.lock().expect("parked lock poisoned").insert(
-                token,
-                Parked {
-                    session: *session,
-                    scenario,
-                    schema: hello.schema,
-                    deadline: Instant::now() + ctx.resume_grace,
-                },
-            );
-            Err(e)
-        }
-    }
 }

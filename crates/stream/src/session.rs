@@ -417,7 +417,9 @@ impl Session {
             o.registry
                 .counter("pstrace_stream_idle_frames_total")
                 .add(self.idle_frames as u64);
-            self.localizer.record_frontier(&o.registry);
+            // The live frontier gauges go back to zero: this session is
+            // over, and stale state would sum wrongly across shards.
+            OnlineLocalizer::clear_frontier(&o.registry);
         }
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         SessionReport {
@@ -590,10 +592,12 @@ mod tests {
                 .get(),
             1
         );
-        // The frontier gauges reflect the finished session.
+        // A finished session has no live frontier: the gauges are
+        // cleared so per-shard registries sum honestly when merged.
+        assert_eq!(registry.gauge("pstrace_localizer_records_pushed").get(), 0);
         assert_eq!(
-            registry.gauge("pstrace_localizer_records_pushed").get(),
-            report.metrics.records as i64
+            registry.gauge("pstrace_localizer_frontier_support").get(),
+            0
         );
         // Instrumentation must not change the ingest outcome.
         let mut plain = Session::new(&u, schema, MatchMode::Prefix);

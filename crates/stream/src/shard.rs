@@ -1,0 +1,788 @@
+//! Shard workers: the event-loop core of the fleet-scale daemon.
+//!
+//! The accept thread pins every connection to one of N shards by
+//! connection id; each shard is a single thread owning its connection
+//! table, its parked-session lot and its own
+//! [`Registry`](pstrace_obs::Registry), so the ingest hot path touches
+//! no cross-thread locks at all — the only shared state is the tenant
+//! governor (one short lock per session *open*, never per chunk) and the
+//! mpsc channels that deliver new sockets.
+//!
+//! Each tick a shard drains its inbox, speculatively reads every
+//! connection (see [`poll`](crate::poll)), advances the per-connection
+//! state machine over whatever bytes buffered (request → streaming →
+//! closing), flushes outboxes, applies deadlines, and purges expired
+//! parked sessions. A panic inside one connection's advance is caught
+//! and costs exactly that connection (`worker-respawn`), exactly as the
+//! old worker pool promised.
+//!
+//! Resume tokens encode their owning shard (`token % shard_count`), so a
+//! reconnect landing on the wrong shard is handed off — socket plus
+//! unconsumed bytes — to the owner over its inbox channel
+//! (`pstrace_stream_handoffs_total`), and session pinning survives any
+//! accept-order the reconnect storm produces.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pstrace_diag::OnlineLocalizer;
+use pstrace_obs::{merged_samples, render_prometheus_samples, Registry};
+use pstrace_soc::SocModel;
+
+use crate::error::StreamError;
+use crate::poll::{read_once, write_once, Backoff, Progress, Readiness};
+use crate::proto::{self, Chunk, Request};
+use crate::server::{degrade, open_session, SessionLimits};
+use crate::session::Session;
+
+/// How many bytes one connection may pull per tick before the loop moves
+/// on — fairness under a firehose client.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// What the accept thread (or a sibling shard) delivers to a shard.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// A freshly accepted socket, still unread.
+    Conn(TcpStream),
+    /// A mid-request handoff from a sibling: the socket plus every byte
+    /// read but not yet consumed (the resume request included) — the
+    /// receiver re-parses from the top.
+    Handoff(TcpStream, Vec<u8>),
+}
+
+/// Everything shared between the accept thread and every shard.
+#[derive(Debug)]
+pub(crate) struct FleetCtx {
+    pub model: Arc<SocModel>,
+    /// The caller's root registry first, then one registry per shard.
+    pub registries: Vec<Arc<Registry>>,
+    /// Shard inboxes, indexed by shard — the handoff fabric.
+    pub senders: Vec<Sender<ShardMsg>>,
+    /// Global session-id sequence (ids start at 1, shard-agnostic).
+    pub session_seq: AtomicU64,
+    /// Set to stop accepting and drain the shards.
+    pub shutdown: AtomicBool,
+    /// Set (alongside `shutdown`) when a client's SHUTDOWN verb — rather
+    /// than the owning process — asked for the drain.
+    pub shutdown_requested: AtomicBool,
+    pub governor: TenantGovernor,
+    pub read_timeout: Duration,
+    pub handshake_timeout: Duration,
+    pub resume_grace: Duration,
+    /// How long a draining shard waits for in-flight sessions.
+    pub drain_timeout: Duration,
+    pub limits: SessionLimits,
+}
+
+impl FleetCtx {
+    /// The merged Prometheus exposition across the root and every shard
+    /// registry — what the METRICS verb and the scrape endpoint serve.
+    pub(crate) fn exposition(&self) -> String {
+        render_prometheus_samples(&merged_samples(&self.registries))
+    }
+}
+
+/// Admission control for session opens: a global concurrent-session cap
+/// plus a per-tenant cap, both optional. Holds one short lock per open
+/// — never on the chunk path.
+#[derive(Debug)]
+pub(crate) struct TenantGovernor {
+    max_sessions: Option<u64>,
+    tenant_quota: Option<u64>,
+    inner: Arc<GovernorInner>,
+}
+
+#[derive(Debug)]
+struct GovernorInner {
+    root: Arc<Registry>,
+    state: Mutex<GovernorState>,
+}
+
+#[derive(Debug, Default)]
+struct GovernorState {
+    total: u64,
+    per_tenant: HashMap<u32, u64>,
+}
+
+/// Why the governor refused a session.
+pub(crate) struct Shed {
+    /// The degradation-path / shed-reason label.
+    pub reason: &'static str,
+    /// The polite rejection the client gets.
+    pub message: String,
+}
+
+/// An admitted session's seat. Dropping it releases the global and
+/// tenant counts — it rides along when a session parks, so a parked
+/// session still occupies its tenant's quota until it resumes or
+/// expires.
+#[derive(Debug)]
+pub(crate) struct Ticket {
+    inner: Arc<GovernorInner>,
+    tenant: u32,
+}
+
+impl TenantGovernor {
+    pub(crate) fn new(
+        max_sessions: Option<u64>,
+        tenant_quota: Option<u64>,
+        root: Arc<Registry>,
+    ) -> TenantGovernor {
+        TenantGovernor {
+            max_sessions,
+            tenant_quota,
+            inner: Arc::new(GovernorInner {
+                root,
+                state: Mutex::new(GovernorState::default()),
+            }),
+        }
+    }
+
+    /// Admits one session for `tenant`, or says why not.
+    pub(crate) fn admit(&self, tenant: u32) -> Result<Ticket, Shed> {
+        let mut state = self.inner.state.lock().expect("governor lock poisoned");
+        if let Some(cap) = self.max_sessions {
+            if state.total >= cap {
+                return Err(Shed {
+                    reason: "capacity-shed",
+                    message: format!("daemon at capacity ({cap} concurrent sessions); retry later"),
+                });
+            }
+        }
+        if let Some(cap) = self.tenant_quota {
+            if state.per_tenant.get(&tenant).copied().unwrap_or(0) >= cap {
+                return Err(Shed {
+                    reason: "tenant-quota-shed",
+                    message: format!(
+                        "tenant {tenant} is over its quota of {cap} concurrent sessions"
+                    ),
+                });
+            }
+        }
+        state.total += 1;
+        *state.per_tenant.entry(tenant).or_insert(0) += 1;
+        drop(state);
+        self.inner
+            .root
+            .gauge_with(
+                "pstrace_tenant_active_sessions",
+                &[("tenant", &tenant.to_string())],
+            )
+            .add(1);
+        Ok(Ticket {
+            inner: Arc::clone(&self.inner),
+            tenant,
+        })
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("governor lock poisoned");
+        state.total = state.total.saturating_sub(1);
+        if let Some(n) = state.per_tenant.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                state.per_tenant.remove(&self.tenant);
+            }
+        }
+        drop(state);
+        self.inner
+            .root
+            .gauge_with(
+                "pstrace_tenant_active_sessions",
+                &[("tenant", &self.tenant.to_string())],
+            )
+            .sub(1);
+    }
+}
+
+/// A streaming session attached to a live connection.
+#[derive(Debug)]
+struct Active {
+    session: Session,
+    scenario: u8,
+    schema: Vec<u8>,
+    /// `Some` for resumable sessions: the token that parks/picks it up.
+    token: Option<u64>,
+    ticket: Option<Ticket>,
+}
+
+/// The per-connection state machine.
+#[derive(Debug)]
+enum Phase {
+    /// Accumulating the request preamble.
+    Request,
+    /// Pumping chunks into a session.
+    Streaming(Box<Active>),
+    /// Reply queued; flush the outbox, then close.
+    Closing,
+}
+
+/// One connection owned by a shard.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbox: Vec<u8>,
+    sent: usize,
+    phase: Phase,
+    opened: Instant,
+    last_progress: Instant,
+    peer_gone: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, inbuf: Vec<u8>) -> Conn {
+        let now = Instant::now();
+        stream.set_nonblocking(true).ok();
+        stream.set_nodelay(true).ok();
+        Conn {
+            stream,
+            inbuf,
+            outbox: Vec::new(),
+            sent: 0,
+            phase: Phase::Request,
+            opened: now,
+            last_progress: now,
+            peer_gone: false,
+        }
+    }
+
+    /// Queues a reply for the flush pass.
+    fn reply(&mut self, ok: bool, text: &str) {
+        let _ = proto::write_reply(&mut self.outbox, ok, text);
+    }
+}
+
+/// A resumable session waiting out its grace period, shard-local.
+#[derive(Debug)]
+struct ParkedSession {
+    session: Session,
+    scenario: u8,
+    schema: Vec<u8>,
+    ticket: Option<Ticket>,
+    deadline: Instant,
+}
+
+/// What `advance` decided about a connection.
+enum Verdict {
+    Keep,
+    Close,
+    /// Hand the socket (plus unconsumed bytes) to the owning shard.
+    Handoff(usize),
+}
+
+/// One shard's private state.
+struct Shard {
+    ctx: Arc<FleetCtx>,
+    index: usize,
+    registry: Arc<Registry>,
+    parked: HashMap<u64, ParkedSession>,
+    /// Per-shard resume-token sequence; tokens are
+    /// `seq * shard_count + index`, never 0, owner-recoverable.
+    resume_seq: u64,
+}
+
+impl Shard {
+    fn shard_count(&self) -> usize {
+        self.ctx.senders.len()
+    }
+
+    fn next_token(&mut self) -> u64 {
+        let token = self.resume_seq * self.shard_count() as u64 + self.index as u64;
+        self.resume_seq += 1;
+        token
+    }
+
+    /// Which shard owns `token`.
+    fn owner_of(&self, token: u64) -> usize {
+        (token % self.shard_count() as u64) as usize
+    }
+
+    fn next_session_id(&self) -> u64 {
+        self.ctx.session_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reads whatever the socket has buffered (bounded per tick).
+    fn pull(&self, conn: &mut Conn) -> bool {
+        let mut moved = false;
+        let mut buf = [0u8; 16 * 1024];
+        let mut budget = READ_BUDGET;
+        while budget > 0 && !conn.peer_gone {
+            match read_once(&mut conn.stream, &mut buf) {
+                Ok(Readiness::Data(n)) => {
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    budget = budget.saturating_sub(n);
+                    conn.last_progress = Instant::now();
+                    moved = true;
+                }
+                Ok(Readiness::WouldBlock) => break,
+                Ok(Readiness::Eof) | Err(_) => conn.peer_gone = true,
+            }
+        }
+        moved
+    }
+
+    /// Flushes the outbox (bounded by the socket buffer).
+    fn push(&self, conn: &mut Conn) -> bool {
+        let mut moved = false;
+        while conn.sent < conn.outbox.len() {
+            match write_once(&mut conn.stream, &conn.outbox[conn.sent..]) {
+                Ok(Progress::Wrote(n)) => {
+                    conn.sent += n;
+                    conn.last_progress = Instant::now();
+                    moved = true;
+                }
+                Ok(Progress::WouldBlock) => break,
+                Err(_) => {
+                    conn.peer_gone = true;
+                    break;
+                }
+            }
+        }
+        if conn.sent == conn.outbox.len() && conn.sent > 0 {
+            conn.outbox.clear();
+            conn.sent = 0;
+        }
+        moved
+    }
+
+    /// A streaming session's transport died (EOF, error, protocol damage
+    /// or idle deadline): park it when resumable, fail it when not.
+    fn streaming_death(&mut self, conn: &mut Conn, why: &str) -> Verdict {
+        let Phase::Streaming(active) = std::mem::replace(&mut conn.phase, Phase::Closing) else {
+            return Verdict::Close;
+        };
+        self.registry.gauge("pstrace_stream_active_sessions").sub(1);
+        // However the session ends here, it is no longer live-streaming:
+        // stale frontier gauges would sum wrongly across shards.
+        OnlineLocalizer::clear_frontier(&self.registry);
+        let active = *active;
+        if let Some(token) = active.token {
+            self.registry.counter("pstrace_stream_parked_total").inc();
+            degrade(&self.registry, "session-parked");
+            self.parked.insert(
+                token,
+                ParkedSession {
+                    session: active.session,
+                    scenario: active.scenario,
+                    schema: active.schema,
+                    ticket: active.ticket,
+                    deadline: Instant::now() + self.ctx.resume_grace,
+                },
+            );
+            Verdict::Close
+        } else {
+            self.registry.counter("pstrace_stream_failed_total").inc();
+            if conn.peer_gone {
+                Verdict::Close
+            } else {
+                // The transport still works (protocol damage): tell the
+                // client, then close.
+                conn.reply(false, why);
+                Verdict::Keep
+            }
+        }
+    }
+
+    /// Consumes as many complete protocol items as the inbuf holds,
+    /// advancing the phase machine. Returns a verdict plus whether
+    /// anything was consumed.
+    fn process(&mut self, conn: &mut Conn) -> (Verdict, bool) {
+        let mut moved = false;
+        loop {
+            if matches!(conn.phase, Phase::Closing) {
+                // Anything the client pipelined after its request is
+                // irrelevant now.
+                conn.inbuf.clear();
+                return (Verdict::Keep, moved);
+            }
+            if matches!(conn.phase, Phase::Request) {
+                match proto::decode_request(&conn.inbuf) {
+                    Ok(Some((request, used))) => {
+                        if let Request::Resume { token, .. } = &request {
+                            let owner = if *token == 0 {
+                                self.index
+                            } else {
+                                self.owner_of(*token)
+                            };
+                            if owner != self.index {
+                                // Not ours: hand the socket over with the
+                                // request bytes still unconsumed.
+                                self.registry.counter("pstrace_stream_handoffs_total").inc();
+                                return (Verdict::Handoff(owner), true);
+                            }
+                        }
+                        conn.inbuf.drain(..used);
+                        moved = true;
+                        if let Verdict::Close = self.handle_request(conn, request) {
+                            return (Verdict::Close, moved);
+                        }
+                    }
+                    Ok(None) => {
+                        if conn.peer_gone {
+                            // The peer hung up (or never spoke PSTS) before
+                            // a full request landed.
+                            degrade(&self.registry, "handshake-deadline");
+                            return (Verdict::Close, moved);
+                        }
+                        return (Verdict::Keep, moved);
+                    }
+                    Err(e) => {
+                        degrade(&self.registry, "handshake-deadline");
+                        conn.reply(false, &e.to_string());
+                        conn.phase = Phase::Closing;
+                        return (Verdict::Keep, true);
+                    }
+                }
+            } else {
+                match proto::decode_chunk(&conn.inbuf) {
+                    Ok(Some((chunk, used))) => {
+                        conn.inbuf.drain(..used);
+                        moved = true;
+                        self.handle_chunk(conn, chunk);
+                    }
+                    Ok(None) => {
+                        if conn.peer_gone {
+                            let verdict = self.streaming_death(conn, "transport closed mid-stream");
+                            return (verdict, moved);
+                        }
+                        return (Verdict::Keep, moved);
+                    }
+                    Err(e) => {
+                        // Same contract as the blocking pump: any chunk
+                        // error is transport death — resumable sessions
+                        // park and a reconnect picks them back up.
+                        let verdict = self.streaming_death(conn, &e.to_string());
+                        return (verdict, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches one parsed request on a connection in `Request` phase.
+    fn handle_request(&mut self, conn: &mut Conn, request: Request) -> Verdict {
+        match request {
+            Request::Metrics => {
+                self.registry
+                    .counter("pstrace_stream_metrics_requests_total")
+                    .inc();
+                let exposition = self.ctx.exposition();
+                conn.reply(true, &exposition);
+                conn.phase = Phase::Closing;
+                Verdict::Keep
+            }
+            Request::Shutdown => {
+                conn.reply(true, "shutting down: draining shards");
+                conn.phase = Phase::Closing;
+                self.ctx.shutdown_requested.store(true, Ordering::SeqCst);
+                self.ctx.shutdown.store(true, Ordering::SeqCst);
+                Verdict::Keep
+            }
+            Request::Session(hello) => {
+                self.registry.counter("pstrace_stream_sessions_total").inc();
+                match self.open_streaming(&hello, None) {
+                    Ok(active) => {
+                        conn.phase = Phase::Streaming(Box::new(active));
+                    }
+                    // `open_streaming` already accounted the failure.
+                    Err(e) => {
+                        conn.reply(false, &e.to_string());
+                        conn.phase = Phase::Closing;
+                    }
+                }
+                Verdict::Keep
+            }
+            Request::Resume { token, hello } => {
+                let opened = if token == 0 {
+                    // Fresh resumable session.
+                    self.registry.counter("pstrace_stream_sessions_total").inc();
+                    let token = self.next_token();
+                    self.open_streaming(&hello, Some(token))
+                } else {
+                    self.pick_up(token, &hello)
+                };
+                match opened {
+                    Ok(active) => {
+                        let token = active.token.expect("resumable sessions carry a token");
+                        let offset = active.session.metrics().bytes;
+                        let _ = proto::write_resume_ack(&mut conn.outbox, token, offset);
+                        self.registry.gauge("pstrace_stream_active_sessions").add(1);
+                        conn.phase = Phase::Streaming(Box::new(active));
+                    }
+                    Err(e) => {
+                        conn.reply(false, &e.to_string());
+                        conn.phase = Phase::Closing;
+                    }
+                }
+                Verdict::Keep
+            }
+        }
+    }
+
+    /// Opens a brand-new session (plain or fresh-resumable): governor
+    /// admission, then scenario/schema validation. The plain path also
+    /// flips the active gauge here; the resume path does it after acking.
+    fn open_streaming(
+        &mut self,
+        hello: &proto::Hello,
+        token: Option<u64>,
+    ) -> Result<Active, StreamError> {
+        let ticket = match self.ctx.governor.admit(hello.tenant) {
+            Ok(t) => t,
+            Err(shed) => {
+                degrade(&self.registry, shed.reason);
+                self.registry
+                    .counter_with("pstrace_stream_shed_total", &[("reason", shed.reason)])
+                    .inc();
+                self.registry.counter("pstrace_stream_failed_total").inc();
+                return Err(StreamError::Protocol(shed.message));
+            }
+        };
+        let session_id = self.next_session_id();
+        let session = match open_session(&self.ctx.model, hello, &self.registry, session_id) {
+            Ok(s) => s,
+            Err(e) => {
+                self.registry.counter("pstrace_stream_failed_total").inc();
+                return Err(e);
+            }
+        };
+        if token.is_none() {
+            self.registry.gauge("pstrace_stream_active_sessions").add(1);
+        }
+        Ok(Active {
+            session,
+            scenario: hello.scenario,
+            schema: hello.schema.clone(),
+            token,
+            ticket: Some(ticket),
+        })
+    }
+
+    /// Picks a parked session back up by its token.
+    fn pick_up(&mut self, token: u64, hello: &proto::Hello) -> Result<Active, StreamError> {
+        let Some(parked) = self.parked.remove(&token) else {
+            degrade(&self.registry, "resume-expired");
+            return Err(StreamError::Protocol(format!(
+                "unknown or expired resume token {token}"
+            )));
+        };
+        if parked.schema != hello.schema || parked.scenario != hello.scenario {
+            // A mismatched resume is a client bug; the parked session
+            // goes back to wait for the right one.
+            self.parked.insert(token, parked);
+            return Err(StreamError::Protocol(
+                "resume hello does not match the parked session".to_owned(),
+            ));
+        }
+        self.registry.counter("pstrace_stream_resumed_total").inc();
+        Ok(Active {
+            session: parked.session,
+            scenario: parked.scenario,
+            schema: parked.schema,
+            token: Some(token),
+            ticket: parked.ticket,
+        })
+    }
+
+    /// Feeds one chunk into the streaming session.
+    fn handle_chunk(&mut self, conn: &mut Conn, chunk: Chunk) {
+        let Phase::Streaming(active) = &mut conn.phase else {
+            return;
+        };
+        match chunk {
+            Chunk::Data(bytes) => {
+                active.session.push_chunk(&bytes);
+                if let Some(msg) = self.ctx.limits.exceeded(&active.session.metrics()) {
+                    degrade(&self.registry, "budget-close");
+                    self.registry.counter("pstrace_stream_failed_total").inc();
+                    self.registry.gauge("pstrace_stream_active_sessions").sub(1);
+                    OnlineLocalizer::clear_frontier(&self.registry);
+                    conn.reply(false, &msg);
+                    conn.phase = Phase::Closing;
+                }
+            }
+            Chunk::Finish { bit_len } => {
+                let Phase::Streaming(active) = std::mem::replace(&mut conn.phase, Phase::Closing)
+                else {
+                    return;
+                };
+                let active = *active;
+                let report = active.session.finish(Some(bit_len));
+                let text = format!(
+                    "session over scenario {} ({:?} match)\n{}",
+                    active.scenario,
+                    report.mode,
+                    report.render()
+                );
+                self.registry
+                    .counter("pstrace_stream_completed_total")
+                    .inc();
+                self.registry.gauge("pstrace_stream_active_sessions").sub(1);
+                conn.reply(true, &text);
+                // The ticket drops here: the seat frees at completion.
+            }
+        }
+    }
+
+    /// One full step of a connection: read, process, flush, deadlines.
+    fn advance(&mut self, conn: &mut Conn) -> (Verdict, bool) {
+        let mut moved = self.pull(conn);
+        let (verdict, processed) = self.process(conn);
+        moved |= processed;
+        if !matches!(verdict, Verdict::Keep) {
+            // Best-effort flush of whatever reply got queued.
+            self.push(conn);
+            return (verdict, moved);
+        }
+        moved |= self.push(conn);
+
+        if conn.peer_gone {
+            // A write failed, so no reply can land anymore. (Read-side
+            // deaths were already handled in `process`.)
+            if matches!(conn.phase, Phase::Streaming(_)) {
+                return (self.streaming_death(conn, "transport closed"), moved);
+            }
+            return (Verdict::Close, moved);
+        }
+        if matches!(conn.phase, Phase::Closing) && conn.outbox.is_empty() {
+            return (Verdict::Close, moved);
+        }
+
+        // Deadlines.
+        let now = Instant::now();
+        if matches!(conn.phase, Phase::Request)
+            && now.duration_since(conn.opened) > self.ctx.handshake_timeout
+        {
+            degrade(&self.registry, "handshake-deadline");
+            conn.reply(
+                false,
+                "handshake deadline: no complete request arrived in time",
+            );
+            conn.phase = Phase::Closing;
+        } else if matches!(conn.phase, Phase::Streaming(_))
+            && now.duration_since(conn.last_progress) > self.ctx.read_timeout
+        {
+            return (
+                self.streaming_death(conn, "session idle past deadline"),
+                moved,
+            );
+        } else if matches!(conn.phase, Phase::Closing)
+            && now.duration_since(conn.last_progress) > self.ctx.read_timeout
+        {
+            return (Verdict::Close, moved);
+        }
+        (verdict, moved)
+    }
+
+    /// Tears down a connection that is leaving the table (any path),
+    /// keeping the active-session gauge honest.
+    fn teardown(&mut self, conn: &mut Conn) {
+        if matches!(conn.phase, Phase::Streaming(_)) {
+            self.registry.gauge("pstrace_stream_active_sessions").sub(1);
+            self.registry.counter("pstrace_stream_failed_total").inc();
+            OnlineLocalizer::clear_frontier(&self.registry);
+            conn.phase = Phase::Closing;
+        }
+    }
+}
+
+/// The shard thread body: tick until shutdown, then drain.
+pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<ShardMsg>) {
+    let registry = Arc::clone(&ctx.registries[index + 1]);
+    // Eagerly materialize the gauge so an idle daemon's exposition still
+    // shows `pstrace_stream_active_sessions 0`.
+    let _ = registry.gauge("pstrace_stream_active_sessions");
+    let mut shard = Shard {
+        ctx,
+        index,
+        registry,
+        parked: HashMap::new(),
+        resume_seq: 1,
+    };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut backoff = Backoff::new();
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let mut moved = false;
+
+        // Inbox: new sockets and handoffs.
+        loop {
+            match inbox.try_recv() {
+                Ok(ShardMsg::Conn(stream)) => {
+                    conns.push(Conn::new(stream, Vec::new()));
+                    moved = true;
+                }
+                Ok(ShardMsg::Handoff(stream, inbuf)) => {
+                    conns.push(Conn::new(stream, inbuf));
+                    moved = true;
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+
+        // Advance every connection; a panic costs exactly one.
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let stepped = catch_unwind(AssertUnwindSafe(|| shard.advance(conn)));
+            match stepped {
+                Ok((Verdict::Keep, m)) => {
+                    moved |= m;
+                    i += 1;
+                }
+                Ok((Verdict::Close, m)) => {
+                    moved |= m;
+                    conns.swap_remove(i);
+                }
+                Ok((Verdict::Handoff(owner), _)) => {
+                    let mut conn = conns.swap_remove(i);
+                    let inbuf = std::mem::take(&mut conn.inbuf);
+                    if shard.ctx.senders[owner]
+                        .send(ShardMsg::Handoff(conn.stream, inbuf))
+                        .is_err()
+                    {
+                        // The owner is gone (shutdown race): nothing to do.
+                    }
+                    moved = true;
+                }
+                Err(_) => {
+                    shard
+                        .registry
+                        .counter("pstrace_stream_worker_panics_total")
+                        .inc();
+                    degrade(&shard.registry, "worker-respawn");
+                    let mut conn = conns.swap_remove(i);
+                    shard.teardown(&mut conn);
+                    moved = true;
+                }
+            }
+        }
+
+        // Lazy purge of expired parked sessions.
+        let now = Instant::now();
+        shard.parked.retain(|_, p| p.deadline > now);
+
+        if shard.ctx.shutdown.load(Ordering::Relaxed) {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + shard.ctx.drain_timeout);
+            if conns.is_empty() || Instant::now() >= deadline {
+                return;
+            }
+        }
+
+        if moved {
+            backoff.note_progress();
+        } else {
+            backoff.idle_wait();
+        }
+    }
+}

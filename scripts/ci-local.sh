@@ -38,6 +38,21 @@ run cargo bench --no-run --locked --workspace
 run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
     chaos --seed 7 --sessions 3 --intensity light --records 400
 
+# Fleet-soak smoke: 256 chaos-wrapped sessions from 64 concurrent clients
+# against a 4-shard daemon. Exits nonzero on any worker panic, shed-free
+# quota breach, or a clean probe that is not bit-identical to batch.
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    fleet --seed 7 --intensity light --sessions 256 --concurrency 64 --shards 4 --records 200
+
+# Fleet perf gate: measured aggregate records/s must stay within ±35% of
+# the committed BENCH_fleet.json baseline (re-baseline with --rebaseline
+# after intentional perf changes — see scripts/check_bench.py).
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/check_bench.py
+else
+    echo "==> python3 not found; skipping fleet perf gate"
+fi
+
 # Profile smoke: the deterministic manual clock makes the span timeline
 # reproducible; the checker wants valid Chrome trace JSON with the
 # pipeline's phase names.
