@@ -7,6 +7,7 @@ use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
 use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBufferSpec};
 use pstrace_diag::{run_case_study_observed, scenario_causes, CaseStudyConfig};
 use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
+use pstrace_mine::{evaluate, Miner, MiningConfig};
 use pstrace_obs::maybe_time;
 use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
 use pstrace_soc::{
@@ -53,6 +54,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "metrics" => cmd_metrics(rest),
         "chaos" => cmd_chaos(rest),
         "fleet" => cmd_fleet(rest),
+        "mine" => cmd_mine(rest),
         "vcd" => cmd_vcd(rest),
         other => Err(format!("unknown subcommand `{other}`").into()),
     }
@@ -88,6 +90,10 @@ fn print_help() {
     println!("  fleet    [--sessions N] [--concurrency N] [--shards N] [--records N]");
     println!("           [--json FILE]                 fleet-scale concurrent ingest soak;");
     println!("                                         prints aggregate records/s");
+    println!("  mine     [FILES.ptw...] [--scenario N|all] [--seeds K] [--no-wire]");
+    println!("           [--min-support N] [--min-path-support N] [--top N]");
+    println!("           [--out DIR] [--dot] [--eval] [--require N] [--threshold F]");
+    println!("                                         infer flow DAGs from decoded captures");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -98,7 +104,7 @@ fn print_help() {
     println!("  vcd      [--cycles N] [--seed S] [--restored] [--out FILE]");
     println!("                                         dump a USB waveform as VCD");
     println!();
-    println!("select, select-file, debug and trace also accept --profile (print a");
+    println!("select, select-file, debug, trace and mine also accept --profile (print a");
     println!("phase-timing table) and --profile-json FILE (write the span timeline");
     println!("as Chrome trace-event JSON).");
 }
@@ -889,6 +895,171 @@ fn cmd_fleet(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Infers candidate flow DAGs from decoded captures.
+///
+/// Input is either one or more `.ptw` files (positional) or simulated
+/// scenario corpora (`--scenario N|all`, `--seeds K`, wire round-trip
+/// unless `--no-wire`). Candidates are ranked by acceptance × minimality;
+/// `--out DIR` writes parseable `.flow` specs (plus annotated `.dot`
+/// graphs with `--dot`), and `--eval` scores the candidates against the
+/// model's ground-truth flows, printing the recovery verdict line that CI
+/// asserts. `--require N` exits nonzero when fewer than N ground truths
+/// are recovered.
+fn cmd_mine(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &["dot", "eval", "no-wire", "profile"],
+        &[
+            "scenario",
+            "seeds",
+            "min-support",
+            "min-path-support",
+            "top",
+            "out",
+            "require",
+            "threshold",
+            "profile-json",
+        ],
+    )?;
+    let profiler = Profiler::from_args(&args);
+    let model = SocModel::t2();
+    let config = MiningConfig {
+        min_support: args.option_or("min-support", 2u64)?,
+        min_path_support: args.option_or("min-path-support", 1u64)?,
+        max_candidates: args.option_or("top", 32usize)?,
+        ..MiningConfig::default()
+    };
+    let mut miner = Miner::new(Arc::clone(model.catalog()), config);
+
+    // Load the corpus, remembering which flows count as ground truth.
+    let mut truth_kinds: Vec<FlowKind> = Vec::new();
+    if args.positional().is_empty() {
+        let scenarios: Vec<UsageScenario> = match args.option("scenario") {
+            None | Some("all") => {
+                let mut v = Vec::new();
+                for n in 1..=5 {
+                    v.push(scenario_by_number(n)?);
+                }
+                v
+            }
+            Some(s) => {
+                let n: u8 = s.parse().map_err(|_| format!("bad scenario `{s}`"))?;
+                vec![scenario_by_number(n)?]
+            }
+        };
+        let seeds = pstrace_mine::default_seeds(args.option_or("seeds", 8u64)?);
+        let wire = !args.flag("no-wire");
+        maybe_time(obs(&profiler), "corpus", || -> CmdResult {
+            for sc in &scenarios {
+                let (logs, _skipped) = pstrace_mine::scenario_executions(&model, sc, &seeds, wire)?;
+                for log in logs {
+                    miner.push_log(log);
+                }
+                for &(kind, _) in sc.flows() {
+                    if !truth_kinds.contains(&kind) {
+                        truth_kinds.push(kind);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    } else {
+        for path in args.positional() {
+            let bytes = std::fs::read(path)?;
+            let added = miner.push_ptw(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            println!("loaded {path}: {added} records");
+        }
+        truth_kinds = FlowKind::ALL.to_vec();
+    }
+
+    let report = miner.mine_observed(obs(&profiler));
+    println!(
+        "mined {} candidates from {} executions ({} records, {} sequences, {} clusters, {} dropped, {} skipped frames)",
+        report.candidates.len(),
+        report.stats.executions,
+        report.stats.records,
+        report.stats.sequences,
+        report.stats.clusters,
+        report.stats.clusters_dropped,
+        report.stats.skipped_frames,
+    );
+    println!(
+        "{:<24} {:>6} {:>6} {:>8} {:>7} {:>6} {:>6} {:>4} {:>5}",
+        "candidate", "states", "edges", "support", "accept", "score", "trunc", "inv", "mutex"
+    );
+    for c in &report.candidates {
+        let conflicts: u64 = c.atomic_checks.iter().map(|a| a.conflicts).sum();
+        println!(
+            "{:<24} {:>6} {:>6} {:>8} {:>7.3} {:>6.3} {:>6} {:>4} {:>5}",
+            c.flow.name(),
+            c.flow.state_count(),
+            c.flow.edge_count(),
+            c.support,
+            c.acceptance,
+            c.score,
+            c.truncated,
+            c.invariant_violations,
+            conflicts,
+        );
+    }
+
+    let render_dot = |c: &pstrace_mine::CandidateFlow| {
+        dot::flow_to_dot_with(&c.flow, |i, _| Some(c.edge_label(i)))
+    };
+    if let Some(dir) = args.option("out") {
+        std::fs::create_dir_all(dir)?;
+        for c in &report.candidates {
+            let base = std::path::Path::new(dir).join(c.flow.name());
+            std::fs::write(base.with_extension("flow"), c.flow.dsl().to_string())?;
+            if args.flag("dot") {
+                std::fs::write(base.with_extension("dot"), render_dot(c))?;
+            }
+        }
+        println!("wrote {} flow specs to {dir}", report.candidates.len());
+    } else if args.flag("dot") {
+        for c in &report.candidates {
+            print!("{}", render_dot(c));
+        }
+    }
+
+    if args.flag("eval") || args.option("require").is_some() {
+        let threshold = args.option_or("threshold", 0.9f64)?;
+        let truths: Vec<&pstrace_flow::Flow> = truth_kinds
+            .iter()
+            .map(|&k| model.flow(k).as_ref())
+            .collect();
+        let eval = maybe_time(obs(&profiler), "evaluate", || {
+            evaluate(&report.candidates, &truths, threshold)
+        });
+        for m in &eval.matches {
+            println!(
+                "  {:<28} -> {:<24} nodes P={:.2} R={:.2}  edges P={:.2} R={:.2}  {}",
+                m.truth,
+                m.candidate.as_deref().unwrap_or("(none)"),
+                m.score.nodes.precision,
+                m.score.nodes.recall,
+                m.score.edges.precision,
+                m.score.edges.recall,
+                if m.recovered { "recovered" } else { "missed" },
+            );
+        }
+        println!("{}", eval.verdict_line());
+        if let Some(require) = args.option_opt::<usize>("require")? {
+            if eval.recovered < require {
+                return Err(format!(
+                    "mine recovery {}/{} below required {require}",
+                    eval.recovered, eval.total
+                )
+                .into());
+            }
+        }
+    }
+    if let Some(p) = &profiler {
+        p.finish()?;
+    }
+    Ok(())
+}
+
 fn cmd_stats() -> CmdResult {
     let usb = UsbDesign::new();
     let stats = pstrace_rtl::netlist_stats(&usb.netlist);
@@ -1008,6 +1179,71 @@ mod tests {
             dispatch(&argv(&["debug", "--case", "1", "--depth", "0"])).is_err(),
             "zero depth must be rejected before capture"
         );
+    }
+
+    #[test]
+    fn mine_recovers_and_evaluates_scenarios() {
+        // Coherence scenario: COH + NCUD, both recoverable with a few
+        // seeds. --require makes the exit status the assertion.
+        assert!(dispatch(&argv(&[
+            "mine",
+            "--scenario",
+            "5",
+            "--seeds",
+            "6",
+            "--eval",
+            "--require",
+            "2"
+        ]))
+        .is_ok());
+        assert!(dispatch(&argv(&["mine", "--scenario", "9"])).is_err());
+        assert!(
+            dispatch(&argv(&[
+                "mine",
+                "--scenario",
+                "1",
+                "--seeds",
+                "2",
+                "--require",
+                "99"
+            ]))
+            .is_err(),
+            "--require above recoverable count must fail"
+        );
+    }
+
+    #[test]
+    fn mine_writes_parseable_flow_specs() {
+        let dir = std::env::temp_dir().join("pstrace_cli_mine");
+        let dir_s = dir.to_string_lossy().to_string();
+        assert!(dispatch(&argv(&[
+            "mine",
+            "--scenario",
+            "1",
+            "--seeds",
+            "2",
+            "--out",
+            &dir_s,
+            "--dot"
+        ]))
+        .is_ok());
+        let spec = dir.join("mined-piorreq.flow");
+        assert!(spec.exists(), "mined PIO-read spec missing");
+        assert!(dir.join("mined-piorreq.dot").exists());
+        let dot_text = std::fs::read_to_string(dir.join("mined-piorreq.dot")).unwrap();
+        assert!(
+            dot_text.contains("piorreq\\n×"),
+            "DOT edges must carry support annotations"
+        );
+        // The emitted spec is directly consumable by `select-file`.
+        assert!(dispatch(&argv(&[
+            "select-file",
+            &spec.to_string_lossy(),
+            "--buffer",
+            "16"
+        ]))
+        .is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

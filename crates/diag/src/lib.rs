@@ -59,7 +59,7 @@ pub use localize::{
 };
 pub use online::{Frontier, LocalizerCheckpoint, OnlineLocalizer};
 pub use report::{
-    run_case_study, run_case_study_observed, run_case_study_with_seed, CaseStudyConfig,
-    CaseStudyReport, WireTripSummary,
+    run_case_study, run_case_study_observed, run_case_study_routed, run_case_study_with_seed,
+    CaseStudyConfig, CaseStudyReport, WireTripSummary,
 };
 pub use walk::{investigate, InvestigationWalk, WalkStep};

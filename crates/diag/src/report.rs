@@ -232,10 +232,39 @@ pub fn run_case_study_observed(
     seed: u64,
     obs: Option<&Registry>,
 ) -> Result<CaseStudyReport, SelectError> {
+    run_case_study_routed(model, model, case, config, seed, obs)
+}
+
+/// [`run_case_study_observed`] with the *analysis* model decoupled from
+/// the *capture* model.
+///
+/// The capture side (simulation, bug injection, trace capture / wire
+/// trip, cause evidence) always runs on `model` — silicon does not care
+/// what spec the debugger holds. The analysis side (scenario
+/// interleaving, hence message selection and path localization) runs on
+/// `analysis`, which may substitute mined flow specifications via
+/// [`SocModel::with_flow`]. With `analysis = model` this is exactly
+/// [`run_case_study_observed`]; with a structurally equivalent mined
+/// model the report is byte-identical — the acceptance gate for inferred
+/// flows.
+///
+/// Both models must share one message catalog (enforced by `with_flow`).
+///
+/// # Errors
+///
+/// Propagates [`SelectError`] from message selection.
+pub fn run_case_study_routed(
+    model: &SocModel,
+    analysis: &SocModel,
+    case: &CaseStudy,
+    config: CaseStudyConfig,
+    seed: u64,
+    obs: Option<&Registry>,
+) -> Result<CaseStudyReport, SelectError> {
     let scenario = case.scenario.clone();
     let interleaving = maybe_time(obs, "interleave", || {
         scenario
-            .interleaving(model)
+            .interleaving(analysis)
             .expect("paper scenarios always interleave")
     });
 

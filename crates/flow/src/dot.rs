@@ -25,6 +25,30 @@ use crate::interleave::InterleavedFlow;
 /// ```
 #[must_use]
 pub fn flow_to_dot(flow: &Flow) -> String {
+    flow_to_dot_with(flow, |_, _| None)
+}
+
+/// [`flow_to_dot`] with a per-edge annotation hook.
+///
+/// The hook receives each edge's index (into [`Flow::edges`]) and the
+/// edge itself; a returned string is appended to the message label on a
+/// second line. Mined candidates use this to show per-edge
+/// support/confidence (`pstrace mine --dot`).
+///
+/// # Examples
+///
+/// ```
+/// use pstrace_flow::{examples::cache_coherence, dot::flow_to_dot_with};
+///
+/// let (flow, _) = cache_coherence();
+/// let dot = flow_to_dot_with(&flow, |i, _| Some(format!("×{}", i + 1)));
+/// assert!(dot.contains("ReqE\\n×1"));
+/// ```
+#[must_use]
+pub fn flow_to_dot_with(
+    flow: &Flow,
+    edge_label: impl Fn(usize, &crate::flow::Edge) -> Option<String>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", flow.name());
     let _ = writeln!(out, "  rankdir=LR;");
@@ -45,14 +69,13 @@ pub fn flow_to_dot(flow: &Flow) -> String {
         let _ = writeln!(out, "  {} [{}];", s, attrs.join(", "));
     }
     let catalog = flow.catalog();
-    for e in flow.edges() {
-        let _ = writeln!(
-            out,
-            "  {} -> {} [label=\"{}\"];",
-            e.from,
-            e.to,
-            catalog.name(e.message)
-        );
+    for (i, e) in flow.edges().iter().enumerate() {
+        let mut label = catalog.name(e.message).to_owned();
+        if let Some(extra) = edge_label(i, e) {
+            label.push_str("\\n");
+            label.push_str(&extra);
+        }
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.from, e.to, label);
     }
     out.push_str("}\n");
     out

@@ -187,7 +187,85 @@ impl Flow {
     pub fn is_linear(&self) -> bool {
         self.out_edges.iter().all(|edges| edges.len() <= 1)
     }
+
+    /// Display adapter that serializes the flow back into the text DSL
+    /// accepted by [`crate::parse::parse_flows`].
+    ///
+    /// `parse(flow.dsl().to_string())` yields a flow structurally equal
+    /// (`==`) to the original.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pstrace_flow::{examples::cache_coherence, parse::parse_flows};
+    ///
+    /// let (flow, _) = cache_coherence();
+    /// let text = flow.dsl().to_string();
+    /// let doc = parse_flows(&text).unwrap();
+    /// assert_eq!(*doc.flows[0], flow);
+    /// ```
+    #[must_use]
+    pub fn dsl(&self) -> FlowDsl<'_> {
+        FlowDsl(self)
+    }
 }
+
+/// [`Display`](fmt::Display) adapter returned by [`Flow::dsl`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDsl<'a>(&'a Flow);
+
+impl fmt::Display for FlowDsl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::parse::flow_to_text(self.0))
+    }
+}
+
+/// Structural equality, invariant under state *reordering* but not
+/// *renaming*: two flows are equal when they declare the same name, the
+/// same state names with the same initial/stop/atomic roles, and the
+/// same `(from, message name, message width, to)` transitions.
+///
+/// Catalogs are deliberately not compared — reparsing a serialized flow
+/// interns a fresh catalog with different [`MessageId`]s, and a flow's
+/// meaning does not depend on unrelated catalog entries.
+impl PartialEq for Flow {
+    fn eq(&self, other: &Self) -> bool {
+        fn names<'a>(flow: &'a Flow, ids: &[StateId]) -> Vec<&'a str> {
+            let mut v: Vec<&str> = ids.iter().map(|&s| flow.state_name(s)).collect();
+            v.sort_unstable();
+            v
+        }
+        fn all_states(flow: &Flow) -> Vec<&str> {
+            let mut v: Vec<&str> = flow.states.iter().map(String::as_str).collect();
+            v.sort_unstable();
+            v
+        }
+        fn edge_tuples(flow: &Flow) -> Vec<(&str, &str, u32, &str)> {
+            let mut v: Vec<_> = flow
+                .edges
+                .iter()
+                .map(|e| {
+                    (
+                        flow.state_name(e.from),
+                        flow.catalog.name(e.message),
+                        flow.catalog.width(e.message),
+                        flow.state_name(e.to),
+                    )
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        }
+        self.name == other.name
+            && all_states(self) == all_states(other)
+            && names(self, &self.initial) == names(other, &other.initial)
+            && names(self, &self.stop) == names(other, &other.stop)
+            && names(self, &self.atoms) == names(other, &other.atoms)
+            && edge_tuples(self) == edge_tuples(other)
+    }
+}
+
+impl Eq for Flow {}
 
 impl fmt::Display for Flow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -483,6 +561,45 @@ mod tests {
             .initial("s0")
             .edge("s0", "a", "s1")
             .edge("s1", "b", "s2")
+    }
+
+    #[test]
+    fn structural_equality_ignores_declaration_order_and_catalog() {
+        let f = linear().build(&catalog()).unwrap();
+        // Same flow declared in a different state order against a
+        // different (superset) catalog.
+        let mut big = MessageCatalog::new();
+        big.intern("unrelated", 7);
+        big.intern("b", 2);
+        big.intern("a", 1);
+        let g = FlowBuilder::new("lin")
+            .stop_state("s2")
+            .state("s1")
+            .state("s0")
+            .initial("s0")
+            .edge("s1", "b", "s2")
+            .edge("s0", "a", "s1")
+            .build(&Arc::new(big))
+            .unwrap();
+        assert_eq!(f, g);
+        let renamed = FlowBuilder::new("other")
+            .state("s0")
+            .state("s1")
+            .stop_state("s2")
+            .initial("s0")
+            .edge("s0", "a", "s1")
+            .edge("s1", "b", "s2")
+            .build(&catalog())
+            .unwrap();
+        assert_ne!(f, renamed, "flow name participates in equality");
+    }
+
+    #[test]
+    fn dsl_round_trips_to_equal_flow() {
+        let f = linear().build(&catalog()).unwrap();
+        let doc = crate::parse::parse_flows(&f.dsl().to_string()).unwrap();
+        assert_eq!(doc.flows.len(), 1);
+        assert_eq!(*doc.flows[0], f);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod parse;
 mod paths;
 
 pub use error::FlowError;
-pub use flow::{Edge, Flow, FlowBuilder, StateId};
+pub use flow::{Edge, Flow, FlowBuilder, FlowDsl, StateId};
 pub use indexed::{
     check_legally_indexed, instantiate, DisplayIndexedMessage, FlowIndex, IndexedFlow,
     IndexedMessage,

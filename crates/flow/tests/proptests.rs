@@ -222,5 +222,63 @@ proptest! {
                 doc.catalog.name(e2.message)
             );
         }
+        // And structural equality agrees wholesale.
+        prop_assert!(**back == flow, "parse(print(flow)) != flow");
+    }
+
+    /// `parse(f.dsl().to_string()) == f` for random *branching* DAGs:
+    /// a chain with random forward skip edges and atomic markings.
+    #[test]
+    fn dsl_round_trip_is_identity_on_random_dags(
+        len in 2usize..7,
+        atomics in proptest::collection::vec(any::<bool>(), 6),
+        skips in proptest::collection::vec(any::<u64>(), 16),
+        widths in proptest::collection::vec(1u32..24, 32),
+    ) {
+        let mut c = MessageCatalog::new();
+        let mut next_width = 0usize;
+        let mut width = |c: &mut MessageCatalog, name: &str| {
+            let w = widths[next_width % widths.len()];
+            next_width += 1;
+            c.intern(name, w);
+        };
+        for i in 0..len {
+            width(&mut c, &format!("m{i}"));
+        }
+        let mut skip_pairs = Vec::new();
+        let mut bit = 0usize;
+        for i in 0..len.saturating_sub(1) {
+            for j in (i + 2)..=len {
+                let on = (skips[bit % skips.len()] >> (bit / skips.len())) & 1 == 1;
+                bit += 1;
+                if on {
+                    width(&mut c, &format!("sk{i}_{j}"));
+                    skip_pairs.push((i, j));
+                }
+            }
+        }
+        let catalog = Arc::new(c);
+        let mut b = FlowBuilder::new("dag");
+        for i in 0..=len {
+            let name = format!("s{i}");
+            b = if i == len {
+                b.stop_state(&name)
+            } else if i > 0 && atomics.get(i - 1).copied().unwrap_or(false) {
+                b.atomic_state(&name)
+            } else {
+                b.state(&name)
+            };
+        }
+        b = b.initial("s0");
+        for i in 0..len {
+            b = b.edge(&format!("s{i}"), &format!("m{i}"), &format!("s{}", i + 1));
+        }
+        for &(i, j) in &skip_pairs {
+            b = b.edge(&format!("s{i}"), &format!("sk{i}_{j}"), &format!("s{j}"));
+        }
+        let flow = b.build(&catalog).expect("random DAG is well-formed");
+        let doc = parse_flows(&flow.dsl().to_string()).unwrap();
+        prop_assert_eq!(doc.flows.len(), 1);
+        prop_assert!(*doc.flows[0] == flow, "parse(f.dsl()) != f");
     }
 }

@@ -1,0 +1,449 @@
+//! Candidate DAG assembly: prefix-tree acceptor + future-language merge.
+//!
+//! Each cluster of per-instance sequences (grouped by initiating message)
+//! is folded into a prefix-tree acceptor (PTA) with visit and terminal
+//! counts, then compacted by merging PTA nodes whose *future languages*
+//! are identical. The future language of a node is captured by a canonical
+//! recursive signature `(is_terminal, sorted [(message, child_signature)])`
+//! computed post-order and interned; two nodes share a signature exactly
+//! when they accept the same suffix set.
+//!
+//! Two properties make the merge safe:
+//!
+//! - **The result is a DAG.** An ancestor and its descendant can never
+//!   share a future signature: the ancestor's future language contains a
+//!   strictly longer string (its path down through the descendant's
+//!   longest suffix), so a merge can never create a cycle.
+//! - **The result is deterministic.** All nodes of a class have identical
+//!   futures, so for any message their children also have identical
+//!   futures and land in one class — each (state, message) pair maps to a
+//!   single successor.
+//!
+//! Sink classes become stop states. Terminal-but-non-sink classes mark
+//! truncated observations; they are counted (lowering acceptance) rather
+//! than promoted to stop states, because a stop state must be a sink.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pstrace_flow::{Flow, FlowBuilder, MessageCatalog, MessageId};
+
+use crate::invariant::InvariantSummary;
+
+/// Knobs for one cluster assembly (subset of the full `MiningConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct AssembleConfig {
+    /// Distinct sequence shapes (paths) observed fewer than this many
+    /// times across the cluster are dropped before PTA construction.
+    pub min_path_support: u64,
+    /// Cap on DAG path enumeration during invariant cross-checking.
+    pub max_enumerated_paths: usize,
+}
+
+impl Default for AssembleConfig {
+    fn default() -> Self {
+        AssembleConfig {
+            min_path_support: 1,
+            max_enumerated_paths: 4096,
+        }
+    }
+}
+
+/// One mined candidate flow plus its mining evidence.
+#[derive(Debug, Clone)]
+pub struct CandidateFlow {
+    /// The assembled flow (always passes `FlowBuilder` validation).
+    pub flow: Flow,
+    /// The cluster's initiating message.
+    pub initiator: MessageId,
+    /// Number of sequences the candidate was mined from.
+    pub support: u64,
+    /// Observation count per edge, parallel to `flow.edges()`.
+    pub edge_support: Vec<u64>,
+    /// Fraction of corpus sequences the DAG accepts end-to-end (a
+    /// sequence is accepted when every message is consumed and the walk
+    /// ends on a stop state).
+    pub acceptance: f64,
+    /// Sequences that ended before reaching a sink (truncated captures).
+    pub truncated: u64,
+    /// Binary invariants mined from the cluster.
+    pub invariants: InvariantSummary,
+    /// Number of enumerated DAG paths violating a mined invariant
+    /// (over-generalization evidence).
+    pub invariant_violations: usize,
+    /// DAG paths enumerated for the invariant cross-check (capped).
+    pub enumerated_paths: usize,
+    /// Atomic-occupancy evidence per interior state (filled in by the
+    /// miner's validation pass when enabled).
+    pub atomic_checks: Vec<crate::miner::AtomicCheck>,
+    /// Composite score assigned by the miner (acceptance × minimality,
+    /// penalized for invariant violations).
+    pub score: f64,
+}
+
+impl CandidateFlow {
+    /// Support/confidence label for one edge (for DOT annotation).
+    #[must_use]
+    pub fn edge_label(&self, edge_index: usize) -> String {
+        let support = self.edge_support.get(edge_index).copied().unwrap_or(0);
+        if self.support == 0 {
+            return format!("×{support}");
+        }
+        format!(
+            "×{support} ({:.0}%)",
+            support as f64 / self.support as f64 * 100.0
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct PtaNode {
+    children: Vec<(MessageId, usize)>,
+    visits: u64,
+    terminal: u64,
+}
+
+/// Builds the PTA for a weighted set of distinct paths.
+fn build_pta(paths: &[(Vec<MessageId>, u64)]) -> Vec<PtaNode> {
+    let mut nodes: Vec<PtaNode> = vec![PtaNode::default()];
+    for (path, weight) in paths {
+        let mut cur = 0usize;
+        nodes[cur].visits += weight;
+        for &msg in path {
+            let next = match nodes[cur].children.iter().find(|(m, _)| *m == msg) {
+                Some(&(_, child)) => child,
+                None => {
+                    let child = nodes.len();
+                    nodes.push(PtaNode::default());
+                    nodes[cur].children.push((msg, child));
+                    child
+                }
+            };
+            cur = next;
+            nodes[cur].visits += weight;
+        }
+        nodes[cur].terminal += weight;
+    }
+    nodes
+}
+
+/// Computes the future-language class of every PTA node via post-order
+/// signature interning. Returns `(class_of_node, class_count)`.
+fn future_classes(nodes: &[PtaNode]) -> (Vec<usize>, usize) {
+    type Key = (bool, Vec<(MessageId, usize)>);
+    let mut interned: HashMap<Key, usize> = HashMap::new();
+    let mut class_of = vec![usize::MAX; nodes.len()];
+
+    fn classify(
+        nodes: &[PtaNode],
+        node: usize,
+        interned: &mut HashMap<Key, usize>,
+        class_of: &mut [usize],
+    ) -> usize {
+        if class_of[node] != usize::MAX {
+            return class_of[node];
+        }
+        let mut children: Vec<(MessageId, usize)> = nodes[node]
+            .children
+            .iter()
+            .map(|&(m, c)| (m, classify(nodes, c, interned, class_of)))
+            .collect();
+        children.sort_unstable();
+        let key = (nodes[node].terminal > 0, children);
+        let next = interned.len();
+        let class = *interned.entry(key).or_insert(next);
+        class_of[node] = class;
+        class
+    }
+
+    classify(nodes, 0, &mut interned, &mut class_of);
+    let count = interned.len();
+    (class_of, count)
+}
+
+/// Assembles one cluster of sequences into a candidate flow.
+///
+/// Returns `None` when the cluster is empty, when every path falls under
+/// `min_path_support`, or when the merged automaton fails flow validation
+/// (e.g. the root class is itself terminal, which would require an
+/// initial stop state — evidence of zero-length/noise sequences).
+#[must_use]
+pub fn assemble_cluster(
+    name: &str,
+    catalog: &Arc<MessageCatalog>,
+    sequences: &[&[MessageId]],
+    config: &AssembleConfig,
+) -> Option<CandidateFlow> {
+    // Weight distinct paths, then filter by path support.
+    let mut weighted: Vec<(Vec<MessageId>, u64)> = Vec::new();
+    for seq in sequences {
+        if seq.is_empty() {
+            continue;
+        }
+        match weighted.iter_mut().find(|(p, _)| p == seq) {
+            Some((_, w)) => *w += 1,
+            None => weighted.push((seq.to_vec(), 1)),
+        }
+    }
+    weighted.retain(|(_, w)| *w >= config.min_path_support);
+    if weighted.is_empty() {
+        return None;
+    }
+    let support: u64 = weighted.iter().map(|(_, w)| w).sum();
+    let initiator = weighted[0].0[0];
+
+    let nodes = build_pta(&weighted);
+    let (class_of, class_count) = future_classes(&nodes);
+
+    // Per-class representative children (identical across the class by
+    // the determinism argument) and per-class-edge observation counts.
+    let mut class_children: Vec<Vec<(MessageId, usize)>> = vec![Vec::new(); class_count];
+    let mut class_terminal = vec![0u64; class_count];
+    let mut edge_counts: HashMap<(usize, MessageId, usize), u64> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let c = class_of[i];
+        class_terminal[c] += node.terminal;
+        for &(msg, child) in &node.children {
+            let cc = class_of[child];
+            *edge_counts.entry((c, msg, cc)).or_insert(0) += nodes[child].visits;
+            if !class_children[c].contains(&(msg, cc)) {
+                class_children[c].push((msg, cc));
+            }
+        }
+    }
+    for ch in &mut class_children {
+        ch.sort_unstable();
+    }
+
+    // Deterministic BFS naming from the root class.
+    let root = class_of[0];
+    let mut order: Vec<usize> = vec![root];
+    let mut seen = vec![false; class_count];
+    seen[root] = true;
+    let mut head = 0;
+    while head < order.len() {
+        let c = order[head];
+        head += 1;
+        for &(_, cc) in &class_children[c] {
+            if !seen[cc] {
+                seen[cc] = true;
+                order.push(cc);
+            }
+        }
+    }
+    let mut state_name = vec![String::new(); class_count];
+    for (i, &c) in order.iter().enumerate() {
+        state_name[c] = format!("s{i}");
+    }
+
+    let mut truncated = 0u64;
+    let mut builder = FlowBuilder::new(name);
+    for &c in &order {
+        let sink = class_children[c].is_empty();
+        if sink {
+            builder = builder.stop_state(&state_name[c]);
+        } else {
+            builder = builder.state(&state_name[c]);
+            truncated += class_terminal[c];
+        }
+    }
+    builder = builder.initial(&state_name[root]);
+    let mut edge_support = Vec::new();
+    for &c in &order {
+        for &(msg, cc) in &class_children[c] {
+            builder = builder.edge(&state_name[c], catalog.name(msg), &state_name[cc]);
+            edge_support.push(edge_counts.get(&(c, msg, cc)).copied().unwrap_or(0));
+        }
+    }
+    let flow = builder.build(catalog).ok()?;
+
+    // Acceptance: replay every (weighted) path through the merged DAG.
+    let accepted: u64 = weighted
+        .iter()
+        .filter(|(p, _)| accepts(&flow, p))
+        .map(|(_, w)| w)
+        .sum();
+    let acceptance = accepted as f64 / support as f64;
+
+    // Invariant cross-check over the enumerated DAG language.
+    let invariants = crate::invariant::mine_invariants(sequences);
+    let paths = enumerate_paths(&flow, config.max_enumerated_paths);
+    let invariant_violations = paths
+        .iter()
+        .filter(|p| invariants.violations(p) > 0)
+        .count();
+
+    Some(CandidateFlow {
+        flow,
+        initiator,
+        support,
+        edge_support,
+        acceptance,
+        truncated,
+        invariants,
+        invariant_violations,
+        enumerated_paths: paths.len(),
+        atomic_checks: Vec::new(),
+        score: 0.0,
+    })
+}
+
+/// Whether the flow's DAG accepts a message sequence end to end.
+#[must_use]
+pub fn accepts(flow: &Flow, sequence: &[MessageId]) -> bool {
+    let Some(&start) = flow.initial_states().first() else {
+        return false;
+    };
+    let mut cur = start;
+    for &msg in sequence {
+        match flow.edges_from(cur).find(|e| e.message == msg) {
+            Some(e) => cur = e.to,
+            None => return false,
+        }
+    }
+    flow.is_stop(cur)
+}
+
+/// Enumerates complete initial→stop message paths of the DAG, capped.
+#[must_use]
+pub fn enumerate_paths(flow: &Flow, cap: usize) -> Vec<Vec<MessageId>> {
+    let mut out = Vec::new();
+    let Some(&start) = flow.initial_states().first() else {
+        return out;
+    };
+    let mut stack = vec![(start, Vec::new())];
+    while let Some((state, path)) = stack.pop() {
+        if out.len() >= cap {
+            break;
+        }
+        if flow.is_stop(state) {
+            out.push(path);
+            continue;
+        }
+        for e in flow.edges_from(state) {
+            let mut next = path.clone();
+            next.push(e.message);
+            stack.push((e.to, next));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> (Arc<MessageCatalog>, Vec<MessageId>) {
+        let mut c = MessageCatalog::new();
+        let ids = ["req", "gnt", "deny", "done", "ack"]
+            .iter()
+            .map(|n| c.intern(n, 4))
+            .collect();
+        (Arc::new(c), ids)
+    }
+
+    #[test]
+    fn linear_cluster_becomes_chain() {
+        let (cat, m) = catalog();
+        let seq = vec![m[0], m[1], m[3]];
+        let cand = assemble_cluster(
+            "mined",
+            &cat,
+            &[&seq, &seq, &seq],
+            &AssembleConfig::default(),
+        )
+        .expect("candidate");
+        assert_eq!(cand.flow.state_count(), 4);
+        assert_eq!(cand.flow.edge_count(), 3);
+        assert_eq!(cand.support, 3);
+        assert_eq!(cand.edge_support, vec![3, 3, 3]);
+        assert!((cand.acceptance - 1.0).abs() < 1e-12);
+        assert_eq!(cand.truncated, 0);
+        assert_eq!(cand.invariant_violations, 0);
+    }
+
+    #[test]
+    fn branches_merge_into_shared_tail() {
+        let (cat, m) = catalog();
+        // req -> gnt -> done  |  req -> deny -> done : the two middle
+        // nodes share the future language {done} and merge, as do the two
+        // terminals — a diamond of 4 states.
+        let a = vec![m[0], m[1], m[3]];
+        let b = vec![m[0], m[2], m[3]];
+        let cand =
+            assemble_cluster("mined", &cat, &[&a, &b], &AssembleConfig::default()).expect("ok");
+        assert_eq!(cand.flow.stop_states().len(), 1);
+        assert_eq!(cand.flow.state_count(), 4);
+        assert_eq!(cand.flow.edge_count(), 4);
+        assert!((cand.acceptance - 1.0).abs() < 1e-12);
+        assert_eq!(cand.enumerated_paths, 2);
+    }
+
+    #[test]
+    fn identical_futures_merge_midchain() {
+        let (cat, m) = catalog();
+        // After gnt and after deny the futures are both exactly
+        // [ack, done], so those two PTA nodes collapse into one state,
+        // as do the downstream ack/terminal nodes: req -> {gnt|deny} ->
+        // merged -> ack -> done gives 5 states / 5 edges.
+        let a = vec![m[0], m[1], m[4], m[3]];
+        let b = vec![m[0], m[2], m[4], m[3]];
+        let cand =
+            assemble_cluster("mined", &cat, &[&a, &b], &AssembleConfig::default()).expect("ok");
+        assert_eq!(cand.flow.state_count(), 5);
+        assert_eq!(cand.flow.edge_count(), 5);
+        assert!((cand.acceptance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_sequences_lower_acceptance() {
+        let (cat, m) = catalog();
+        let full = vec![m[0], m[1], m[3]];
+        let cut = vec![m[0], m[1]];
+        let cand = assemble_cluster(
+            "mined",
+            &cat,
+            &[&full, &full, &cut],
+            &AssembleConfig::default(),
+        )
+        .expect("ok");
+        assert_eq!(cand.truncated, 1);
+        assert!(cand.acceptance < 1.0);
+        assert!((cand.acceptance - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_path_support_drops_noise_paths() {
+        let (cat, m) = catalog();
+        let common = vec![m[0], m[1]];
+        let noise = vec![m[0], m[2]];
+        let config = AssembleConfig {
+            min_path_support: 2,
+            ..AssembleConfig::default()
+        };
+        let cand =
+            assemble_cluster("mined", &cat, &[&common, &common, &noise], &config).expect("ok");
+        assert_eq!(cand.support, 2, "noise path dropped");
+        assert_eq!(cand.flow.edge_count(), 2, "req -> gnt chain only");
+        assert_eq!(cand.flow.state_count(), 3);
+    }
+
+    #[test]
+    fn empty_cluster_yields_none() {
+        let (cat, _) = catalog();
+        assert!(assemble_cluster("mined", &cat, &[], &AssembleConfig::default()).is_none());
+        let empty: Vec<MessageId> = Vec::new();
+        assert!(assemble_cluster("mined", &cat, &[&empty], &AssembleConfig::default()).is_none());
+    }
+
+    #[test]
+    fn accepts_rejects_prefixes_and_unknown_messages() {
+        let (cat, m) = catalog();
+        let seq = vec![m[0], m[1], m[3]];
+        let cand =
+            assemble_cluster("mined", &cat, &[&seq], &AssembleConfig::default()).expect("ok");
+        assert!(accepts(&cand.flow, &seq));
+        assert!(!accepts(&cand.flow, &seq[..2]), "prefix must not accept");
+        assert!(!accepts(&cand.flow, &[m[0], m[2]]), "unknown transition");
+    }
+}

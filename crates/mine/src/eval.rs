@@ -1,0 +1,307 @@
+//! Self-evaluation: score mined candidates against ground-truth flows.
+//!
+//! Mined state names (`s0`, `s1`, …) carry no meaning, so flows are
+//! compared structurally. Every state is reduced to a *node signature* —
+//! `(sorted incoming message names, sorted outgoing message names,
+//! is_initial, is_stop)` — and every edge to `(from_signature, message
+//! name, to_signature)`. Precision and recall are then multiset overlaps
+//! of the signature bags, which is invariant under state renaming and
+//! state reordering but sensitive to real structural mistakes (missing
+//! branches, spurious merges, wrong stop sets).
+
+use std::collections::BTreeMap;
+
+use pstrace_flow::{Flow, StateId};
+
+use crate::assemble::CandidateFlow;
+
+/// One precision/recall pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrScore {
+    /// Matched fraction of the mined bag.
+    pub precision: f64,
+    /// Matched fraction of the ground-truth bag.
+    pub recall: f64,
+}
+
+impl PrScore {
+    /// Harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            return 0.0;
+        }
+        2.0 * self.precision * self.recall / (self.precision + self.recall)
+    }
+
+    /// Whether both components meet `threshold`.
+    #[must_use]
+    pub fn meets(&self, threshold: f64) -> bool {
+        self.precision >= threshold && self.recall >= threshold
+    }
+}
+
+/// Node and edge scores of one mined flow against one ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowScore {
+    /// Node-signature precision/recall.
+    pub nodes: PrScore,
+    /// Edge-signature precision/recall.
+    pub edges: PrScore,
+}
+
+impl FlowScore {
+    /// Whether all four components meet `threshold`.
+    #[must_use]
+    pub fn meets(&self, threshold: f64) -> bool {
+        self.nodes.meets(threshold) && self.edges.meets(threshold)
+    }
+}
+
+type NodeSig = (Vec<String>, Vec<String>, bool, bool);
+type EdgeSig = (NodeSig, String, NodeSig);
+
+fn node_sig(flow: &Flow, state: StateId) -> NodeSig {
+    let catalog = flow.catalog();
+    let mut incoming: Vec<String> = flow
+        .edges_into(state)
+        .map(|e| catalog.name(e.message).to_owned())
+        .collect();
+    let mut outgoing: Vec<String> = flow
+        .edges_from(state)
+        .map(|e| catalog.name(e.message).to_owned())
+        .collect();
+    incoming.sort_unstable();
+    outgoing.sort_unstable();
+    (
+        incoming,
+        outgoing,
+        flow.initial_states().contains(&state),
+        flow.is_stop(state),
+    )
+}
+
+fn bags(flow: &Flow) -> (BTreeMap<NodeSig, usize>, BTreeMap<EdgeSig, usize>) {
+    let catalog = flow.catalog();
+    let sigs: Vec<NodeSig> = flow.states().map(|s| node_sig(flow, s)).collect();
+    let mut nodes: BTreeMap<NodeSig, usize> = BTreeMap::new();
+    for s in &sigs {
+        *nodes.entry(s.clone()).or_insert(0) += 1;
+    }
+    let mut edges: BTreeMap<EdgeSig, usize> = BTreeMap::new();
+    for e in flow.edges() {
+        let sig = (
+            sigs[e.from.index()].clone(),
+            catalog.name(e.message).to_owned(),
+            sigs[e.to.index()].clone(),
+        );
+        *edges.entry(sig).or_insert(0) += 1;
+    }
+    (nodes, edges)
+}
+
+fn overlap<K: Ord>(mined: &BTreeMap<K, usize>, truth: &BTreeMap<K, usize>) -> PrScore {
+    let matched: usize = mined
+        .iter()
+        .map(|(k, &m)| truth.get(k).map_or(0, |&t| m.min(t)))
+        .sum();
+    let mined_total: usize = mined.values().sum();
+    let truth_total: usize = truth.values().sum();
+    PrScore {
+        precision: if mined_total == 0 {
+            0.0
+        } else {
+            matched as f64 / mined_total as f64
+        },
+        recall: if truth_total == 0 {
+            0.0
+        } else {
+            matched as f64 / truth_total as f64
+        },
+    }
+}
+
+/// Scores a mined flow against one ground-truth flow.
+#[must_use]
+pub fn score_against(mined: &Flow, truth: &Flow) -> FlowScore {
+    let (mn, me) = bags(mined);
+    let (tn, te) = bags(truth);
+    FlowScore {
+        nodes: overlap(&mn, &tn),
+        edges: overlap(&me, &te),
+    }
+}
+
+/// One ground-truth flow's best mined match.
+#[derive(Debug, Clone)]
+pub struct FlowMatch {
+    /// Ground-truth flow name.
+    pub truth: String,
+    /// Best-matching candidate's name (`None` when no candidate exists).
+    pub candidate: Option<String>,
+    /// The best candidate's score (zeros when no candidate exists).
+    pub score: FlowScore,
+    /// Whether the match meets the recovery threshold.
+    pub recovered: bool,
+}
+
+/// Recovery evaluation of a candidate set against ground-truth flows.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Per-truth best matches, in the order the truths were given.
+    pub matches: Vec<FlowMatch>,
+    /// Number of recovered ground-truth flows.
+    pub recovered: usize,
+    /// Number of ground-truth flows evaluated.
+    pub total: usize,
+    /// The precision/recall threshold applied.
+    pub threshold: f64,
+}
+
+impl RecoveryReport {
+    /// The single-line verdict asserted by CI smokes.
+    #[must_use]
+    pub fn verdict_line(&self) -> String {
+        format!(
+            "mine recovery: {}/{} ground-truth flows recovered at P/R >= {:.2}",
+            self.recovered, self.total, self.threshold
+        )
+    }
+}
+
+/// Matches every ground-truth flow with its best candidate (by node+edge
+/// F1) and applies the recovery `threshold` to all four score components.
+#[must_use]
+pub fn evaluate(candidates: &[CandidateFlow], truths: &[&Flow], threshold: f64) -> RecoveryReport {
+    let mut matches = Vec::new();
+    let mut recovered = 0;
+    for truth in truths {
+        let best = candidates
+            .iter()
+            .map(|c| (c, score_against(&c.flow, truth)))
+            .max_by(|(_, a), (_, b)| {
+                (a.nodes.f1() + a.edges.f1()).total_cmp(&(b.nodes.f1() + b.edges.f1()))
+            });
+        let m = match best {
+            Some((cand, score)) => FlowMatch {
+                truth: truth.name().to_owned(),
+                candidate: Some(cand.flow.name().to_owned()),
+                score,
+                recovered: score.meets(threshold),
+            },
+            None => FlowMatch {
+                truth: truth.name().to_owned(),
+                candidate: None,
+                score: FlowScore {
+                    nodes: PrScore {
+                        precision: 0.0,
+                        recall: 0.0,
+                    },
+                    edges: PrScore {
+                        precision: 0.0,
+                        recall: 0.0,
+                    },
+                },
+                recovered: false,
+            },
+        };
+        if m.recovered {
+            recovered += 1;
+        }
+        matches.push(m);
+    }
+    RecoveryReport {
+        matches,
+        recovered,
+        total: truths.len(),
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::{assemble_cluster, AssembleConfig};
+    use pstrace_flow::{FlowBuilder, MessageCatalog, MessageId};
+    use std::sync::Arc;
+
+    fn catalog() -> (Arc<MessageCatalog>, Vec<MessageId>) {
+        let mut c = MessageCatalog::new();
+        let ids = ["req", "gnt", "done"]
+            .iter()
+            .map(|n| c.intern(n, 4))
+            .collect();
+        (Arc::new(c), ids)
+    }
+
+    fn truth(cat: &Arc<MessageCatalog>) -> Flow {
+        FlowBuilder::new("truth")
+            .state("idle")
+            .state("wait")
+            .state("granted")
+            .stop_state("end")
+            .initial("idle")
+            .edge("idle", "req", "wait")
+            .edge("wait", "gnt", "granted")
+            .edge("granted", "done", "end")
+            .build(cat)
+            .expect("valid")
+    }
+
+    #[test]
+    fn identical_structure_scores_perfectly_despite_renaming() {
+        let (cat, m) = catalog();
+        let t = truth(&cat);
+        let seq = vec![m[0], m[1], m[2]];
+        let cand = assemble_cluster("mined-req", &cat, &[&seq, &seq], &AssembleConfig::default())
+            .expect("ok");
+        let s = score_against(&cand.flow, &t);
+        assert_eq!(s.nodes.precision, 1.0);
+        assert_eq!(s.nodes.recall, 1.0);
+        assert_eq!(s.edges.precision, 1.0);
+        assert_eq!(s.edges.recall, 1.0);
+        assert!(s.meets(0.9));
+    }
+
+    #[test]
+    fn missing_tail_lowers_recall_not_precision() {
+        let (cat, m) = catalog();
+        let t = truth(&cat);
+        let seq = vec![m[0], m[1]]; // done never observed
+        let cand =
+            assemble_cluster("mined-req", &cat, &[&seq], &AssembleConfig::default()).expect("ok");
+        let s = score_against(&cand.flow, &t);
+        assert!(s.nodes.recall < 1.0);
+        assert!(s.edges.recall < 1.0);
+        // The req edge's signatures differ too (endpoints changed), so
+        // precision also dips; the headline is that recovery fails.
+        assert!(!s.meets(0.9));
+    }
+
+    #[test]
+    fn evaluate_produces_ci_verdict_line() {
+        let (cat, m) = catalog();
+        let t = truth(&cat);
+        let seq = vec![m[0], m[1], m[2]];
+        let cand = assemble_cluster("mined-req", &cat, &[&seq, &seq], &AssembleConfig::default())
+            .expect("ok");
+        let report = evaluate(&[cand], &[&t], 0.9);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.total, 1);
+        assert_eq!(report.matches[0].candidate.as_deref(), Some("mined-req"));
+        assert_eq!(
+            report.verdict_line(),
+            "mine recovery: 1/1 ground-truth flows recovered at P/R >= 0.90"
+        );
+    }
+
+    #[test]
+    fn evaluate_with_no_candidates_recovers_nothing() {
+        let (cat, _) = catalog();
+        let t = truth(&cat);
+        let report = evaluate(&[], &[&t], 0.9);
+        assert_eq!(report.recovered, 0);
+        assert!(report.matches[0].candidate.is_none());
+        assert!(!report.matches[0].recovered);
+    }
+}

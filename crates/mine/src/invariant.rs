@@ -1,0 +1,175 @@
+//! Binary invariant mining over message sequences.
+//!
+//! Alongside the episode tree (the prefix-tree acceptor of
+//! [`assemble`](crate::assemble)), the miner extracts the classic binary
+//! invariants of specification mining — *follows* (`a` always observed
+//! before `b` when both occur), and *mutual exclusion* (`a` and `b` never
+//! occur in the same instance) — from the per-cluster sequence sets.
+//!
+//! The invariants are not redundant with the episode tree: after state
+//! merging the assembled DAG may *generalize* beyond the observed
+//! sequences, and every generalized path must still satisfy the mined
+//! invariants. A candidate whose DAG admits an invariant-violating path
+//! over-merged and is penalized by the scorer.
+
+use std::collections::HashMap;
+
+use pstrace_flow::MessageId;
+
+/// Binary invariants mined from one cluster's sequences.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvariantSummary {
+    /// Messages observed in the cluster, in first-appearance order.
+    pub alphabet: Vec<MessageId>,
+    /// Pairs `(a, b)` where, in every sequence containing both, the first
+    /// `a` precedes the first `b` (and both co-occur at least once).
+    pub follows: Vec<(MessageId, MessageId)>,
+    /// Pairs `(a, b)` (with `a < b`) that both appear in the cluster but
+    /// never within the same sequence.
+    pub mutex: Vec<(MessageId, MessageId)>,
+}
+
+impl InvariantSummary {
+    /// Total number of mined invariants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.follows.len() + self.mutex.len()
+    }
+
+    /// Whether no invariant was mined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.follows.is_empty() && self.mutex.is_empty()
+    }
+
+    /// Checks one message sequence against the invariants, returning the
+    /// number of violated invariants.
+    #[must_use]
+    pub fn violations(&self, sequence: &[MessageId]) -> usize {
+        let first = first_occurrences(sequence);
+        let mut violated = 0;
+        for &(a, b) in &self.follows {
+            if let (Some(&fa), Some(&fb)) = (first.get(&a), first.get(&b)) {
+                if fa >= fb {
+                    violated += 1;
+                }
+            }
+        }
+        for &(a, b) in &self.mutex {
+            if first.contains_key(&a) && first.contains_key(&b) {
+                violated += 1;
+            }
+        }
+        violated
+    }
+}
+
+fn first_occurrences(sequence: &[MessageId]) -> HashMap<MessageId, usize> {
+    let mut first = HashMap::new();
+    for (i, &m) in sequence.iter().enumerate() {
+        first.entry(m).or_insert(i);
+    }
+    first
+}
+
+/// Mines the binary invariants of a cluster's sequences.
+#[must_use]
+pub fn mine_invariants(sequences: &[&[MessageId]]) -> InvariantSummary {
+    let mut alphabet: Vec<MessageId> = Vec::new();
+    for seq in sequences {
+        for &m in *seq {
+            if !alphabet.contains(&m) {
+                alphabet.push(m);
+            }
+        }
+    }
+    // Pairwise stats over first occurrences.
+    let mut cooccur: HashMap<(MessageId, MessageId), (usize, usize)> = HashMap::new();
+    for seq in sequences {
+        let first = first_occurrences(seq);
+        for (&a, &fa) in &first {
+            for (&b, &fb) in &first {
+                if a == b {
+                    continue;
+                }
+                let entry = cooccur.entry((a, b)).or_insert((0, 0));
+                entry.0 += 1;
+                if fa < fb {
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    let mut follows = Vec::new();
+    let mut mutex = Vec::new();
+    for (i, &a) in alphabet.iter().enumerate() {
+        for &b in &alphabet {
+            if a == b {
+                continue;
+            }
+            match cooccur.get(&(a, b)) {
+                Some(&(n, before)) if n > 0 && before == n => follows.push((a, b)),
+                // Never co-occur; record once per unordered pair.
+                None if alphabet.iter().position(|&m| m == b).unwrap_or(0) > i => {
+                    mutex.push((a, b));
+                }
+                _ => {}
+            }
+        }
+    }
+    follows.sort_unstable();
+    mutex.sort_unstable();
+    InvariantSummary {
+        alphabet,
+        follows,
+        mutex,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstrace_flow::MessageCatalog;
+
+    fn ids(n: usize) -> Vec<MessageId> {
+        let mut c = MessageCatalog::new();
+        (0..n).map(|i| c.intern(&format!("m{i}"), 1)).collect()
+    }
+
+    #[test]
+    fn linear_sequences_yield_total_follows_order() {
+        let m = ids(3);
+        let seq: Vec<MessageId> = vec![m[0], m[1], m[2]];
+        let inv = mine_invariants(&[&seq, &seq]);
+        assert_eq!(inv.alphabet, m);
+        assert!(inv.follows.contains(&(m[0], m[1])));
+        assert!(inv.follows.contains(&(m[0], m[2])));
+        assert!(inv.follows.contains(&(m[1], m[2])));
+        assert!(!inv.follows.contains(&(m[1], m[0])));
+        assert!(inv.mutex.is_empty());
+        assert!(!inv.is_empty());
+        assert_eq!(inv.len(), 3);
+    }
+
+    #[test]
+    fn branching_paths_yield_mutex_pairs() {
+        let m = ids(4);
+        let left: Vec<MessageId> = vec![m[0], m[1], m[3]];
+        let right: Vec<MessageId> = vec![m[0], m[2], m[3]];
+        let inv = mine_invariants(&[&left, &right]);
+        assert!(inv.mutex.contains(&(m[1], m[2])));
+        assert!(inv.follows.contains(&(m[0], m[3])));
+    }
+
+    #[test]
+    fn violations_flag_reordered_and_co_occurring_messages() {
+        let m = ids(3);
+        let seq: Vec<MessageId> = vec![m[0], m[1]];
+        let other: Vec<MessageId> = vec![m[0], m[2]];
+        let inv = mine_invariants(&[&seq, &other]);
+        // m1 and m2 are mutex; m0 precedes both.
+        assert_eq!(inv.violations(&[m[0], m[1]]), 0);
+        assert_eq!(inv.violations(&[m[1], m[0]]), 1, "follows violated");
+        assert_eq!(inv.violations(&[m[0], m[1], m[2]]), 1, "mutex violated");
+    }
+}

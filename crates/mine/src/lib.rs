@@ -1,0 +1,55 @@
+//! # pstrace-mine — flow-DAG mining from decoded traces
+//!
+//! The paper's selection and localization machinery consumes message-flow
+//! DAGs (Definition 1), but nothing requires those DAGs to be
+//! hand-written. This crate reconstructs *candidate* flows from decoded
+//! trace executions, in the spirit of trace-based specification mining
+//! (Inferring Message Flows From System Communication Traces): any
+//! capture corpus becomes a new debuggable workload.
+//!
+//! ## Pipeline
+//!
+//! 1. **Extract** ([`seq`]): split each decoded execution into
+//!    per-instance message sequences using the wire format's flow-index
+//!    tags — a grouping, not an inference step.
+//! 2. **Cluster**: group sequences by their initiating message (each T2
+//!    flow has a unique initiator).
+//! 3. **Assemble** ([`assemble`]): fold each cluster into a prefix-tree
+//!    acceptor and merge states with identical future languages. The
+//!    merge provably yields a deterministic DAG, so the result always
+//!    passes [`pstrace_flow::FlowBuilder`] validation.
+//! 4. **Validate** ([`miner`]): mine binary invariants ([`invariant`])
+//!    and cross-check them against the DAG's enumerated language
+//!    (over-merge detection), and compute atomic-occupancy evidence
+//!    against the observed interleavings.
+//! 5. **Score & rank**: acceptance ratio × minimality, penalized for
+//!    invariant violations.
+//!
+//! Self-evaluation ([`eval`]) compares mined candidates with ground-truth
+//! flows by structural node/edge signatures (rename-invariant precision
+//! and recall), which is what the `pstrace mine --eval` verdict and the
+//! CI mining smoke assert.
+//!
+//! Mined flows are conservative about atomicity: occupancy conflicts are
+//! *reported*, never inferred into the spec (a finite corpus can show a
+//! state is not atomic, but never that it is).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assemble;
+pub mod corpus;
+pub mod eval;
+pub mod invariant;
+pub mod miner;
+pub mod seq;
+
+pub use assemble::{accepts, enumerate_paths, AssembleConfig, CandidateFlow};
+pub use corpus::{
+    default_seeds, full_body_width, full_capture_config, scenario_executions, scenario_miner,
+};
+pub use eval::{evaluate, score_against, FlowMatch, FlowScore, PrScore, RecoveryReport};
+pub use invariant::{mine_invariants, InvariantSummary};
+pub use miner::{AtomicCheck, Miner, MiningConfig, MiningReport, MiningStats};
+pub use seq::{ExecutionLog, InstanceSequence, LogRecord};

@@ -17,6 +17,17 @@
 //! Zero dependencies by design: the instrumented crates sit below the
 //! CLI, and everything here is a thin veneer over `std::sync::atomic`.
 //!
+//! Instrumented subsystems name their counters
+//! `pstrace_<subsystem>_<quantity>_total` (Prometheus style), so one
+//! registry can host the whole pipeline without collisions — e.g. the
+//! selector's `pstrace_select_*` family, the ingest daemon's
+//! `pstrace_stream_*` family and the flow miner's
+//! `pstrace_mine_*` family (`pstrace_mine_executions_total`,
+//! `pstrace_mine_sequences_total`, `pstrace_mine_skipped_frames_total`,
+//! `pstrace_mine_candidates_total`, ...). Phase timings use bare
+//! kebab-case span names scoped by the subsystem's prefix convention
+//! (`mine-extract`, `mine-assemble`, `mine-validate`, `mine-score`).
+//!
 //! ```
 //! use pstrace_obs::{ManualClock, Registry, render_profile_table};
 //!

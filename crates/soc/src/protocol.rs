@@ -385,6 +385,28 @@ impl SocModel {
         &self.catalog
     }
 
+    /// Returns a copy of the model with `kind`'s flow specification
+    /// replaced by `flow` — the substitution point for *mined* flows: the
+    /// capture side keeps the reference model while the analysis side
+    /// (interleaving → selection → localization) runs on the inferred
+    /// spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flow` was not built against this model's catalog:
+    /// message identities must be shared for selection and localization
+    /// to be comparable.
+    #[must_use]
+    pub fn with_flow(&self, kind: FlowKind, flow: Arc<Flow>) -> SocModel {
+        assert!(
+            Arc::ptr_eq(flow.catalog(), &self.catalog),
+            "replacement flow must share the model's message catalog"
+        );
+        let mut model = self.clone();
+        model.flows.insert(kind, flow);
+        model
+    }
+
     /// The flow specification for `kind`.
     ///
     /// # Panics
@@ -433,6 +455,45 @@ impl SocModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_flow_substitutes_one_spec_and_keeps_the_rest() {
+        let model = SocModel::t2();
+        let replacement = Arc::new(
+            FlowBuilder::new("mined-piowreq")
+                .state("a")
+                .stop_state("b")
+                .initial("a")
+                .edge("a", "piowreq", "b")
+                .build(model.catalog())
+                .expect("valid"),
+        );
+        let routed = model.with_flow(FlowKind::PioWrite, Arc::clone(&replacement));
+        assert!(Arc::ptr_eq(routed.flow(FlowKind::PioWrite), &replacement));
+        assert!(Arc::ptr_eq(
+            routed.flow(FlowKind::PioRead),
+            model.flow(FlowKind::PioRead)
+        ));
+        assert!(Arc::ptr_eq(routed.catalog(), model.catalog()));
+    }
+
+    #[test]
+    #[should_panic(expected = "share the model's message catalog")]
+    fn with_flow_rejects_foreign_catalogs() {
+        let model = SocModel::t2();
+        let mut other = MessageCatalog::new();
+        other.intern("piowreq", 1);
+        let foreign = Arc::new(
+            FlowBuilder::new("foreign")
+                .state("a")
+                .stop_state("b")
+                .initial("a")
+                .edge("a", "piowreq", "b")
+                .build(&Arc::new(other))
+                .expect("valid"),
+        );
+        let _ = model.with_flow(FlowKind::PioWrite, foreign);
+    }
 
     #[test]
     fn flow_shapes_match_table_1() {

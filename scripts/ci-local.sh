@@ -44,6 +44,16 @@ run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
 run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
     fleet --seed 7 --intensity light --sessions 256 --concurrency 64 --shards 4 --records 200
 
+# Flow-mining smoke: mine the coherence-scenario captures and require
+# both ground-truth flows (COH + NCU downstream) recovered at P/R >= 0.9.
+# `--require` makes the exit status the gate; the grep pins the verdict
+# line itself.
+mine_log="$(mktemp -t pstrace-mine-XXXXXX.log)"
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    mine --scenario 5 --seeds 6 --eval --require 2 | tee "$mine_log"
+run grep -q "mine recovery: 2/2" "$mine_log"
+rm -f "$mine_log"
+
 # Fleet perf gate: measured aggregate records/s must stay within ±35% of
 # the committed BENCH_fleet.json baseline (re-baseline with --rebaseline
 # after intentional perf changes — see scripts/check_bench.py).

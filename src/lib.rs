@@ -41,7 +41,12 @@
 //! * [`faults`] — seeded deterministic fault injection at the wire,
 //!   transport and session seams, with the soak harness behind
 //!   `pstrace chaos` that scores the hardened ingest pipeline for
-//!   survival.
+//!   survival;
+//! * [`mine`] — flow specification mining: reconstruct candidate flow
+//!   DAGs from decoded captures (prefix-tree acceptor + future-language
+//!   merging), cross-check binary invariants, validate atomic-state
+//!   claims against observed interleavings, and score candidates for
+//!   the `pstrace mine` recovery pipeline.
 //!
 //! # Quickstart
 //!
@@ -86,6 +91,7 @@ pub use pstrace_diag as diag;
 pub use pstrace_faults as faults;
 pub use pstrace_flow as flow;
 pub use pstrace_infogain as infogain;
+pub use pstrace_mine as mine;
 pub use pstrace_obs as obs;
 pub use pstrace_rtl as rtl;
 pub use pstrace_soc as soc;
