@@ -1,13 +1,16 @@
 //! Wire codec throughput: encode and decode cost for selection-derived
-//! frame streams, and the chunked decoder's scaling across the
+//! frame streams, the chunked decoder's scaling across the
 //! [`Parallelism`] settings (sequential vs chunked output is
-//! bit-identical, so the curves measure pure wall-clock).
+//! bit-identical, so the curves measure pure wall-clock), and the
+//! v1-vs-v2 dialect comparison (encode rec/s, decode MB/s, bytes/record,
+//! compression ratio — the EXPERIMENTS.md §wire table).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pstrace_codec::{decode_v2, encode_v2, DEFAULT_SYNC_EVERY};
 use pstrace_core::{Parallelism, SelectionConfig, Selector, TraceBufferSpec};
 use pstrace_flow::{FlowIndex, IndexedMessage};
 use pstrace_soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
-use pstrace_wire::{decode_stream_chunked, encode_records, WireRecord, WireSchema};
+use pstrace_wire::{decode_stream, decode_stream_chunked, encode_records, WireRecord, WireSchema};
 
 /// Builds the scenario-1 selection schema over the paper's 32-bit buffer
 /// plus a long synthetic record stream that exercises every slot.
@@ -86,5 +89,45 @@ fn bench_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode);
+/// v1 vs v2 on the same 20k-record stream: wall-clock for both
+/// directions of both dialects, plus a one-shot size table (bytes per
+/// record and the compression ratio) printed to stderr for
+/// EXPERIMENTS.md.
+fn bench_profiles(c: &mut Criterion) {
+    let (schema, records) = setup(20_000);
+    let v1 = encode_records(&schema, &records, None).expect("encodes");
+    let v2 = encode_v2(&schema, &records, DEFAULT_SYNC_EVERY, None).expect("encodes");
+    eprintln!(
+        "wire_profiles: {} records | v1 {} bytes ({:.2} B/rec) | v2 {} bytes ({:.2} B/rec) \
+         | v2/v1 = {:.3} (sync every {DEFAULT_SYNC_EVERY})",
+        records.len(),
+        v1.bytes.len(),
+        v1.bytes.len() as f64 / records.len() as f64,
+        v2.bytes.len(),
+        v2.bytes.len() as f64 / records.len() as f64,
+        v2.bytes.len() as f64 / v1.bytes.len() as f64,
+    );
+
+    let mut group = c.benchmark_group("wire_profiles_20k_records");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("encode_v1", |b| {
+        b.iter(|| black_box(encode_records(&schema, &records, None).expect("encodes")));
+    });
+    group.bench_function("encode_v2", |b| {
+        b.iter(|| {
+            black_box(encode_v2(&schema, &records, DEFAULT_SYNC_EVERY, None).expect("encodes"))
+        });
+    });
+    group.bench_function("decode_v1", |b| {
+        b.iter(|| black_box(decode_stream(&schema, &v1.bytes, Some(v1.bit_len))));
+    });
+    group.bench_function("decode_v2", |b| {
+        b.iter(|| black_box(decode_v2(&schema, &v2.bytes, Some(v2.bit_len))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_profiles);
 criterion_main!(benches);

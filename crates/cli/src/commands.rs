@@ -72,9 +72,12 @@ fn print_help() {
     println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing] [--wire]");
     println!("                                         run a debugging case study");
     println!("  trace    encode FILE --out OUT.ptw [--scenario N] [--buffer BITS]");
-    println!("           [--no-packing] [--depth D]    pack a text trace into .ptw frames");
+    println!("           [--no-packing] [--depth D] [--profile v1|v2] [--sync-every N]");
+    println!("                                         pack a text trace into .ptw frames");
+    println!("                                         (v2 = compressed dialect)");
     println!("  trace    decode FILE [--out OUT.txt] [--threads N|auto|off]");
     println!("                                         decode a .ptw stream back to text");
+    println!("                                         (the dialect is auto-detected)");
     println!("  serve    [--addr HOST:PORT] [--shards N] [--sessions N]");
     println!("           [--max-sessions N] [--tenant-quota N]");
     println!("           [--metrics-addr HOST:PORT]    run the live trace ingest daemon");
@@ -104,9 +107,11 @@ fn print_help() {
     println!("  vcd      [--cycles N] [--seed S] [--restored] [--out FILE]");
     println!("                                         dump a USB waveform as VCD");
     println!();
-    println!("select, select-file, debug, trace and mine also accept --profile (print a");
-    println!("phase-timing table) and --profile-json FILE (write the span timeline");
-    println!("as Chrome trace-event JSON).");
+    println!("select, select-file, debug and mine also accept --profile (print a");
+    println!("phase-timing table); those plus trace accept --profile-json FILE (write");
+    println!("the span timeline as Chrome trace-event JSON). On trace encode,");
+    println!("--profile instead picks the wire dialect: v1 (fixed-width frames) or");
+    println!("v2 (delta/RLE-compressed sync blocks, cadence --sync-every N).");
 }
 
 fn scenario_by_number(n: u8) -> Result<UsageScenario, Box<dyn Error>> {
@@ -475,8 +480,16 @@ fn cmd_trace(argv: &[String]) -> CmdResult {
 fn cmd_trace_encode(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["no-packing", "profile"],
-        &["scenario", "buffer", "depth", "out", "profile-json"],
+        &["no-packing"],
+        &[
+            "scenario",
+            "buffer",
+            "depth",
+            "out",
+            "profile",
+            "sync-every",
+            "profile-json",
+        ],
     )?;
     let profiler = Profiler::from_args(&args);
     let input = args
@@ -487,6 +500,16 @@ fn cmd_trace_encode(argv: &[String]) -> CmdResult {
     let depth: Option<usize> = args.option_opt("depth")?;
     if depth == Some(0) {
         return Err("--depth must be at least 1 entry".into());
+    }
+    let v2 = match args.option("profile").unwrap_or("v1") {
+        "v1" => false,
+        "v2" => true,
+        other => return Err(format!("unknown wire profile `{other}`; use v1 or v2").into()),
+    };
+    let sync_every: u16 = args.option_or("sync-every", pstrace_codec::DEFAULT_SYNC_EVERY)?;
+    let (sync_lo, sync_hi) = wirecap::SYNC_EVERY_RANGE;
+    if !(sync_lo..=sync_hi).contains(&sync_every) {
+        return Err(format!("--sync-every must be in {sync_lo}..={sync_hi} records").into());
     }
 
     let model = SocModel::t2();
@@ -512,48 +535,70 @@ fn cmd_trace_encode(argv: &[String]) -> CmdResult {
         wirecap::wire_schema(&model, &trace_config, buffer.width_bits())
     })?;
 
-    let mut enc = wirecap::Encoder::new(&schema, depth);
+    let mut records: Vec<wirecap::WireRecord> = Vec::new();
     let mut dropped = 0usize;
-    maybe_time(obs(&profiler), "encode-frames", || {
-        for r in trace.records() {
-            let m = r.message.message;
-            if schema.slot_for(m, r.partial).is_some() {
-                enc.push(&wirecap::WireRecord {
-                    time: r.time,
-                    message: r.message,
-                    value: r.value,
-                    partial: r.partial,
-                })?;
-            } else if let Some((_, slot)) = (!r.partial).then(|| schema.slot_for(m, true)).flatten()
-            {
-                // Full record of a packed parent: the buffer records only
-                // the subgroup bits.
-                enc.push(&wirecap::WireRecord {
-                    time: r.time,
-                    message: r.message,
-                    value: mask_to_width(r.value, slot.width),
-                    partial: true,
-                })?;
-            } else {
-                dropped += 1;
-            }
+    for r in trace.records() {
+        let m = r.message.message;
+        if schema.slot_for(m, r.partial).is_some() {
+            records.push(wirecap::WireRecord {
+                time: r.time,
+                message: r.message,
+                value: r.value,
+                partial: r.partial,
+            });
+        } else if let Some((_, slot)) = (!r.partial).then(|| schema.slot_for(m, true)).flatten() {
+            // Full record of a packed parent: the buffer records only
+            // the subgroup bits.
+            records.push(wirecap::WireRecord {
+                time: r.time,
+                message: r.message,
+                value: mask_to_width(r.value, slot.width),
+                partial: true,
+            });
+        } else {
+            dropped += 1;
         }
-        Ok::<(), Box<dyn Error>>(())
+    }
+    let (file, summary) = maybe_time(obs(&profiler), "encode-frames", || {
+        if v2 {
+            let stream = pstrace_codec::encode_v2(&schema, &records, sync_every, depth)?;
+            let overwritten = depth.map_or(0, |d| records.len().saturating_sub(d));
+            let summary = format!(
+                "encoded {} records into {} v2 sync blocks every {sync_every} records \
+                 ({dropped} records dropped by the selection, {overwritten} lost to wraparound)",
+                records.len() - overwritten,
+                stream.frames,
+            );
+            let file = wirecap::write_ptw_with(
+                model.catalog(),
+                &schema,
+                wirecap::PtwMeta::v2(sync_every),
+                &stream,
+            );
+            Ok::<_, Box<dyn Error>>((file, summary))
+        } else {
+            let mut enc = wirecap::Encoder::new(&schema, depth);
+            for r in &records {
+                enc.push(r)?;
+            }
+            let stream = enc.finish();
+            let summary = format!(
+                "encoded {} frames of {} bits ({dropped} records dropped by the selection, \
+                 {} lost to wraparound)",
+                stream.frames,
+                schema.frame_bits(),
+                enc.overwritten()
+            );
+            Ok((
+                wirecap::write_ptw(model.catalog(), &schema, &stream),
+                summary,
+            ))
+        }
     })?;
-    let stream = enc.finish();
     maybe_time(obs(&profiler), "write-ptw", || {
-        std::fs::write(
-            out_path,
-            wirecap::write_ptw(model.catalog(), &schema, &stream),
-        )
+        std::fs::write(out_path, file)
     })?;
-    println!(
-        "encoded {} frames of {} bits ({} records dropped by the selection, {} lost to wraparound)",
-        stream.frames,
-        schema.frame_bits(),
-        dropped,
-        enc.overwritten()
-    );
+    println!("{summary}");
     println!(
         "occupancy {} of {} body bits ({:.2} % utilization) -> {out_path}",
         schema.occupied_bits(),
@@ -581,15 +626,24 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
         .ok_or("trace decode needs an input .ptw file")?;
     let model = SocModel::t2();
     let parallelism = parse_parallelism(&args)?;
-    let (schema, stream) = maybe_time(obs(&profiler), "read-ptw", || {
-        wirecap::read_ptw(model.catalog(), &std::fs::read(input)?).map_err(Box::<dyn Error>::from)
+    let (schema, meta, stream) = maybe_time(obs(&profiler), "read-ptw", || {
+        wirecap::read_ptw_any(model.catalog(), &std::fs::read(input)?)
+            .map_err(Box::<dyn Error>::from)
     })?;
     let (trace, report) = maybe_time(obs(&profiler), "decode", || {
-        wirecap::decode_capture(&schema, &stream.bytes, Some(stream.bit_len), parallelism)
+        if meta.version == wirecap::PTW_VERSION_V2 {
+            let profile = pstrace_codec::ProfileV2 {
+                sync_every: meta.sync_every,
+            };
+            wirecap::decode_capture_with(&schema, &stream.bytes, Some(stream.bit_len), &profile)
+        } else {
+            wirecap::decode_capture(&schema, &stream.bytes, Some(stream.bit_len), parallelism)
+        }
     });
     println!(
-        "decoded {} frames: {} records, {} idle, {} damaged ({:.2} % measured utilization)",
+        "decoded {} v{} frames: {} records, {} idle, {} damaged ({:.2} % measured utilization)",
         report.frames,
+        meta.version,
         trace.len(),
         report.idle_frames,
         report.damaged.len(),

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use pstrace_codec::read_ptw_auto;
 use pstrace_flow::{MessageCatalog, MessageId, StateId};
 use pstrace_obs::{maybe_time, Registry};
 use pstrace_soc::CapturedTrace;
-use pstrace_wire::{decode_stream, read_ptw, DecodeReport, WireError};
+use pstrace_wire::{DecodeReport, WireError};
 
 use crate::assemble::{assemble_cluster, enumerate_paths, AssembleConfig, CandidateFlow};
 use crate::seq::ExecutionLog;
@@ -144,13 +145,14 @@ impl Miner {
         self.push_log(ExecutionLog::from_wire_records(&report.records));
     }
 
-    /// Parses and decodes a `.ptw` byte stream into the corpus.
+    /// Parses and decodes a `.ptw` byte stream into the corpus. Both the
+    /// v1 fixed-width and v2 compressed dialects are accepted — the
+    /// container's version byte routes to the right decoder.
     ///
     /// Damaged frames are skipped (and counted); only a malformed file
     /// header/schema is an error.
     pub fn push_ptw(&mut self, bytes: &[u8]) -> Result<usize, WireError> {
-        let (schema, stream) = read_ptw(&self.catalog, bytes)?;
-        let report = decode_stream(&schema, &stream.bytes, Some(stream.bit_len));
+        let (_, _, report) = read_ptw_auto(&self.catalog, bytes)?;
         let added = report.records.len();
         self.push_decoded(&report);
         Ok(added)

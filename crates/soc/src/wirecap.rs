@@ -13,8 +13,9 @@
 use pstrace_flow::MessageCatalog;
 use pstrace_wire::decode_stream_chunked;
 pub use pstrace_wire::{
-    read_ptw, write_ptw, DamageReason, DamagedFrame, DecodeReport, EncodedStream, Encoder,
-    StreamDecoder, WireError, WireRecord, WireSchema,
+    read_ptw, read_ptw_any, write_ptw, write_ptw_with, DamageReason, DamagedFrame, DecodeReport,
+    EncodedStream, Encoder, FrameProfile, ProfileV1, PtwMeta, StreamDecoder, WireError, WireRecord,
+    WireSchema, PTW_VERSION_V2, SYNC_EVERY_RANGE,
 };
 
 use pstrace_core::Parallelism;
@@ -133,6 +134,67 @@ pub fn decode_capture(
     (trace, report)
 }
 
+/// [`encode_capture`] under an explicit payload profile: the identity
+/// v1 dialect, or the compressed v2 dialect of `pstrace-codec`. The
+/// capture/retention semantics (circular `depth`, record filtering) are
+/// profile-independent; only the bit layout differs.
+///
+/// # Errors
+///
+/// The profile's per-record [`WireError`]s — identical across profiles.
+///
+/// # Panics
+///
+/// Panics on `depth == Some(0)`.
+pub fn encode_capture_with(
+    schema: &WireSchema,
+    trace: &CapturedTrace,
+    depth: Option<usize>,
+    profile: &dyn FrameProfile,
+) -> Result<EncodedStream, WireError> {
+    let records: Vec<WireRecord> = trace.records().iter().map(to_wire).collect();
+    profile.encode(schema, &records, depth)
+}
+
+/// [`encode_events`] under an explicit payload profile.
+///
+/// # Errors
+///
+/// The profile's per-record [`WireError`]s.
+///
+/// # Panics
+///
+/// Panics when `config.depth` is `Some(0)`.
+pub fn encode_events_with(
+    catalog: &MessageCatalog,
+    schema: &WireSchema,
+    events: &[MessageEvent],
+    config: &TraceBufferConfig,
+    profile: &dyn FrameProfile,
+) -> Result<EncodedStream, WireError> {
+    let records: Vec<WireRecord> = events
+        .iter()
+        .filter_map(|e| record_for_event(catalog, config, e))
+        .map(|r| to_wire(&r))
+        .collect();
+    profile.encode(schema, &records, config.depth)
+}
+
+/// [`decode_capture`] under an explicit payload profile. Corruption
+/// surfaces in the report's damage list under either profile, never as a
+/// panic.
+#[must_use]
+pub fn decode_capture_with(
+    schema: &WireSchema,
+    bytes: &[u8],
+    bit_len: Option<u64>,
+    profile: &dyn FrameProfile,
+) -> (CapturedTrace, DecodeReport) {
+    let report = profile.decode(schema, bytes, bit_len);
+    let trace = CapturedTrace::from_records(report.records.iter().map(to_trace).collect());
+    (trace, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +229,24 @@ mod tests {
             Some(stream.bit_len),
             Parallelism::Off,
         );
+        assert!(report.is_clean());
+        assert_eq!(decoded, direct);
+    }
+
+    #[test]
+    fn profile_v1_paths_are_byte_identical_to_the_direct_paths() {
+        let (model, out, mut config) = setup();
+        config.depth = Some(5);
+        let schema = wire_schema(&model, &config, 32).unwrap();
+        let direct = capture(&model, &out, &config);
+        let plain = encode_capture(&schema, &direct, config.depth).unwrap();
+        let via_profile = encode_capture_with(&schema, &direct, config.depth, &ProfileV1).unwrap();
+        assert_eq!(via_profile, plain);
+        let via_events =
+            encode_events_with(model.catalog(), &schema, &out.events, &config, &ProfileV1).unwrap();
+        assert_eq!(via_events, plain);
+        let (decoded, report) =
+            decode_capture_with(&schema, &plain.bytes, Some(plain.bit_len), &ProfileV1);
         assert!(report.is_clean());
         assert_eq!(decoded, direct);
     }

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use pstrace_diag::MatchMode;
 use pstrace_flow::MessageCatalog;
-use pstrace_wire::read_ptw_schema;
+use pstrace_wire::read_ptw_header;
 
 use crate::error::StreamError;
 use crate::proto::{
@@ -66,7 +66,7 @@ fn split_ptw<'a>(
     catalog: &MessageCatalog,
     ptw_bytes: &'a [u8],
 ) -> Result<(&'a [u8], u64, &'a [u8]), StreamError> {
-    let (_, consumed) = read_ptw_schema(catalog, ptw_bytes)?;
+    let (_, _, consumed) = read_ptw_header(catalog, ptw_bytes)?;
     let schema = &ptw_bytes[..consumed];
     let rest = &ptw_bytes[consumed..];
     if rest.len() < 8 {

@@ -54,7 +54,7 @@ use std::time::Duration;
 
 use pstrace_obs::{merged_samples, MetricKey, Registry, Sample};
 use pstrace_soc::{SocModel, UsageScenario};
-use pstrace_wire::read_ptw_schema;
+use pstrace_wire::read_ptw_header;
 
 use crate::error::StreamError;
 use crate::proto::Hello;
@@ -461,16 +461,17 @@ pub(crate) fn open_session(
     let flow = scenario
         .interleaving(model)
         .map_err(|e| StreamError::Protocol(format!("scenario does not interleave: {e}")))?;
-    let (schema, consumed) = read_ptw_schema(model.catalog(), &hello.schema)?;
+    let (schema, meta, consumed) = read_ptw_header(model.catalog(), &hello.schema)?;
     if consumed != hello.schema.len() {
         return Err(StreamError::Protocol(format!(
             "{} stray bytes after the schema handshake",
             hello.schema.len() - consumed
         )));
     }
-    Ok(Session::observed(
+    Ok(Session::observed_with_meta(
         &flow,
         schema,
+        meta,
         hello.mode,
         Arc::clone(registry),
         session_id,

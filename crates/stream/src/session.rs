@@ -17,10 +17,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use pstrace_codec::V2StreamDecoder;
 use pstrace_diag::{Localization, MatchMode, OnlineLocalizer};
 use pstrace_flow::{InterleavedFlow, MessageId};
 use pstrace_obs::{Counter, Registry};
-use pstrace_wire::{decode_frame_range, DamageReason, DamagedFrame, WireRecord, WireSchema};
+use pstrace_wire::{
+    decode_frame_range, DamageReason, DamagedFrame, PtwMeta, WireRecord, WireSchema, PTW_VERSION_V2,
+};
 
 /// The message set a schema observes, as the localization DP needs it:
 /// one entry per slot's (parent) message, sorted and deduplicated —
@@ -183,7 +186,12 @@ pub struct Session {
     schema: WireSchema,
     localizer: OnlineLocalizer,
     buf: Vec<u8>,
-    /// Frames fully decoded so far.
+    /// `Some` when the handshake negotiated the compressed v2 payload:
+    /// the incremental sync-block decoder replaces the fixed-width frame
+    /// walk. Records and damage still flow through the same quarantine
+    /// and localizer, so both dialects share one ingest semantics.
+    v2: Option<V2StreamDecoder>,
+    /// Frames fully decoded so far (v2: sync blocks seen).
     frames: usize,
     idle_frames: usize,
     damaged: Vec<DamagedFrame>,
@@ -210,12 +218,28 @@ impl Session {
     /// again (except in [`MatchMode::Substring`], which keeps a clone).
     #[must_use]
     pub fn new(flow: &InterleavedFlow, schema: WireSchema, mode: MatchMode) -> Self {
+        Session::with_meta(flow, schema, PtwMeta::v1(), mode)
+    }
+
+    /// [`new`](Session::new) for an explicit container profile: a v2
+    /// meta routes chunk bytes through the compressed sync-block decoder
+    /// instead of the fixed-width frame walk. The quarantine, damage
+    /// accounting, resync gate, and localizer behave identically.
+    #[must_use]
+    pub fn with_meta(
+        flow: &InterleavedFlow,
+        schema: WireSchema,
+        meta: PtwMeta,
+        mode: MatchMode,
+    ) -> Self {
         let selected = observed_messages(&schema);
         let localizer = OnlineLocalizer::new(flow, &selected, mode);
+        let v2 = (meta.version == PTW_VERSION_V2).then(|| V2StreamDecoder::new(&schema));
         Session {
             schema,
             localizer,
             buf: Vec::new(),
+            v2,
             frames: 0,
             idle_frames: 0,
             damaged: Vec::new(),
@@ -243,7 +267,21 @@ impl Session {
         registry: Arc<Registry>,
         session_id: u64,
     ) -> Self {
-        let mut session = Session::new(flow, schema, mode);
+        Session::observed_with_meta(flow, schema, PtwMeta::v1(), mode, registry, session_id)
+    }
+
+    /// [`observed`](Session::observed) for an explicit container profile
+    /// (see [`with_meta`](Session::with_meta)).
+    #[must_use]
+    pub fn observed_with_meta(
+        flow: &InterleavedFlow,
+        schema: WireSchema,
+        meta: PtwMeta,
+        mode: MatchMode,
+        registry: Arc<Registry>,
+        session_id: u64,
+    ) -> Self {
+        let mut session = Session::with_meta(flow, schema, meta, mode);
         session.obs = Some(SessionObserver::new(registry, session_id));
         session
     }
@@ -328,6 +366,26 @@ impl Session {
             o.bytes.add(bytes.len() as u64);
             o.chunks.inc();
         }
+        if let Some(dec) = &mut self.v2 {
+            dec.push(bytes);
+            let (events, damaged) = dec.drain_new();
+            let blocks = dec.blocks_seen();
+            for d in damaged {
+                self.record_damage(d);
+            }
+            for (ordinal, rec) in events {
+                self.accept(ordinal, rec);
+            }
+            if let Some(o) = &self.obs {
+                o.frames.add((blocks - self.frames) as u64);
+            }
+            self.frames = blocks;
+            self.maybe_resync();
+            if let Some(o) = &self.obs {
+                self.localizer.record_frontier(&o.registry);
+            }
+            return;
+        }
         self.buf.extend_from_slice(bytes);
         let frame_bits = u64::from(self.schema.frame_bits());
         let avail = self.buf.len() as u64 * 8;
@@ -391,7 +449,20 @@ impl Session {
     /// the declared `bit_len` when given, and produces the report.
     #[must_use]
     pub fn finish(mut self, bit_len: Option<u64>) -> SessionReport {
-        if let Some(bits) = bit_len {
+        if let Some(mut dec) = self.v2.take() {
+            // Flush the decoder's end-of-stream state: a truncated tail
+            // block or trailing junk becomes sync damage here. The v2
+            // stream is byte-aligned and self-delimiting, so a declared
+            // `bit_len` never truncates it the way v1 frame math can.
+            let (events, damaged) = dec.finish_tail();
+            for d in damaged {
+                self.record_damage(d);
+            }
+            for (ordinal, rec) in events {
+                self.accept(ordinal, rec);
+            }
+            self.frames = dec.blocks_seen();
+        } else if let Some(bits) = bit_len {
             let frame_bits = u64::from(self.schema.frame_bits());
             let declared = (bits.min(self.buf.len() as u64 * 8) / frame_bits) as usize;
             if declared < self.frames {
@@ -501,6 +572,60 @@ mod tests {
             assert_eq!(report.localization, expect, "chunk {chunk_size}");
             assert!(report.render().contains("interleaved-flow paths"));
         }
+    }
+
+    #[test]
+    fn v2_session_matches_batch_decode_and_batch_localize() {
+        use pstrace_codec::{decode_v2, encode_v2};
+
+        let (u, schema) = setup();
+        let recs = records(&u);
+        let stream = encode_v2(&schema, &recs, 4, None).unwrap();
+        let batch = decode_v2(&schema, &stream.bytes, Some(stream.bit_len));
+        assert!(batch.is_clean());
+        let selected = observed_messages(&schema);
+        let observed: Vec<IndexedMessage> = batch.records.iter().map(|r| r.message).collect();
+        let expect = pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix);
+
+        for chunk_size in [1usize, 3, 7, 1024] {
+            let mut session =
+                Session::with_meta(&u, schema.clone(), PtwMeta::v2(4), MatchMode::Prefix);
+            for chunk in stream.bytes.chunks(chunk_size) {
+                session.push_chunk(chunk);
+            }
+            let report = session.finish(Some(stream.bit_len));
+            assert_eq!(report.metrics.records, batch.records.len());
+            assert_eq!(report.metrics.frames, batch.frames, "chunk {chunk_size}");
+            assert_eq!(report.damaged, batch.damaged);
+            assert_eq!(report.localization, expect, "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn v2_session_contains_mid_stream_damage_like_the_batch_decoder() {
+        use pstrace_codec::{decode_v2, encode_v2};
+
+        let (u, schema) = setup();
+        let recs = records(&u);
+        let stream = encode_v2(&schema, &recs, 2, None).unwrap();
+        let mut bytes = stream.bytes.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let batch = decode_v2(&schema, &bytes, Some(stream.bit_len));
+
+        let mut session = Session::with_meta(&u, schema.clone(), PtwMeta::v2(2), MatchMode::Prefix);
+        for chunk in bytes.chunks(3) {
+            session.push_chunk(chunk);
+        }
+        let report = session.finish(Some(stream.bit_len));
+        assert_eq!(report.damaged, batch.damaged);
+        assert_eq!(report.metrics.records, batch.records.len());
+        let observed: Vec<IndexedMessage> = batch.records.iter().map(|r| r.message).collect();
+        let selected = observed_messages(&schema);
+        assert_eq!(
+            report.localization,
+            pstrace_diag::localize(&u, &observed, &selected, MatchMode::Prefix)
+        );
     }
 
     #[test]

@@ -57,6 +57,19 @@ pub enum DamageReason {
         /// The following record's time.
         next: u64,
     },
+    /// A v2 sync block failed its checksum; every record it carried is
+    /// lost, but damage stops at the block boundary.
+    SyncCorrupt {
+        /// Records the block claimed to carry (0 when even the header
+        /// was unreadable).
+        records: u32,
+    },
+    /// Bytes between sync blocks matched no block marker — the decoder
+    /// skipped them hunting for the next sync point.
+    SyncLost {
+        /// Bytes skipped before resynchronizing (or hitting the end).
+        bytes: u64,
+    },
 }
 
 impl DamageReason {
@@ -72,6 +85,8 @@ impl DamageReason {
             DamageReason::PaddingSpill => "padding-spill",
             DamageReason::TimeRegression { .. } => "time-regression",
             DamageReason::TimeSpike { .. } => "time-spike",
+            DamageReason::SyncCorrupt { .. } => "sync-corrupt",
+            DamageReason::SyncLost { .. } => "sync-lost",
         }
     }
 }
@@ -90,6 +105,12 @@ impl fmt::Display for DamageReason {
             }
             DamageReason::TimeSpike { time, next } => {
                 write!(f, "time {time} spikes ahead of following record at {next}")
+            }
+            DamageReason::SyncCorrupt { records } => {
+                write!(f, "sync block failed its checksum ({records} records lost)")
+            }
+            DamageReason::SyncLost { bytes } => {
+                write!(f, "skipped {bytes} bytes hunting for a sync marker")
             }
         }
     }
@@ -286,28 +307,32 @@ fn decode_chunk(
     out
 }
 
-/// The order-preserving merge pass: enforce non-decreasing record times,
-/// reclassifying regressing records as damaged frames, then assemble the
-/// report. Identical for sequential and chunked decodes.
-fn finalize(
-    schema: &WireSchema,
-    outcome: ChunkOutcome,
-    frames: usize,
-    trailing_bits: u64,
-    tail_clean: bool,
-) -> DecodeReport {
-    let mut kept: Vec<(usize, WireRecord)> = Vec::with_capacity(outcome.events.len());
-    let mut damaged = outcome.damaged;
-    for (frame, rec) in outcome.events {
+/// The order-preserving merge pass: enforce non-decreasing record times
+/// across `events`, reclassifying violators as damaged frames pushed onto
+/// `damaged`. Returns the surviving `(frame, record)` pairs in order.
+///
+/// A regressing record normally damages *itself* ([`DamageReason::
+/// TimeRegression`]); but when it is still consistent with the record
+/// before last, the *previous* record was an isolated forward spike (one
+/// flipped high time bit) and that one is damaged instead
+/// ([`DamageReason::TimeSpike`]), so corruption in a single frame never
+/// cascades down the tail.
+///
+/// This is the shared stream-wide time pass: the batch decoder, the live
+/// session, and the v2 codec all run this exact function so damage
+/// semantics agree across profiles. `damaged` is left unsorted; callers
+/// assembling a report sort by frame index afterwards.
+pub fn monotonize_events(
+    events: Vec<(usize, WireRecord)>,
+    damaged: &mut Vec<DamagedFrame>,
+) -> Vec<(usize, WireRecord)> {
+    let mut kept: Vec<(usize, WireRecord)> = Vec::with_capacity(events.len());
+    for (frame, rec) in events {
         let prev = kept.last().map_or(0, |(_, r)| r.time);
         if rec.time >= prev {
             kept.push((frame, rec));
             continue;
         }
-        // The record regresses. If it is still consistent with the record
-        // before last, the *previous* record was an isolated forward
-        // spike (one flipped high time bit) — damage that one instead,
-        // so corruption in a single frame never cascades down the tail.
         let prev_prev = kept.len().checked_sub(2).map_or(0, |i| kept[i].1.time);
         if rec.time >= prev_prev {
             let (spike_frame, spike) = kept.pop().expect("regression implies a previous record");
@@ -329,6 +354,21 @@ fn finalize(
             });
         }
     }
+    kept
+}
+
+/// Assemble the report from per-frame outcomes: run [`monotonize_events`],
+/// sort the damage list, fill in the stream-level fields. Identical for
+/// sequential and chunked decodes.
+fn finalize(
+    schema: &WireSchema,
+    outcome: ChunkOutcome,
+    frames: usize,
+    trailing_bits: u64,
+    tail_clean: bool,
+) -> DecodeReport {
+    let mut damaged = outcome.damaged;
+    let kept = monotonize_events(outcome.events, &mut damaged);
     damaged.sort_by_key(|d| d.frame);
     DecodeReport {
         records: kept.into_iter().map(|(_, r)| r).collect(),
@@ -510,6 +550,8 @@ mod tests {
             DamageReason::PaddingSpill,
             DamageReason::TimeRegression { time: 1, prev: 9 },
             DamageReason::TimeSpike { time: 9, next: 1 },
+            DamageReason::SyncCorrupt { records: 5 },
+            DamageReason::SyncLost { bytes: 17 },
         ];
         let labels: Vec<&str> = reasons.iter().map(DamageReason::label).collect();
         assert_eq!(
@@ -520,7 +562,9 @@ mod tests {
                 "lane-spill",
                 "padding-spill",
                 "time-regression",
-                "time-spike"
+                "time-spike",
+                "sync-corrupt",
+                "sync-lost"
             ]
         );
         // Labels are payload-independent: same variant, same label.

@@ -53,10 +53,20 @@ pub enum WireError {
     },
     /// The `.ptw` container does not start with the `PTW1` magic.
     BadMagic,
-    /// The `.ptw` container declares an unsupported format version.
+    /// The `.ptw` container declares a format version outside the range
+    /// this build knows at all (see [`crate::SUPPORTED_VERSIONS`]).
     BadVersion {
         /// The declared version.
         version: u8,
+    },
+    /// The container version is real, but this reader only understands a
+    /// subset of the supported profiles (e.g. the v1-only batch reader
+    /// handed a v2 compressed stream — use a codec-aware reader instead).
+    UnsupportedProfile {
+        /// The declared version.
+        version: u8,
+        /// The highest profile version this reader decodes.
+        max_supported: u8,
     },
     /// The `.ptw` header ended prematurely or is internally inconsistent.
     BadHeader {
@@ -113,7 +123,22 @@ impl fmt::Display for WireError {
             }
             WireError::BadMagic => write!(f, "not a .ptw stream (bad magic)"),
             WireError::BadVersion { version } => {
-                write!(f, "unsupported .ptw version {version}")
+                write!(
+                    f,
+                    "unsupported .ptw version {version} (this build supports {}..={})",
+                    crate::SUPPORTED_VERSIONS.0,
+                    crate::SUPPORTED_VERSIONS.1
+                )
+            }
+            WireError::UnsupportedProfile {
+                version,
+                max_supported,
+            } => {
+                write!(
+                    f,
+                    ".ptw profile v{version} needs a codec-aware reader \
+                     (this reader decodes up to v{max_supported})"
+                )
             }
             WireError::BadHeader { reason } => write!(f, "malformed .ptw header: {reason}"),
             WireError::UnknownName { name } => {

@@ -31,15 +31,21 @@ mod bits;
 mod decode;
 mod error;
 mod frame;
+mod profile;
 mod ptw;
 mod schema;
 
 pub use bits::{BitReader, BitWriter};
 pub use decode::{
-    decode_frame_range, decode_stream, decode_stream_chunked, DamageReason, DamagedFrame,
-    DecodeReport, FrameRange, StreamDecoder,
+    decode_frame_range, decode_stream, decode_stream_chunked, monotonize_events, DamageReason,
+    DamagedFrame, DecodeReport, FrameRange, StreamDecoder,
 };
 pub use error::WireError;
 pub use frame::{encode_records, EncodedStream, Encoder, FrameRing, WireRecord};
-pub use ptw::{read_ptw, read_ptw_schema, write_ptw, write_ptw_schema, PTW_MAGIC, PTW_VERSION};
+pub use profile::{FrameProfile, ProfileV1};
+pub use ptw::{
+    read_ptw, read_ptw_any, read_ptw_header, read_ptw_schema, write_ptw, write_ptw_schema,
+    write_ptw_schema_with, write_ptw_with, PtwMeta, PTW_MAGIC, PTW_VERSION, PTW_VERSION_V2,
+    SUPPORTED_VERSIONS, SYNC_EVERY_RANGE,
+};
 pub use schema::{Slot, SlotKind, WireSchema, DEFAULT_INDEX_WIDTH, DEFAULT_TIME_WIDTH};

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! magic        4 bytes  "PTW1"
-//! version      u8       = 1
+//! version      u8       1 = fixed-width frames, 2 = compressed sync blocks
+//! sync_every   u16      v2 only: records per sync block (1..=4096)
 //! body_width   u32      frame body width W in bits
 //! tag_width    u8
 //! index_width  u8
@@ -22,6 +23,14 @@
 //! The header names slots symbolically so a reader with the same flow
 //! catalog rebuilds the schema without access to the selection that
 //! produced it; widths are cross-checked against the catalog on read.
+//!
+//! The `version` byte negotiates the *payload profile*: v1 is the
+//! fixed-width frame stream this crate decodes, v2 is the compressed
+//! sync-block dialect of `pstrace-codec`. Header parsing is shared
+//! ([`read_ptw_header`] accepts both); the v1-only helpers
+//! ([`read_ptw_schema`], [`read_ptw`]) keep their original signatures and
+//! report [`WireError::UnsupportedProfile`] for v2 payloads they cannot
+//! decode.
 
 use pstrace_flow::MessageCatalog;
 
@@ -29,11 +38,51 @@ use crate::error::WireError;
 use crate::frame::EncodedStream;
 use crate::schema::{SlotKind, WireSchema};
 
-/// The 4-byte container magic.
+/// The 4-byte container magic (shared by every profile version).
 pub const PTW_MAGIC: [u8; 4] = *b"PTW1";
 
-/// The container format version this build reads and writes.
+/// The original fixed-width-frame container version.
 pub const PTW_VERSION: u8 = 1;
+
+/// The compressed sync-block container version (`pstrace-codec`).
+pub const PTW_VERSION_V2: u8 = 2;
+
+/// The inclusive `(lowest, highest)` container versions this build knows.
+pub const SUPPORTED_VERSIONS: (u8, u8) = (PTW_VERSION, PTW_VERSION_V2);
+
+/// Legal range of the v2 `sync_every` header field: how many records one
+/// sync block may carry, which is also the damage-containment window.
+pub const SYNC_EVERY_RANGE: (u16, u16) = (1, 4096);
+
+/// Everything the version-dependent part of a `.ptw` header says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtwMeta {
+    /// The payload profile version (1 or 2).
+    pub version: u8,
+    /// Records per sync block (v2; 0 for v1 headers, which have no
+    /// blocks).
+    pub sync_every: u16,
+}
+
+impl PtwMeta {
+    /// The v1 fixed-width-frame meta.
+    #[must_use]
+    pub fn v1() -> Self {
+        PtwMeta {
+            version: PTW_VERSION,
+            sync_every: 0,
+        }
+    }
+
+    /// A v2 compressed meta with the given sync-block cadence.
+    #[must_use]
+    pub fn v2(sync_every: u16) -> Self {
+        PtwMeta {
+            version: PTW_VERSION_V2,
+            sync_every,
+        }
+    }
+}
 
 /// Serializes just the schema part of a `.ptw` header (magic through the
 /// slot table, no payload fields).
@@ -44,9 +93,40 @@ pub const PTW_VERSION: u8 = 1;
 /// bytes alone via [`read_ptw_schema`].
 #[must_use]
 pub fn write_ptw_schema(catalog: &MessageCatalog, schema: &WireSchema) -> Vec<u8> {
+    write_ptw_schema_with(catalog, schema, PtwMeta::v1())
+}
+
+/// [`write_ptw_schema`] for an explicit profile: v2 headers carry the
+/// sync-block cadence right after the version byte.
+///
+/// # Panics
+///
+/// Panics on an unknown version or a v2 `sync_every` outside
+/// [`SYNC_EVERY_RANGE`] — the caller constructs the meta, so this is a
+/// programming error, not an input error.
+#[must_use]
+pub fn write_ptw_schema_with(
+    catalog: &MessageCatalog,
+    schema: &WireSchema,
+    meta: PtwMeta,
+) -> Vec<u8> {
+    assert!(
+        (SUPPORTED_VERSIONS.0..=SUPPORTED_VERSIONS.1).contains(&meta.version),
+        "unknown .ptw version {}",
+        meta.version
+    );
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&PTW_MAGIC);
-    out.push(PTW_VERSION);
+    out.push(meta.version);
+    if meta.version == PTW_VERSION_V2 {
+        assert!(
+            (SYNC_EVERY_RANGE.0..=SYNC_EVERY_RANGE.1).contains(&meta.sync_every),
+            "sync_every {} outside {:?}",
+            meta.sync_every,
+            SYNC_EVERY_RANGE
+        );
+        out.extend_from_slice(&meta.sync_every.to_le_bytes());
+    }
     out.extend_from_slice(&schema.body_width().to_le_bytes());
     out.push(schema.tag_width() as u8);
     out.push(schema.index_width() as u8);
@@ -70,7 +150,24 @@ pub fn write_ptw_schema(catalog: &MessageCatalog, schema: &WireSchema) -> Vec<u8
 /// Serializes a schema and its encoded stream into a `.ptw` byte buffer.
 #[must_use]
 pub fn write_ptw(catalog: &MessageCatalog, schema: &WireSchema, stream: &EncodedStream) -> Vec<u8> {
-    let mut out = write_ptw_schema(catalog, schema);
+    write_ptw_with(catalog, schema, PtwMeta::v1(), stream)
+}
+
+/// [`write_ptw`] for an explicit profile version. The payload is carried
+/// opaquely — for v2 it is the codec's sync-block stream, whose `bit_len`
+/// is always a whole number of bytes.
+///
+/// # Panics
+///
+/// As [`write_ptw_schema_with`].
+#[must_use]
+pub fn write_ptw_with(
+    catalog: &MessageCatalog,
+    schema: &WireSchema,
+    meta: PtwMeta,
+    stream: &EncodedStream,
+) -> Vec<u8> {
+    let mut out = write_ptw_schema_with(catalog, schema, meta);
     out.reserve(8 + stream.bytes.len());
     out.extend_from_slice(&stream.bit_len.to_le_bytes());
     out.extend_from_slice(&stream.bytes);
@@ -120,12 +217,15 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses a `.ptw` buffer back into its schema and encoded stream,
+/// Parses a **v1** `.ptw` buffer back into its schema and encoded stream,
 /// resolving slot names against `catalog`.
 ///
 /// # Errors
 ///
 /// * [`WireError::BadMagic`] / [`WireError::BadVersion`] for foreign input;
+/// * [`WireError::UnsupportedProfile`] for a valid v2 container — this
+///   reader only decodes fixed-width frames; use the codec crate's
+///   auto-detecting reader for compressed payloads;
 /// * [`WireError::BadHeader`] for a truncated or inconsistent header;
 /// * [`WireError::UnknownName`] when a slot's message or subgroup is not in
 ///   the catalog;
@@ -135,7 +235,29 @@ pub fn read_ptw(
     catalog: &MessageCatalog,
     bytes: &[u8],
 ) -> Result<(WireSchema, EncodedStream), WireError> {
-    let (schema, consumed) = read_ptw_schema(catalog, bytes)?;
+    let (schema, meta, stream) = read_ptw_any(catalog, bytes)?;
+    if meta.version != PTW_VERSION {
+        return Err(WireError::UnsupportedProfile {
+            version: meta.version,
+            max_supported: PTW_VERSION,
+        });
+    }
+    Ok((schema, stream))
+}
+
+/// Parses a `.ptw` buffer of **any supported version** into its schema,
+/// profile meta, and raw payload stream. The payload is *not* decoded —
+/// for v1 its frame count is derived from the frame width, for v2 the
+/// `frames` field is left 0 (block structure is the codec's concern).
+///
+/// # Errors
+///
+/// As [`read_ptw`], minus the profile restriction.
+pub fn read_ptw_any(
+    catalog: &MessageCatalog,
+    bytes: &[u8],
+) -> Result<(WireSchema, PtwMeta, EncodedStream), WireError> {
+    let (schema, meta, consumed) = read_ptw_header(catalog, bytes)?;
     let mut c = Cursor {
         bytes,
         pos: consumed,
@@ -145,10 +267,14 @@ pub fn read_ptw(
         reason: "payload length overflows".to_owned(),
     })?;
     let payload = c.take(payload_len, "payload")?;
-    let frame_bits = u64::from(schema.frame_bits());
-    let frames = (bit_len / frame_bits) as usize;
+    let frames = if meta.version == PTW_VERSION {
+        (bit_len / u64::from(schema.frame_bits())) as usize
+    } else {
+        0
+    };
     Ok((
         schema,
+        meta,
         EncodedStream {
             bytes: payload.to_vec(),
             bit_len,
@@ -157,10 +283,10 @@ pub fn read_ptw(
     ))
 }
 
-/// Parses the schema prefix written by [`write_ptw_schema`], returning
-/// the rebuilt schema and the number of header bytes consumed (so a
-/// caller can continue reading whatever follows — payload fields in a
-/// file, chunked frames on a socket).
+/// Parses the **v1** schema prefix written by [`write_ptw_schema`],
+/// returning the rebuilt schema and the number of header bytes consumed
+/// (so a caller can continue reading whatever follows — payload fields in
+/// a file, chunked frames on a socket).
 ///
 /// # Errors
 ///
@@ -169,14 +295,50 @@ pub fn read_ptw_schema(
     catalog: &MessageCatalog,
     bytes: &[u8],
 ) -> Result<(WireSchema, usize), WireError> {
+    let (schema, meta, consumed) = read_ptw_header(catalog, bytes)?;
+    if meta.version != PTW_VERSION {
+        return Err(WireError::UnsupportedProfile {
+            version: meta.version,
+            max_supported: PTW_VERSION,
+        });
+    }
+    Ok((schema, consumed))
+}
+
+/// Parses the schema prefix of any supported container version, returning
+/// the rebuilt schema, the profile meta (version + v2 sync cadence), and
+/// the number of header bytes consumed.
+///
+/// # Errors
+///
+/// Same as [`read_ptw`], minus the payload checks and the profile
+/// restriction.
+pub fn read_ptw_header(
+    catalog: &MessageCatalog,
+    bytes: &[u8],
+) -> Result<(WireSchema, PtwMeta, usize), WireError> {
     let mut c = Cursor { bytes, pos: 0 };
     if c.take(4, "magic").map_err(|_| WireError::BadMagic)? != PTW_MAGIC {
         return Err(WireError::BadMagic);
     }
     let version = c.u8("version")?;
-    if version != PTW_VERSION {
+    if !(SUPPORTED_VERSIONS.0..=SUPPORTED_VERSIONS.1).contains(&version) {
         return Err(WireError::BadVersion { version });
     }
+    let sync_every = if version == PTW_VERSION_V2 {
+        let sync_every = c.u16("sync cadence")?;
+        if !(SYNC_EVERY_RANGE.0..=SYNC_EVERY_RANGE.1).contains(&sync_every) {
+            return Err(WireError::BadHeader {
+                reason: format!(
+                    "sync cadence {sync_every} outside {}..={}",
+                    SYNC_EVERY_RANGE.0, SYNC_EVERY_RANGE.1
+                ),
+            });
+        }
+        sync_every
+    } else {
+        0
+    };
     let body_width = c.u32("body width")?;
     let tag_width = u32::from(c.u8("tag width")?);
     let index_width = u32::from(c.u8("index width")?);
@@ -258,7 +420,14 @@ pub fn read_ptw_schema(
         }
     }
 
-    Ok((schema, c.pos))
+    Ok((
+        schema,
+        PtwMeta {
+            version,
+            sync_every,
+        },
+        c.pos,
+    ))
 }
 
 #[cfg(test)]
@@ -323,6 +492,58 @@ mod tests {
         let mut extended = header.clone();
         extended.extend_from_slice(b"payload follows");
         assert!(read_ptw_schema(&c, &extended).is_ok());
+    }
+
+    #[test]
+    fn v2_header_negotiates_profile_and_cadence() {
+        let (c, schema, stream) = setup();
+        let header = write_ptw_schema_with(&c, &schema, PtwMeta::v2(128));
+        let (schema2, meta, consumed) = read_ptw_header(&c, &header).unwrap();
+        assert_eq!(schema2, schema);
+        assert_eq!(meta, PtwMeta::v2(128));
+        assert_eq!(consumed, header.len());
+        // The v1-only helpers refuse the profile with a typed error, not
+        // a parse failure.
+        assert_eq!(
+            read_ptw_schema(&c, &header).unwrap_err(),
+            WireError::UnsupportedProfile {
+                version: PTW_VERSION_V2,
+                max_supported: PTW_VERSION
+            }
+        );
+        let full = write_ptw_with(&c, &schema, PtwMeta::v2(128), &stream);
+        assert_eq!(
+            read_ptw(&c, &full).unwrap_err(),
+            WireError::UnsupportedProfile {
+                version: PTW_VERSION_V2,
+                max_supported: PTW_VERSION
+            }
+        );
+        // The payload-agnostic reader hands the opaque bytes through.
+        let (_, meta2, stream2) = read_ptw_any(&c, &full).unwrap();
+        assert_eq!(meta2, PtwMeta::v2(128));
+        assert_eq!(stream2.bytes, stream.bytes);
+        assert_eq!(stream2.bit_len, stream.bit_len);
+    }
+
+    #[test]
+    fn v2_sync_cadence_is_range_checked() {
+        let (c, schema, _) = setup();
+        let mut header = write_ptw_schema_with(&c, &schema, PtwMeta::v2(1));
+        // Corrupt sync_every (bytes 5..7) to 0: outside SYNC_EVERY_RANGE.
+        header[5] = 0;
+        header[6] = 0;
+        assert!(matches!(
+            read_ptw_header(&c, &header).unwrap_err(),
+            WireError::BadHeader { .. }
+        ));
+        // And to 5000: above the ceiling.
+        let above = SYNC_EVERY_RANGE.1 + 1;
+        header[5..7].copy_from_slice(&above.to_le_bytes());
+        assert!(matches!(
+            read_ptw_header(&c, &header).unwrap_err(),
+            WireError::BadHeader { .. }
+        ));
     }
 
     #[test]

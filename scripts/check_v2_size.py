@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""`.ptw` v2 size gate.
+
+Builds the reference corpus — every paper scenario soaked over several
+seeded simulation runs, concatenated into one monotone capture per
+scenario — then encodes each corpus through both wire dialects with the
+real CLI and asserts:
+
+* both dialects decode back to byte-identical text traces (the
+  round-trip invariant, end to end through the binary);
+* every scenario's v2 file is at most 80% of its v1 file — the ≥20%
+  compression the dialect exists to deliver, container header included.
+
+Run from the repository root: python3 scripts/check_v2_size.py
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCENARIOS = [1, 2, 3, 4, 5]
+SEEDS = list(range(2018, 2026))
+MAX_RATIO = 0.8
+
+CARGO = [
+    "cargo", "run", "-q", "--release", "--locked",
+    "-p", "pstrace-cli", "--bin", "pstrace", "--",
+]
+
+
+def run(*args: str) -> None:
+    subprocess.run([*CARGO, *args], cwd=REPO, check=True, timeout=600,
+                   stdout=subprocess.DEVNULL)
+
+
+def soak(work: pathlib.Path, scenario: int) -> pathlib.Path:
+    """Concatenates SEEDS runs of one scenario into a single capture,
+    rebasing each run's times so the corpus stays monotone (a longer
+    soak of the same workload)."""
+    corpus = work / f"s{scenario}.txt"
+    lines = ["# time index message value partial"]
+    base = 0
+    for seed in SEEDS:
+        raw = work / f"s{scenario}-{seed}.txt"
+        run("simulate", "--scenario", str(scenario),
+            "--seed", str(seed), "--save", str(raw))
+        last = base
+        for line in raw.read_text(encoding="utf-8").splitlines():
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            fields[0] = str(int(fields[0]) + base)
+            last = max(last, int(fields[0]))
+            lines.append(" ".join(fields))
+        base = last + 1
+    corpus.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return corpus
+
+
+def main() -> int:
+    failed = False
+    with tempfile.TemporaryDirectory(prefix="pstrace-v2gate-") as tmp:
+        work = pathlib.Path(tmp)
+        for scenario in SCENARIOS:
+            corpus = soak(work, scenario)
+            v1 = work / f"s{scenario}.v1.ptw"
+            v2 = work / f"s{scenario}.v2.ptw"
+            run("trace", "encode", str(corpus),
+                "--scenario", str(scenario), "--out", str(v1))
+            run("trace", "encode", str(corpus),
+                "--scenario", str(scenario), "--profile", "v2",
+                "--out", str(v2))
+            d1 = work / f"s{scenario}.v1.out"
+            d2 = work / f"s{scenario}.v2.out"
+            run("trace", "decode", str(v1), "--out", str(d1))
+            run("trace", "decode", str(v2), "--out", str(d2))
+            if d1.read_bytes() != d2.read_bytes():
+                print(f"FAIL: scenario {scenario}: v1 and v2 decodes "
+                      "differ", file=sys.stderr)
+                return 1
+            b1 = v1.stat().st_size
+            b2 = v2.stat().st_size
+            ratio = b2 / b1 if b1 else float("inf")
+            verdict = "ok" if ratio <= MAX_RATIO else "FAIL"
+            print(f"scenario {scenario}: v1 {b1:>7} B  v2 {b2:>7} B  "
+                  f"ratio {ratio:.3f}  {verdict}")
+            failed = failed or ratio > MAX_RATIO
+
+    if failed:
+        print(f"FAIL: a scenario's v2 file exceeds {MAX_RATIO:.0%} of its "
+              "v1 size — the compressed dialect must deliver >= 20%",
+              file=sys.stderr)
+        return 1
+    print("v2 size gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,22 @@ run cargo test -q --locked --workspace
 run cargo test -q --locked --test stream_smoke
 run cargo bench --no-run --locked --workspace
 
+# v2 dialect smoke: the compressed-profile round-trip and corruption
+# proptests (codec crate), plus the v2 cases of the acceptance suites —
+# one flipped bit stays bounded to a sync window, live daemon included.
+run cargo test -q --locked -p pstrace-codec
+run cargo test -q --locked --test wire_roundtrip v2_
+run cargo test -q --locked --test malformed_ptw v2_
+
+# v2 size gate: every reference-corpus scenario must encode to <= 0.8x
+# its v1 size through the real CLI, and both dialects must decode to
+# byte-identical text traces.
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/check_v2_size.py
+else
+    echo "==> python3 not found; skipping v2 size gate"
+fi
+
 # Chaos-soak smoke: a seeded fault-injection run against a live daemon.
 # The command exits nonzero if the survival criteria are breached.
 run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \

@@ -32,6 +32,10 @@
 //! * [`wire`] — the bit-packed wire format: selection-derived frame
 //!   schemas, a circular-buffer frame encoder, a damage-tolerant
 //!   streaming decoder and the `.ptw` on-disk container;
+//! * [`codec`] — the compressed `.ptw` v2 dialect: delta-coded
+//!   timestamps with periodic absolute sync blocks, zig-zag lane deltas
+//!   and run-length encoded tags, negotiated by the container's version
+//!   byte with damage still bounded to one sync window;
 //! * [`stream`] — the live ingest path: a chunk-at-a-time decode
 //!   session with incremental online localization, a loopback TCP
 //!   daemon (`pstraced`) and the replay client behind `pstrace stream`;
@@ -87,6 +91,7 @@
 #![warn(missing_docs)]
 
 pub use pstrace_bug as bug;
+pub use pstrace_codec as codec;
 pub use pstrace_diag as diag;
 pub use pstrace_faults as faults;
 pub use pstrace_flow as flow;

@@ -6,12 +6,16 @@ use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::Arc;
 
+use pstrace::codec::{decode_v2, encode_v2, read_ptw_auto};
 use pstrace::diag::MatchMode;
 use pstrace::flow::{FlowIndex, IndexedMessage};
 use pstrace::select::{SelectionConfig, Selector, TraceBufferSpec};
 use pstrace::soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
 use pstrace::stream::{proto, stream_ptw, Server, ServerConfig, StreamError};
-use pstrace::wire::{decode_stream, encode_records, read_ptw, write_ptw, WireRecord, WireSchema};
+use pstrace::wire::{
+    decode_stream, encode_records, read_ptw, write_ptw, write_ptw_with, DamageReason, PtwMeta,
+    WireError, WireRecord, WireSchema,
+};
 
 /// A small valid scenario-1 capture: `(schema, ptw bytes, payload bits)`.
 fn fixture(records: usize) -> (SocModel, WireSchema, Vec<u8>) {
@@ -134,6 +138,132 @@ fn zero_length_body_decodes_to_zero_frames_and_streams_cleanly() {
     let snap = server.snapshot();
     assert_eq!(snap.completed, 1);
     assert_eq!(snap.records, 0);
+    server.shutdown();
+}
+
+/// A valid v2 (compressed) container over the same scenario-1 schema:
+/// `(model, schema, records, ptw bytes)`.
+fn v2_fixture(records: usize, sync_every: u16) -> (SocModel, WireSchema, Vec<WireRecord>, Vec<u8>) {
+    let (model, schema, _) = fixture(records);
+    let slots = schema.slots().to_vec();
+    let recs: Vec<WireRecord> = (0..records)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1u64 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    let encoded = encode_v2(&schema, &recs, sync_every, None).expect("encodes");
+    let ptw = write_ptw_with(model.catalog(), &schema, PtwMeta::v2(sync_every), &encoded);
+    (model, schema, recs, ptw)
+}
+
+#[test]
+fn v2_container_is_a_typed_error_for_v1_only_readers() {
+    let (model, _, _, ptw) = v2_fixture(40, 8);
+    // The v1-only entry point refuses the profile with the typed
+    // variant, naming both the file's version and the reader's ceiling.
+    let err = read_ptw(model.catalog(), &ptw).expect_err("v1 reader must refuse v2");
+    match err {
+        WireError::UnsupportedProfile {
+            version,
+            max_supported,
+        } => {
+            assert_eq!(version, 2);
+            assert_eq!(max_supported, 1);
+        }
+        other => panic!("expected UnsupportedProfile, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("v2") && msg.contains("v1"), "{msg}");
+
+    // The codec-aware entry point decodes it fully.
+    let (_, meta, report) = read_ptw_auto(model.catalog(), &ptw).expect("codec reader accepts v2");
+    assert_eq!(meta.version, 2);
+    assert!(report.is_clean(), "{:?}", report.damaged);
+    assert_eq!(report.records.len(), 40);
+
+    // A version byte beyond every known dialect is BadVersion for both,
+    // and the message names the supported range.
+    let mut future = ptw;
+    future[4] = 9;
+    let err = read_ptw_auto(model.catalog(), &future).expect_err("version 9 is unknown");
+    assert!(
+        matches!(err, WireError::BadVersion { .. }),
+        "typed: {err:?}"
+    );
+    assert!(err.to_string().contains("1..=2"), "{err}");
+}
+
+#[test]
+fn truncated_v2_sync_block_is_bounded_damage_never_a_panic() {
+    let (model, schema, recs, ptw) = v2_fixture(48, 8);
+    // Recover the payload span: schema header + 8-byte bit-length prefix.
+    let (_, _, consumed) = pstrace::wire::read_ptw_header(model.catalog(), &ptw).unwrap();
+    let payload = ptw[consumed + 8..].to_vec();
+
+    // Chop the payload mid-block at every granularity: the decoder
+    // reports the torn tail block as sync damage and keeps everything
+    // before it; it never panics and never invents records.
+    for cut in 1..payload.len() {
+        let torn = &payload[..cut];
+        let report = decode_v2(&schema, torn, Some(torn.len() as u64 * 8));
+        assert!(
+            report.records.len() <= recs.len(),
+            "cut {cut}: more records out than in"
+        );
+        for r in &report.records {
+            assert!(recs.contains(r), "cut {cut}: invented record {r:?}");
+        }
+        if report.records.len() < recs.len() {
+            // A cut landing exactly on a block boundary leaves a clean
+            // (shorter) stream — there is nothing to flag. Any other cut
+            // tears a block and must surface as sync damage.
+            let clean_boundary =
+                report.damaged.is_empty() && report.records == recs[..report.records.len()];
+            assert!(
+                clean_boundary
+                    || report.damaged.iter().any(|d| matches!(
+                        d.reason,
+                        DamageReason::SyncCorrupt { .. } | DamageReason::SyncLost { .. }
+                    )),
+                "cut {cut}: lost records must be accounted as sync damage: {:?}",
+                report.damaged
+            );
+        }
+    }
+
+    // A container truncated mid-payload stays a typed error, as in v1.
+    let mid = &ptw[..ptw.len() - payload.len() / 2];
+    assert!(read_ptw_auto(model.catalog(), mid).is_err());
+}
+
+#[test]
+fn v2_container_streams_to_a_live_daemon() {
+    // End to end over the PSTS handshake: the container's schema prefix
+    // carries the v2 version byte, the daemon negotiates the compressed
+    // decoder, and the session report accounts every record.
+    let (model, _, recs, ptw) = v2_fixture(40, 8);
+    let server = Server::spawn(Arc::new(SocModel::t2()), &ServerConfig::default()).unwrap();
+    for chunk in [1usize, 7, 64] {
+        let reply = stream_ptw(
+            server.local_addr(),
+            model.catalog(),
+            1,
+            MatchMode::Prefix,
+            &ptw,
+            chunk,
+        )
+        .expect("v2 session completes");
+        assert!(reply.contains("records"), "report renders: {reply}");
+    }
+    let snap = server.snapshot();
+    assert_eq!(snap.completed, 3);
+    assert_eq!(snap.records, 3 * recs.len() as u64);
     server.shutdown();
 }
 

@@ -11,9 +11,12 @@
 //! * the chunked decoder is bit-identical to the sequential one;
 //! * the `.ptw` container survives a disk round trip.
 
+use pstrace::codec::{ProfileV2, DEFAULT_SYNC_EVERY};
+use pstrace::faults::{corrupt_wire, FaultLedger, FaultPlan};
 use pstrace::select::{Parallelism, SelectionConfig, Selector, TraceBufferSpec};
 use pstrace::soc::wirecap;
 use pstrace::soc::{capture, SimConfig, Simulator, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace_rng::Rng64;
 
 fn paper_scenarios() -> Vec<UsageScenario> {
     vec![
@@ -186,6 +189,183 @@ fn chunked_decode_is_bit_identical_to_sequential() {
         assert_eq!(trace, seq_trace, "{parallelism:?}");
         assert_eq!(report, seq_report, "{parallelism:?}");
     }
+}
+
+#[test]
+fn every_scenario_round_trips_bit_identically_under_v2() {
+    // Tentpole invariant, v2 edition: the compressed dialect reproduces
+    // the modeled capture bit-for-bit on every scenario's selection,
+    // including circular-depth truncation, at several sync cadences.
+    let model = SocModel::t2();
+    for scenario in paper_scenarios() {
+        for depth in [None, Some(4)] {
+            let (config, schema, _) = selection_setup(&model, &scenario, depth);
+            let out = Simulator::new(&model, scenario.clone(), SimConfig::with_seed(2018)).run();
+            let direct = capture(&model, &out, &config);
+            for sync_every in [1u16, 16, DEFAULT_SYNC_EVERY] {
+                let profile = ProfileV2 { sync_every };
+                let stream = wirecap::encode_events_with(
+                    model.catalog(),
+                    &schema,
+                    &out.events,
+                    &config,
+                    &profile,
+                )
+                .expect("records fit the schema");
+                let (decoded, report) = wirecap::decode_capture_with(
+                    &schema,
+                    &stream.bytes,
+                    Some(stream.bit_len),
+                    &profile,
+                );
+                assert!(
+                    report.is_clean(),
+                    "{} sync {}: {:?}",
+                    scenario.name(),
+                    sync_every,
+                    report.damaged
+                );
+                assert_eq!(
+                    decoded,
+                    direct,
+                    "{} depth {:?} sync {}: v2 decode(encode(x)) != capture(x)",
+                    scenario.name(),
+                    depth,
+                    sync_every
+                );
+            }
+        }
+    }
+}
+
+/// A reference corpus for a scenario: several seeded runs of the same
+/// workload back to back, times rebased so the stream stays one
+/// monotone capture (a longer soak of the same scenario).
+fn reference_corpus(
+    model: &SocModel,
+    scenario: &UsageScenario,
+    seeds: u64,
+) -> Vec<pstrace::soc::MessageEvent> {
+    let mut events = Vec::new();
+    let mut base = 0u64;
+    for seed in 0..seeds {
+        let out = Simulator::new(model, scenario.clone(), SimConfig::with_seed(2018 + seed)).run();
+        let mut last = base;
+        for e in &out.events {
+            let mut e = *e;
+            e.time += base;
+            last = last.max(e.time);
+            events.push(e);
+        }
+        base = last + 1;
+    }
+    events
+}
+
+#[test]
+fn v2_is_at_least_20_percent_smaller_on_every_scenario() {
+    // Acceptance criterion: on all five reference scenarios the v2 wire
+    // is >= 20 % smaller than v1 at the default sync cadence — i.e. at
+    // the damage tolerance the corruption tests pin.
+    let model = SocModel::t2();
+    for scenario in paper_scenarios() {
+        let (config, schema, _) = selection_setup(&model, &scenario, None);
+        let events = reference_corpus(&model, &scenario, 8);
+        let v1 = wirecap::encode_events(model.catalog(), &schema, &events, &config)
+            .expect("records fit the schema");
+        let v2 = wirecap::encode_events_with(
+            model.catalog(),
+            &schema,
+            &events,
+            &config,
+            &ProfileV2::default(),
+        )
+        .expect("records fit the schema");
+        assert!(
+            (v2.bytes.len() as f64) <= 0.8 * v1.bytes.len() as f64,
+            "{}: v2 {} bytes vs v1 {} bytes ({:.1} %)",
+            scenario.name(),
+            v2.bytes.len(),
+            v1.bytes.len(),
+            100.0 * v2.bytes.len() as f64 / v1.bytes.len() as f64
+        );
+    }
+}
+
+#[test]
+fn v2_corruption_from_the_fault_injector_stays_bounded() {
+    // Equal damage tolerance: the seeded fault injector's bit flips
+    // (byte granularity — v2 is byte-aligned) never panic the decoder,
+    // never make it invent records, and each injected fault costs at
+    // most its sync window plus the following resync hunt.
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let (config, schema, _) = selection_setup(&model, &scenario, None);
+    let out = Simulator::new(&model, scenario, SimConfig::with_seed(2018)).run();
+    let direct = capture(&model, &out, &config);
+    let sync_every = 8u16;
+    let profile = ProfileV2 { sync_every };
+    let stream =
+        wirecap::encode_events_with(model.catalog(), &schema, &out.events, &config, &profile)
+            .expect("records fit the schema");
+
+    // Flips-only plan: every ledger entry is one flipped bit, so the
+    // loss budget is exact — at most two sync windows per flip (the
+    // window it lands in, plus a neighbor if it forges a header).
+    let mut flips = FaultPlan::quiet(0xC0DEC);
+    flips.wire.bit_flip = 1e-3;
+    let mut rng = Rng64::seed_from_u64(0xC0DEC);
+    let mut any_fault = false;
+    for session in 0..32u64 {
+        let mut ledger = FaultLedger::new();
+        let mangled = corrupt_wire(&flips, session, 8, &stream, &mut rng, &mut ledger);
+        let (decoded, report) =
+            wirecap::decode_capture_with(&schema, &mangled.bytes, Some(mangled.bit_len), &profile);
+        if ledger.is_empty() {
+            assert!(report.is_clean(), "clean bytes must decode clean");
+            assert_eq!(decoded, direct);
+            continue;
+        }
+        any_fault = true;
+        assert!(
+            !report.is_clean(),
+            "session {session}: damage must be flagged"
+        );
+        let direct_records = direct.records();
+        for r in decoded.records() {
+            assert!(
+                direct_records.contains(r),
+                "session {session}: decoder invented a record: {r:?}"
+            );
+        }
+        let lost = direct.len() - decoded.len();
+        let budget = ledger.len() * 2 * usize::from(sync_every);
+        assert!(
+            lost <= budget,
+            "session {session}: lost {lost} records to {} flips (window {sync_every})",
+            ledger.len()
+        );
+    }
+    assert!(any_fault, "1e-3 flips over 32 runs must corrupt something");
+
+    // The full standard plan adds storms, truncation, duplication and
+    // reordering: those can legitimately cost arbitrary spans, so the
+    // bar is no panic and no invented records.
+    let plan = FaultPlan::standard(0xC0DEC);
+    let mut ledger = FaultLedger::new();
+    for session in 0..16u64 {
+        let mangled = corrupt_wire(&plan, session, 8, &stream, &mut rng, &mut ledger);
+        let (decoded, _) =
+            wirecap::decode_capture_with(&schema, &mangled.bytes, Some(mangled.bit_len), &profile);
+        let direct_records = direct.records();
+        for r in decoded.records() {
+            assert!(
+                direct_records.contains(r),
+                "session {session}: decoder invented a record: {r:?}"
+            );
+        }
+    }
+    assert!(!ledger.is_empty(), "the standard plan must inject faults");
 }
 
 #[test]
