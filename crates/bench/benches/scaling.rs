@@ -10,14 +10,20 @@
 //!   implementation). Sequential vs parallel output is bit-identical, so
 //!   the curves measure pure wall-clock.
 
+use std::sync::Arc;
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pstrace_core::{
     beam_select, enumerate_combinations, rank_combinations_cached, rank_combinations_observed,
-    Parallelism, TraceBufferSpec,
+    Parallelism, SelectionConfig, Selector, TraceBufferSpec,
 };
+use pstrace_diag::MatchMode;
+use pstrace_flow::{FlowIndex, IndexedMessage};
 use pstrace_infogain::{LogBase, MiCache};
-use pstrace_obs::Registry;
-use pstrace_soc::{FlowKind, SocModel, UsageScenario};
+use pstrace_obs::{EventKind, FlightHandle, FlightRecorder, Registry};
+use pstrace_soc::{wirecap, FlowKind, SocModel, TraceBufferConfig, UsageScenario};
+use pstrace_stream::Session;
+use pstrace_wire::{encode_records, WireRecord};
 
 fn scaling_scenario(instances: u32) -> UsageScenario {
     UsageScenario::custom(
@@ -148,10 +154,88 @@ fn bench_instrumentation_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flight-recorder overhead: the same in-process session ingest with
+/// and without a bound [`FlightHandle`]. The recorded path pays the
+/// handle plumbing plus the per-session lifecycle quartet the daemon
+/// journals (open/handshake/finish/close) — the per-chunk decode loop
+/// notes nothing on a clean stream, so the two curves must stay within
+/// a couple percent (the ≤ 2 % budget EXPERIMENTS.md pins, like
+/// `rank_instrumentation`).
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let model = SocModel::t2();
+    let scenario = UsageScenario::scenario1();
+    let buffer = TraceBufferSpec::new(32).expect("nonzero");
+    let flow = scenario.interleaving(&model).expect("interleaves");
+    let selection = Selector::new(&flow, SelectionConfig::new(buffer))
+        .select()
+        .expect("selection succeeds");
+    let config = TraceBufferConfig {
+        messages: selection.chosen.messages.clone(),
+        groups: selection.packed_groups.clone(),
+        depth: None,
+    };
+    let schema =
+        wirecap::wire_schema(&model, &config, buffer.width_bits()).expect("schema fits buffer");
+    let slots = schema.slots().to_vec();
+    let stream: Vec<WireRecord> = (0..20_000)
+        .map(|i| {
+            let slot = &slots[i % slots.len()];
+            WireRecord {
+                time: i as u64,
+                message: IndexedMessage::new(slot.message, FlowIndex(1 + (i % 3) as u32)),
+                value: (i as u64 * 0x9e37) & ((1 << slot.width) - 1),
+                partial: slot.is_partial(),
+            }
+        })
+        .collect();
+    let encoded = encode_records(&schema, &stream, None).expect("encodes");
+    let payload = encoded.bytes;
+    let bit_len = encoded.bit_len;
+
+    let mut group = c.benchmark_group("recorder_overhead_20k_records");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut session = Session::new(&flow, schema.clone(), MatchMode::Prefix);
+            for chunk in payload.chunks(4096) {
+                session.push_chunk(chunk);
+            }
+            black_box(session.finish(Some(bit_len)))
+        });
+    });
+    group.bench_function("recorded", |b| {
+        // One long-lived recorder, as in the daemon; each run binds a
+        // fresh handle and journals the session lifecycle around the
+        // same ingest loop.
+        let recorder = Arc::new(FlightRecorder::new(2, 4096));
+        let mut session_id = 0u64;
+        b.iter(|| {
+            session_id += 1;
+            let handle =
+                FlightHandle::new(Arc::clone(&recorder), 1, session_id | (1 << 63), session_id);
+            handle.note(EventKind::Open, "");
+            handle.note(EventKind::Handshake, "");
+            let mut session = Session::new(&flow, schema.clone(), MatchMode::Prefix);
+            session.set_flight(handle.clone());
+            for chunk in payload.chunks(4096) {
+                session.push_chunk(chunk);
+            }
+            let report = session.finish(Some(bit_len));
+            handle.note(EventKind::Finish, "");
+            handle.note(EventKind::Close, "");
+            black_box(report)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_rank_parallelism,
-    bench_instrumentation_overhead
+    bench_instrumentation_overhead,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

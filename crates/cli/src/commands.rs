@@ -4,10 +4,14 @@ use std::error::Error;
 use std::sync::Arc;
 
 use pstrace_bug::{bug_catalog, case_studies, BugInterceptor};
+use pstrace_codec::flight::{
+    flight_catalog, flight_message_name, lifecycle_flow, lifecycle_messages, read_flight_dump,
+    render_chrome, render_timeline, FlightDump,
+};
 use pstrace_core::{Parallelism, SelectionConfig, Selector, Strategy, TraceBufferSpec};
-use pstrace_diag::{run_case_study_observed, scenario_causes, CaseStudyConfig};
-use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, InterleavedFlow};
-use pstrace_mine::{evaluate, Miner, MiningConfig};
+use pstrace_diag::{run_case_study_observed, scenario_causes, CaseStudyConfig, MatchMode};
+use pstrace_flow::{dot, path_count, FlowIndex, IndexedFlow, IndexedMessage, InterleavedFlow};
+use pstrace_mine::{evaluate, ExecutionLog, LogRecord, Miner, MiningConfig};
 use pstrace_obs::maybe_time;
 use pstrace_rtl::{prnet_select, sigset_select, simulate, RandomStimulus, UsbDesign};
 use pstrace_soc::{
@@ -52,6 +56,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "stop" => cmd_stop(rest),
         "stream" => cmd_stream(rest),
         "metrics" => cmd_metrics(rest),
+        "events" => cmd_events(rest),
         "chaos" => cmd_chaos(rest),
         "fleet" => cmd_fleet(rest),
         "mine" => cmd_mine(rest),
@@ -71,6 +76,8 @@ fn print_help() {
     println!("                                         run the SoC simulator");
     println!("  debug    --case N [--buffer BITS] [--depth D] [--no-packing] [--wire]");
     println!("                                         run a debugging case study");
+    println!("  debug    --flight DUMP.ptw             localize a flight-recorder dump's");
+    println!("                                         sessions against the lifecycle flow");
     println!("  trace    encode FILE --out OUT.ptw [--scenario N] [--buffer BITS]");
     println!("           [--no-packing] [--depth D] [--profile v1|v2] [--sync-every N]");
     println!("                                         pack a text trace into .ptw frames");
@@ -80,23 +87,36 @@ fn print_help() {
     println!("                                         (the dialect is auto-detected)");
     println!("  serve    [--addr HOST:PORT] [--shards N] [--sessions N]");
     println!("           [--max-sessions N] [--tenant-quota N]");
-    println!("           [--metrics-addr HOST:PORT]    run the live trace ingest daemon");
+    println!("           [--metrics-addr HOST:PORT]");
+    println!("           [--flight-recorder | --flight-dump FILE.ptw]");
+    println!("                                         run the live trace ingest daemon");
+    println!("                                         (the flight recorder spills its own");
+    println!("                                         lifecycle journal as a .ptw v2 dump)");
     println!("  stop     [--addr HOST:PORT]            ask a daemon to drain and exit");
     println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
     println!("           [--retries N]                 replay a .ptw capture to a daemon");
     println!("                                         (--retries uses the resumable client)");
-    println!("  metrics  [--addr HOST:PORT]            fetch a daemon's Prometheus metrics");
+    println!("  metrics  [--addr HOST:PORT] [--json]   fetch a daemon's Prometheus metrics");
+    println!("                                         (--json re-renders the exposition as");
+    println!("                                         machine-readable JSON)");
+    println!("  events   DUMP.ptw [--chrome FILE]      render a flight-recorder dump as a");
+    println!("                                         per-session causal timeline (--chrome");
+    println!("                                         writes Chrome trace-event JSON)");
     println!("  chaos    [--seed S] [--sessions N] [--intensity quiet|light|standard|heavy]");
     println!("           [--records N] [--chunk B] [--shards N] [--concurrency N]");
-    println!("           [--reconnect-faults]          seeded fault-injection soak against a");
+    println!("           [--reconnect-faults] [--flight-dump FILE.ptw]");
+    println!("                                         seeded fault-injection soak against a");
     println!("                                         live daemon; fails on survival breach");
     println!("  fleet    [--sessions N] [--concurrency N] [--shards N] [--records N]");
-    println!("           [--json FILE]                 fleet-scale concurrent ingest soak;");
+    println!("           [--json FILE] [--flight-dump FILE.ptw]");
+    println!("                                         fleet-scale concurrent ingest soak;");
     println!("                                         prints aggregate records/s");
     println!("  mine     [FILES.ptw...] [--scenario N|all] [--seeds K] [--no-wire]");
     println!("           [--min-support N] [--min-path-support N] [--top N]");
     println!("           [--out DIR] [--dot] [--eval] [--require N] [--threshold F]");
-    println!("                                         infer flow DAGs from decoded captures");
+    println!("           [--flight]                    infer flow DAGs from decoded captures");
+    println!("                                         (--flight mines flight-recorder dumps");
+    println!("                                         against the session-lifecycle flow)");
     println!("  dot      (--scenario N | --flow ABBREV) [--interleaved]");
     println!("                                         export Graphviz");
     println!("  usb      [--budget N] [--cycles N] [--seed S]");
@@ -296,8 +316,11 @@ fn cmd_debug(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
         &["no-packing", "wire", "profile"],
-        &["case", "buffer", "depth", "profile-json"],
+        &["case", "buffer", "depth", "profile-json", "flight"],
     )?;
+    if let Some(path) = args.option("flight") {
+        return debug_flight(path);
+    }
     let profiler = Profiler::from_args(&args);
     let model = SocModel::t2();
     let case_no = args.option_or("case", 1u8)?;
@@ -320,6 +343,52 @@ fn cmd_debug(argv: &[String]) -> CmdResult {
     print!("{}", report.render(&model));
     if let Some(p) = &profiler {
         p.finish()?;
+    }
+    Ok(())
+}
+
+/// `debug --flight`: localizes every recorded session in a
+/// flight-recorder dump against the built-in session-lifecycle flow —
+/// the dogfood version of the paper's Table-3 question, asked of the
+/// daemon's own trace.
+fn debug_flight(path: &str) -> CmdResult {
+    let dump = read_flight_dump(&std::fs::read(path)?)?;
+    let catalog = flight_catalog();
+    let flow = Arc::new(lifecycle_flow(&catalog));
+    let lifecycle = lifecycle_messages(&catalog);
+    let product = InterleavedFlow::build(&[IndexedFlow::new(flow, FlowIndex(1))])?;
+    let sessions = dump.sessions();
+    let recorded = sessions.iter().filter(|(i, _, _)| *i != 0).count();
+    println!(
+        "localizing {} recorded sessions against session-lifecycle ({} paths, {} events in dump)",
+        recorded,
+        path_count(&product),
+        dump.events.len()
+    );
+    for (index, trace, events) in sessions {
+        if index == 0 {
+            continue;
+        }
+        // Only the lifecycle vocabulary participates; shed/damage/
+        // degradation events in the same dump are context, not path
+        // evidence.
+        let observed: Vec<IndexedMessage> = events
+            .iter()
+            .filter_map(|e| {
+                let mid = catalog.get(&flight_message_name(e.kind))?;
+                lifecycle
+                    .contains(&mid)
+                    .then_some(IndexedMessage::new(mid, FlowIndex(1)))
+            })
+            .collect();
+        let loc = pstrace_diag::localize(&product, &observed, &lifecycle, MatchMode::Prefix);
+        println!(
+            "  session {index} trace 0x{trace:016x}: {}/{} paths consistent ({:.0} % localized, {} lifecycle events)",
+            loc.consistent,
+            loc.total,
+            loc.fraction() * 100.0,
+            observed.len()
+        );
     }
     Ok(())
 }
@@ -626,10 +695,17 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
         .ok_or("trace decode needs an input .ptw file")?;
     let model = SocModel::t2();
     let parallelism = parse_parallelism(&args)?;
-    let (schema, meta, stream) = maybe_time(obs(&profiler), "read-ptw", || {
-        wirecap::read_ptw_any(model.catalog(), &std::fs::read(input)?)
-            .map_err(Box::<dyn Error>::from)
-    })?;
+    let bytes = std::fs::read(input)?;
+    let parsed = maybe_time(obs(&profiler), "read-ptw", || {
+        wirecap::read_ptw_any(model.catalog(), &bytes)
+    });
+    let (schema, meta, stream) = match parsed {
+        Ok(parts) => parts,
+        // Not the SoC catalog's vocabulary — maybe the daemon's own
+        // flight-recorder dump, which decodes against the built-in
+        // flight catalog every binary can rebuild.
+        Err(model_err) => return decode_flight(&bytes, &args, model_err),
+    };
     let (trace, report) = maybe_time(obs(&profiler), "decode", || {
         if meta.version == wirecap::PTW_VERSION_V2 {
             let profile = pstrace_codec::ProfileV2 {
@@ -674,6 +750,46 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `trace decode` fallback for flight-recorder dumps: renders the
+/// daemon's self-trace in the stock text-trace shape. When the bytes
+/// are neither dialect, the original (SoC-catalog) error is reported.
+fn decode_flight(bytes: &[u8], args: &Args, model_err: wirecap::WireError) -> CmdResult {
+    let Ok(dump) = read_flight_dump(bytes) else {
+        return Err(model_err.into());
+    };
+    println!(
+        "decoded {} v2 frames: {} records, {} damaged (flight-recorder dialect)",
+        dump.frames,
+        dump.events.len(),
+        dump.damaged
+    );
+    let mut text = String::from("# time index message value partial\n");
+    for ev in &dump.events {
+        let value = if ev.kind == pstrace_obs::EventKind::Open {
+            ev.trace
+        } else {
+            u64::from(ev.reason)
+        };
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            text,
+            "{} {} {} {:#x} 0",
+            ev.ts_ns / 1_000,
+            ev.session,
+            flight_message_name(ev.kind),
+            value
+        );
+    }
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!("wrote {} records to {path}", dump.events.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 /// Runs the live trace ingest daemon (`pstraced` forwards here).
 ///
 /// `--sessions N` exits after N sessions have completed or failed
@@ -685,7 +801,7 @@ fn cmd_trace_decode(argv: &[String]) -> CmdResult {
 fn cmd_serve(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &[],
+        &["flight-recorder"],
         &[
             "addr",
             "shards",
@@ -694,6 +810,7 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
             "max-sessions",
             "tenant-quota",
             "metrics-addr",
+            "flight-dump",
         ],
     )?;
     // `--threads` is the pre-fleet spelling of `--shards`; still honored.
@@ -701,11 +818,20 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
         Some(n) => n,
         None => args.option_or("threads", 2usize)?,
     };
+    // `--flight-dump PATH` names the spill file; bare `--flight-recorder`
+    // takes the conventional name. The in-memory journal itself is
+    // always on — these only decide whether (and where) it spills.
+    let flight_dump = match args.option("flight-dump") {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        None if args.flag("flight-recorder") => Some(std::path::PathBuf::from("flight.ptw")),
+        None => None,
+    };
     let config = pstrace_stream::ServerConfig {
         addr: args.option("addr").unwrap_or("127.0.0.1:7455").to_owned(),
         shards,
         max_sessions: args.option_opt("max-sessions")?,
         tenant_quota: args.option_opt("tenant-quota")?,
+        flight_dump: flight_dump.clone(),
         ..pstrace_stream::ServerConfig::default()
     };
     let sessions: Option<u64> = args.option_opt("sessions")?;
@@ -716,6 +842,9 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
         server.local_addr(),
         shards.max(1)
     );
+    if let Some(path) = &flight_dump {
+        println!("flight recorder spilling to {}", path.display());
+    }
     let endpoint = match args.option("metrics-addr") {
         Some(addr) => {
             let endpoint =
@@ -833,9 +962,34 @@ fn cmd_stream(argv: &[String]) -> CmdResult {
 /// Fetches a running daemon's Prometheus text exposition over the PSTS
 /// `METRICS` verb and prints it verbatim.
 fn cmd_metrics(argv: &[String]) -> CmdResult {
-    let args = Args::parse(argv.iter().cloned(), &[], &["addr"])?;
+    let args = Args::parse(argv.iter().cloned(), &["json"], &["addr"])?;
     let addr = args.option("addr").unwrap_or("127.0.0.1:7455");
-    print!("{}", pstrace_stream::fetch_metrics(addr)?);
+    let exposition = pstrace_stream::fetch_metrics(addr)?;
+    if args.flag("json") {
+        let json = pstrace_obs::prometheus_to_json(&exposition)
+            .map_err(|e| format!("metrics exposition did not parse: {e}"))?;
+        println!("{json}");
+    } else {
+        print!("{exposition}");
+    }
+    Ok(())
+}
+
+/// Renders a flight-recorder dump as the per-session causal timeline;
+/// `--chrome FILE` additionally writes Chrome trace-event JSON for
+/// `chrome://tracing` / Perfetto.
+fn cmd_events(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &[], &["chrome"])?;
+    let input = args
+        .positional()
+        .first()
+        .ok_or("events needs a flight-recorder .ptw dump")?;
+    let dump = read_flight_dump(&std::fs::read(input)?)?;
+    print!("{}", render_timeline(&dump));
+    if let Some(path) = args.option("chrome") {
+        std::fs::write(path, render_chrome(&dump))?;
+        println!("wrote Chrome trace JSON to {path}");
+    }
     Ok(())
 }
 
@@ -862,6 +1016,7 @@ fn cmd_chaos(argv: &[String]) -> CmdResult {
             "shards",
             "threads",
             "concurrency",
+            "flight-dump",
         ],
     )?;
     let seed = args.option_or("seed", 0xda_c2018u64)?;
@@ -880,9 +1035,13 @@ fn cmd_chaos(argv: &[String]) -> CmdResult {
         None => args.option_or("threads", config.shards)?,
     };
     config.concurrency = args.option_or("concurrency", config.concurrency)?;
+    config.flight_dump = args.option("flight-dump").map(std::path::PathBuf::from);
 
     let report = pstrace_faults::run_soak(&config)?;
     print!("{}", report.render());
+    if let Some(path) = &config.flight_dump {
+        println!("wrote flight-recorder dump to {}", path.display());
+    }
     report
         .survival()
         .map_err(|v| format!("chaos soak failed the survival criteria:\n{v}"))?;
@@ -908,6 +1067,7 @@ fn cmd_fleet(argv: &[String]) -> CmdResult {
             "shards",
             "concurrency",
             "json",
+            "flight-dump",
         ],
     )?;
     let seed = args.option_or("seed", 0xf1ee7u64)?;
@@ -919,6 +1079,7 @@ fn cmd_fleet(argv: &[String]) -> CmdResult {
     config.chunk_bytes = args.option_or("chunk", 1024usize)?;
     config.shards = args.option_or("shards", 4usize)?;
     config.concurrency = args.option_or("concurrency", 64usize)?;
+    config.flight_dump = args.option("flight-dump").map(std::path::PathBuf::from);
 
     // A wedged fleet soak should name itself and die fast, not hang the
     // terminal (or a CI job) until an external timeout fires.
@@ -926,6 +1087,9 @@ fn cmd_fleet(argv: &[String]) -> CmdResult {
     let report = pstrace_faults::run_soak(&config)?;
     drop(guard);
     print!("{}", report.render());
+    if let Some(path) = &config.flight_dump {
+        println!("wrote flight-recorder dump to {}", path.display());
+    }
 
     if let Some(path) = args.option("json") {
         let json = format!(
@@ -962,7 +1126,7 @@ fn cmd_fleet(argv: &[String]) -> CmdResult {
 fn cmd_mine(argv: &[String]) -> CmdResult {
     let args = Args::parse(
         argv.iter().cloned(),
-        &["dot", "eval", "no-wire", "profile"],
+        &["dot", "eval", "no-wire", "profile", "flight"],
         &[
             "scenario",
             "seeds",
@@ -983,11 +1147,36 @@ fn cmd_mine(argv: &[String]) -> CmdResult {
         max_candidates: args.option_or("top", 32usize)?,
         ..MiningConfig::default()
     };
-    let mut miner = Miner::new(Arc::clone(model.catalog()), config);
+    // `--flight` swaps the whole vocabulary: the built-in flight catalog
+    // instead of the SoC's, dumps instead of captures, and the
+    // session-lifecycle flow as the sole ground truth.
+    let flight = args.flag("flight");
+    let catalog = if flight {
+        flight_catalog()
+    } else {
+        Arc::clone(model.catalog())
+    };
+    let mut miner = Miner::new(Arc::clone(&catalog), config);
 
     // Load the corpus, remembering which flows count as ground truth.
     let mut truth_kinds: Vec<FlowKind> = Vec::new();
-    if args.positional().is_empty() {
+    if flight {
+        if args.positional().is_empty() {
+            return Err("mine --flight needs one or more flight-recorder dumps".into());
+        }
+        let lifecycle = lifecycle_messages(&catalog);
+        for path in args.positional() {
+            let bytes = std::fs::read(path)?;
+            let dump = read_flight_dump(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            let log = flight_execution_log(&dump).retain_messages(&lifecycle);
+            println!(
+                "loaded {path}: {} lifecycle records of {} events",
+                log.len(),
+                dump.events.len()
+            );
+            miner.push_log(log);
+        }
+    } else if args.positional().is_empty() {
         let scenarios: Vec<UsageScenario> = match args.option("scenario") {
             None | Some("all") => {
                 let mut v = Vec::new();
@@ -1078,10 +1267,14 @@ fn cmd_mine(argv: &[String]) -> CmdResult {
 
     if args.flag("eval") || args.option("require").is_some() {
         let threshold = args.option_or("threshold", 0.9f64)?;
-        let truths: Vec<&pstrace_flow::Flow> = truth_kinds
-            .iter()
-            .map(|&k| model.flow(k).as_ref())
-            .collect();
+        let flight_truth = flight.then(|| lifecycle_flow(&catalog));
+        let truths: Vec<&pstrace_flow::Flow> = match &flight_truth {
+            Some(f) => vec![f],
+            None => truth_kinds
+                .iter()
+                .map(|&k| model.flow(k).as_ref())
+                .collect(),
+        };
         let eval = maybe_time(obs(&profiler), "evaluate", || {
             evaluate(&report.candidates, &truths, threshold)
         });
@@ -1112,6 +1305,26 @@ fn cmd_mine(argv: &[String]) -> CmdResult {
         p.finish()?;
     }
     Ok(())
+}
+
+/// One execution log per flight dump: every event becomes a record at
+/// its microsecond timestamp, grouped into flow instances by the dump's
+/// per-session ordinal (daemon-scope events stay at index 0; the
+/// lifecycle filter drops them before mining).
+fn flight_execution_log(dump: &FlightDump) -> ExecutionLog {
+    let catalog = flight_catalog();
+    let records: Vec<LogRecord> = dump
+        .events
+        .iter()
+        .filter_map(|e| {
+            let mid = catalog.get(&flight_message_name(e.kind))?;
+            Some(LogRecord {
+                time: e.ts_ns / 1_000,
+                message: IndexedMessage::new(mid, FlowIndex(e.session as u32)),
+            })
+        })
+        .collect();
+    ExecutionLog::from_records(records)
 }
 
 fn cmd_stats() -> CmdResult {

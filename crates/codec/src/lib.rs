@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod container;
+pub mod flight;
 mod v2;
 
 pub use container::{decode_ptw_payload, profile_for, read_ptw_auto, write_ptw_profile};

@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use pstrace_obs::{EventKind, FlightHandle};
 use pstrace_rng::Rng64;
 
 use crate::ledger::FaultLedger;
@@ -35,6 +36,10 @@ pub struct ChaosStream<S> {
     session: u64,
     writes: u64,
     torn: bool,
+    /// When bound, every injected fault is also journaled as a flight
+    /// `Fault` event, so the recorder's dump shows what chaos did beside
+    /// what the daemon did about it.
+    flight: Option<FlightHandle>,
 }
 
 impl<S> ChaosStream<S> {
@@ -70,7 +75,16 @@ impl<S> ChaosStream<S> {
             session,
             writes: 0,
             torn: false,
+            flight: None,
         }
+    }
+
+    /// Journals every injected fault through `flight` as well as the
+    /// ledger.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// A handle to the ledger of faults injected so far.
@@ -95,6 +109,9 @@ impl<S> ChaosStream<S> {
             .lock()
             .expect("chaos ledger lock poisoned")
             .record(self.session, kind, position, magnitude);
+        if let Some(f) = &self.flight {
+            f.note(EventKind::Fault, kind.label());
+        }
     }
 
     fn torn_err() -> io::Error {

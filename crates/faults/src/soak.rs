@@ -27,6 +27,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::mem;
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -34,11 +35,11 @@ use std::time::{Duration, Instant};
 use pstrace_core::{SelectionConfig, Selector, TraceBufferSpec};
 use pstrace_diag::{localize, MatchMode};
 use pstrace_flow::{FlowIndex, IndexedMessage};
-use pstrace_obs::{Registry, Sample};
+use pstrace_obs::{FlightHandle, FlightRecorder, FlightSnapshot, Registry, Sample};
 use pstrace_soc::{wirecap, SocModel, TraceBufferConfig, UsageScenario};
 use pstrace_stream::{
-    observed_messages, stream_ptw, stream_ptw_resumable_as, RetryPolicy, Server, ServerConfig,
-    StatsSnapshot,
+    next_trace_id, observed_messages, stream_ptw, stream_ptw_resumable_traced, RetryPolicy, Server,
+    ServerConfig, StatsSnapshot,
 };
 use pstrace_wire::{decode_stream, encode_records, write_ptw, EncodedStream, WireRecord};
 
@@ -66,6 +67,9 @@ pub struct SoakConfig {
     pub shards: usize,
     /// Client threads driving the storm (1 = sequential).
     pub concurrency: usize,
+    /// When set, the daemon spills its flight journal here (`.ptw` v2):
+    /// on shutdown and, debounced, whenever a degradation path fires.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl SoakConfig {
@@ -79,6 +83,7 @@ impl SoakConfig {
             chunk_bytes: 256,
             shards: 2,
             concurrency: 1,
+            flight_dump: None,
         }
     }
 }
@@ -110,6 +115,9 @@ pub struct SoakReport {
     pub snapshot: StatsSnapshot,
     /// `pstrace_degradation_events_total` by `path` label.
     pub degradations: BTreeMap<String, u64>,
+    /// The daemon's flight journal after the storm (pre-shutdown), so
+    /// callers can cross-check it against the counters.
+    pub flight: FlightSnapshot,
     /// Whether the post-storm clean probe completed at all.
     pub probe_completed: bool,
     /// Whether the probe's localization line was bit-identical to the
@@ -185,6 +193,13 @@ impl SoakReport {
                 let _ = writeln!(out, "  {path:<16}: {count}");
             }
         }
+        let _ = writeln!(
+            out,
+            "flight journal  : {} events captured ({} recorded, {} overwritten)",
+            self.flight.events.len(),
+            self.flight.recorded,
+            self.flight.overwritten
+        );
         let probe = if !self.probe_completed {
             "FAILED"
         } else if self.probe_matches_batch {
@@ -286,9 +301,17 @@ fn run_one_session(
     addr: SocketAddr,
     policy: RetryPolicy,
     chunk_bytes: usize,
+    flight: &Arc<FlightRecorder>,
 ) -> SessionOutcome {
     let session = s as u64;
     let srng = plan.session_rng(session);
+    // One trace id for the whole logical session: every reconnect's
+    // hello carries it, and every injected fault is journaled under it,
+    // so the flight timeline shows cause (chaos) and effect (park,
+    // resume, damage) on one thread. Lane 0: injected faults are
+    // external stimulus, daemon scope.
+    let trace = next_trace_id();
+    let fault_handle = FlightHandle::new(Arc::clone(flight), 0, trace, session);
 
     let mut wire_rng = srng.fork(1);
     let mut wire = FaultLedger::new();
@@ -305,7 +328,7 @@ fn run_one_session(
     let transport_ledger = Arc::new(Mutex::new(FaultLedger::new()));
     let connector_ledger = Arc::clone(&transport_ledger);
     let transport_faults = plan.transport;
-    let result = stream_ptw_resumable_as(
+    let result = stream_ptw_resumable_traced(
         move |attempt| -> io::Result<ChaosStream<TcpStream>> {
             let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
             stream.set_nodelay(true).ok();
@@ -316,12 +339,14 @@ fn run_one_session(
                 srng.fork(0x7a_0000 + u64::from(attempt)),
                 session,
                 Arc::clone(&connector_ledger),
-            ))
+            )
+            .with_flight(fault_handle.clone()))
         },
         fixture.model.catalog(),
         1,
         MatchMode::Prefix,
         (session % TENANT_CYCLE) as u32,
+        trace,
         &ptw,
         chunk_bytes,
         &policy,
@@ -370,6 +395,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         read_timeout,
         handshake_timeout,
         resume_grace: Duration::from_secs(10),
+        flight_dump: config.flight_dump.clone(),
         ..ServerConfig::default()
     };
     let server = Server::spawn_with_registry(
@@ -405,7 +431,15 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
                 if s >= config.sessions {
                     break;
                 }
-                let outcome = run_one_session(s, &fixture, plan, addr, policy, chunk_bytes);
+                let outcome = run_one_session(
+                    s,
+                    &fixture,
+                    plan,
+                    addr,
+                    policy,
+                    chunk_bytes,
+                    server.flight_recorder(),
+                );
                 let _ = slots[s].set(outcome);
             });
         }
@@ -467,6 +501,9 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
             }
         }
     }
+    // Journal read-out before shutdown, so it is consistent with the
+    // counters above (shutdown appends Drain/Shutdown events).
+    let flight = server.flight_snapshot();
     server.shutdown();
 
     Ok(SoakReport {
@@ -481,6 +518,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
         ledger,
         snapshot,
         degradations,
+        flight,
         probe_completed,
         probe_matches_batch,
         batch_localization: fixture.batch_localization,

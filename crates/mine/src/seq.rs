@@ -67,6 +67,17 @@ impl ExecutionLog {
         }
     }
 
+    /// Keeps only records whose message is in `messages` (in any order),
+    /// dropping everything else: how a flight-recorder dump — which
+    /// journals shed/damage/degradation beside the session lifecycle —
+    /// is narrowed to the lifecycle vocabulary before mining.
+    #[must_use]
+    pub fn retain_messages(mut self, messages: &[MessageId]) -> Self {
+        self.records
+            .retain(|r| messages.contains(&r.message.message));
+        self
+    }
+
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -239,6 +239,128 @@ pub fn render_profile_table(registry: &Registry) -> String {
     out
 }
 
+/// Re-renders Prometheus text exposition as a minimal JSON document:
+/// `{"metrics":[{"name":…,"labels":{…},"value":…},…]}`, one entry per
+/// sample line in exposition order (`# TYPE`/comment lines are
+/// dropped; histogram `_bucket`/`_sum`/`_count` series pass through as
+/// ordinary samples). The output always round-trips through
+/// [`validate_json`], which is also the machine-readable contract of
+/// `pstrace metrics --json`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed exposition line.
+pub fn prometheus_to_json(exposition: &str) -> Result<String, String> {
+    let mut out = String::from("{\"metrics\":[");
+    let mut first = true;
+    for line in exposition.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line: `{line}`"))?;
+        let (name, labels) = parse_series(series)?;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{{\"name\":\"{}\",\"labels\":{{", json_escape(name));
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push_str("},\"value\":");
+        match value {
+            "+Inf" => out.push_str("\"+Inf\""),
+            "-Inf" => out.push_str("\"-Inf\""),
+            "NaN" => out.push_str("\"NaN\""),
+            v => {
+                let n: f64 = v
+                    .parse()
+                    .map_err(|e| format!("bad value `{v}` in `{line}`: {e}"))?;
+                let _ = write!(out, "{}", fmt_json_number(n));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn fmt_json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Unescaped `(key, value)` label pairs of one exposition series.
+type LabelPairs = Vec<(String, String)>;
+
+/// Splits one exposition series (`name` or `name{k="v",…}`) into its
+/// name and unescaped label pairs.
+fn parse_series(series: &str) -> Result<(&str, LabelPairs), String> {
+    let Some(brace) = series.find('{') else {
+        return Ok((series, Vec::new()));
+    };
+    let name = &series[..brace];
+    let body = series[brace + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated label set in `{series}`"))?;
+    let bytes = body.as_bytes();
+    let mut labels = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let eq = body[pos..]
+            .find('=')
+            .map(|i| pos + i)
+            .ok_or_else(|| format!("missing `=` in label set of `{series}`"))?;
+        let key = body[pos..eq].to_owned();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err(format!("unquoted label value in `{series}`"));
+        }
+        let mut value = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i) {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("bad escape in label value of `{series}`")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let start = i;
+                    while matches!(bytes.get(i), Some(c) if *c != b'"' && *c != b'\\') {
+                        i += 1;
+                    }
+                    value.push_str(
+                        std::str::from_utf8(&bytes[start..i]).map_err(|e| e.to_string())?,
+                    );
+                }
+                None => return Err(format!("unterminated label value in `{series}`")),
+            }
+        }
+        labels.push((key, value));
+        i += 1; // closing quote
+        match bytes.get(i) {
+            Some(b',') => pos = i + 1,
+            None => break,
+            _ => return Err(format!("expected `,` after label in `{series}`")),
+        }
+    }
+    Ok((name, labels))
+}
+
 /// A parsed JSON value — just enough structure for smoke tests to walk.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -551,6 +673,75 @@ mod tests {
              rank            2       2.000ms       1.000ms   66.7%\n\
              total           3       3.000ms\n"
         );
+    }
+
+    #[test]
+    fn prometheus_to_json_round_trips_samples_and_labels() {
+        let r = Registry::new();
+        r.counter_with(
+            "pstrace_degradation_events_total",
+            &[("path", "budget-close")],
+        )
+        .add(3);
+        r.gauge("pstrace_active_sessions").set(2);
+        let json = prometheus_to_json(&render_prometheus(&r)).expect("convert");
+        let doc = validate_json(&json).expect("metrics JSON must validate");
+        let metrics = doc.get("metrics").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(metrics.len(), 2);
+        let degr = metrics
+            .iter()
+            .find(|m| {
+                m.get("name").and_then(JsonValue::as_str)
+                    == Some("pstrace_degradation_events_total")
+            })
+            .unwrap();
+        assert_eq!(
+            degr.get("labels")
+                .and_then(|l| l.get("path"))
+                .and_then(JsonValue::as_str),
+            Some("budget-close")
+        );
+        assert_eq!(degr.get("value"), Some(&JsonValue::Number(3.0)));
+    }
+
+    #[test]
+    fn prometheus_to_json_unescapes_hostile_label_values() {
+        let r = Registry::new();
+        let hostile = "a\"b\\c\nd with spaces";
+        r.counter_with("c", &[("reason", hostile)]).inc();
+        let json = prometheus_to_json(&render_prometheus(&r)).expect("convert");
+        let doc = validate_json(&json).expect("hostile labels must stay valid JSON");
+        let metrics = doc.get("metrics").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            metrics[0]
+                .get("labels")
+                .and_then(|l| l.get("reason"))
+                .and_then(JsonValue::as_str),
+            Some(hostile)
+        );
+    }
+
+    #[test]
+    fn prometheus_to_json_handles_histograms_and_infinities() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        let json = prometheus_to_json(&render_prometheus(&r)).expect("convert");
+        let doc = validate_json(&json).expect("histogram JSON must validate");
+        let metrics = doc.get("metrics").and_then(JsonValue::as_array).unwrap();
+        // lat_bucket{le="1"}, lat_bucket{le="+Inf"}, lat_sum, lat_count.
+        assert_eq!(metrics.len(), 4);
+        assert_eq!(
+            metrics[1]
+                .get("labels")
+                .and_then(|l| l.get("le"))
+                .and_then(JsonValue::as_str),
+            Some("+Inf")
+        );
+        assert!(prometheus_to_json("lat_bucket{le=\"+Inf\"} +Inf").is_ok());
+        assert!(prometheus_to_json("broken{").is_err());
+        assert!(prometheus_to_json("noval").is_err());
     }
 
     #[test]

@@ -44,14 +44,19 @@
 mod clock;
 mod export;
 mod metrics;
+mod recorder;
 mod span;
 
 pub use clock::{Clock, ManualClock, WallClock, MANUAL_TICK_NS};
 pub use export::{
-    render_chrome_trace, render_chrome_trace_spans, render_profile_table, render_prometheus,
-    render_prometheus_samples, validate_json, JsonValue,
+    prometheus_to_json, render_chrome_trace, render_chrome_trace_spans, render_profile_table,
+    render_prometheus, render_prometheus_samples, validate_json, JsonValue,
 };
 pub use metrics::{
     maybe_time, merged_samples, Counter, Gauge, Histogram, MetricKey, Registry, Sample,
+};
+pub use recorder::{
+    reason_code, reason_label, EventKind, FlightEvent, FlightHandle, FlightRecorder, FlightRing,
+    FlightSnapshot, DEFAULT_FLIGHT_CAPACITY, REASON_LABELS,
 };
 pub use span::{phase_summaries, PhaseSummary, Span, SpanRecord};

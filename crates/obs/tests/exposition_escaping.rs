@@ -1,0 +1,120 @@
+//! Escaping hardening for the flight-recorder label vocabulary.
+//!
+//! The recorder stamps exported counters with `kind` and `reason`
+//! labels. The built-in vocabulary is tame, but chaos scenarios and
+//! future reasons may carry spaces, quotes, backslashes or newlines —
+//! the exposition must escape them per the Prometheus text format, and
+//! the JSON re-rendering (`pstrace metrics --json`) must keep the
+//! original bytes intact through its own escaping.
+
+use pstrace_obs::{
+    prometheus_to_json, render_prometheus, validate_json, EventKind, JsonValue, Registry,
+    REASON_LABELS,
+};
+
+/// Registers one degradation-style counter per (kind, reason) pair.
+fn registry_with(pairs: &[(&str, &str)]) -> Registry {
+    let r = Registry::new();
+    for (kind, reason) in pairs {
+        r.counter_with(
+            "pstrace_flight_events_total",
+            &[("kind", kind), ("reason", reason)],
+        )
+        .inc();
+    }
+    r
+}
+
+#[test]
+fn builtin_vocabulary_needs_no_escaping() {
+    // Every shipped kind and reason label must render verbatim: no
+    // character the text format would escape, no trailing whitespace.
+    for kind in EventKind::ALL {
+        let l = kind.label();
+        assert!(
+            l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "kind label {l:?} needs escaping"
+        );
+    }
+    for reason in REASON_LABELS {
+        assert!(
+            reason
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "reason label {reason:?} needs escaping"
+        );
+    }
+    let r = registry_with(&[("shed", "tenant-quota-shed"), ("damage", "sync-lost")]);
+    let text = render_prometheus(&r);
+    assert!(text.contains(r#"pstrace_flight_events_total{kind="damage",reason="sync-lost"} 1"#));
+    assert!(
+        text.contains(r#"pstrace_flight_events_total{kind="shed",reason="tenant-quota-shed"} 1"#)
+    );
+}
+
+#[test]
+fn hostile_reason_values_are_escaped() {
+    let r = registry_with(&[
+        ("shed", "tenant quota shed"),
+        ("damage", "frame \"sync\" lost"),
+        ("resync", "path\\with\\backslashes"),
+        ("park", "line\nbreak"),
+    ]);
+    let text = render_prometheus(&r);
+    assert!(
+        text.contains(r#"reason="tenant quota shed""#),
+        "spaces must pass through unescaped: {text}"
+    );
+    assert!(
+        text.contains(r#"reason="frame \"sync\" lost""#),
+        "quotes must be escaped: {text}"
+    );
+    assert!(
+        text.contains(r#"reason="path\\with\\backslashes""#),
+        "backslashes must be escaped: {text}"
+    );
+    assert!(
+        text.contains(r#"reason="line\nbreak""#),
+        "newlines must be escaped: {text}"
+    );
+    // Escaping must keep the exposition line-structured: exactly one
+    // sample line per counter, no raw newline splitting a line in two.
+    let sample_lines = text
+        .lines()
+        .filter(|l| l.starts_with("pstrace_flight_events_total{"))
+        .count();
+    assert_eq!(sample_lines, 4, "one line per sample: {text}");
+}
+
+#[test]
+fn hostile_labels_survive_the_json_rendering() {
+    let hostile = [
+        ("shed", "tenant quota shed"),
+        ("damage", "frame \"sync\" lost"),
+        ("resync", "path\\with\\backslashes"),
+        ("park", "line\nbreak"),
+    ];
+    let r = registry_with(&hostile);
+    let text = render_prometheus(&r);
+    let json = prometheus_to_json(&text).expect("escaped exposition must re-parse");
+    let doc = validate_json(&json).expect("metrics JSON must validate");
+    let metrics = doc
+        .get("metrics")
+        .and_then(JsonValue::as_array)
+        .expect("metrics array");
+    // Each original (kind, reason) pair round-trips byte-for-byte:
+    // text-format escaping in, JSON escaping out, same label values.
+    for (kind, reason) in hostile {
+        let found = metrics.iter().any(|m| {
+            let labels = m.get("labels");
+            let get = |k: &str| {
+                labels
+                    .and_then(|l| l.get(k))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+            };
+            get("kind") == kind && get("reason") == reason
+        });
+        assert!(found, "pair ({kind:?}, {reason:?}) lost in JSON: {json}");
+    }
+}

@@ -33,6 +33,28 @@ use crate::proto::{
 /// capture into several chunks without degenerating to per-frame sends.
 pub const DEFAULT_CHUNK_BYTES: usize = 256;
 
+/// Mints a fresh, nonzero trace-context id for one logical replay: the
+/// high half is a process-unique sequence number, the low half a hash
+/// of the wall clock, so ids stay unique in-process and collide only
+/// astronomically across processes. The id rides every hello of the
+/// replay — including reconnects — so the daemon's flight recorder sees
+/// one id per logical session.
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    // SplitMix64 finalizer over the clock reading.
+    let mut z = nanos.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    ((seq << 32) | (z & 0xffff_fffe) | 1) & !(1 << 63)
+}
+
 /// Transport robustness knobs of the hardened client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -134,7 +156,7 @@ pub fn stream_ptw_as(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
-    write_hello_as(&mut writer, scenario, mode, tenant, schema)?;
+    write_hello_as(&mut writer, scenario, mode, tenant, next_trace_id(), schema)?;
     let chunk = chunk_bytes.max(1);
     for piece in payload.chunks(chunk) {
         write_data(&mut writer, piece)?;
@@ -151,6 +173,7 @@ struct AttemptArgs<'a> {
     scenario: u8,
     mode: MatchMode,
     tenant: u32,
+    trace: u64,
     schema: &'a [u8],
     bit_len: u64,
     payload: &'a [u8],
@@ -172,6 +195,7 @@ fn resume_attempt<S: Read + Write>(
         args.scenario,
         args.mode,
         args.tenant,
+        args.trace,
         args.schema,
     )?;
     transport.flush()?;
@@ -238,16 +262,56 @@ where
 /// [`stream_ptw_resumable`] with an explicit tenant id riding every
 /// (re)connection's hello, for daemons enforcing per-tenant quotas.
 ///
+/// A fresh trace-context id is minted once per call and rides every
+/// reconnect's hello, so the daemon's flight recorder stitches all
+/// attempts into one logical session.
+///
 /// # Errors
 ///
 /// As [`stream_ptw_resumable`].
 #[allow(clippy::too_many_arguments)]
 pub fn stream_ptw_resumable_as<S, F>(
+    connect: F,
+    catalog: &MessageCatalog,
+    scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
+    ptw_bytes: &[u8],
+    chunk_bytes: usize,
+    policy: &RetryPolicy,
+) -> Result<String, StreamError>
+where
+    S: Read + Write,
+    F: FnMut(u32) -> io::Result<S>,
+{
+    stream_ptw_resumable_traced(
+        connect,
+        catalog,
+        scenario,
+        mode,
+        tenant,
+        next_trace_id(),
+        ptw_bytes,
+        chunk_bytes,
+        policy,
+    )
+}
+
+/// [`stream_ptw_resumable_as`] with a caller-chosen trace-context id
+/// (pass 0 to let the server assign one), for harnesses that need to
+/// find their session in a flight-recorder dump afterwards.
+///
+/// # Errors
+///
+/// As [`stream_ptw_resumable`].
+#[allow(clippy::too_many_arguments)]
+pub fn stream_ptw_resumable_traced<S, F>(
     mut connect: F,
     catalog: &MessageCatalog,
     scenario: u8,
     mode: MatchMode,
     tenant: u32,
+    trace: u64,
     ptw_bytes: &[u8],
     chunk_bytes: usize,
     policy: &RetryPolicy,
@@ -261,6 +325,7 @@ where
         scenario,
         mode,
         tenant,
+        trace,
         schema,
         bit_len,
         payload,

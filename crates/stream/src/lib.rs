@@ -55,8 +55,9 @@ mod session;
 mod shard;
 
 pub use client::{
-    fetch_metrics, request_shutdown, stream_ptw, stream_ptw_as, stream_ptw_resumable,
-    stream_ptw_resumable_as, stream_ptw_with, RetryPolicy, DEFAULT_CHUNK_BYTES,
+    fetch_metrics, next_trace_id, request_shutdown, stream_ptw, stream_ptw_as,
+    stream_ptw_resumable, stream_ptw_resumable_as, stream_ptw_resumable_traced, stream_ptw_with,
+    RetryPolicy, DEFAULT_CHUNK_BYTES,
 };
 pub use error::StreamError;
 pub use metrics::MetricsEndpoint;

@@ -7,7 +7,7 @@
 //! ```text
 //! request preamble:
 //!   magic        4 bytes  "PSTS"
-//!   version      u8       = 4
+//!   version      u8       = 5
 //!   request      u8       1 = SESSION, 2 = METRICS, 3 = SESSION_RESUME,
 //!                         4 = SHUTDOWN
 //!
@@ -16,6 +16,10 @@
 //!   mode         u8       match mode (0 exact, 1 prefix, 2 suffix, 3 substring)
 //!   tenant       u32      tenant id (0 = the anonymous tenant); quota
 //!                         accounting keys off this
+//!   trace        u64      trace-context id for the flight recorder
+//!                         (0 = let the server assign one); the client
+//!                         reuses it across reconnects so one id follows
+//!                         the session through park/resume and handoffs
 //!   schema_len   u32      length of the schema handshake in bytes
 //!   schema       bytes    a `.ptw` schema prefix (`write_ptw_schema`)
 //! then any number of chunks:
@@ -35,7 +39,7 @@
 //!   token        u64      0 to open a fresh resumable session, or a
 //!                         token from an earlier ack to pick up a parked
 //!                         one
-//!   scenario/mode/tenant/schema_len/schema as in SESSION
+//!   scenario/mode/tenant/trace/schema_len/schema as in SESSION
 //! server ack (immediately, reply framing): `resume <token> <offset>` —
 //! the assigned (or echoed) token and the number of payload bytes the
 //! server has already ingested. The client sends `payload[offset..]` in
@@ -51,8 +55,10 @@
 //!
 //! Version history: v1 had no request byte (every connection was a
 //! session); v2 added the `METRICS` verb; v3 added the `SESSION_RESUME`
-//! verb with its token/offset ack; v4 (this build) added the `tenant`
-//! field to both session hellos and the `SHUTDOWN` verb.
+//! verb with its token/offset ack; v4 added the `tenant` field to both
+//! session hellos and the `SHUTDOWN` verb; v5 (this build) added the
+//! `trace` field to both session hellos, propagating the flight
+//! recorder's trace-context id end to end.
 //!
 //! The schema handshake reuses the `.ptw` container's self-describing
 //! header verbatim, so a capture file and a live socket describe their
@@ -70,7 +76,7 @@ use crate::error::StreamError;
 pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
 
 /// The protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 4;
+pub const PROTO_VERSION: u8 = 5;
 
 /// Request kind: a streaming ingest session follows.
 pub const REQ_SESSION: u8 = 1;
@@ -104,6 +110,8 @@ pub struct Hello {
     pub mode: MatchMode,
     /// Tenant id for quota accounting (0 = the anonymous tenant).
     pub tenant: u32,
+    /// Flight-recorder trace-context id (0 = server assigns one).
+    pub trace: u64,
     /// The raw `.ptw` schema prefix bytes.
     pub schema: Vec<u8>,
 }
@@ -193,7 +201,8 @@ fn checked_schema_len(schema: &[u8]) -> Result<u32, StreamError> {
         .ok_or_else(|| StreamError::Protocol("schema handshake too large".to_owned()))
 }
 
-/// Writes a client hello for the anonymous tenant (tenant 0).
+/// Writes a client hello for the anonymous tenant (tenant 0) with a
+/// server-assigned trace-context id.
 ///
 /// # Errors
 ///
@@ -204,10 +213,11 @@ pub fn write_hello(
     mode: MatchMode,
     schema: &[u8],
 ) -> Result<(), StreamError> {
-    write_hello_as(w, scenario, mode, 0, schema)
+    write_hello_as(w, scenario, mode, 0, 0, schema)
 }
 
-/// Writes a client hello carrying an explicit tenant id.
+/// Writes a client hello carrying an explicit tenant id and
+/// trace-context id (0 = let the server assign one).
 ///
 /// # Errors
 ///
@@ -217,12 +227,14 @@ pub fn write_hello_as(
     scenario: u8,
     mode: MatchMode,
     tenant: u32,
+    trace: u64,
     schema: &[u8],
 ) -> Result<(), StreamError> {
     let schema_len = checked_schema_len(schema)?;
     w.write_all(&PROTO_MAGIC)?;
     w.write_all(&[PROTO_VERSION, REQ_SESSION, scenario, mode_to_byte(mode)])?;
     w.write_all(&tenant.to_le_bytes())?;
+    w.write_all(&trace.to_le_bytes())?;
     w.write_all(&schema_len.to_le_bytes())?;
     w.write_all(schema)?;
     Ok(())
@@ -242,10 +254,12 @@ pub fn write_resume_hello(
     mode: MatchMode,
     schema: &[u8],
 ) -> Result<(), StreamError> {
-    write_resume_hello_as(w, token, scenario, mode, 0, schema)
+    write_resume_hello_as(w, token, scenario, mode, 0, 0, schema)
 }
 
-/// [`write_resume_hello`] carrying an explicit tenant id.
+/// [`write_resume_hello`] carrying an explicit tenant id and
+/// trace-context id. Reconnects reuse the original trace id, so the
+/// flight recorder sees one id across the session's whole life.
 ///
 /// # Errors
 ///
@@ -256,6 +270,7 @@ pub fn write_resume_hello_as(
     scenario: u8,
     mode: MatchMode,
     tenant: u32,
+    trace: u64,
     schema: &[u8],
 ) -> Result<(), StreamError> {
     let schema_len = checked_schema_len(schema)?;
@@ -264,6 +279,7 @@ pub fn write_resume_hello_as(
     w.write_all(&token.to_le_bytes())?;
     w.write_all(&[scenario, mode_to_byte(mode)])?;
     w.write_all(&tenant.to_le_bytes())?;
+    w.write_all(&trace.to_le_bytes())?;
     w.write_all(&schema_len.to_le_bytes())?;
     w.write_all(schema)?;
     Ok(())
@@ -366,12 +382,14 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
             let b = read_exact(&mut r, 4, "tenant id")?;
             u32::from_le_bytes([b[0], b[1], b[2], b[3]])
         };
+        let trace = read_u64(&mut r, "trace-context id")?;
         let schema_len = checked_len(read_u32(&mut r, "schema length")?, "schema")?;
         let schema = read_exact(&mut r, schema_len, "schema handshake")?;
         Ok(Hello {
             scenario,
             mode,
             tenant,
+            trace,
             schema,
         })
     };
@@ -550,6 +568,9 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, StreamErro
         let Some(tenant) = s.u32() else {
             return Ok(None);
         };
+        let Some(trace) = s.u64() else {
+            return Ok(None);
+        };
         let Some(schema_len) = s.u32() else {
             return Ok(None);
         };
@@ -561,6 +582,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, StreamErro
             scenario,
             mode,
             tenant,
+            trace,
             schema: schema.to_vec(),
         }))
     };
@@ -664,6 +686,7 @@ mod tests {
                 scenario: 3,
                 mode: MatchMode::Suffix,
                 tenant: 0,
+                trace: 0,
                 schema: b"schema-bytes".to_vec(),
             }
         );
@@ -672,11 +695,11 @@ mod tests {
     #[test]
     fn tenant_id_rides_both_hello_shapes() {
         let mut buf = Vec::new();
-        write_hello_as(&mut buf, 2, MatchMode::Prefix, 0xdead_beef, b"s").unwrap();
+        write_hello_as(&mut buf, 2, MatchMode::Prefix, 0xdead_beef, 0, b"s").unwrap();
         let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(hello.tenant, 0xdead_beef);
         let mut buf = Vec::new();
-        write_resume_hello_as(&mut buf, 9, 1, MatchMode::Exact, 77, b"x").unwrap();
+        write_resume_hello_as(&mut buf, 9, 1, MatchMode::Exact, 77, 0, b"x").unwrap();
         match read_request(&mut Cursor::new(&buf)).unwrap() {
             Request::Resume { token, hello } => {
                 assert_eq!(token, 9);
@@ -684,6 +707,34 @@ mod tests {
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_context_id_rides_both_hello_shapes() {
+        let mut buf = Vec::new();
+        write_hello_as(
+            &mut buf,
+            2,
+            MatchMode::Prefix,
+            7,
+            0x1122_3344_5566_7788,
+            b"s",
+        )
+        .unwrap();
+        let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(hello.trace, 0x1122_3344_5566_7788);
+        let mut buf = Vec::new();
+        write_resume_hello_as(&mut buf, 5, 1, MatchMode::Exact, 0, 0xabcd, b"x").unwrap();
+        match read_request(&mut Cursor::new(&buf)).unwrap() {
+            Request::Resume { token, hello } => {
+                assert_eq!(token, 5);
+                assert_eq!(hello.trace, 0xabcd);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // The incremental parser sees the same id.
+        let (parsed, _) = decode_request(&buf).unwrap().expect("complete");
+        assert!(matches!(parsed, Request::Resume { hello, .. } if hello.trace == 0xabcd));
     }
 
     #[test]
@@ -701,10 +752,18 @@ mod tests {
     fn incremental_request_parser_agrees_with_the_blocking_one() {
         let mut requests: Vec<Vec<u8>> = Vec::new();
         let mut session = Vec::new();
-        write_hello_as(&mut session, 1, MatchMode::Prefix, 42, b"schema-bytes").unwrap();
+        write_hello_as(
+            &mut session,
+            1,
+            MatchMode::Prefix,
+            42,
+            0xfeed,
+            b"schema-bytes",
+        )
+        .unwrap();
         requests.push(session);
         let mut resume = Vec::new();
-        write_resume_hello_as(&mut resume, 7, 2, MatchMode::Suffix, 3, b"more").unwrap();
+        write_resume_hello_as(&mut resume, 7, 2, MatchMode::Suffix, 3, 0xbeef, b"more").unwrap();
         requests.push(resume);
         let mut metrics = Vec::new();
         write_metrics_request(&mut metrics).unwrap();
@@ -753,6 +812,7 @@ mod tests {
         huge.extend_from_slice(&PROTO_MAGIC);
         huge.extend_from_slice(&[PROTO_VERSION, REQ_SESSION, 1, 1]);
         huge.extend_from_slice(&0u32.to_le_bytes());
+        huge.extend_from_slice(&0u64.to_le_bytes());
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&huge).is_err());
     }

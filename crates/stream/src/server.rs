@@ -46,13 +46,17 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pstrace_obs::{merged_samples, MetricKey, Registry, Sample};
+use pstrace_obs::{
+    merged_samples, EventKind, FlightRecorder, FlightSnapshot, MetricKey, Registry, Sample,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 use pstrace_soc::{SocModel, UsageScenario};
 use pstrace_wire::read_ptw_header;
 
@@ -137,6 +141,14 @@ pub struct ServerConfig {
     /// hello); over-quota opens are shed (`tenant-quota-shed`). `None` =
     /// unlimited.
     pub tenant_quota: Option<u64>,
+    /// Per-lane flight-recorder ring capacity (events). The recorder is
+    /// always on; this only sizes how much history a dump holds.
+    pub flight_capacity: usize,
+    /// Where the flight journal spills as a `.ptw` v2 dump: on graceful
+    /// shutdown, and automatically (debounced) whenever a degradation
+    /// path fires. `None` = in-memory only, readable via
+    /// [`Server::flight_snapshot`].
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +163,8 @@ impl Default for ServerConfig {
             limits: SessionLimits::default(),
             max_sessions: None,
             tenant_quota: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_dump: None,
         }
     }
 }
@@ -269,6 +283,9 @@ impl Server {
             resume_grace: config.resume_grace,
             drain_timeout: config.drain_timeout,
             limits: config.limits,
+            flight: Arc::new(FlightRecorder::new(shard_count + 1, config.flight_capacity)),
+            flight_dump: config.flight_dump.clone(),
+            flight_spill: AtomicU64::new(0),
         });
 
         let shards = receivers
@@ -311,6 +328,7 @@ impl Server {
                                 .counter("pstrace_stream_accept_retries_total")
                                 .inc();
                             degrade(&registry, "accept-retry");
+                            ctx.degrade_flight(0, 0, 0, "accept-retry");
                             std::thread::sleep(backoff);
                             backoff = (backoff * 2).min(cap);
                         }
@@ -370,6 +388,29 @@ impl Server {
         self.ctx.shutdown_requested.load(Ordering::SeqCst)
     }
 
+    /// The daemon's always-on flight recorder.
+    #[must_use]
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.ctx.flight
+    }
+
+    /// A point-in-time read of the flight journal across every lane.
+    #[must_use]
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        self.ctx.flight.snapshot()
+    }
+
+    /// The flight journal serialized as a self-describing `.ptw` v2 dump
+    /// (the on-demand spill; `trace decode`, `pstrace events`, `debug`
+    /// and `mine` all read it back).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures as [`StreamError::Wire`].
+    pub fn flight_dump_bytes(&self) -> Result<Vec<u8>, StreamError> {
+        self.ctx.flight_dump_bytes().map_err(StreamError::from)
+    }
+
     /// Graceful shutdown: stop accepting, drain every shard (bounded by
     /// [`ServerConfig::drain_timeout`]), join every thread. Returns the
     /// final post-drain snapshot — the counters cannot move again.
@@ -379,13 +420,20 @@ impl Server {
     }
 
     fn stop(&mut self) {
-        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        if !self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            // One Shutdown event total, whoever initiated the drain (the
+            // SHUTDOWN verb handler uses the same swap).
+            self.ctx.flight.record(0, 0, 0, EventKind::Shutdown, "");
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         for h in self.shards.drain(..) {
             let _ = h.join();
         }
+        // The graceful-shutdown spill: with every thread joined the
+        // journal is final.
+        self.ctx.spill_flight();
     }
 }
 

@@ -20,7 +20,7 @@ use std::time::Instant;
 use pstrace_codec::V2StreamDecoder;
 use pstrace_diag::{Localization, MatchMode, OnlineLocalizer};
 use pstrace_flow::{InterleavedFlow, MessageId};
-use pstrace_obs::{Counter, Registry};
+use pstrace_obs::{Counter, EventKind, FlightHandle, Registry};
 use pstrace_wire::{
     decode_frame_range, DamageReason, DamagedFrame, PtwMeta, WireRecord, WireSchema, PTW_VERSION_V2,
 };
@@ -209,6 +209,9 @@ pub struct Session {
     chunks: u64,
     started: Instant,
     obs: Option<SessionObserver>,
+    /// Flight-recorder context: damage and resync events are journaled
+    /// under the session's trace-context id when bound.
+    flight: Option<FlightHandle>,
 }
 
 impl Session {
@@ -251,7 +254,14 @@ impl Session {
             chunks: 0,
             started: Instant::now(),
             obs: None,
+            flight: None,
         }
+    }
+
+    /// Binds the session to a flight-recorder identity: decoder damage
+    /// and localizer resyncs become journal events under its trace id.
+    pub fn set_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
     }
 
     /// [`new`](Session::new) wired into a shared metric registry:
@@ -300,6 +310,9 @@ impl Session {
         if let Some(o) = &self.obs {
             o.damage(&damaged.reason);
         }
+        if let Some(f) = &self.flight {
+            f.note(EventKind::Damage, damaged.reason.label());
+        }
         self.damage_since_resync += 1;
         self.damaged.push(damaged);
     }
@@ -317,8 +330,16 @@ impl Session {
         }
         self.localizer.resync();
         self.damage_since_resync = 0;
+        if let Some(f) = &self.flight {
+            f.note(EventKind::Resync, "localizer-resync");
+        }
         if let Some(o) = &self.obs {
             o.degrade("localizer-resync");
+            // One Degradation journal event per counter increment, so
+            // dumps and the exposition cross-check.
+            if let Some(f) = &self.flight {
+                f.note(EventKind::Degradation, "localizer-resync");
+            }
         }
     }
 

@@ -25,13 +25,18 @@
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use pstrace_codec::flight::write_flight_dump;
+use pstrace_codec::DEFAULT_SYNC_EVERY;
 use pstrace_diag::OnlineLocalizer;
-use pstrace_obs::{merged_samples, render_prometheus_samples, Registry};
+use pstrace_obs::{
+    merged_samples, render_prometheus_samples, EventKind, FlightHandle, FlightRecorder, Registry,
+};
 use pstrace_soc::SocModel;
 
 use crate::error::StreamError;
@@ -77,13 +82,69 @@ pub(crate) struct FleetCtx {
     /// How long a draining shard waits for in-flight sessions.
     pub drain_timeout: Duration,
     pub limits: SessionLimits,
+    /// The always-on flight recorder: lane 0 is daemon scope, lanes
+    /// `1..=shards` belong to shard workers.
+    pub flight: Arc<FlightRecorder>,
+    /// Where degradation-triggered and shutdown spills land (`None` =
+    /// snapshot-on-request only).
+    pub flight_dump: Option<PathBuf>,
+    /// Recorder-clock time of the last automatic spill (debounce).
+    pub flight_spill: AtomicU64,
 }
+
+/// Minimum recorder-clock time between automatic dump spills, so a
+/// degradation storm costs one file write per window, not per event.
+const FLIGHT_SPILL_DEBOUNCE_NS: u64 = 200_000_000;
 
 impl FleetCtx {
     /// The merged Prometheus exposition across the root and every shard
     /// registry — what the METRICS verb and the scrape endpoint serve.
     pub(crate) fn exposition(&self) -> String {
         render_prometheus_samples(&merged_samples(&self.registries))
+    }
+
+    /// Journals one degradation-ladder activation (exactly one event per
+    /// `pstrace_degradation_events_total` increment) and, when a dump
+    /// path is configured, spills the journal under debounce — the
+    /// ladder firing is exactly when a post-mortem wants the evidence on
+    /// disk.
+    pub(crate) fn degrade_flight(&self, lane: usize, trace: u64, session: u64, path: &str) {
+        self.flight
+            .record(lane, trace, session, EventKind::Degradation, path);
+        self.maybe_autospill();
+    }
+
+    /// The recorder's current journal as a self-describing `.ptw` v2
+    /// dump.
+    pub(crate) fn flight_dump_bytes(&self) -> Result<Vec<u8>, pstrace_wire::WireError> {
+        write_flight_dump(&self.flight.snapshot().events, DEFAULT_SYNC_EVERY)
+    }
+
+    /// Best-effort spill of the journal to the configured dump path.
+    pub(crate) fn spill_flight(&self) {
+        if let Some(path) = &self.flight_dump {
+            if let Ok(bytes) = self.flight_dump_bytes() {
+                let _ = std::fs::write(path, bytes);
+            }
+        }
+    }
+
+    fn maybe_autospill(&self) {
+        if self.flight_dump.is_none() {
+            return;
+        }
+        let now = self.flight.now_ns();
+        let last = self.flight_spill.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < FLIGHT_SPILL_DEBOUNCE_NS {
+            return;
+        }
+        if self
+            .flight_spill
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.spill_flight();
+        }
     }
 }
 
@@ -211,6 +272,12 @@ struct Active {
     /// `Some` for resumable sessions: the token that parks/picks it up.
     token: Option<u64>,
     ticket: Option<Ticket>,
+    /// The trace-context id following this session across reconnects
+    /// and shards (client-minted, or server-assigned when the hello
+    /// carried 0).
+    trace: u64,
+    /// The daemon-local session id the journal names it by.
+    session_id: u64,
 }
 
 /// The per-connection state machine.
@@ -268,6 +335,8 @@ struct ParkedSession {
     schema: Vec<u8>,
     ticket: Option<Ticket>,
     deadline: Instant,
+    trace: u64,
+    session_id: u64,
 }
 
 /// What `advance` decided about a connection.
@@ -292,6 +361,25 @@ struct Shard {
 impl Shard {
     fn shard_count(&self) -> usize {
         self.ctx.senders.len()
+    }
+
+    /// This shard's flight-recorder lane (lane 0 is daemon scope).
+    fn lane(&self) -> usize {
+        self.index + 1
+    }
+
+    /// Journals one lifecycle event on this shard's lane.
+    fn note(&self, trace: u64, session: u64, kind: EventKind, reason: &str) {
+        self.ctx
+            .flight
+            .record(self.lane(), trace, session, kind, reason);
+    }
+
+    /// Bumps the degradation ladder *and* journals it: the counter and
+    /// the flight event move in lockstep, one for one.
+    fn note_degrade(&self, path: &str, trace: u64, session: u64) {
+        degrade(&self.registry, path);
+        self.ctx.degrade_flight(self.lane(), trace, session, path);
     }
 
     fn next_token(&mut self) -> u64 {
@@ -366,7 +454,13 @@ impl Shard {
         let active = *active;
         if let Some(token) = active.token {
             self.registry.counter("pstrace_stream_parked_total").inc();
-            degrade(&self.registry, "session-parked");
+            self.note(
+                active.trace,
+                active.session_id,
+                EventKind::Park,
+                "session-parked",
+            );
+            self.note_degrade("session-parked", active.trace, active.session_id);
             self.parked.insert(
                 token,
                 ParkedSession {
@@ -375,11 +469,14 @@ impl Shard {
                     schema: active.schema,
                     ticket: active.ticket,
                     deadline: Instant::now() + self.ctx.resume_grace,
+                    trace: active.trace,
+                    session_id: active.session_id,
                 },
             );
             Verdict::Close
         } else {
             self.registry.counter("pstrace_stream_failed_total").inc();
+            self.note(active.trace, active.session_id, EventKind::Close, "");
             if conn.peer_gone {
                 Verdict::Close
             } else {
@@ -406,7 +503,7 @@ impl Shard {
             if matches!(conn.phase, Phase::Request) {
                 match proto::decode_request(&conn.inbuf) {
                     Ok(Some((request, used))) => {
-                        if let Request::Resume { token, .. } = &request {
+                        if let Request::Resume { token, hello } = &request {
                             let owner = if *token == 0 {
                                 self.index
                             } else {
@@ -416,6 +513,7 @@ impl Shard {
                                 // Not ours: hand the socket over with the
                                 // request bytes still unconsumed.
                                 self.registry.counter("pstrace_stream_handoffs_total").inc();
+                                self.note(hello.trace, *token, EventKind::Handoff, "");
                                 return (Verdict::Handoff(owner), true);
                             }
                         }
@@ -429,13 +527,13 @@ impl Shard {
                         if conn.peer_gone {
                             // The peer hung up (or never spoke PSTS) before
                             // a full request landed.
-                            degrade(&self.registry, "handshake-deadline");
+                            self.note_degrade("handshake-deadline", 0, 0);
                             return (Verdict::Close, moved);
                         }
                         return (Verdict::Keep, moved);
                     }
                     Err(e) => {
-                        degrade(&self.registry, "handshake-deadline");
+                        self.note_degrade("handshake-deadline", 0, 0);
                         conn.reply(false, &e.to_string());
                         conn.phase = Phase::Closing;
                         return (Verdict::Keep, true);
@@ -483,7 +581,9 @@ impl Shard {
                 conn.reply(true, "shutting down: draining shards");
                 conn.phase = Phase::Closing;
                 self.ctx.shutdown_requested.store(true, Ordering::SeqCst);
-                self.ctx.shutdown.store(true, Ordering::SeqCst);
+                if !self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+                    self.note(0, 0, EventKind::Shutdown, "");
+                }
                 Verdict::Keep
             }
             Request::Session(hello) => {
@@ -538,7 +638,11 @@ impl Shard {
         let ticket = match self.ctx.governor.admit(hello.tenant) {
             Ok(t) => t,
             Err(shed) => {
-                degrade(&self.registry, shed.reason);
+                self.note(hello.trace, 0, EventKind::Shed, shed.reason);
+                if shed.reason == "tenant-quota-shed" {
+                    self.note(hello.trace, 0, EventKind::QuotaTrip, shed.reason);
+                }
+                self.note_degrade(shed.reason, hello.trace, 0);
                 self.registry
                     .counter_with("pstrace_stream_shed_total", &[("reason", shed.reason)])
                     .inc();
@@ -547,13 +651,29 @@ impl Shard {
             }
         };
         let session_id = self.next_session_id();
-        let session = match open_session(&self.ctx.model, hello, &self.registry, session_id) {
+        // 0 on the hello means "server assigns": derive a trace id the
+        // timeline can still tie to the session, flagged into a range a
+        // client-minted id never occupies.
+        let trace = if hello.trace == 0 {
+            session_id | (1 << 63)
+        } else {
+            hello.trace
+        };
+        let mut session = match open_session(&self.ctx.model, hello, &self.registry, session_id) {
             Ok(s) => s,
             Err(e) => {
                 self.registry.counter("pstrace_stream_failed_total").inc();
                 return Err(e);
             }
         };
+        session.set_flight(FlightHandle::new(
+            Arc::clone(&self.ctx.flight),
+            self.lane(),
+            trace,
+            session_id,
+        ));
+        self.note(trace, session_id, EventKind::Open, "");
+        self.note(trace, session_id, EventKind::Handshake, "");
         if token.is_none() {
             self.registry.gauge("pstrace_stream_active_sessions").add(1);
         }
@@ -563,13 +683,15 @@ impl Shard {
             schema: hello.schema.clone(),
             token,
             ticket: Some(ticket),
+            trace,
+            session_id,
         })
     }
 
     /// Picks a parked session back up by its token.
     fn pick_up(&mut self, token: u64, hello: &proto::Hello) -> Result<Active, StreamError> {
         let Some(parked) = self.parked.remove(&token) else {
-            degrade(&self.registry, "resume-expired");
+            self.note_degrade("resume-expired", hello.trace, token);
             return Err(StreamError::Protocol(format!(
                 "unknown or expired resume token {token}"
             )));
@@ -583,12 +705,15 @@ impl Shard {
             ));
         }
         self.registry.counter("pstrace_stream_resumed_total").inc();
+        self.note(parked.trace, parked.session_id, EventKind::Resume, "");
         Ok(Active {
             session: parked.session,
             scenario: parked.scenario,
             schema: parked.schema,
             token: Some(token),
             ticket: parked.ticket,
+            trace: parked.trace,
+            session_id: parked.session_id,
         })
     }
 
@@ -601,7 +726,9 @@ impl Shard {
             Chunk::Data(bytes) => {
                 active.session.push_chunk(&bytes);
                 if let Some(msg) = self.ctx.limits.exceeded(&active.session.metrics()) {
-                    degrade(&self.registry, "budget-close");
+                    let (trace, session_id) = (active.trace, active.session_id);
+                    self.note_degrade("budget-close", trace, session_id);
+                    self.note(trace, session_id, EventKind::Close, "budget-close");
                     self.registry.counter("pstrace_stream_failed_total").inc();
                     self.registry.gauge("pstrace_stream_active_sessions").sub(1);
                     OnlineLocalizer::clear_frontier(&self.registry);
@@ -622,6 +749,8 @@ impl Shard {
                     report.mode,
                     report.render()
                 );
+                self.note(active.trace, active.session_id, EventKind::Finish, "");
+                self.note(active.trace, active.session_id, EventKind::Close, "");
                 self.registry
                     .counter("pstrace_stream_completed_total")
                     .inc();
@@ -661,7 +790,7 @@ impl Shard {
         if matches!(conn.phase, Phase::Request)
             && now.duration_since(conn.opened) > self.ctx.handshake_timeout
         {
-            degrade(&self.registry, "handshake-deadline");
+            self.note_degrade("handshake-deadline", 0, 0);
             conn.reply(
                 false,
                 "handshake deadline: no complete request arrived in time",
@@ -685,7 +814,13 @@ impl Shard {
     /// Tears down a connection that is leaving the table (any path),
     /// keeping the active-session gauge honest.
     fn teardown(&mut self, conn: &mut Conn) {
-        if matches!(conn.phase, Phase::Streaming(_)) {
+        if let Phase::Streaming(active) = &conn.phase {
+            self.note(
+                active.trace,
+                active.session_id,
+                EventKind::Close,
+                "worker-respawn",
+            );
             self.registry.gauge("pstrace_stream_active_sessions").sub(1);
             self.registry.counter("pstrace_stream_failed_total").inc();
             OnlineLocalizer::clear_frontier(&self.registry);
@@ -759,7 +894,8 @@ pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<Shard
                         .registry
                         .counter("pstrace_stream_worker_panics_total")
                         .inc();
-                    degrade(&shard.registry, "worker-respawn");
+                    shard.note(0, 0, EventKind::Respawn, "worker-respawn");
+                    shard.note_degrade("worker-respawn", 0, 0);
                     let mut conn = conns.swap_remove(i);
                     shard.teardown(&mut conn);
                     moved = true;
@@ -772,6 +908,9 @@ pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<Shard
         shard.parked.retain(|_, p| p.deadline > now);
 
         if shard.ctx.shutdown.load(Ordering::Relaxed) {
+            if drain_deadline.is_none() {
+                shard.note(0, 0, EventKind::Drain, "");
+            }
             let deadline =
                 *drain_deadline.get_or_insert_with(|| Instant::now() + shard.ctx.drain_timeout);
             if conns.is_empty() || Instant::now() >= deadline {

@@ -60,6 +60,23 @@ run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
 run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
     fleet --seed 7 --intensity light --sessions 256 --concurrency 64 --shards 4 --records 200
 
+# Flight-recorder smoke: a short chaos-wrapped fleet soak spills the
+# daemon's self-trace as a .ptw v2 dump; the dump must re-decode through
+# the stock `trace decode` machinery (flight dialect auto-detected) and
+# `pstrace events` must render a per-session timeline naming trace ids.
+flight_dump="$(mktemp -t pstrace-flight-XXXXXX.ptw)"
+flight_log="$(mktemp -t pstrace-flight-XXXXXX.log)"
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    fleet --seed 7 --intensity light --sessions 16 --concurrency 8 --shards 4 --records 200 \
+    --flight-dump "$flight_dump"
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    trace decode "$flight_dump" --out /dev/null | tee "$flight_log"
+run grep -q "flight-recorder dialect" "$flight_log"
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    events "$flight_dump" | tee "$flight_log"
+run grep -q "trace 0x" "$flight_log"
+rm -f "$flight_dump" "$flight_log"
+
 # Flow-mining smoke: mine the coherence-scenario captures and require
 # both ground-truth flows (COH + NCU downstream) recovered at P/R >= 0.9.
 # `--require` makes the exit status the gate; the grep pins the verdict

@@ -11,6 +11,7 @@
 //! * reconnect-path faults (drops, disconnects) drive the park/resume
 //!   machinery without breaking survival.
 
+use pstrace::codec::flight::read_flight_dump;
 use pstrace::diag::{consistent_paths, MatchMode, OnlineLocalizer};
 use pstrace::faults::{run_soak, FaultPlan, SoakConfig};
 use pstrace::flow::{FlowIndex, IndexedMessage};
@@ -102,6 +103,52 @@ fn reconnect_faults_drive_park_resume_and_daemon_survives() {
         report.render()
     );
     report.survival().expect("survival criteria hold");
+}
+
+#[test]
+fn flight_journal_agrees_with_degradation_counters() {
+    // Every `pstrace_degradation_events_total{path}` increment pairs
+    // with exactly one `degradation` flight event, so the journal and
+    // the counters must tell the same story — both in memory and after
+    // a round-trip through the spilled `.ptw` v2 dump.
+    let plan = FaultPlan::standard(0x0051_ee75).without_reconnect_faults();
+    let mut config = SoakConfig::new(plan);
+    config.sessions = 3;
+    config.records = 2_000;
+    config.chunk_bytes = 512;
+    let dump_path =
+        std::env::temp_dir().join(format!("pstrace-chaos-flight-{}.ptw", std::process::id()));
+    config.flight_dump = Some(dump_path.clone());
+    let report = run_soak(&config).expect("harness builds");
+
+    assert!(
+        report.flight.recorded > 0,
+        "the storm must journal events:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.flight.overwritten,
+        0,
+        "this storm fits the ring; nothing may be lost:\n{}",
+        report.render()
+    );
+    assert_eq!(
+        report.flight.degradation_counts(),
+        report.degradations,
+        "journal vs counters diverged:\n{}",
+        report.render()
+    );
+
+    let bytes = std::fs::read(&dump_path).expect("soak spilled the flight dump");
+    std::fs::remove_file(&dump_path).ok();
+    let dump = read_flight_dump(&bytes).expect("dump decodes against the flight catalog");
+    assert_eq!(dump.damaged, 0, "a self-dump is never damaged");
+    assert_eq!(
+        dump.degradation_counts(),
+        report.degradations,
+        "spilled dump vs counters diverged:\n{}",
+        report.render()
+    );
 }
 
 #[test]

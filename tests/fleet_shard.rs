@@ -209,7 +209,7 @@ fn over_quota_tenants_are_shed_deterministically() {
     // Tenant 7 occupies its whole quota with one in-flight session:
     // hello acked, payload half-sent, connection held open.
     let mut held = connect(&server);
-    proto::write_resume_hello_as(&mut held, 0, 1, MatchMode::Prefix, 7, &cap.schema).unwrap();
+    proto::write_resume_hello_as(&mut held, 0, 1, MatchMode::Prefix, 7, 0, &cap.schema).unwrap();
     let ack = proto::read_reply(&mut held).unwrap();
     proto::parse_resume_ack(&ack).unwrap();
 
@@ -230,7 +230,7 @@ fn over_quota_tenants_are_shed_deterministically() {
         // per-tenant by running tenant 7 raw instead.
         err.expect("tenant 0 is under quota and must be served");
         let mut s = connect(&server);
-        proto::write_hello_as(&mut s, 1, MatchMode::Prefix, 7, &cap.schema).unwrap();
+        proto::write_hello_as(&mut s, 1, MatchMode::Prefix, 7, 0, &cap.schema).unwrap();
         s.flush().unwrap();
         let verdict = proto::read_reply(&mut s);
         let msg = verdict.expect_err("tenant 7 is at quota").to_string();
