@@ -54,6 +54,8 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "trace" => cmd_trace(rest),
         "serve" => cmd_serve(rest),
         "stop" => cmd_stop(rest),
+        "recover" => cmd_recover(rest),
+        "crash" => cmd_crash(rest),
         "stream" => cmd_stream(rest),
         "metrics" => cmd_metrics(rest),
         "events" => cmd_events(rest),
@@ -89,10 +91,22 @@ fn print_help() {
     println!("           [--max-sessions N] [--tenant-quota N]");
     println!("           [--metrics-addr HOST:PORT]");
     println!("           [--flight-recorder | --flight-dump FILE.ptw]");
+    println!("           [--durability off|lazy|strict] [--wal-dir DIR] [--wal-budget B]");
     println!("                                         run the live trace ingest daemon");
     println!("                                         (the flight recorder spills its own");
-    println!("                                         lifecycle journal as a .ptw v2 dump)");
+    println!("                                         lifecycle journal as a .ptw v2 dump;");
+    println!("                                         with a WAL dir, parked sessions");
+    println!("                                         survive a daemon crash)");
     println!("  stop     [--addr HOST:PORT]            ask a daemon to drain and exit");
+    println!("  recover  --wal-dir DIR [--shards N] [--dry-run]");
+    println!("                                         replay a WAL directory read-only and");
+    println!("                                         print what a restart would restore");
+    println!("  crash    [--seed S] [--sessions N] [--records N] [--chunk B] [--shards N]");
+    println!("           [--crash-point NAME|all] [--kill-after-ms T] [--wal-dir DIR]");
+    println!("                                         kill-the-daemon recovery soak: SIGKILL");
+    println!("                                         (or an armed WAL crash point) mid-soak,");
+    println!("                                         restart, resume every session; fails on");
+    println!("                                         a recovery breach");
     println!("  stream   FILE.ptw [--addr HOST:PORT] [--scenario N] [--mode M] [--chunk B]");
     println!("           [--retries N]                 replay a .ptw capture to a daemon");
     println!("                                         (--retries uses the resumable client)");
@@ -811,6 +825,9 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
             "tenant-quota",
             "metrics-addr",
             "flight-dump",
+            "durability",
+            "wal-dir",
+            "wal-budget",
         ],
     )?;
     // `--threads` is the pre-fleet spelling of `--shards`; still honored.
@@ -826,12 +843,27 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
         None if args.flag("flight-recorder") => Some(std::path::PathBuf::from("flight.ptw")),
         None => None,
     };
+    // Durability: `--wal-dir` names the journal directory; `--durability`
+    // picks the fsync policy (default `strict` once a dir is given, so a
+    // bare `--wal-dir` is crash-safe out of the box).
+    let wal_dir = args.option("wal-dir").map(std::path::PathBuf::from);
+    let durability = match args.option("durability") {
+        Some(name) => pstrace_stream::durable::DurabilityPolicy::from_name(name)?,
+        None if wal_dir.is_some() => pstrace_stream::durable::DurabilityPolicy::Strict,
+        None => pstrace_stream::durable::DurabilityPolicy::Off,
+    };
+    if durability != pstrace_stream::durable::DurabilityPolicy::Off && wal_dir.is_none() {
+        return Err("--durability lazy|strict needs --wal-dir DIR".into());
+    }
     let config = pstrace_stream::ServerConfig {
         addr: args.option("addr").unwrap_or("127.0.0.1:7455").to_owned(),
         shards,
         max_sessions: args.option_opt("max-sessions")?,
         tenant_quota: args.option_opt("tenant-quota")?,
         flight_dump: flight_dump.clone(),
+        durability,
+        wal_dir: wal_dir.clone(),
+        wal_budget: args.option_or("wal-budget", pstrace_stream::DEFAULT_WAL_BUDGET)?,
         ..pstrace_stream::ServerConfig::default()
     };
     let sessions: Option<u64> = args.option_opt("sessions")?;
@@ -844,6 +876,16 @@ fn cmd_serve(argv: &[String]) -> CmdResult {
     );
     if let Some(path) = &flight_dump {
         println!("flight recorder spilling to {}", path.display());
+    }
+    if let Some(dir) = &wal_dir {
+        let snap = server.snapshot();
+        println!(
+            "durability {} on {} (epoch {:#018x}, {} sessions recovered)",
+            durability.name(),
+            dir.display(),
+            server.epoch(),
+            snap.recovered,
+        );
     }
     let endpoint = match args.option("metrics-addr") {
         Some(addr) => {
@@ -880,6 +922,105 @@ fn cmd_stop(argv: &[String]) -> CmdResult {
     let args = Args::parse(argv.iter().cloned(), &[], &["addr"])?;
     let addr = args.option("addr").unwrap_or("127.0.0.1:7455");
     println!("{}", pstrace_stream::request_shutdown(addr)?);
+    Ok(())
+}
+
+/// Replays a WAL directory read-only and prints what a restarting
+/// daemon would restore: the recovery epoch, entries replayed and
+/// skipped, every resumable session, and any damage sites. `--dry-run`
+/// is accepted for symmetry with other tools — inspection never writes.
+fn cmd_recover(argv: &[String]) -> CmdResult {
+    let args = Args::parse(argv.iter().cloned(), &["dry-run"], &["wal-dir", "shards"])?;
+    let dir = std::path::PathBuf::from(args.option("wal-dir").ok_or("recover needs --wal-dir")?);
+    if !dir.is_dir() {
+        return Err(format!("--wal-dir {} is not a directory", dir.display()).into());
+    }
+    let shards = args.option_or("shards", 2usize)?;
+    let state = pstrace_stream::Server::recover(&dir, shards);
+    print!("{}", pstrace_stream::durable::render_dry_run(&dir, &state));
+    Ok(())
+}
+
+/// Runs the kill-the-daemon recovery soak: a child `pstrace serve
+/// --durability strict` destroyed mid-soak (SIGKILL, or an armed WAL
+/// crash point), restarted on the same WAL directory, every session
+/// resumed across the crash, then a clean probe checked against the
+/// batch pipeline. `--crash-point all` iterates every compiled-in crash
+/// point plus the plain SIGKILL run. Exits nonzero on a recovery breach.
+fn cmd_crash(argv: &[String]) -> CmdResult {
+    let args = Args::parse(
+        argv.iter().cloned(),
+        &[],
+        &[
+            "seed",
+            "sessions",
+            "records",
+            "chunk",
+            "shards",
+            "crash-point",
+            "kill-after-ms",
+            "wal-dir",
+        ],
+    )?;
+    let exe = std::env::current_exe()?;
+    let daemon = vec![exe.to_string_lossy().into_owned(), "serve".to_owned()];
+    let wal_root = match args.option("wal-dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("pstrace-crash-{}", std::process::id())),
+    };
+    let points: Vec<Option<String>> = match args.option("crash-point") {
+        None => vec![None],
+        Some("all") => {
+            let mut all = vec![None];
+            all.extend(
+                pstrace_stream::durable::CRASH_POINTS
+                    .iter()
+                    .map(|p| Some((*p).to_owned())),
+            );
+            all
+        }
+        Some(point) => {
+            if !pstrace_stream::durable::CRASH_POINTS.contains(&point) {
+                return Err(format!(
+                    "unknown crash point `{point}`; compiled-in points: {}",
+                    pstrace_stream::durable::CRASH_POINTS.join(", ")
+                )
+                .into());
+            }
+            vec![Some(point.to_owned())]
+        }
+    };
+
+    let guard = pstrace_faults::watchdog(std::time::Duration::from_secs(600), "pstrace crash");
+    let mut failures = Vec::new();
+    for (i, point) in points.iter().enumerate() {
+        // Each run gets a fresh WAL lineage: recovery must come from the
+        // crash under test, never from a previous run's journal.
+        let mut config =
+            pstrace_faults::CrashSoakConfig::new(daemon.clone(), wal_root.join(format!("run-{i}")));
+        config.seed = args.option_or("seed", 0xc_4a54_u64)?;
+        config.sessions = args.option_or("sessions", config.sessions)?;
+        config.records = args.option_or("records", config.records)?;
+        config.chunk_bytes = args.option_or("chunk", config.chunk_bytes)?;
+        config.shards = args.option_or("shards", config.shards)?;
+        config.kill_after =
+            std::time::Duration::from_millis(args.option_or("kill-after-ms", 300u64)?);
+        config.crash_point = point.clone();
+        let report = pstrace_faults::run_crash_soak(&config)?;
+        print!("{}", report.render());
+        if let Err(v) = report.survival() {
+            failures.push(format!("{}: {v}", point.as_deref().unwrap_or("sigkill")));
+        }
+        std::fs::remove_dir_all(&config.wal_dir).ok();
+    }
+    drop(guard);
+    if !failures.is_empty() {
+        return Err(format!(
+            "crash soak failed the recovery criteria:\n{}",
+            failures.join("\n")
+        )
+        .into());
+    }
     Ok(())
 }
 

@@ -31,6 +31,6 @@ mod v2;
 
 pub use container::{decode_ptw_payload, profile_for, read_ptw_auto, write_ptw_profile};
 pub use v2::{
-    decode_v2, encode_v2, ProfileV2, V2StreamDecoder, BLOCK_HEADER_BYTES, DEFAULT_SYNC_EVERY,
-    MIN_BLOCK_BYTES, SYNC_MARKER,
+    decode_v2, encode_v2, fnv32, ProfileV2, V2StreamDecoder, BLOCK_HEADER_BYTES,
+    DEFAULT_SYNC_EVERY, MIN_BLOCK_BYTES, SYNC_MARKER,
 };

@@ -67,7 +67,11 @@ pub const DEFAULT_SYNC_EVERY: u16 = 64;
 /// approaches this many bytes so `block_len` always fits `u16`.
 const MAX_PAYLOAD_BYTES: usize = 60_000;
 
-fn fnv32(bytes: &[u8]) -> u32 {
+/// FNV-1a-32 over `bytes` — the checksum discipline of every v2 sync
+/// block, exported so other on-disk formats (the ingest daemon's WAL
+/// entries and checkpoints) can reuse the exact same integrity check.
+#[must_use]
+pub fn fnv32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= u32::from(b);

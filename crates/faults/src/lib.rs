@@ -17,7 +17,11 @@
 //!   connection down mid-stream;
 //! * **Session seam** — damage storms inside [`corrupt_wire`]: a
 //!   contiguous run of frames stomped with noise, the fault that empties
-//!   an online localizer frontier and exercises its resync path.
+//!   an online localizer frontier and exercises its resync path;
+//! * **Daemon seam** — [`run_crash_soak`]: the ingest process itself
+//!   destroyed mid-soak (SIGKILL, or an armed `PSTRACE_CRASH_POINT`
+//!   abort inside a WAL critical section), then restarted on the same
+//!   WAL directory; every parked session must resume across the crash.
 //!
 //! [`run_soak`] composes all three against an in-process
 //! [`pstrace_stream::Server`] and scores the result: the daemon must
@@ -32,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod chaos;
+mod crash;
 mod ledger;
 mod plan;
 mod soak;
@@ -39,6 +44,7 @@ mod watchdog;
 mod wire;
 
 pub use chaos::ChaosStream;
+pub use crash::{flip_wal_byte, run_crash_soak, tear_wal_tail, CrashSoakConfig, CrashSoakReport};
 pub use ledger::{FaultEvent, FaultLedger};
 pub use plan::{
     BurstModel, FaultGate, FaultKind, FaultPlan, Seam, SessionFaults, TransportFaults, WireFaults,

@@ -16,6 +16,8 @@ pub enum Seam {
     Transport,
     /// Whole-session events (damage storms spanning many frames).
     Session,
+    /// The daemon process itself (kill -9, armed crash points).
+    Daemon,
 }
 
 impl Seam {
@@ -26,6 +28,7 @@ impl Seam {
             Seam::Wire => "wire",
             Seam::Transport => "transport",
             Seam::Session => "session",
+            Seam::Daemon => "daemon",
         }
     }
 }
@@ -55,6 +58,11 @@ pub enum FaultKind {
     /// A contiguous region of the wire stream stomped with noise — the
     /// session-seam storm that empties the online localizer frontier.
     DamageStorm,
+    /// The daemon process destroyed outright (SIGKILL) mid-soak.
+    ProcessKill,
+    /// An armed in-daemon crash point (`PSTRACE_CRASH_POINT`) fired,
+    /// aborting the process inside a WAL critical section.
+    CrashPoint,
 }
 
 impl FaultKind {
@@ -73,6 +81,8 @@ impl FaultKind {
             FaultKind::Disconnect => "disconnect",
             FaultKind::SlowLoris => "slow-loris",
             FaultKind::DamageStorm => "damage-storm",
+            FaultKind::ProcessKill => "process-kill",
+            FaultKind::CrashPoint => "crash-point",
         }
     }
 
@@ -90,6 +100,7 @@ impl FaultKind {
             | FaultKind::Disconnect
             | FaultKind::SlowLoris => Seam::Transport,
             FaultKind::DamageStorm => Seam::Session,
+            FaultKind::ProcessKill | FaultKind::CrashPoint => Seam::Daemon,
         }
     }
 }
@@ -385,6 +396,8 @@ mod tests {
             FaultKind::Disconnect,
             FaultKind::SlowLoris,
             FaultKind::DamageStorm,
+            FaultKind::ProcessKill,
+            FaultKind::CrashPoint,
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

@@ -218,15 +218,17 @@ impl SoakReport {
 
 /// The scenario-1 soak fixture (mirrors the ingest bench): interleaved
 /// flow, selection-derived schema, and a synthetic encoded stream.
-struct Fixture {
-    model: Arc<SocModel>,
-    schema: pstrace_wire::WireSchema,
-    encoded: EncodedStream,
-    clean_ptw: Vec<u8>,
-    batch_localization: String,
+/// Shared with the crash harness, which replays the clean capture and
+/// checks the same batch localization line.
+pub(crate) struct Fixture {
+    pub(crate) model: Arc<SocModel>,
+    pub(crate) schema: pstrace_wire::WireSchema,
+    pub(crate) encoded: EncodedStream,
+    pub(crate) clean_ptw: Vec<u8>,
+    pub(crate) batch_localization: String,
 }
 
-fn build_fixture(records: usize) -> Result<Fixture, String> {
+pub(crate) fn build_fixture(records: usize) -> Result<Fixture, String> {
     let model = SocModel::t2();
     let scenario = UsageScenario::scenario1();
     let buffer =

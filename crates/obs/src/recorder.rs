@@ -70,11 +70,15 @@ pub enum EventKind {
     /// exactly once per `pstrace_degradation_events_total` increment,
     /// so dumps and counters cross-check.
     Degradation = 15,
+    /// The daemon replayed its WAL at startup (reason = what the
+    /// recovery restored, replayed or skipped) — lane-0 events marking
+    /// a crash/restart boundary in the journal.
+    Recover = 16,
 }
 
 impl EventKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Open,
         EventKind::Handshake,
         EventKind::Finish,
@@ -91,6 +95,7 @@ impl EventKind {
         EventKind::Shutdown,
         EventKind::Fault,
         EventKind::Degradation,
+        EventKind::Recover,
     ];
 
     /// The kind's kebab-case label (also the timeline's event name).
@@ -113,6 +118,7 @@ impl EventKind {
             EventKind::Shutdown => "shutdown",
             EventKind::Fault => "fault",
             EventKind::Degradation => "degradation",
+            EventKind::Recover => "recover",
         }
     }
 
@@ -158,6 +164,15 @@ pub const REASON_LABELS: &[&str] = &[
     "disconnect",
     "slow-loris",
     "damage-storm",
+    // Durability / crash-recovery paths (WAL + Server::recover).
+    "sessions-restored",
+    "entries-replayed",
+    "entries-skipped",
+    "resume-epoch-shed",
+    "wal-append-degraded",
+    "wal-rotate",
+    "wal-checkpoint-degraded",
+    "wal-session-skipped",
 ];
 
 /// The wire code for a reason label (0 — "no reason" — when unknown,
@@ -483,7 +498,7 @@ mod tests {
             assert_eq!(EventKind::from_code(i as u8), Some(*kind));
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(EventKind::from_code(16), None);
+        assert_eq!(EventKind::from_code(EventKind::ALL.len() as u8), None);
     }
 
     #[test]
@@ -561,7 +576,7 @@ mod tests {
                             (t % 2) as usize,
                             t,
                             i,
-                            EventKind::ALL[(i % 16) as usize],
+                            EventKind::ALL[(i as usize) % EventKind::ALL.len()],
                             (i % REASON_LABELS.len() as u64) as u16,
                         );
                     }

@@ -182,16 +182,20 @@ struct AttemptArgs<'a> {
 
 /// One attempt of the resumable protocol over an established transport:
 /// resume hello → ack → chunks from the acked offset → FINISH → reply.
-/// Returns the updated token alongside any error so the caller can
-/// reconnect and resume.
+/// Updates the token and the server's recovery epoch in place alongside
+/// any error, so the caller can reconnect and resume — even against a
+/// daemon that crashed and restarted in between (the epoch proves the
+/// token still belongs to the same WAL lineage).
 fn resume_attempt<S: Read + Write>(
     transport: &mut S,
     token: &mut u64,
+    epoch: &mut u64,
     args: &AttemptArgs<'_>,
 ) -> Result<String, StreamError> {
     write_resume_hello_as(
         transport,
         *token,
+        *epoch,
         args.scenario,
         args.mode,
         args.tenant,
@@ -200,8 +204,9 @@ fn resume_attempt<S: Read + Write>(
     )?;
     transport.flush()?;
     let ack = read_reply(transport)?;
-    let (acked_token, offset) = parse_resume_ack(&ack)?;
+    let (acked_token, offset, acked_epoch) = parse_resume_ack(&ack)?;
     *token = acked_token;
+    *epoch = acked_epoch;
     let offset = usize::try_from(offset)
         .ok()
         .filter(|&o| o <= args.payload.len())
@@ -332,6 +337,7 @@ where
         chunk: chunk_bytes.max(1),
     };
     let mut token = 0u64;
+    let mut epoch = 0u64;
     let mut backoff = policy.initial_backoff;
     let attempts = policy.max_reconnects.saturating_add(1);
     let mut last_err = None;
@@ -347,7 +353,7 @@ where
                 continue;
             }
         };
-        match resume_attempt(&mut transport, &mut token, &args) {
+        match resume_attempt(&mut transport, &mut token, &mut epoch, &args) {
             Ok(report) => return Ok(report),
             // The server spoke: its verdict is final, not a transport
             // fault to retry through.
@@ -431,14 +437,45 @@ pub fn fetch_metrics(addr: impl ToSocketAddrs) -> Result<String, StreamError> {
 /// happens after the ack, so poll the port (or the process) to observe
 /// completion.
 ///
+/// Fails fast when nothing is listening: the connect runs under a short
+/// timeout and a refused/timed-out connect is
+/// [`StreamError::Unreachable`], not a retryable transport fault —
+/// `pstrace stop` against an already-dead daemon reports so immediately
+/// instead of sitting in a reconnect budget.
+///
 /// # Errors
 ///
+/// * [`StreamError::Unreachable`] when no daemon answers the connect;
 /// * [`StreamError::Io`] / [`StreamError::Protocol`] for transport
-///   failures;
+///   failures after the connect;
 /// * [`StreamError::Remote`] when the server refuses the request.
 pub fn request_shutdown(addr: impl ToSocketAddrs) -> Result<String, StreamError> {
-    let stream = TcpStream::connect(addr)?;
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(StreamError::Protocol(
+            "address resolved to nothing".to_owned(),
+        ));
+    }
+    let mut last = None;
+    let mut stream = None;
+    for a in &addrs {
+        match TcpStream::connect_timeout(a, Duration::from_secs(2)) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last = Some((a, e)),
+        }
+    }
+    let Some(stream) = stream else {
+        let (a, source) = last.expect("at least one address was tried");
+        return Err(StreamError::Unreachable {
+            addr: a.to_string(),
+            source,
+        });
+    };
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     write_shutdown_request(&mut writer)?;

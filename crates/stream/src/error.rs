@@ -16,6 +16,15 @@ pub enum StreamError {
     Protocol(String),
     /// The server reported a session failure.
     Remote(String),
+    /// No daemon is listening at the address: the connect itself failed,
+    /// so there is nothing to retry against (`pstrace stop` fails fast
+    /// on this instead of burning its reconnect budget).
+    Unreachable {
+        /// The address that refused or timed out.
+        addr: String,
+        /// The underlying connect failure.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -25,6 +34,9 @@ impl fmt::Display for StreamError {
             StreamError::Wire(e) => write!(f, "wire error: {e}"),
             StreamError::Protocol(m) => write!(f, "protocol violation: {m}"),
             StreamError::Remote(m) => write!(f, "server rejected the session: {m}"),
+            StreamError::Unreachable { addr, source } => {
+                write!(f, "daemon unreachable at {addr}: {source}")
+            }
         }
     }
 }
@@ -34,6 +46,7 @@ impl std::error::Error for StreamError {
         match self {
             StreamError::Io(e) => Some(e),
             StreamError::Wire(e) => Some(e),
+            StreamError::Unreachable { source, .. } => Some(source),
             StreamError::Protocol(_) | StreamError::Remote(_) => None,
         }
     }

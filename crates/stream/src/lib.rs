@@ -32,7 +32,15 @@
 //!   clients behind `pstrace stream` / `pstrace metrics`;
 //! * [`stream_ptw_with`] / [`stream_ptw_resumable`] — the hardened
 //!   client: connect/read timeouts ([`RetryPolicy`]) and bounded
-//!   reconnect-with-backoff resuming at the server's acked byte offset.
+//!   reconnect-with-backoff resuming at the server's acked byte offset;
+//! * [`durable`] — the crash-only layer: an append-only per-shard WAL of
+//!   session lifecycle state (checksummed fixed-size entries reusing the
+//!   codec v2 CRC discipline) plus compacted checkpoints, replayed by
+//!   [`Server::recover`] at startup so `SESSION_RESUME` tokens minted
+//!   before a crash still work after restart. The v6 protocol carries a
+//!   recovery *epoch* alongside the token, so a token from a different
+//!   WAL lineage is shed politely instead of spliced into a stranger's
+//!   session.
 //!
 //! The contract inherited from the batch side holds end to end: a
 //! session's committed record sequence is bit-identical to
@@ -50,9 +58,23 @@ mod error;
 mod metrics;
 mod poll;
 pub mod proto;
+mod recover;
 mod server;
 mod session;
 mod shard;
+mod wal;
+
+/// The durability layer: WAL writing, checkpoints, and crash recovery.
+pub mod durable {
+    pub use crate::recover::{
+        recover_state, render_dry_run, RecoverError, RecoveredSession, RecoveredState,
+    };
+    pub use crate::wal::{
+        checkpoint_path, crash_armed, decode_entry, encode_entry, epoch_path, fresh_epoch,
+        mint_epoch, wal_path, write_checkpoint, CheckpointSession, DurabilityPolicy, WalRecord,
+        WalWriter, CRASH_POINTS, SCHEMA_CHUNK_BYTES, WAL_BODY_BYTES, WAL_ENTRY_BYTES,
+    };
+}
 
 pub use client::{
     fetch_metrics, next_trace_id, request_shutdown, stream_ptw, stream_ptw_as,
@@ -63,5 +85,6 @@ pub use error::StreamError;
 pub use metrics::MetricsEndpoint;
 pub use server::{
     scenario_by_number, snapshot_from, Server, ServerConfig, SessionLimits, StatsSnapshot,
+    DEFAULT_WAL_BUDGET,
 };
 pub use session::{observed_messages, Session, SessionMetrics, SessionReport};

@@ -7,7 +7,7 @@
 //! ```text
 //! request preamble:
 //!   magic        4 bytes  "PSTS"
-//!   version      u8       = 5
+//!   version      u8       = 6
 //!   request      u8       1 = SESSION, 2 = METRICS, 3 = SESSION_RESUME,
 //!                         4 = SHUTDOWN
 //!
@@ -34,19 +34,30 @@
 //! (same status/len/text framing) with its metric registry rendered in
 //! Prometheus text exposition format.
 //!
-//! SESSION_RESUME request — like SESSION, but a resume token precedes
-//! the hello and the server acknowledges before any chunk flows:
+//! SESSION_RESUME request — like SESSION, but a resume token and the
+//! server's recovery epoch precede the hello and the server
+//! acknowledges before any chunk flows:
 //!   token        u64      0 to open a fresh resumable session, or a
 //!                         token from an earlier ack to pick up a parked
 //!                         one
+//!   epoch        u64      the recovery epoch from the ack that minted
+//!                         the token (0 when opening fresh) — proves the
+//!                         token belongs to this daemon's WAL lineage;
+//!                         a mismatched epoch is shed politely instead
+//!                         of spliced into a stranger's session
 //!   scenario/mode/tenant/trace/schema_len/schema as in SESSION
-//! server ack (immediately, reply framing): `resume <token> <offset>` —
-//! the assigned (or echoed) token and the number of payload bytes the
-//! server has already ingested. The client sends `payload[offset..]` in
-//! chunks. If the transport dies before FINISH, the server parks the
-//! session for a grace period; reconnecting with the token resumes at
-//! the new acked offset, and the reassembled stream is byte-identical
-//! to an uninterrupted one.
+//! server ack (immediately, reply framing):
+//! `resume <token> <offset> <epoch>` — the assigned (or echoed) token,
+//! the number of payload bytes the server has already ingested, and the
+//! server's recovery epoch. The client sends `payload[offset..]` in
+//! chunks and quotes the epoch back on every reconnect. If the
+//! transport dies before FINISH, the server parks the session for a
+//! grace period; reconnecting with the token resumes at the new acked
+//! offset, and the reassembled stream is byte-identical to an
+//! uninterrupted one. With `--durability` on, parked sessions survive
+//! daemon death: the restarted server replays its WAL and the same
+//! token keeps working (the ack offset restarts at 0 because payload
+//! bytes are not durable — the client resends from the top).
 //! ```
 //!
 //! METRICS request — nothing follows beyond the preamble; likewise
@@ -56,9 +67,11 @@
 //! Version history: v1 had no request byte (every connection was a
 //! session); v2 added the `METRICS` verb; v3 added the `SESSION_RESUME`
 //! verb with its token/offset ack; v4 added the `tenant` field to both
-//! session hellos and the `SHUTDOWN` verb; v5 (this build) added the
-//! `trace` field to both session hellos, propagating the flight
-//! recorder's trace-context id end to end.
+//! session hellos and the `SHUTDOWN` verb; v5 added the `trace` field
+//! to both session hellos, propagating the flight recorder's
+//! trace-context id end to end; v6 (this build) added the recovery
+//! `epoch` to the resume request and ack, so tokens survive daemon
+//! crashes and stale tokens from another WAL lineage are rejected.
 //!
 //! The schema handshake reuses the `.ptw` container's self-describing
 //! header verbatim, so a capture file and a live socket describe their
@@ -76,7 +89,7 @@ use crate::error::StreamError;
 pub const PROTO_MAGIC: [u8; 4] = *b"PSTS";
 
 /// The protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 5;
+pub const PROTO_VERSION: u8 = 6;
 
 /// Request kind: a streaming ingest session follows.
 pub const REQ_SESSION: u8 = 1;
@@ -254,19 +267,23 @@ pub fn write_resume_hello(
     mode: MatchMode,
     schema: &[u8],
 ) -> Result<(), StreamError> {
-    write_resume_hello_as(w, token, scenario, mode, 0, 0, schema)
+    write_resume_hello_as(w, token, 0, scenario, mode, 0, 0, schema)
 }
 
-/// [`write_resume_hello`] carrying an explicit tenant id and
-/// trace-context id. Reconnects reuse the original trace id, so the
-/// flight recorder sees one id across the session's whole life.
+/// [`write_resume_hello`] carrying the recovery epoch plus an explicit
+/// tenant id and trace-context id. Reconnects reuse the original trace
+/// id, so the flight recorder sees one id across the session's whole
+/// life, and quote back the epoch from the ack that minted the token so
+/// the server can tell its own tokens from another lineage's.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures.
+#[allow(clippy::too_many_arguments)]
 pub fn write_resume_hello_as(
     w: &mut impl Write,
     token: u64,
+    epoch: u64,
     scenario: u8,
     mode: MatchMode,
     tenant: u32,
@@ -277,6 +294,7 @@ pub fn write_resume_hello_as(
     w.write_all(&PROTO_MAGIC)?;
     w.write_all(&[PROTO_VERSION, REQ_SESSION_RESUME])?;
     w.write_all(&token.to_le_bytes())?;
+    w.write_all(&epoch.to_le_bytes())?;
     w.write_all(&[scenario, mode_to_byte(mode)])?;
     w.write_all(&tenant.to_le_bytes())?;
     w.write_all(&trace.to_le_bytes())?;
@@ -291,16 +309,21 @@ pub fn write_resume_hello_as(
 /// # Errors
 ///
 /// Propagates socket write failures.
-pub fn write_resume_ack(w: &mut impl Write, token: u64, offset: u64) -> Result<(), StreamError> {
-    write_reply(w, true, &format!("resume {token} {offset}"))
+pub fn write_resume_ack(
+    w: &mut impl Write,
+    token: u64,
+    offset: u64,
+    epoch: u64,
+) -> Result<(), StreamError> {
+    write_reply(w, true, &format!("resume {token} {offset} {epoch}"))
 }
 
-/// Parses the text of a resume ack back into `(token, offset)`.
+/// Parses the text of a resume ack back into `(token, offset, epoch)`.
 ///
 /// # Errors
 ///
 /// Returns [`StreamError::Protocol`] when the text is not an ack.
-pub fn parse_resume_ack(text: &str) -> Result<(u64, u64), StreamError> {
+pub fn parse_resume_ack(text: &str) -> Result<(u64, u64, u64), StreamError> {
     let mut parts = text.split_whitespace();
     let bad = || StreamError::Protocol(format!("malformed resume ack `{text}`"));
     if parts.next() != Some("resume") {
@@ -308,10 +331,11 @@ pub fn parse_resume_ack(text: &str) -> Result<(u64, u64), StreamError> {
     }
     let token = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
     let offset = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let epoch = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
     if parts.next().is_some() {
         return Err(bad());
     }
-    Ok((token, offset))
+    Ok((token, offset, epoch))
 }
 
 /// Writes a `METRICS` request: preamble only, nothing follows.
@@ -349,6 +373,8 @@ pub enum Request {
     Resume {
         /// The resume token (0 = fresh).
         token: u64,
+        /// The recovery epoch the token was minted under (0 = fresh).
+        epoch: u64,
         /// The session hello.
         hello: Hello,
     },
@@ -398,8 +424,10 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, StreamError> {
         REQ_METRICS => Ok(Request::Metrics),
         REQ_SESSION_RESUME => {
             let token = read_u64(r, "resume token")?;
+            let epoch = read_u64(r, "recovery epoch")?;
             Ok(Request::Resume {
                 token,
+                epoch,
                 hello: read_hello_body(r)?,
             })
         }
@@ -594,7 +622,19 @@ pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, StreamErro
             let Some(token) = s.u64() else {
                 return Ok(None);
             };
-            Ok(hello_body(&mut s)?.map(|hello| (Request::Resume { token, hello }, s.pos)))
+            let Some(epoch) = s.u64() else {
+                return Ok(None);
+            };
+            Ok(hello_body(&mut s)?.map(|hello| {
+                (
+                    Request::Resume {
+                        token,
+                        epoch,
+                        hello,
+                    },
+                    s.pos,
+                )
+            }))
         }
         other => Err(StreamError::Protocol(format!(
             "unknown request kind {other}"
@@ -699,10 +739,15 @@ mod tests {
         let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(hello.tenant, 0xdead_beef);
         let mut buf = Vec::new();
-        write_resume_hello_as(&mut buf, 9, 1, MatchMode::Exact, 77, 0, b"x").unwrap();
+        write_resume_hello_as(&mut buf, 9, 0xE0, 1, MatchMode::Exact, 77, 0, b"x").unwrap();
         match read_request(&mut Cursor::new(&buf)).unwrap() {
-            Request::Resume { token, hello } => {
+            Request::Resume {
+                token,
+                epoch,
+                hello,
+            } => {
                 assert_eq!(token, 9);
+                assert_eq!(epoch, 0xE0);
                 assert_eq!(hello.tenant, 77);
             }
             other => panic!("parsed {other:?}"),
@@ -724,9 +769,9 @@ mod tests {
         let hello = read_hello(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(hello.trace, 0x1122_3344_5566_7788);
         let mut buf = Vec::new();
-        write_resume_hello_as(&mut buf, 5, 1, MatchMode::Exact, 0, 0xabcd, b"x").unwrap();
+        write_resume_hello_as(&mut buf, 5, 0, 1, MatchMode::Exact, 0, 0xabcd, b"x").unwrap();
         match read_request(&mut Cursor::new(&buf)).unwrap() {
-            Request::Resume { token, hello } => {
+            Request::Resume { token, hello, .. } => {
                 assert_eq!(token, 5);
                 assert_eq!(hello.trace, 0xabcd);
             }
@@ -763,7 +808,17 @@ mod tests {
         .unwrap();
         requests.push(session);
         let mut resume = Vec::new();
-        write_resume_hello_as(&mut resume, 7, 2, MatchMode::Suffix, 3, 0xbeef, b"more").unwrap();
+        write_resume_hello_as(
+            &mut resume,
+            7,
+            0x1234,
+            2,
+            MatchMode::Suffix,
+            3,
+            0xbeef,
+            b"more",
+        )
+        .unwrap();
         requests.push(resume);
         let mut metrics = Vec::new();
         write_metrics_request(&mut metrics).unwrap();
@@ -901,8 +956,13 @@ mod tests {
         let mut buf = Vec::new();
         write_resume_hello(&mut buf, 42, 4, MatchMode::Prefix, b"schema").unwrap();
         match read_request(&mut Cursor::new(&buf)).unwrap() {
-            Request::Resume { token, hello } => {
+            Request::Resume {
+                token,
+                epoch,
+                hello,
+            } => {
                 assert_eq!(token, 42);
+                assert_eq!(epoch, 0, "the anonymous helper quotes no epoch");
                 assert_eq!(hello.scenario, 4);
                 assert_eq!(hello.mode, MatchMode::Prefix);
                 assert_eq!(hello.schema, b"schema");
@@ -910,12 +970,16 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         let mut ack = Vec::new();
-        write_resume_ack(&mut ack, 42, 1024).unwrap();
+        write_resume_ack(&mut ack, 42, 1024, 0xE9).unwrap();
         let text = read_reply(&mut Cursor::new(&ack)).unwrap();
-        assert_eq!(parse_resume_ack(&text).unwrap(), (42, 1024));
-        assert!(parse_resume_ack("resume x y").is_err());
+        assert_eq!(parse_resume_ack(&text).unwrap(), (42, 1024, 0xE9));
+        assert!(parse_resume_ack("resume x y z").is_err());
         assert!(parse_resume_ack("session ok").is_err());
-        assert!(parse_resume_ack("resume 1 2 3").is_err());
+        assert!(
+            parse_resume_ack("resume 1 2").is_err(),
+            "a v5 two-field ack is no longer a valid v6 ack"
+        );
+        assert!(parse_resume_ack("resume 1 2 3 4").is_err());
     }
 
     #[test]

@@ -49,7 +49,7 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -62,8 +62,14 @@ use pstrace_wire::read_ptw_header;
 
 use crate::error::StreamError;
 use crate::proto::Hello;
+use crate::recover::{recover_state, RecoveredState};
 use crate::session::Session;
 use crate::shard::{run_shard, FleetCtx, ShardMsg, TenantGovernor};
+use crate::wal::{fresh_epoch, mint_epoch, DurabilityPolicy};
+
+/// Default per-shard WAL disk budget before a checkpoint-and-truncate
+/// rotation (bytes).
+pub const DEFAULT_WAL_BUDGET: u64 = 512 * 1024;
 
 /// Per-session ingest budgets. A session crossing any limit is closed
 /// with a polite status-1 reply (degradation path `budget-close`); the
@@ -149,6 +155,19 @@ pub struct ServerConfig {
     /// path fires. `None` = in-memory only, readable via
     /// [`Server::flight_snapshot`].
     pub flight_dump: Option<PathBuf>,
+    /// WAL fsync policy: `Off` keeps the pre-durability behavior (a
+    /// crash loses every parked session), `Lazy` survives daemon death,
+    /// `Strict` fsyncs every lifecycle append before the client sees its
+    /// ack. Requires [`ServerConfig::wal_dir`] to take effect.
+    pub durability: DurabilityPolicy,
+    /// Where the per-shard WALs, checkpoints and the epoch file live.
+    /// On spawn the daemon replays whatever a previous life left here
+    /// (`Server::recover` is the same code path) and re-parks every
+    /// still-resumable session.
+    pub wal_dir: Option<PathBuf>,
+    /// Per-shard WAL disk budget in bytes; crossing it triggers a
+    /// checkpoint-and-truncate rotation (degradation path `wal-rotate`).
+    pub wal_budget: u64,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +184,9 @@ impl Default for ServerConfig {
             tenant_quota: None,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             flight_dump: None,
+            durability: DurabilityPolicy::Off,
+            wal_dir: None,
+            wal_budget: DEFAULT_WAL_BUDGET,
         }
     }
 }
@@ -191,6 +213,8 @@ pub struct StatsSnapshot {
     pub parked: u64,
     /// Parked sessions picked back up by a resume token.
     pub resumed: u64,
+    /// Sessions re-parked from the WAL by crash recovery.
+    pub recovered: u64,
     /// Worker panics caught and survived.
     pub worker_panics: u64,
     /// Accept-loop errors retried under backoff.
@@ -266,11 +290,51 @@ impl Server {
             receivers.push(rx);
         }
 
+        // Crash-only startup: with durability on, mint (or re-read) the
+        // WAL directory's epoch and replay whatever a previous life left
+        // behind — a clean first boot and a post-SIGKILL restart are the
+        // same code path.
+        let durable = config.durability != DurabilityPolicy::Off;
+        let wal_dir = config.wal_dir.clone().filter(|_| durable);
+        let (epoch, recovered_state) = match &wal_dir {
+            Some(dir) => {
+                let epoch = mint_epoch(dir)?;
+                let state = registry.time("stream-recover", || recover_state(dir, shard_count));
+                (epoch, Some(state))
+            }
+            // No WAL: a fresh nonzero epoch per daemon life, so stale
+            // tokens from any other life are still rejected.
+            None => (fresh_epoch(), None),
+        };
+        let mut recovered: Vec<_> = (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+        let mut recovered_max_token = 0;
+        let mut session_seq_start = 1;
+        let mut recover_counts = None;
+        if let Some(state) = recovered_state {
+            recovered_max_token = state.max_token;
+            session_seq_start = state.max_session_id + 1;
+            recover_counts = Some((state.sessions() as u64, state.replayed, state.skipped));
+            for (slot, sessions) in recovered.iter_mut().zip(state.shards) {
+                *slot = Mutex::new(sessions);
+            }
+        }
+        if let Some((restored, replayed, skipped)) = recover_counts {
+            registry
+                .counter("pstrace_recover_sessions_total")
+                .add(restored);
+            registry
+                .counter("pstrace_recover_entries_replayed_total")
+                .add(replayed);
+            registry
+                .counter("pstrace_recover_entries_skipped_total")
+                .add(skipped);
+        }
+
         let ctx = Arc::new(FleetCtx {
             model,
             registries,
             senders,
-            session_seq: AtomicU64::new(1),
+            session_seq: AtomicU64::new(session_seq_start),
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             governor: TenantGovernor::new(
@@ -286,7 +350,25 @@ impl Server {
             flight: Arc::new(FlightRecorder::new(shard_count + 1, config.flight_capacity)),
             flight_dump: config.flight_dump.clone(),
             flight_spill: AtomicU64::new(0),
+            epoch,
+            durability: config.durability,
+            wal_dir,
+            wal_budget: config.wal_budget,
+            recovered,
+            recovered_max_token,
         });
+
+        // Lane-0 `fr-recover` events mark the crash/restart boundary in
+        // the journal: what the replay restored, replayed and skipped
+        // (counts ride the session field).
+        if let Some((restored, replayed, skipped)) = recover_counts {
+            ctx.flight
+                .record(0, 0, restored, EventKind::Recover, "sessions-restored");
+            ctx.flight
+                .record(0, 0, replayed, EventKind::Recover, "entries-replayed");
+            ctx.flight
+                .record(0, 0, skipped, EventKind::Recover, "entries-skipped");
+        }
 
         let shards = receivers
             .into_iter()
@@ -349,6 +431,24 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Replays the checkpoints and WALs under `wal_dir` for a daemon of
+    /// `shards` shards, without starting anything — the inspection half
+    /// of the crash-only startup ([`Server::spawn`] runs the same replay
+    /// when [`ServerConfig::wal_dir`] is set). Backs `pstrace recover
+    /// --dry-run`.
+    #[must_use]
+    pub fn recover(wal_dir: &std::path::Path, shards: usize) -> RecoveredState {
+        recover_state(wal_dir, shards)
+    }
+
+    /// The daemon's recovery epoch: stable across restarts of one WAL
+    /// directory, fresh per life otherwise. Resume acks carry it and
+    /// resume requests must quote it back.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.ctx.epoch
     }
 
     /// The root metrics registry (the caller-provided one for
@@ -460,6 +560,7 @@ fn fold_samples(samples: &[(MetricKey, Sample)]) -> StatsSnapshot {
             "pstrace_stream_damaged_frames_total" => snap.damaged_frames += v,
             "pstrace_stream_parked_total" => snap.parked += v,
             "pstrace_stream_resumed_total" => snap.resumed += v,
+            "pstrace_stream_recovered_total" => snap.recovered += v,
             "pstrace_stream_worker_panics_total" => snap.worker_panics += v,
             "pstrace_stream_accept_retries_total" => snap.accept_retries += v,
             "pstrace_stream_shed_total" => snap.shed += v,

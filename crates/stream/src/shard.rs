@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use pstrace_codec::flight::write_flight_dump;
 use pstrace_codec::DEFAULT_SYNC_EVERY;
-use pstrace_diag::OnlineLocalizer;
+use pstrace_diag::{MatchMode, OnlineLocalizer};
 use pstrace_obs::{
     merged_samples, render_prometheus_samples, EventKind, FlightHandle, FlightRecorder, Registry,
 };
@@ -42,8 +42,10 @@ use pstrace_soc::SocModel;
 use crate::error::StreamError;
 use crate::poll::{read_once, write_once, Backoff, Progress, Readiness};
 use crate::proto::{self, Chunk, Request};
+use crate::recover::RecoveredSession;
 use crate::server::{degrade, open_session, SessionLimits};
 use crate::session::Session;
+use crate::wal::{CheckpointSession, DurabilityPolicy, WalRecord, WalWriter};
 
 /// How many bytes one connection may pull per tick before the loop moves
 /// on — fairness under a firehose client.
@@ -90,6 +92,21 @@ pub(crate) struct FleetCtx {
     pub flight_dump: Option<PathBuf>,
     /// Recorder-clock time of the last automatic spill (debounce).
     pub flight_spill: AtomicU64,
+    /// The recovery epoch: acked with every resume token, checked on
+    /// every resume-by-token (a mismatch is shed, `resume-epoch-shed`).
+    pub epoch: u64,
+    /// WAL fsync policy (`Off` = no durability layer at all).
+    pub durability: DurabilityPolicy,
+    /// Where the per-shard WALs live (`None` when durability is off).
+    pub wal_dir: Option<PathBuf>,
+    /// Per-shard WAL disk budget before rotation (bytes).
+    pub wal_budget: u64,
+    /// Sessions the startup replay rebuilt, one slot per shard — each
+    /// shard takes (and re-parks) its slot before its first tick.
+    pub recovered: Vec<Mutex<Vec<RecoveredSession>>>,
+    /// Highest resume token a previous life minted; token sequences
+    /// restart above it so recovered tokens are never re-issued.
+    pub recovered_max_token: u64,
 }
 
 /// Minimum recorder-clock time between automatic dump spills, so a
@@ -268,6 +285,8 @@ impl Drop for Ticket {
 struct Active {
     session: Session,
     scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
     schema: Vec<u8>,
     /// `Some` for resumable sessions: the token that parks/picks it up.
     token: Option<u64>,
@@ -332,6 +351,8 @@ impl Conn {
 struct ParkedSession {
     session: Session,
     scenario: u8,
+    mode: MatchMode,
+    tenant: u32,
     schema: Vec<u8>,
     ticket: Option<Ticket>,
     deadline: Instant,
@@ -356,6 +377,9 @@ struct Shard {
     /// Per-shard resume-token sequence; tokens are
     /// `seq * shard_count + index`, never 0, owner-recoverable.
     resume_seq: u64,
+    /// This shard's write-ahead log (`None` when durability is off or
+    /// the WAL could not be opened — the shard degrades, never dies).
+    wal: Option<WalWriter>,
 }
 
 impl Shard {
@@ -395,6 +419,159 @@ impl Shard {
 
     fn next_session_id(&self) -> u64 {
         self.ctx.session_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends one lifecycle entry to this shard's WAL. A failing append
+    /// is a degradation (`wal-append-degraded`), never a session error:
+    /// the session continues, it just loses crash durability.
+    fn wal_append(&mut self, record: &WalRecord) {
+        let failed = match self.wal.as_mut() {
+            Some(wal) => wal.append(record).is_err(),
+            None => false,
+        };
+        if failed {
+            self.note_degrade("wal-append-degraded", 0, 0);
+        }
+    }
+
+    /// Journals a resumable session's open group (Open + schema chunks).
+    /// Under strict durability the group is fsynced before this returns,
+    /// so the token the caller is about to ack is already on disk.
+    fn wal_append_open(&mut self, active: &Active) {
+        let Some(token) = active.token else { return };
+        let failed = match self.wal.as_mut() {
+            Some(wal) => wal
+                .append_open(
+                    token,
+                    active.session_id,
+                    active.trace,
+                    active.scenario,
+                    proto::mode_to_byte(active.mode),
+                    active.tenant,
+                    &active.schema,
+                )
+                .is_err(),
+            None => false,
+        };
+        if failed {
+            self.note_degrade("wal-append-degraded", active.trace, active.session_id);
+        }
+    }
+
+    /// Re-parks the sessions crash recovery rebuilt for this shard: each
+    /// one re-admits through the governor, re-opens its session state
+    /// machine from the journaled hello, and waits out a fresh grace
+    /// period under its pre-crash token.
+    fn repark_recovered(&mut self, sessions: Vec<RecoveredSession>) {
+        for r in sessions {
+            let Ok(mode) = proto::mode_from_byte(r.mode) else {
+                self.note_degrade("wal-session-skipped", r.trace, r.session_id);
+                continue;
+            };
+            let ticket = match self.ctx.governor.admit(r.tenant) {
+                Ok(t) => t,
+                Err(_) => {
+                    // The restarted daemon is smaller (or busier) than
+                    // the dead one: shed rather than oversubscribe.
+                    self.note_degrade("wal-session-skipped", r.trace, r.session_id);
+                    continue;
+                }
+            };
+            let hello = proto::Hello {
+                scenario: r.scenario,
+                mode,
+                tenant: r.tenant,
+                trace: r.trace,
+                schema: r.schema,
+            };
+            let mut session =
+                match open_session(&self.ctx.model, &hello, &self.registry, r.session_id) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.note_degrade("wal-session-skipped", r.trace, r.session_id);
+                        continue;
+                    }
+                };
+            session.set_flight(FlightHandle::new(
+                Arc::clone(&self.ctx.flight),
+                self.lane(),
+                r.trace,
+                r.session_id,
+            ));
+            self.registry
+                .counter("pstrace_stream_recovered_total")
+                .inc();
+            self.note(
+                r.trace,
+                r.session_id,
+                EventKind::Recover,
+                "sessions-restored",
+            );
+            self.parked.insert(
+                r.token,
+                ParkedSession {
+                    session,
+                    scenario: hello.scenario,
+                    mode,
+                    tenant: hello.tenant,
+                    schema: hello.schema,
+                    ticket: Some(ticket),
+                    deadline: Instant::now() + self.ctx.resume_grace,
+                    trace: r.trace,
+                    session_id: r.session_id,
+                },
+            );
+        }
+    }
+
+    /// Checkpoint-and-truncate rotation once the WAL crosses its disk
+    /// budget: every live resumable session (parked or mid-stream) is
+    /// compacted into the checkpoint, then the journal restarts empty.
+    fn maybe_rotate(&mut self, conns: &mut [Conn]) {
+        if !self.wal.as_ref().is_some_and(WalWriter::needs_rotation) {
+            return;
+        }
+        let mut live: Vec<CheckpointSession> = self
+            .parked
+            .iter()
+            .map(|(&token, p)| CheckpointSession {
+                token,
+                session_id: p.session_id,
+                trace: p.trace,
+                scenario: p.scenario,
+                mode: proto::mode_to_byte(p.mode),
+                tenant: p.tenant,
+                schema: p.schema.clone(),
+                bytes: p.session.metrics().bytes,
+            })
+            .collect();
+        for conn in conns {
+            if let Phase::Streaming(active) = &conn.phase {
+                if let Some(token) = active.token {
+                    live.push(CheckpointSession {
+                        token,
+                        session_id: active.session_id,
+                        trace: active.trace,
+                        scenario: active.scenario,
+                        mode: proto::mode_to_byte(active.mode),
+                        tenant: active.tenant,
+                        schema: active.schema.clone(),
+                        bytes: active.session.metrics().bytes,
+                    });
+                }
+            }
+        }
+        // Rotation is the disk-pressure rung of the ladder: count it.
+        self.note_degrade("wal-rotate", 0, 0);
+        let failed = match self.wal.as_mut() {
+            Some(wal) => wal.rotate(&live).is_err(),
+            None => false,
+        };
+        if failed {
+            // The checkpoint (or truncate) failed; the old WAL still
+            // recovers everything, so degrade and carry on.
+            self.note_degrade("wal-checkpoint-degraded", 0, 0);
+        }
     }
 
     /// Reads whatever the socket has buffered (bounded per tick).
@@ -461,11 +638,17 @@ impl Shard {
                 "session-parked",
             );
             self.note_degrade("session-parked", active.trace, active.session_id);
+            self.wal_append(&WalRecord::Park {
+                token,
+                bytes: active.session.metrics().bytes,
+            });
             self.parked.insert(
                 token,
                 ParkedSession {
                     session: active.session,
                     scenario: active.scenario,
+                    mode: active.mode,
+                    tenant: active.tenant,
                     schema: active.schema,
                     ticket: active.ticket,
                     deadline: Instant::now() + self.ctx.resume_grace,
@@ -503,7 +686,7 @@ impl Shard {
             if matches!(conn.phase, Phase::Request) {
                 match proto::decode_request(&conn.inbuf) {
                     Ok(Some((request, used))) => {
-                        if let Request::Resume { token, hello } = &request {
+                        if let Request::Resume { token, hello, .. } = &request {
                             let owner = if *token == 0 {
                                 self.index
                             } else {
@@ -600,12 +783,35 @@ impl Shard {
                 }
                 Verdict::Keep
             }
-            Request::Resume { token, hello } => {
+            Request::Resume {
+                token,
+                epoch,
+                hello,
+            } => {
                 let opened = if token == 0 {
                     // Fresh resumable session.
                     self.registry.counter("pstrace_stream_sessions_total").inc();
                     let token = self.next_token();
                     self.open_streaming(&hello, Some(token))
+                } else if epoch != self.ctx.epoch {
+                    // The token was minted under a different WAL lineage
+                    // (another daemon, another --wal-dir, or a pre-crash
+                    // life whose journal this daemon never saw). Splicing
+                    // it into a live table would corrupt someone else's
+                    // session; shed it politely instead.
+                    self.note(hello.trace, token, EventKind::Shed, "resume-epoch-shed");
+                    self.note_degrade("resume-epoch-shed", hello.trace, token);
+                    self.registry
+                        .counter_with(
+                            "pstrace_stream_shed_total",
+                            &[("reason", "resume-epoch-shed")],
+                        )
+                        .inc();
+                    Err(StreamError::Protocol(format!(
+                        "resume token {token} carries recovery epoch {epoch}, \
+                         this daemon's epoch is {}; token rejected",
+                        self.ctx.epoch
+                    )))
                 } else {
                     self.pick_up(token, &hello)
                 };
@@ -613,7 +819,12 @@ impl Shard {
                     Ok(active) => {
                         let token = active.token.expect("resumable sessions carry a token");
                         let offset = active.session.metrics().bytes;
-                        let _ = proto::write_resume_ack(&mut conn.outbox, token, offset);
+                        let _ = proto::write_resume_ack(
+                            &mut conn.outbox,
+                            token,
+                            offset,
+                            self.ctx.epoch,
+                        );
                         self.registry.gauge("pstrace_stream_active_sessions").add(1);
                         conn.phase = Phase::Streaming(Box::new(active));
                     }
@@ -677,15 +888,22 @@ impl Shard {
         if token.is_none() {
             self.registry.gauge("pstrace_stream_active_sessions").add(1);
         }
-        Ok(Active {
+        let active = Active {
             session,
             scenario: hello.scenario,
+            mode: hello.mode,
+            tenant: hello.tenant,
             schema: hello.schema.clone(),
             token,
             ticket: Some(ticket),
             trace,
             session_id,
-        })
+        };
+        // Journal the open group before the caller can ack the token:
+        // under strict durability the fsync happens here, so an acked
+        // token is always recoverable.
+        self.wal_append_open(&active);
+        Ok(active)
     }
 
     /// Picks a parked session back up by its token.
@@ -706,9 +924,12 @@ impl Shard {
         }
         self.registry.counter("pstrace_stream_resumed_total").inc();
         self.note(parked.trace, parked.session_id, EventKind::Resume, "");
+        self.wal_append(&WalRecord::Resume { token });
         Ok(Active {
             session: parked.session,
             scenario: parked.scenario,
+            mode: parked.mode,
+            tenant: parked.tenant,
             schema: parked.schema,
             token: Some(token),
             ticket: parked.ticket,
@@ -742,6 +963,10 @@ impl Shard {
                     return;
                 };
                 let active = *active;
+                if let Some(token) = active.token {
+                    // The token is dead: recovery must not resurrect it.
+                    self.wal_append(&WalRecord::Complete { token });
+                }
                 let report = active.session.finish(Some(bit_len));
                 let text = format!(
                     "session over scenario {} ({:?} match)\n{}",
@@ -835,13 +1060,37 @@ pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<Shard
     // Eagerly materialize the gauge so an idle daemon's exposition still
     // shows `pstrace_stream_active_sessions 0`.
     let _ = registry.gauge("pstrace_stream_active_sessions");
+    // Open this shard's WAL (after the startup replay read the old one)
+    // and seed the token sequence above everything a previous life
+    // minted, so recovered tokens are never re-issued.
+    let shard_count = ctx.senders.len() as u64;
+    let resume_seq = ctx.recovered_max_token / shard_count + 1;
+    let wal = match &ctx.wal_dir {
+        Some(dir) => WalWriter::open(
+            dir,
+            index,
+            shard_count as usize,
+            ctx.epoch,
+            ctx.durability,
+            ctx.wal_budget,
+        )
+        .map_err(|_| degrade(&registry, "wal-append-degraded"))
+        .ok(),
+        None => None,
+    };
+    let recovered = ctx.recovered[index]
+        .lock()
+        .map(|mut slot| std::mem::take(&mut *slot))
+        .unwrap_or_default();
     let mut shard = Shard {
         ctx,
         index,
         registry,
         parked: HashMap::new(),
-        resume_seq: 1,
+        resume_seq,
+        wal,
     };
+    shard.repark_recovered(recovered);
     let mut conns: Vec<Conn> = Vec::new();
     let mut backoff = Backoff::new();
     let mut drain_deadline: Option<Instant> = None;
@@ -903,9 +1152,22 @@ pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<Shard
             }
         }
 
-        // Lazy purge of expired parked sessions.
+        // Lazy purge of expired parked sessions; each expiry is
+        // journaled so recovery cannot resurrect a dead token.
         let now = Instant::now();
-        shard.parked.retain(|_, p| p.deadline > now);
+        let expired: Vec<u64> = shard
+            .parked
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            shard.parked.remove(&token);
+            shard.wal_append(&WalRecord::Expire { token });
+        }
+
+        // Disk-pressure rotation: checkpoint live sessions, truncate.
+        shard.maybe_rotate(&mut conns);
 
         if shard.ctx.shutdown.load(Ordering::Relaxed) {
             if drain_deadline.is_none() {
@@ -914,6 +1176,10 @@ pub(crate) fn run_shard(ctx: Arc<FleetCtx>, index: usize, inbox: &Receiver<Shard
             let deadline =
                 *drain_deadline.get_or_insert_with(|| Instant::now() + shard.ctx.drain_timeout);
             if conns.is_empty() || Instant::now() >= deadline {
+                // Lazy durability flushes once, here, at the drain edge.
+                if let Some(wal) = shard.wal.as_mut() {
+                    let _ = wal.sync();
+                }
                 return;
             }
         }

@@ -77,6 +77,17 @@ run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
 run grep -q "trace 0x" "$flight_log"
 rm -f "$flight_dump" "$flight_log"
 
+# Crash-recovery smoke: the kill-the-daemon soak against the real
+# `pstrace serve` binary — one plain SIGKILL run plus every compiled-in
+# WAL crash point (PSTRACE_CRASH_POINT), each restarted on the same WAL
+# directory. The command exits nonzero on any recovery breach; the grep
+# pins all five verdicts.
+crash_log="$(mktemp -t pstrace-crash-XXXXXX.log)"
+run cargo run -q --release --locked -p pstrace-cli --bin pstrace -- \
+    crash --seed 7 --sessions 6 --records 1200 --shards 2 --crash-point all | tee "$crash_log"
+run test "$(grep -c 'verdict *: recovered' "$crash_log")" = 5
+rm -f "$crash_log"
+
 # Flow-mining smoke: mine the coherence-scenario captures and require
 # both ground-truth flows (COH + NCU downstream) recovered at P/R >= 0.9.
 # `--require` makes the exit status the gate; the grep pins the verdict

@@ -83,7 +83,7 @@ fn run_resumable(server: &Server, cap: &Capture) -> String {
     let mut s = connect(server);
     proto::write_resume_hello(&mut s, 0, 1, MatchMode::Prefix, &cap.schema).unwrap();
     let ack = proto::read_reply(&mut s).unwrap();
-    let (_token, offset) = proto::parse_resume_ack(&ack).unwrap();
+    let (_token, offset, _epoch) = proto::parse_resume_ack(&ack).unwrap();
     assert_eq!(offset, 0);
     for piece in cap.payload.chunks(64) {
         proto::write_data(&mut s, piece).unwrap();
@@ -134,18 +134,18 @@ fn resume_pins_the_session_across_reconnect_and_shards() {
     // Now the same session dies mid-stream. First connection: hello,
     // ack, half the payload, then the transport vanishes without FINISH.
     let half = cap.payload.len() / 2;
-    let token = {
+    let (token, epoch) = {
         let mut s = connect(&server);
         proto::write_resume_hello(&mut s, 0, 1, MatchMode::Prefix, &cap.schema).unwrap();
         let ack = proto::read_reply(&mut s).unwrap();
-        let (token, offset) = proto::parse_resume_ack(&ack).unwrap();
+        let (token, offset, epoch) = proto::parse_resume_ack(&ack).unwrap();
         assert!(token > 0, "fresh resumable session got token {token}");
         assert_eq!(offset, 0);
         for piece in cap.payload[..half].chunks(64) {
             proto::write_data(&mut s, piece).unwrap();
         }
         s.flush().unwrap();
-        token
+        (token, epoch)
     };
 
     // The owning shard must notice the dead transport and park the
@@ -161,9 +161,19 @@ fn resume_pins_the_session_across_reconnect_and_shards() {
     // owner — the daemon must hand it off, not lose it.
     let resumed = {
         let mut s = connect(&server);
-        proto::write_resume_hello(&mut s, token, 1, MatchMode::Prefix, &cap.schema).unwrap();
+        proto::write_resume_hello_as(
+            &mut s,
+            token,
+            epoch,
+            1,
+            MatchMode::Prefix,
+            0,
+            0,
+            &cap.schema,
+        )
+        .unwrap();
         let ack = proto::read_reply(&mut s).unwrap();
-        let (acked, offset) = proto::parse_resume_ack(&ack).unwrap();
+        let (acked, offset, _) = proto::parse_resume_ack(&ack).unwrap();
         assert_eq!(acked, token, "resume ack changed the token");
         let offset = usize::try_from(offset).unwrap();
         assert!(offset <= half, "server acked bytes it never saw");
@@ -209,7 +219,7 @@ fn over_quota_tenants_are_shed_deterministically() {
     // Tenant 7 occupies its whole quota with one in-flight session:
     // hello acked, payload half-sent, connection held open.
     let mut held = connect(&server);
-    proto::write_resume_hello_as(&mut held, 0, 1, MatchMode::Prefix, 7, 0, &cap.schema).unwrap();
+    proto::write_resume_hello_as(&mut held, 0, 0, 1, MatchMode::Prefix, 7, 0, &cap.schema).unwrap();
     let ack = proto::read_reply(&mut held).unwrap();
     proto::parse_resume_ack(&ack).unwrap();
 

@@ -121,19 +121,19 @@ fn trace_context_follows_a_session_across_reconnect_and_shards() {
     // First connection: hello carrying the client-minted trace-context
     // id, half the payload, then the transport vanishes without FINISH.
     let half = cap.payload.len() / 2;
-    let token = {
+    let (token, epoch) = {
         let mut s = connect(&server);
-        proto::write_resume_hello_as(&mut s, 0, 1, MatchMode::Prefix, 0, TRACE, &cap.schema)
+        proto::write_resume_hello_as(&mut s, 0, 0, 1, MatchMode::Prefix, 0, TRACE, &cap.schema)
             .unwrap();
         let ack = proto::read_reply(&mut s).unwrap();
-        let (token, offset) = proto::parse_resume_ack(&ack).unwrap();
+        let (token, offset, epoch) = proto::parse_resume_ack(&ack).unwrap();
         assert!(token > 0);
         assert_eq!(offset, 0);
         for piece in cap.payload[..half].chunks(64) {
             proto::write_data(&mut s, piece).unwrap();
         }
         s.flush().unwrap();
-        token
+        (token, epoch)
     };
     assert!(
         poll_until(Duration::from_secs(30), || server.snapshot().parked >= 1),
@@ -146,10 +146,19 @@ fn trace_context_follows_a_session_across_reconnect_and_shards() {
     // the token's owner: a cross-shard handoff.
     {
         let mut s = connect(&server);
-        proto::write_resume_hello_as(&mut s, token, 1, MatchMode::Prefix, 0, TRACE, &cap.schema)
-            .unwrap();
+        proto::write_resume_hello_as(
+            &mut s,
+            token,
+            epoch,
+            1,
+            MatchMode::Prefix,
+            0,
+            TRACE,
+            &cap.schema,
+        )
+        .unwrap();
         let ack = proto::read_reply(&mut s).unwrap();
-        let (acked, offset) = proto::parse_resume_ack(&ack).unwrap();
+        let (acked, offset, _) = proto::parse_resume_ack(&ack).unwrap();
         assert_eq!(acked, token);
         let offset = usize::try_from(offset).unwrap();
         assert!(offset <= half);
@@ -212,6 +221,90 @@ fn trace_context_follows_a_session_across_reconnect_and_shards() {
         timeline.contains(&format!("trace 0x{TRACE:016x}")),
         "timeline must name the trace id:\n{timeline}"
     );
+}
+
+#[test]
+fn recovery_is_journaled_as_fr_recover_events() {
+    let _guard = watchdog(Duration::from_secs(120), "flight recover events");
+    const TRACE: u64 = 0x7e57_f11e_0002;
+    let dir = std::env::temp_dir().join(format!("pstrace-flight-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cap = capture(400);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        read_timeout: Duration::from_millis(150),
+        resume_grace: Duration::from_secs(30),
+        durability: pstrace::stream::durable::DurabilityPolicy::Strict,
+        wal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Life #1: park one session mid-stream, then shut down with it
+    // still parked — its Open + Park group stays journaled in the WAL.
+    let first = Server::spawn(Arc::clone(&cap.model), &config).unwrap();
+    {
+        let mut s = connect(&first);
+        proto::write_resume_hello_as(&mut s, 0, 0, 1, MatchMode::Prefix, 0, TRACE, &cap.schema)
+            .unwrap();
+        proto::read_reply(&mut s).unwrap();
+        for piece in cap.payload[..cap.payload.len() / 2].chunks(64) {
+            proto::write_data(&mut s, piece).unwrap();
+        }
+        s.flush().unwrap();
+    }
+    assert!(
+        poll_until(Duration::from_secs(30), || first.snapshot().parked >= 1),
+        "session was never parked: {:?}",
+        first.snapshot()
+    );
+    first.shutdown();
+
+    // Life #2 recovers it, and the flight journal says so: lane-0
+    // fr-recover events carrying the restored/replayed/skipped counts,
+    // at daemon scope (trace 0), with the interned reason labels.
+    let second = Server::spawn(Arc::clone(&cap.model), &config).unwrap();
+    assert!(
+        poll_until(Duration::from_secs(30), || second.snapshot().recovered >= 1),
+        "no session recovered: {:?}",
+        second.snapshot()
+    );
+    let events = second.flight_snapshot().events;
+    let recover: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Recover)
+        .collect();
+    assert!(!recover.is_empty(), "recovery left no fr-recover events");
+    for want in ["sessions-restored", "entries-replayed", "entries-skipped"] {
+        assert!(
+            recover
+                .iter()
+                .any(|e| e.trace == 0 && pstrace::obs::reason_label(e.reason) == want),
+            "missing daemon-scope fr-recover reason {want:?}"
+        );
+    }
+    let restored = recover
+        .iter()
+        .find(|e| pstrace::obs::reason_label(e.reason) == "sessions-restored")
+        .expect("checked above");
+    assert!(
+        restored.session >= 1,
+        "the restored count rides in the event"
+    );
+
+    // The dump decodes against the built-in catalog, which names the
+    // new lifecycle message.
+    let bytes = second.flight_dump_bytes().unwrap();
+    second.shutdown();
+    let dump = read_flight_dump(&bytes).unwrap();
+    assert_eq!(dump.damaged, 0);
+    assert!(dump.events.iter().any(|e| e.kind == EventKind::Recover));
+    assert_eq!(flight_message_name(EventKind::Recover), "fr-recover");
+    assert!(
+        flight_catalog().get("fr-recover").is_some(),
+        "the flight catalog materializes fr-recover"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
